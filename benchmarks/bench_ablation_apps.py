@@ -1,0 +1,66 @@
+"""Ablation — the Section 6 applications of the hashing primitive.
+
+Quantifies: (6.1) benign-race filtering on volrend vs the streamcluster
+bug; (6.2) state-hash pruning vs happens-before pruning in systematic
+exploration; (6.3) partial-log replay assisted by checkpoint hashes.
+"""
+
+import pytest
+
+from repro.apps.race_filter import classify_races
+from repro.apps.replay import record, replay_search
+from repro.apps.systematic import explore
+from repro.workloads import Streamcluster, Volrend
+from _programs import Fig1Program, RacyProgram
+
+
+def test_race_filter(benchmark, emit_artifact):
+    volrend = benchmark.pedantic(
+        lambda: classify_races(Volrend(n_workers=4, image_words=16), runs=8),
+        rounds=1, iterations=1)
+    buggy = classify_races(
+        Streamcluster(n_workers=4, buggy=True, input_size="dev",
+                      n_points=16), runs=8)
+    emit_artifact(
+        "ablation_race_filter.txt",
+        f"volrend: {volrend.n_races} races, benign={volrend.benign}\n"
+        f"streamcluster(buggy,dev): {buggy.n_races} races, "
+        f"benign={buggy.benign}")
+    assert volrend.benign and volrend.n_races > 0
+    assert not buggy.benign and buggy.n_races > 0
+
+
+def test_systematic_pruning(benchmark, emit_artifact):
+    fig1 = benchmark.pedantic(
+        lambda: explore(Fig1Program(), max_interleavings=400),
+        rounds=1, iterations=1)
+    racy = explore(RacyProgram(), max_interleavings=400)
+    emit_artifact(
+        "ablation_systematic.txt",
+        f"fig1: {fig1.interleavings} interleavings, {fig1.hb_classes} HB "
+        f"classes, {fig1.state_classes} state classes "
+        f"(pruning gain {fig1.pruning_gain:.1f}x)\n"
+        f"racy: {racy.interleavings} interleavings, {racy.hb_classes} HB "
+        f"classes, {racy.state_classes} state classes (precision: hash "
+        f"splits the single HB class)")
+    # Better pruning: fewer state classes than HB classes on Figure 1.
+    assert fig1.state_classes < fig1.hb_classes
+    # More precise: more state classes than HB classes on the racy code.
+    assert racy.state_classes > racy.hb_classes
+
+
+def test_replay_assist(benchmark, emit_artifact):
+    program = Volrend(n_workers=4, image_words=16)
+
+    def session():
+        log, control = record(program, stride=2)
+        return replay_search(program, log, control, max_attempts=60)
+
+    result = benchmark.pedantic(session, rounds=1, iterations=1)
+    emit_artifact(
+        "ablation_replay.txt",
+        f"volrend partial-log replay: success={result.success} after "
+        f"{result.attempts} attempt(s); {result.checkpoints_compared} "
+        f"checkpoint hashes compared, {result.early_rejections} "
+        f"candidates rejected early")
+    assert result.success

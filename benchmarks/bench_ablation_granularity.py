@@ -1,0 +1,67 @@
+"""Ablation — scheduler and preemption-granularity sensitivity.
+
+The random serialized scheduler is *not* part of InstantCheck; it stands
+in for whatever testing tool the programmer uses (PCT, CHESS, stress).
+This bench swaps schedulers and preemption granularities and checks that
+(a) deterministic verdicts are scheduler-independent, (b) the seeded
+bugs are detected under every randomized policy, and (c) SW-Inc's
+non-atomic instrumentation only raises false alarms under per-access
+preemption (Section 4.1's caveat quantified).
+"""
+
+import pytest
+
+from repro.core.checker.runner import check_determinism
+from repro.core.hashing.rounding import default_policy, no_rounding
+from repro.core.schemes.base import SchemeConfig
+from repro.workloads import Volrend, make, seeded_waterNS
+
+
+@pytest.mark.parametrize("scheduler", ["random", "pct"])
+def test_bug_detected_under_any_randomized_scheduler(benchmark, scheduler,
+                                                     emit_artifact):
+    result = benchmark.pedantic(
+        lambda: check_determinism(
+            seeded_waterNS(), runs=12, scheduler=scheduler,
+            schemes={"r": SchemeConfig(kind="hw",
+                                       rounding=default_policy())}),
+        rounds=1, iterations=1)
+    verdict = result.verdict("r")
+    emit_artifact(f"ablation_scheduler_{scheduler}.txt",
+                  f"{scheduler}: first ndet run {verdict.first_ndet_run}, "
+                  f"{verdict.n_ndet_points} ndet points")
+    assert not verdict.deterministic
+
+
+@pytest.mark.parametrize("granularity", ["sync", "access"])
+def test_deterministic_verdict_granularity_independent(benchmark,
+                                                       granularity):
+    result = benchmark.pedantic(
+        lambda: check_determinism(
+            Volrend(n_workers=4, image_words=16), runs=6,
+            granularity=granularity,
+            schemes={"bit": SchemeConfig(kind="hw",
+                                         rounding=no_rounding())}),
+        rounds=1, iterations=1)
+    assert result.verdict("bit").deterministic
+
+
+def test_access_granularity_finds_race_outcomes_faster(benchmark,
+                                                       emit_artifact):
+    """Finer preemption exposes more distinct states of racy code per
+    run budget (the reason tools like CHESS preempt at accesses)."""
+    def states(granularity):
+        result = check_determinism(
+            make("canneal", rounds=4), runs=10, granularity=granularity,
+            schemes={"bit": SchemeConfig(kind="hw",
+                                         rounding=no_rounding())})
+        verdict = result.verdict("bit")
+        return max(p.n_states for p in verdict.points)
+
+    access_states = benchmark.pedantic(lambda: states("access"),
+                                       rounds=1, iterations=1)
+    sync_states = states("sync")
+    emit_artifact("ablation_granularity.txt",
+                  f"canneal distinct end-states in 10 runs: "
+                  f"sync={sync_states} access={access_states}")
+    assert access_states >= sync_states

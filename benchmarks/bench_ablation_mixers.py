@@ -1,0 +1,53 @@
+"""Ablation — the per-location hash function h(a, v).
+
+The paper suggests CRC as the hash unit; any mixer with low collision
+probability works because the AdHash layer only needs uniformly
+distributed terms.  This bench compares the two shipped mixers for
+throughput (this is the unit the 5-instructions-per-byte software cost
+abstracts) and confirms the determinism verdicts are mixer-independent.
+"""
+
+import pytest
+
+from repro.core.checker.runner import check_determinism
+from repro.core.hashing.mixers import get_mixer
+from repro.core.hashing.rounding import no_rounding
+from repro.core.schemes.base import SchemeConfig
+from repro.workloads import make
+
+PAIRS = [(a * 977 + 3, v * 131071 + 7) for a in range(64) for v in range(8)]
+
+
+@pytest.mark.parametrize("name", ["crc64", "splitmix64"])
+def test_mixer_throughput(benchmark, name):
+    mixer = get_mixer(name)
+
+    def hash_all():
+        total = 0
+        for a, v in PAIRS:
+            total ^= mixer.location_hash(a, v)
+        return total
+
+    result = benchmark(hash_all)
+    assert result != 0
+
+
+@pytest.mark.parametrize("name", ["crc64", "splitmix64"])
+def test_verdicts_mixer_independent(benchmark, name, emit_artifact):
+    def session():
+        det = check_determinism(
+            make("volrend"), runs=6,
+            schemes={"m": SchemeConfig(kind="hw", mixer=name,
+                                       rounding=no_rounding())})
+        ndet = check_determinism(
+            make("canneal"), runs=6,
+            schemes={"m": SchemeConfig(kind="hw", mixer=name,
+                                       rounding=no_rounding())})
+        return det, ndet
+
+    det, ndet = benchmark.pedantic(session, rounds=1, iterations=1)
+    assert det.verdict("m").deterministic
+    assert not ndet.verdict("m").deterministic
+    emit_artifact(f"ablation_mixer_{name}.txt",
+                  f"mixer={name}: volrend det, canneal ndet "
+                  f"(first run {ndet.verdict('m').first_ndet_run})")

@@ -1,0 +1,51 @@
+"""Ablation — simulator wall-clock cost of the three schemes.
+
+Distinct from Figure 6 (which models *target* instructions): this bench
+measures what each attached scheme costs the Python simulator per run.
+It confirms the structural claim behind Figure 6 at a different level:
+traversal cost grows with checkpoint density x state size, incremental
+cost with the store count.
+"""
+
+import pytest
+
+from repro.core.control.controller import InstantCheckControl
+from repro.core.hashing.rounding import no_rounding
+from repro.core.schemes.base import SchemeConfig
+from repro.sim.program import Runner
+from repro.workloads import make
+
+SCHEMES = ("native", "hw", "sw_inc", "sw_tr")
+
+
+def make_runner(scheme, app="ocean"):
+    factory = None
+    if scheme != "native":
+        factory = SchemeConfig(kind=scheme, rounding=no_rounding())
+    return Runner(make(app), scheme_factory=factory,
+                  control=InstantCheckControl())
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_scheme_run_cost(benchmark, scheme):
+    runner = make_runner(scheme)
+    record = benchmark(lambda: runner.run(17))
+    if scheme == "native":
+        assert record.hashes() == (None,) * len(record.checkpoints)
+    else:
+        assert all(h is not None for h in record.hashes())
+
+
+def test_traversal_events_scale_with_checkpoints(benchmark, emit_artifact):
+    def run(app):
+        runner = make_runner("sw_tr", app=app)
+        return runner.run(3)
+
+    record_dense = benchmark.pedantic(lambda: run("ocean"),
+                                      rounds=1, iterations=1)
+    record_sparse = run("pbzip2")
+    dense = record_dense.events["traversals"]
+    sparse = record_sparse.events["traversals"]
+    emit_artifact("ablation_traversals.txt",
+                  f"ocean traversals/run: {dense}; pbzip2: {sparse}")
+    assert dense > 20 * sparse  # ocean checks at every barrier

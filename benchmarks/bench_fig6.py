@@ -1,0 +1,73 @@
+"""Figure 6 — executed instructions normalized to Native.
+
+Four configurations per application: Native, HW-InstantCheck_Inc,
+SW-InstantCheck_Inc-Ideal, and SW-InstantCheck_Tr-Ideal, derived from
+the paper's own cost model (5 instructions per hashed byte; ideal lower
+bounds for the software schemes; HW pays only for allocation zeroing).
+
+Expected shape (absolute factors differ on the scaled workloads and are
+recorded side by side in EXPERIMENTS.md):
+
+* HW overhead is negligible next to either software scheme;
+* SW-Inc beats SW-Tr where checkpoints are dense relative to writes
+  (ocean, sphinx3, streamcluster) and loses where the state is rewritten
+  many times between checkpoints (fft, lu, barnes);
+* the sphinx3-ignore case ordering is HW < SW-Inc ≤ SW-Tr (paper:
+  4.5X / 55X / 438X).
+"""
+
+import pytest
+
+from repro.analysis.figures import render_figure6
+from repro.analysis.overhead import figure6, measure_overheads
+from repro.workloads import REGISTRY, make
+
+
+@pytest.fixture(scope="module")
+def fig6_rows():
+    return figure6([make(name) for name in REGISTRY], seed=77)
+
+
+def norm_by_app(rows):
+    out = {}
+    for row in rows:
+        if row.application == "GEOM":
+            out["GEOM"] = row.events["normalized"]
+        else:
+            out[row.application] = row.normalized()
+    return out
+
+
+def test_fig6(benchmark, fig6_rows, emit_artifact):
+    benchmark.pedantic(lambda: measure_overheads(make("fft"), seed=77),
+                       rounds=1, iterations=1)
+
+    rows = fig6_rows
+    emit_artifact("fig6.txt", render_figure6(rows))
+    norm = norm_by_app(rows)
+
+    # HW-InstantCheck_Inc: negligible overhead, always far below SW.
+    for app, n in norm.items():
+        if app in ("GEOM", "sphinx3+ignore"):
+            continue
+        assert n["hw"] < 1.15, app
+        assert n["hw"] < n["sw_inc"], app
+        assert n["hw"] < n["sw_tr"], app
+    assert norm["GEOM"]["hw"] < 1.05
+
+    # The SW crossover cases named in the paper.
+    for app in ("ocean", "sphinx3", "streamcluster"):
+        assert norm[app]["sw_inc"] < norm[app]["sw_tr"], app
+    for app in ("fft", "lu", "barnes"):
+        assert norm[app]["sw_tr"] < norm[app]["sw_inc"], app
+
+    # The sphinx3-ignore bars: deleting the nondeterministic 4% costs the
+    # hardware a few X and software an order of magnitude more.
+    ignore = norm["sphinx3+ignore"]
+    assert ignore["hw"] > norm["sphinx3"]["hw"]
+    assert ignore["hw"] < ignore["sw_inc"]
+    assert ignore["sw_inc"] > 10 * ignore["hw"] / 4.5  # paper-like gap
+
+    # Software geomeans sit within the paper's order of magnitude (3X/5X).
+    assert 1.5 < norm["GEOM"]["sw_inc"] < 20
+    assert 1.5 < norm["GEOM"]["sw_tr"] < 20

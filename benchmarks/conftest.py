@@ -1,0 +1,49 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper's
+evaluation (Section 7): it computes the full artifact once (module-scoped
+fixture), validates its *shape* against the paper, prints it, writes it
+under ``benchmarks/results/``, and times a representative unit of work
+with pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+(The printed tables are also saved to benchmarks/results/ so they can be
+inspected without -s.)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print an artifact and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def emit_artifact():
+    return emit
+
+
+def pytest_collection_modifyitems(items):
+    """Keep the table/figure benches in a stable, paper-like order."""
+    order = {"bench_table1": 0, "bench_table2": 1, "bench_fig5": 2,
+             "bench_fig6": 3, "bench_fig8": 4}
+    items.sort(key=lambda item: order.get(
+        os.path.basename(str(item.fspath)).split(".")[0], 99))

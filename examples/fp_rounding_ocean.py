@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""FP precision: why ocean looks nondeterministic and how rounding fixes it.
+
+ocean's relaxation sweeps are deterministic, but its per-iteration global
+residual is accumulated under a lock in whatever order threads arrive —
+and floating-point addition is not associative, so the residual differs
+across runs in its low mantissa bits.  Bit-by-bit comparison reports
+nondeterminism at every reduction barrier; with the FP round-off unit at
+the paper's default (round to the nearest 0.001) the application is
+deterministic, placing it in Table 1's second group.
+
+This example runs the ladder and then sweeps the rounding grain to show
+where the transition happens.
+
+Run:  python examples/fp_rounding_ocean.py
+"""
+
+from repro import SchemeConfig, check_determinism, default_policy, no_rounding
+from repro.core.hashing.rounding import RoundingMode, RoundingPolicy
+from repro.workloads import Ocean
+
+
+def main():
+    program = Ocean(iterations=20)
+
+    # One session, two hash variants: bit-by-bit and rounded.
+    result = check_determinism(program, runs=30, schemes={
+        "bitwise": SchemeConfig(kind="hw", rounding=no_rounding()),
+        "rounded": SchemeConfig(kind="hw", rounding=default_policy()),
+    })
+    bitwise = result.verdict("bitwise")
+    rounded = result.verdict("rounded")
+
+    print("ocean, 30 runs, 8 threads:")
+    print(f"  bit-by-bit : deterministic={bitwise.deterministic}, "
+          f"first nondeterministic run={bitwise.first_ndet_run}, "
+          f"{bitwise.n_ndet_points}/{len(bitwise.points)} points differ")
+    print(f"  rounded    : deterministic={rounded.deterministic} "
+          f"(NDet -> Det, exactly Table 1's ocean row)\n")
+
+    print("Rounding-grain sweep (nearest 10^-N):")
+    for digits in (12, 9, 6, 3, 1):
+        policy = RoundingPolicy(mode=RoundingMode.DECIMAL_NEAREST,
+                                digits=digits)
+        sweep = check_determinism(
+            program, runs=10,
+            schemes={"r": SchemeConfig(kind="hw", rounding=policy)})
+        verdict = sweep.verdict("r")
+        print(f"  digits={digits:2d}: deterministic={verdict.deterministic}")
+    print("\nThe FP-order noise sits far below the 0.001 default grain,")
+    print("so the default masks it; only absurdly fine grains (1e-9 and")
+    print("finer) still see the non-associativity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Systematic testing with state-hash pruning (Section 6.2).
+
+CHESS-style systematic testing enumerates thread interleavings and
+prunes the ones equivalent to something already explored.  CHESS prunes
+by happens-before; the paper observes that InstantCheck's state hash
+prunes *better* (the two Figure 1 runs have different happens-before but
+the same state) and is *more precise* (racy programs reach different
+states under identical synchronization orders).
+
+This example enumerates every interleaving of two small programs and
+compares the equivalence classes each criterion yields.
+
+Run:  python examples/systematic_testing_pruning.py
+"""
+
+from repro.apps.systematic import explore
+from repro.sim import Lock, Program, StaticLayout
+
+
+class LockedAdds(Program):
+    """Figure 1: commutative locked additions — externally deterministic."""
+
+    name = "locked-adds"
+
+    def __init__(self, n_workers=2):
+        layout = StaticLayout()
+        self.G = layout.var("G")
+        super().__init__(n_workers=n_workers, static_words=layout.words)
+        self.static_layout = layout
+        self.static_types = layout.types
+
+    def make_state(self):
+        st = super().make_state()
+        st.lock = Lock("g")
+        return st
+
+    def setup(self, ctx, st):
+        yield from ctx.store(self.G, 2)
+
+    def worker(self, ctx, st, wid):
+        yield from ctx.lock(st.lock)
+        g = yield from ctx.load(self.G)
+        yield from ctx.store(self.G, g + (7 if wid == 0 else 3))
+        yield from ctx.unlock(st.lock)
+
+
+class RacyAdds(Program):
+    """Unsynchronized read-modify-write: outcome depends on the race."""
+
+    name = "racy-adds"
+
+    def __init__(self):
+        layout = StaticLayout()
+        self.G = layout.var("G")
+        super().__init__(n_workers=2, static_words=layout.words)
+        self.static_layout = layout
+        self.static_types = layout.types
+
+    def setup(self, ctx, st):
+        yield from ctx.store(self.G, 2)
+
+    def worker(self, ctx, st, wid):
+        g = yield from ctx.load(self.G)
+        yield from ctx.sched_yield()
+        yield from ctx.store(self.G, g + (7 if wid == 0 else 3))
+
+
+def report(program):
+    result = explore(program, max_interleavings=2000)
+    print(f"{program.name}:")
+    print(f"  interleavings enumerated : {result.interleavings}"
+          f"{' (exhaustive)' if result.exhausted else ' (budget hit)'}")
+    print(f"  happens-before classes   : {result.hb_classes}"
+          f"   (what CHESS-style pruning must explore)")
+    print(f"  state-hash classes       : {result.state_classes}"
+          f"   (what InstantCheck pruning must explore)")
+    if result.state_classes < result.hb_classes:
+        print(f"  -> hash pruning explores {result.pruning_gain:.1f}x "
+              f"fewer classes (better pruning)")
+    if result.state_classes > result.hb_classes:
+        print("  -> the hash distinguishes states the sync order cannot "
+              "(more precise)")
+    print()
+
+
+def main():
+    report(LockedAdds())
+    report(RacyAdds())
+    report(LockedAdds(n_workers=3))
+
+
+if __name__ == "__main__":
+    main()

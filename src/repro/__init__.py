@@ -1,0 +1,34 @@
+"""InstantCheck reproduction: checking the external determinism of
+parallel programs using on-the-fly incremental hashing (MICRO 2010).
+
+Public API highlights
+---------------------
+* :func:`repro.check_determinism` — run a program many times and compare
+  state hashes at every checkpoint.
+* :func:`repro.characterize` — the full Table 1 ladder for one program.
+* :func:`repro.localize` — diff two differing runs and map nondeterminism
+  back to allocation sites (the Section 2.3 debugging tool).
+* :class:`repro.SchemeConfig` — choose HW-InstantCheck_Inc,
+  SW-InstantCheck_Inc, or SW-InstantCheck_Tr, the mixer, and FP rounding.
+* :mod:`repro.workloads` — analogs of the paper's 17 applications.
+* :mod:`repro.apps` — the Section 6 applications of the primitive.
+"""
+
+from repro.core import (CheckConfig, DeterminismResult, HwIncScheme,
+                        InstantCheckControl, SchemeConfig, SwIncScheme,
+                        SwTrScheme, Table1Row, characterize,
+                        check_determinism, default_policy, ignore_address,
+                        ignore_field, ignore_site, ignore_static, localize,
+                        no_rounding)
+from repro.errors import ReproError
+from repro.sim import Program, Runner
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CheckConfig", "DeterminismResult", "HwIncScheme", "InstantCheckControl",
+    "SchemeConfig", "SwIncScheme", "SwTrScheme", "Table1Row", "characterize",
+    "check_determinism", "default_policy", "ignore_address", "ignore_field",
+    "ignore_site", "ignore_static", "localize", "no_rounding", "ReproError",
+    "Program", "Runner", "__version__",
+]

@@ -1,0 +1,17 @@
+"""Evaluation analysis: the Figure 6 overhead model and the table/figure
+renderers used by the benchmark harness (Section 7)."""
+
+from repro.analysis.figures import render_figure5, render_figure6
+from repro.analysis.overhead import (AppOverheads, OverheadConstants,
+                                     figure6, geomean, measure_overheads,
+                                     overheads_from_events)
+from repro.analysis.tables import (PAPER_TABLE1, PAPER_TABLE2,
+                                   classify_matches_paper, render_table,
+                                   render_table1, render_table1_comparison,
+                                   render_table2)
+
+__all__ = ["render_figure5", "render_figure6", "AppOverheads",
+           "OverheadConstants", "figure6", "geomean", "measure_overheads",
+           "overheads_from_events", "PAPER_TABLE1", "PAPER_TABLE2",
+           "classify_matches_paper", "render_table", "render_table1",
+           "render_table1_comparison", "render_table2"]

@@ -1,0 +1,58 @@
+"""Text rendering of the paper's figures (5, 6, and 8)."""
+
+from __future__ import annotations
+
+from repro.core.checker.distribution import (format_distribution,
+                                             group_distributions)
+
+
+def render_figure5(results: dict) -> str:
+    """Figure 5/8 view: nondeterminism-point distributions per app.
+
+    *results* maps application name to a
+    :class:`~repro.core.checker.runner.VariantVerdict`; each distinct
+    distribution becomes one labeled group with the number of checking
+    points exhibiting it, exactly how the paper's bar charts group them.
+    """
+    lines = []
+    for app, verdict in results.items():
+        lines.append(f"{app} ({sum(verdict.distribution_groups.values())} "
+                     f"checking points over {verdict.points[0].n_runs} runs):")
+        groups = group_distributions(verdict.points)
+        named = sorted(groups.items(), key=lambda kv: (len(kv[0]), kv[0]))
+        for n, (dist, count) in enumerate(named, start=1):
+            tag = ("deterministic" if len(dist) == 1
+                   else f"{len(dist)} distinct states")
+            lines.append(f"  D{n}: {count:5d} points x [{format_distribution(dist)}]"
+                         f"  ({tag})")
+    return "\n".join(lines)
+
+
+_BAR_WIDTH = 46
+
+
+def _bar(value: float, scale: float) -> str:
+    n = max(1, int(round(_BAR_WIDTH * value / scale)))
+    return "#" * min(n, _BAR_WIDTH)
+
+
+def render_figure6(rows) -> str:
+    """Figure 6 view: instructions normalized to Native, log-ish bars."""
+    import math
+
+    lines = ["Instructions normalized to Native "
+             "(HW-Inc | SW-Inc-Ideal | SW-Tr-Ideal):", ""]
+    for row in rows:
+        if row.application == "GEOM":
+            norm = row.events["normalized"]
+        else:
+            norm = row.normalized()
+        lines.append(f"{row.application:>16s}  "
+                     f"hw={norm['hw']:8.4f}  "
+                     f"sw_inc={norm['sw_inc']:8.2f}  "
+                     f"sw_tr={norm['sw_tr']:8.2f}")
+        scale = math.log10(max(norm["sw_inc"], norm["sw_tr"], 10.0)) + 0.1
+        for key, label in (("hw", "HW "), ("sw_inc", "Inc"), ("sw_tr", "Tr ")):
+            logv = math.log10(max(norm[key], 1.0)) + 0.02
+            lines.append(f"{'':>16s}  {label} |{_bar(logv, scale)}")
+    return "\n".join(lines)

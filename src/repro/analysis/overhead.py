@@ -1,0 +1,170 @@
+"""The Figure 6 overhead model: instructions normalized to Native.
+
+The paper measures *executed instructions* (via Pin), excluding the
+scheduler, and derives ideal lower bounds for the software schemes from
+one constant: hashing one byte in software costs 5 instructions [20].
+HW-InstantCheck_Inc's only overhead is the software control layer's
+zeroing of allocations (plus ``minus_hash``/``plus_hash`` work when
+memory is deleted from the hash, the sphinx3-ignore case).
+
+We reproduce the same model over the simulated machine's measured event
+stream.  One controlled run per application yields the event counts
+(stores, allocation/free traffic, checkpoints and their state sizes,
+ignored words), from which all four Figure 6 configurations are derived:
+
+* ``Native``           — the application's own instructions;
+* ``HW-Inc``           — Native + zero-fill (+ unhash work for ignores);
+* ``SW-Inc-Ideal``     — Native + per-store instrumentation: read the old
+  value and hash two (address, value) pairs;
+* ``SW-Tr-Ideal``      — Native + a full state sweep at every checkpoint
+  plus allocation-table maintenance.
+
+The crossover the paper highlights falls out of the event counts:
+SW-Inc wins when stores between checkpoints are few relative to the
+state (ocean, sphinx3, streamcluster); SW-Tr wins when the state is
+rewritten many times between checkpoints (fft, lu, barnes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.control.controller import InstantCheckControl
+from repro.core.schemes.base import SchemeConfig
+from repro.sim.program import Runner
+from repro.sim.scheduler import make_scheduler
+
+#: Paper constant: hashing one byte in software costs 5 instructions.
+HASH_INSTR_PER_BYTE = 5
+#: One hashed location is an (address, value) pair; 8 bytes at the
+#: paper's 32-bit-era word size.
+BYTES_PER_LOCATION = 8
+
+
+@dataclass(frozen=True)
+class OverheadConstants:
+    """Instruction costs of the modeled software operations."""
+
+    hash_location: int = HASH_INSTR_PER_BYTE * BYTES_PER_LOCATION
+    #: SW-Inc per store: read old value + bookkeeping around two hashes.
+    sw_inc_store_extra: int = 4
+    #: SW-Tr per-word table lookup during the sweep.
+    sw_tr_lookup: int = 2
+    #: SW-Tr allocation-table insert/remove per malloc/free.
+    sw_tr_table_op: int = 25
+    #: HW per-word cost of deleting a location (minus_hash + plus_hash).
+    hw_unhash_word: int = 4
+
+
+@dataclass
+class AppOverheads:
+    """Figure 6 numbers for one application."""
+
+    application: str
+    native: int
+    hw: int
+    sw_inc: int
+    sw_tr: int
+    events: dict = field(default_factory=dict)
+
+    def normalized(self) -> dict:
+        base = max(self.native, 1)
+        return {
+            "native": 1.0,
+            "hw": self.hw / base,
+            "sw_inc": self.sw_inc / base,
+            "sw_tr": self.sw_tr / base,
+        }
+
+
+def overheads_from_events(application: str, native_instructions: int,
+                          events: dict,
+                          constants: OverheadConstants | None = None) -> AppOverheads:
+    """Derive the four Figure 6 configurations from one run's events."""
+    c = constants if constants is not None else OverheadConstants()
+    stores = events.get("stores", 0)
+    freed_words = events.get("freed_words", 0)
+    zeroed_words = events.get("zero_filled_words", 0)
+    checkpoint_words = events.get("checkpoint_words", 0)
+    ignored_words = events.get("ignored_words", 0)
+    n_allocs = events.get("allocs", 0)
+    n_frees = events.get("frees", 0)
+
+    zero_fill = zeroed_words
+
+    hw = (native_instructions + zero_fill
+          + c.hw_unhash_word * (ignored_words + freed_words))
+
+    per_store = 2 * c.hash_location + c.sw_inc_store_extra
+    sw_inc = (native_instructions + zero_fill
+              + per_store * stores
+              + c.hash_location * freed_words
+              + 2 * c.hash_location * ignored_words)
+
+    sw_tr = (native_instructions + zero_fill
+             + (c.hash_location + c.sw_tr_lookup) * checkpoint_words
+             + c.sw_tr_table_op * (n_allocs + n_frees))
+
+    return AppOverheads(application=application, native=native_instructions,
+                        hw=hw, sw_inc=sw_inc, sw_tr=sw_tr,
+                        events=dict(events))
+
+
+def measure_overheads(program, seed: int = 77, scheduler: str = "random",
+                      granularity: str = "sync", n_cores: int = 8,
+                      with_ignores: bool = False,
+                      constants: OverheadConstants | None = None) -> AppOverheads:
+    """Run one controlled interleaving of *program* and model Figure 6.
+
+    ``with_ignores=True`` reproduces the sphinx3-ignore bars: the
+    suggested nondeterministic memory is deleted from the hash at every
+    checkpoint, which costs the hardware a little and software a lot.
+    """
+    ignores = (tuple(getattr(program, "SUGGESTED_IGNORES", ()))
+               if with_ignores else ())
+    control = InstantCheckControl(ignores=ignores)
+    runner = Runner(program, scheme_factory=SchemeConfig(kind="hw"),
+                    control=control,
+                    scheduler=make_scheduler(scheduler, granularity),
+                    n_cores=n_cores)
+    record = runner.run(seed)
+    events = dict(record.events)
+    native = sum(record.instructions.get(cat, 0) for cat in
+                 ("load", "store", "compute", "sync", "alloc", "libcall",
+                  "output"))
+    label = program.name + ("+ignore" if with_ignores else "")
+    return overheads_from_events(label, native, events, constants)
+
+
+def geomean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(max(v, 1e-12)) for v in values) / len(values))
+
+
+def figure6(programs, seed: int = 77, constants: OverheadConstants | None = None,
+            include_sphinx_ignore: bool = True) -> list:
+    """Figure 6 for a list of programs, plus the GEOM summary row."""
+    rows = [measure_overheads(p, seed=seed, constants=constants)
+            for p in programs]
+    if include_sphinx_ignore:
+        for p in programs:
+            if p.name == "sphinx3" and getattr(p, "SUGGESTED_IGNORES", ()):
+                rows.append(measure_overheads(p, seed=seed, constants=constants,
+                                              with_ignores=True))
+    summary = AppOverheads(
+        application="GEOM",
+        native=1,
+        hw=0, sw_inc=0, sw_tr=0,
+    )
+    norm = [r.normalized() for r in rows if not r.application.endswith("+ignore")]
+    summary_norm = {
+        "native": 1.0,
+        "hw": geomean(n["hw"] for n in norm),
+        "sw_inc": geomean(n["sw_inc"] for n in norm),
+        "sw_tr": geomean(n["sw_tr"] for n in norm),
+    }
+    summary.events["normalized"] = summary_norm
+    return rows + [summary]

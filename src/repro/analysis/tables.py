@@ -1,0 +1,107 @@
+"""Text rendering of the paper's tables (Table 1 and Table 2)."""
+
+from __future__ import annotations
+
+from repro.core.checker.report import Table1Row
+
+TABLE1_HEADER = (
+    "Application", "Source", "FP?", "Det as-is?", "First NDet Run",
+    "FP rounding", "First NDet after FP", "Isolating structs",
+    "#Det pts", "#NDet pts", "Det at End",
+)
+
+#: Paper's Table 1 values, for side-by-side comparison in EXPERIMENTS.md.
+PAPER_TABLE1 = {
+    # app: (class, first_ndet, det_points, ndet_points, det_at_end)
+    "blackscholes": ("bit-by-bit", None, 101, 0, True),
+    "fft": ("bit-by-bit", None, 13, 0, True),
+    "lu": ("bit-by-bit", None, 68, 0, True),
+    "radix": ("bit-by-bit", None, 12, 0, True),
+    "streamcluster": ("bit-by-bit", None, 12928, 74, True),
+    "swaptions": ("bit-by-bit", None, 2501, 0, True),
+    "volrend": ("bit-by-bit", None, 6, 0, True),
+    "fluidanimate": ("fp-prec", 2, 41, 0, True),
+    "ocean": ("fp-prec", 3, 871, 0, True),
+    "waterNS": ("fp-prec", 3, 21, 0, True),
+    "waterSP": ("fp-prec", 2, 21, 0, True),
+    "cholesky": ("small-struct", 3, 4, 0, True),
+    "pbzip2": ("small-struct", 2, 1, 0, True),
+    "sphinx3": ("small-struct", 2, 4265, 0, True),
+    "barnes": ("ndet", 2, 2, 16, False),
+    "canneal": ("ndet", 2, 0, 64, False),
+    "radiosity": ("ndet", 2, 0, 19, False),
+}
+
+#: Paper's Table 2 (seeded bugs): det points, ndet points, first ndet run.
+PAPER_TABLE2 = {
+    "waterNS": ("semantic", 12, 9, 3),
+    "waterSP": ("atomicity violation", 9, 12, 3),
+    "radix": ("order violation", 7, 5, 6),
+}
+
+
+def _format_row(cells, widths) -> str:
+    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+
+def render_table(header, rows) -> str:
+    """Generic fixed-width table rendering."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = [_format_row(header, widths),
+             _format_row(["-" * w for w in widths], widths)]
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table1(rows) -> str:
+    """Render characterization rows the way Table 1 lays them out."""
+    return render_table(TABLE1_HEADER, [r.columns() for r in rows])
+
+
+def render_table1_comparison(rows) -> str:
+    """Measured vs paper, per application."""
+    header = ("Application", "Class (measured)", "Class (paper)",
+              "Pts det/ndet (measured)", "Pts det/ndet (paper)",
+              "End (measured)", "End (paper)")
+    body = []
+    for row in rows:
+        paper = PAPER_TABLE1.get(row.application)
+        if paper is None:
+            continue
+        cls, _first, det, ndet, end = paper
+        body.append((
+            row.application,
+            row.det_class,
+            cls,
+            f"{row.n_det_points}/{row.n_ndet_points}",
+            f"{det}/{ndet}",
+            "Y" if row.det_at_end else "N",
+            "Y" if end else "N",
+        ))
+    return render_table(header, body)
+
+
+def render_table2(results: dict) -> str:
+    """Render seeded-bug results (Table 2).
+
+    *results* maps application name to a
+    :class:`~repro.core.checker.runner.VariantVerdict`.
+    """
+    header = ("Application", "Bug Type", "#Det pts", "#NDet pts",
+              "First NDet Run", "Paper det/ndet", "Paper first run")
+    body = []
+    for app, verdict in results.items():
+        bug, p_det, p_ndet, p_first = PAPER_TABLE2[app]
+        body.append((app, bug, verdict.n_det_points, verdict.n_ndet_points,
+                     verdict.first_ndet_run or "-",
+                     f"{p_det}/{p_ndet}", p_first))
+    return render_table(header, body)
+
+
+def classify_matches_paper(row: Table1Row) -> bool:
+    """Did the measured determinism class match Table 1's?"""
+    paper = PAPER_TABLE1.get(row.application)
+    return paper is not None and paper[0] == row.det_class

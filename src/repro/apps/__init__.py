@@ -1,0 +1,17 @@
+"""Other applications of the hardware hashing primitive (Section 6):
+benign-race filtering, systematic-testing state pruning, and
+deterministic-replay assistance."""
+
+from repro.apps.golden import GoldenBaseline, GoldenVerdict, bless, verify
+from repro.apps.light64 import (Light64Result, LoadHistoryHasher,
+                                check_races_light64)
+from repro.apps.race_filter import (RaceClassification, classify_races,
+                                    detect_races)
+from repro.apps.replay import PartialLog, ReplayResult, record, replay_search
+from repro.apps.systematic import ExplorationResult, explore
+
+__all__ = ["RaceClassification", "classify_races", "detect_races",
+           "PartialLog", "ReplayResult", "record", "replay_search",
+           "ExplorationResult", "explore", "Light64Result",
+           "LoadHistoryHasher", "check_races_light64", "GoldenBaseline",
+           "GoldenVerdict", "bless", "verify"]

@@ -1,0 +1,148 @@
+"""Always-on determinism checking against golden hash baselines.
+
+Section 7.3: "HW-InstantCheck_Inc's small overhead enables programmers
+to have determinism checking always-on to increase confidence in the
+developed software", and Section 10: a deterministic program "will not
+produce unexpected outputs in a future run".
+
+This module turns that into a regression workflow.  A *golden baseline*
+records the checkpoint hash sequence of a known-good build for each
+input.  Every later run — today's commit, tonight's CI — recomputes the
+hashes (cheap: the register is always warm) and compares:
+
+* equal everywhere: the new build is state-identical to the blessed one;
+* divergent: either the code's semantics changed (expected after a real
+  change — re-bless), or determinism regressed (a new bug) — the first
+  divergent checkpoint localizes where, exactly like Section 2.3.
+
+Baselines are plain JSON so they can live next to the code in version
+control.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.control.controller import InstantCheckControl
+from repro.core.schemes.base import SchemeConfig
+from repro.sim.program import Runner
+from repro.sim.scheduler import make_scheduler
+
+
+@dataclass
+class GoldenBaseline:
+    """The blessed hash sequences of one program, per input name."""
+
+    program: str
+    scheme_kind: str = "hw"
+    #: input name -> {"labels": [...], "hashes": ["0x...", ...],
+    #:                "outputs": {fd: "0x..."}}
+    inputs: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "program": self.program,
+            "scheme_kind": self.scheme_kind,
+            "inputs": self.inputs,
+        }, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GoldenBaseline":
+        payload = json.loads(text)
+        return cls(program=payload["program"],
+                   scheme_kind=payload.get("scheme_kind", "hw"),
+                   inputs=payload.get("inputs", {}))
+
+
+@dataclass
+class GoldenVerdict:
+    """Result of verifying one run against a baseline input entry."""
+
+    program: str
+    input_name: str
+    matches: bool
+    first_divergence: int | None      # checkpoint index, or None
+    divergent_label: str | None
+    structure_changed: bool
+    outputs_match: bool
+
+    def summary(self) -> str:
+        if self.matches:
+            return (f"{self.program}[{self.input_name}]: state-identical "
+                    f"to the golden baseline")
+        if self.structure_changed:
+            return (f"{self.program}[{self.input_name}]: checkpoint "
+                    f"structure changed — the code's phase layout differs")
+        where = (f"checkpoint {self.first_divergence} "
+                 f"({self.divergent_label!r})"
+                 if self.first_divergence is not None else "output stream")
+        return (f"{self.program}[{self.input_name}]: DIVERGES from the "
+                f"golden baseline at {where}")
+
+
+def _run(program, scheme_kind: str, seed: int, scheduler: str,
+         n_cores: int, control=None):
+    control = control if control is not None else InstantCheckControl()
+    runner = Runner(program, scheme_factory=SchemeConfig(kind=scheme_kind),
+                    control=control, scheduler=make_scheduler(scheduler),
+                    n_cores=n_cores)
+    return runner.run(seed), control
+
+
+def bless(program, input_name: str, baseline: GoldenBaseline | None = None,
+          seed: int = 12345, scheduler: str = "round_robin",
+          n_cores: int = 8, scheme_kind: str = "hw") -> GoldenBaseline:
+    """Record (or update) the golden entry for one input.
+
+    A deterministic scheduler is the default: the baseline captures the
+    state sequence of one canonical interleaving; determinism across
+    interleavings is the checker's job, this workflow tracks *builds*.
+    """
+    if baseline is None:
+        baseline = GoldenBaseline(program=program.name,
+                                  scheme_kind=scheme_kind)
+    record, _control = _run(program, scheme_kind, seed, scheduler, n_cores)
+    baseline.inputs[input_name] = {
+        "seed": seed,
+        "scheduler": scheduler,
+        "labels": list(record.structure),
+        "hashes": [f"{h:#018x}" for h in record.hashes()],
+        "outputs": {str(fd): f"{h:#018x}"
+                    for fd, h in sorted(record.output_hashes.items())},
+    }
+    return baseline
+
+
+def verify(program, input_name: str, baseline: GoldenBaseline,
+           n_cores: int = 8) -> GoldenVerdict:
+    """Re-run one input and compare against its golden entry."""
+    try:
+        entry = baseline.inputs[input_name]
+    except KeyError:
+        raise KeyError(f"no golden entry for input {input_name!r}; "
+                       f"known: {sorted(baseline.inputs)}") from None
+    record, _control = _run(program, baseline.scheme_kind, entry["seed"],
+                            entry["scheduler"], n_cores)
+
+    labels = list(record.structure)
+    hashes = [f"{h:#018x}" for h in record.hashes()]
+    outputs = {str(fd): f"{h:#018x}"
+               for fd, h in sorted(record.output_hashes.items())}
+
+    structure_changed = labels != entry["labels"]
+    first_divergence = None
+    divergent_label = None
+    for index, (ours, golden) in enumerate(zip(hashes, entry["hashes"])):
+        if ours != golden:
+            first_divergence = index
+            divergent_label = labels[index] if index < len(labels) else None
+            break
+    outputs_match = outputs == entry["outputs"]
+    matches = (not structure_changed and first_divergence is None
+               and outputs_match and len(hashes) == len(entry["hashes"]))
+    return GoldenVerdict(program=program.name, input_name=input_name,
+                         matches=matches, first_divergence=first_divergence,
+                         divergent_label=divergent_label,
+                         structure_changed=structure_changed,
+                         outputs_match=outputs_match)

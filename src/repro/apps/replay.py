@@ -1,0 +1,147 @@
+"""Assisting deterministic replay with state hashes (Section 6.3).
+
+Recent replay systems save only a *partial* log and, at replay time,
+search among the executions that obey it for one that reproduces the
+bug.  The paper proposes two InstantCheck contributions:
+
+* "Using InstantCheck to check state equality can assist these
+  techniques to detect when they reproduce the entire state, not only
+  the bug" — the search's success test becomes a 64-bit hash compare;
+* "the state hash can be a part of the partial log ..., which allows
+  early detection of a replay that does not obey the log" — checkpoint
+  hashes in the log reject a divergent candidate at its first divergent
+  checkpoint instead of at the end.
+
+:func:`record` captures an original run: every k-th scheduling decision
+plus the checkpoint hash sequence.  :func:`replay_search` then hunts for
+an execution that matches, counting attempts with and without the
+early-rejection optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.control.controller import InstantCheckControl
+from repro.core.schemes.base import SchemeConfig
+from repro.sim.program import Runner
+from repro.sim.scheduler import DecisionScheduler, GuidedScheduler
+
+
+@dataclass
+class PartialLog:
+    """What the recording run saved."""
+
+    program: str
+    #: choice position -> tid taken (every k-th decision only).
+    constraints: dict = field(default_factory=dict)
+    #: full checkpoint hash sequence of the original run.
+    checkpoint_hashes: tuple = ()
+    #: the original final-state hash (the success criterion).
+    final_hash: int = 0
+    stride: int = 1
+    total_decisions: int = 0
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of the replay search."""
+
+    program: str
+    success: bool
+    attempts: int
+    #: checkpoints actually compared across all attempts; the early-
+    #: rejection saving shows up as compared << attempts * checkpoints.
+    checkpoints_compared: int
+    early_rejections: int
+
+
+class _TidRecordingScheduler(DecisionScheduler):
+    """DecisionScheduler that also records which tid each choice took."""
+
+    def __init__(self, granularity: str = "sync"):
+        super().__init__((), granularity)
+        self.tids: list[int] = []
+
+    def begin_run(self, seed: int) -> None:
+        super().begin_run(seed)
+        self.tids = []
+
+    def choose(self, runnable, current):
+        tid = super().choose(runnable, current)
+        self.tids.append(tid)
+        return tid
+
+
+def record(program, seed: int = 5, stride: int = 4, n_cores: int = 8,
+           granularity: str = "sync") -> tuple:
+    """Execute the original run and save a partial log of it.
+
+    Returns ``(log, control)``: the controller has recorded the run's
+    allocator and libcall inputs and must be reused by the replay search
+    so candidates see the same program input.
+    """
+    control = InstantCheckControl()
+    scheduler = _TidRecordingScheduler(granularity)
+    runner = Runner(program, scheme_factory=SchemeConfig(kind="hw"),
+                    control=control, scheduler=scheduler, n_cores=n_cores)
+    original = runner.run(seed)
+    tids = scheduler.tids
+    constraints = {position: tids[position]
+                   for position in range(0, len(tids), max(stride, 1))}
+    hashes = original.hashes()
+    log = PartialLog(
+        program=program.name,
+        constraints=constraints,
+        checkpoint_hashes=hashes,
+        final_hash=hashes[-1] if hashes else 0,
+        stride=stride,
+        total_decisions=len(tids),
+    )
+    return log, control
+
+
+def replay_search(program, log: PartialLog, control: InstantCheckControl,
+                  max_attempts: int = 50, base_seed: int = 9000,
+                  n_cores: int = 8, granularity: str = "sync",
+                  early_reject: bool = True) -> ReplayResult:
+    """Search for an execution that obeys the log and recreates the state.
+
+    *control* must be the controller returned by :func:`record`, so every
+    candidate run replays the original's allocator and libcall inputs.
+    """
+    attempts = 0
+    compared = 0
+    early = 0
+    success = False
+    for attempt in range(max_attempts):
+        attempts += 1
+        scheduler = GuidedScheduler(log.constraints, granularity=granularity)
+        runner = Runner(program, scheme_factory=SchemeConfig(kind="hw"),
+                        control=control, scheduler=scheduler,
+                        n_cores=n_cores)
+        candidate = runner.run(base_seed + attempt)
+        hashes = candidate.hashes()
+        if early_reject:
+            # Compare checkpoint by checkpoint; stop at first divergence.
+            matched = True
+            for ours, logged in zip(hashes, log.checkpoint_hashes):
+                compared += 1
+                if ours != logged:
+                    matched = False
+                    early += 1
+                    break
+            matched = matched and len(hashes) == len(log.checkpoint_hashes)
+        else:
+            compared += len(hashes)
+            matched = hashes == log.checkpoint_hashes
+        if matched and hashes and hashes[-1] == log.final_hash:
+            success = True
+            break
+    return ReplayResult(
+        program=program.name,
+        success=success,
+        attempts=attempts,
+        checkpoints_compared=compared,
+        early_rejections=early,
+    )

@@ -1,0 +1,296 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+* ``list`` — the 17 applications with their Table 1 metadata.
+* ``check APP`` — run the determinism check for one application.
+* ``characterize APP`` — the full Table 1 ladder for one application.
+* ``localize APP`` — diff two runs at a checkpoint (the §2.3 tool).
+* ``table1`` / ``table2`` / ``fig5`` / ``fig6`` / ``fig8`` — regenerate
+  one evaluation artifact (also available via the benchmark harness).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.figures import render_figure5, render_figure6
+from repro.analysis.overhead import figure6
+from repro.analysis.tables import (render_table1, render_table1_comparison,
+                                   render_table2)
+from repro.core.checker.distribution import format_groups
+from repro.core.checker.localize import localize
+from repro.core.checker.report import characterize
+from repro.core.checker.runner import check_determinism
+from repro.core.checker.serialize import to_json
+from repro.core.hashing.rounding import (default_policy, floor_policy,
+                                         mantissa_policy, no_rounding)
+from repro.core.schemes.base import SCHEME_KINDS, SchemeConfig
+from repro.workloads import REGISTRY, make, seeded_program
+from repro.workloads.seeded_bugs import SEEDED_BUGS
+
+ROUNDINGS = {
+    "none": no_rounding,
+    "default": default_policy,
+    "mantissa": mantissa_policy,
+    "floor": floor_policy,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="InstantCheck (MICRO 2010) reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 17 applications")
+
+    check = sub.add_parser("check", help="determinism-check one application")
+    check.add_argument("app", choices=sorted(REGISTRY))
+    check.add_argument("--runs", type=int, default=30)
+    check.add_argument("--scheme", choices=SCHEME_KINDS, default="hw")
+    check.add_argument("--rounding", choices=sorted(ROUNDINGS),
+                       default="none")
+    check.add_argument("--ignores", action="store_true",
+                       help="apply the workload's suggested ignore specs")
+    check.add_argument("--seed", type=int, default=1000)
+    check.add_argument("--distributions", action="store_true",
+                       help="print per-point run distributions")
+    check.add_argument("--json", action="store_true",
+                       help="emit the full result as JSON")
+
+    char = sub.add_parser("characterize",
+                          help="full Table 1 ladder for one application")
+    char.add_argument("app", choices=sorted(REGISTRY))
+    char.add_argument("--runs", type=int, default=30)
+    char.add_argument("--json", action="store_true",
+                      help="emit the row as JSON")
+
+    races = sub.add_parser(
+        "races", help="detect data races and classify them benign/harmful "
+        "by flip-and-compare (Section 6.1)")
+    races.add_argument("app", choices=sorted(REGISTRY))
+    races.add_argument("--runs", type=int, default=12)
+
+    light = sub.add_parser(
+        "light64", help="Light64-style load-history race check (Section 9)")
+    light.add_argument("app", choices=sorted(REGISTRY))
+    light.add_argument("--runs", type=int, default=12)
+
+    bless_cmd = sub.add_parser(
+        "bless", help="record a golden baseline for always-on checking")
+    bless_cmd.add_argument("app", choices=sorted(REGISTRY))
+    bless_cmd.add_argument("--out", required=True,
+                           help="baseline JSON file to write")
+    bless_cmd.add_argument("--input-name", default="default")
+    bless_cmd.add_argument("--seed", type=int, default=12345)
+
+    vg = sub.add_parser(
+        "verify-golden", help="verify a build against a golden baseline")
+    vg.add_argument("app", choices=sorted(REGISTRY))
+    vg.add_argument("--baseline", required=True,
+                    help="baseline JSON file to read")
+    vg.add_argument("--input-name", default="default")
+
+    loc = sub.add_parser("localize",
+                         help="diff two runs at a checkpoint (Section 2.3)")
+    loc.add_argument("app", choices=sorted(REGISTRY))
+    loc.add_argument("--checkpoint", type=int, required=True)
+    loc.add_argument("--seed-a", type=int, default=1000)
+    loc.add_argument("--seed-b", type=int, default=1001)
+
+    t1 = sub.add_parser("table1", help="regenerate Table 1")
+    t1.add_argument("--runs", type=int, default=30)
+    t1.add_argument("--apps", nargs="*", choices=sorted(REGISTRY))
+
+    t2 = sub.add_parser("table2", help="regenerate Table 2 (seeded bugs)")
+    t2.add_argument("--runs", type=int, default=30)
+
+    f5 = sub.add_parser("fig5", help="nondeterminism distributions")
+    f5.add_argument("--runs", type=int, default=30)
+    f5.add_argument("--apps", nargs="*", choices=sorted(REGISTRY),
+                    default=["barnes", "canneal", "ocean", "sphinx3"])
+
+    sub.add_parser("fig6", help="instruction overheads normalized to Native")
+
+    f8 = sub.add_parser("fig8", help="seeded-bug distributions")
+    f8.add_argument("--runs", type=int, default=30)
+    return parser
+
+
+def _cmd_list(args, out) -> int:
+    print(f"{'application':14s} {'source':9s} {'FP':3s} class", file=out)
+    for name, cls in REGISTRY.items():
+        print(f"{name:14s} {cls.SOURCE:9s} {'Y' if cls.HAS_FP else 'N':3s} "
+              f"{cls.EXPECTED_CLASS}", file=out)
+    return 0
+
+
+def _cmd_check(args, out) -> int:
+    program = make(args.app)
+    rounding = ROUNDINGS[args.rounding]()
+    ignores = (tuple(program.SUGGESTED_IGNORES) if args.ignores else ())
+    result = check_determinism(
+        program, runs=args.runs, base_seed=args.seed, ignores=ignores,
+        schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding)})
+    verdict = result.verdicts["s+ignore" if ignores else "s"]
+    if args.json:
+        print(to_json(result), file=out)
+        return 0 if (verdict.deterministic and result.outputs_match) else 1
+    print(f"{args.app}: scheme={args.scheme} rounding={args.rounding} "
+          f"ignores={bool(ignores)} runs={result.runs}", file=out)
+    print(f"  deterministic : {verdict.deterministic and result.outputs_match}",
+          file=out)
+    print(f"  points        : {verdict.n_det_points} det / "
+          f"{verdict.n_ndet_points} ndet", file=out)
+    print(f"  det at end    : {verdict.det_at_end}", file=out)
+    if verdict.first_ndet_run is not None:
+        print(f"  first NDet run: {verdict.first_ndet_run}", file=out)
+    if args.distributions:
+        print(format_groups(verdict.points), file=out)
+    return 0 if verdict.deterministic else 1
+
+
+def _cmd_characterize(args, out) -> int:
+    row = characterize(make(args.app), runs=args.runs)
+    if args.json:
+        print(to_json(row), file=out)
+        return 0
+    print(render_table1([row]), file=out)
+    print(f"\nclass: {row.det_class}", file=out)
+    return 0
+
+
+def _cmd_races(args, out) -> int:
+    from repro.apps.race_filter import classify_races
+
+    classification = classify_races(make(args.app), runs=args.runs)
+    verdict = "benign" if classification.benign else "HARMFUL"
+    print(f"{args.app}: {classification.n_races} race(s) detected; "
+          f"flip-and-compare verdict: {verdict}", file=out)
+    for race in classification.races[:10]:
+        print(f"  addr {race.address:#x}: threads {race.first_tid}/"
+              f"{race.second_tid} ({race.kinds[0]}-{race.kinds[1]})",
+              file=out)
+    if classification.n_races > 10:
+        print(f"  ... {classification.n_races - 10} more", file=out)
+    return 0 if classification.benign else 1
+
+
+def _cmd_light64(args, out) -> int:
+    from repro.apps.light64 import check_races_light64
+
+    result = check_races_light64(make(args.app), runs=args.runs)
+    print(f"{args.app}: load-history race check over {result.runs} runs — "
+          f"{result.comparable_classes} comparable schedule class(es), "
+          f"race detected: {result.race_detected}", file=out)
+    if result.comparable_classes == 0:
+        print("  note: every run had a unique synchronization order; "
+              "no within-class comparison was possible", file=out)
+    return 1 if result.race_detected else 0
+
+
+def _cmd_bless(args, out) -> int:
+    from repro.apps.golden import bless
+
+    baseline = bless(make(args.app), args.input_name, seed=args.seed)
+    with open(args.out, "w") as handle:
+        handle.write(baseline.to_json() + "\n")
+    print(f"blessed {args.app}[{args.input_name}] -> {args.out}", file=out)
+    return 0
+
+
+def _cmd_verify_golden(args, out) -> int:
+    from repro.apps.golden import GoldenBaseline, verify
+
+    with open(args.baseline) as handle:
+        baseline = GoldenBaseline.from_json(handle.read())
+    verdict = verify(make(args.app), args.input_name, baseline)
+    print(verdict.summary(), file=out)
+    return 0 if verdict.matches else 1
+
+
+def _cmd_localize(args, out) -> int:
+    report = localize(make(args.app), checkpoint_index=args.checkpoint,
+                      seed_a=args.seed_a, seed_b=args.seed_b)
+    print(report.summary(), file=out)
+    return 0 if report.n_differences == 0 else 1
+
+
+def _cmd_table1(args, out) -> int:
+    names = args.apps or list(REGISTRY)
+    rows = [characterize(make(name), runs=args.runs) for name in names]
+    print(render_table1(rows), file=out)
+    print("", file=out)
+    print(render_table1_comparison(rows), file=out)
+    return 0
+
+
+def _cmd_table2(args, out) -> int:
+    verdicts = {}
+    for app, _bug in SEEDED_BUGS:
+        result = check_determinism(
+            seeded_program(app), runs=args.runs,
+            schemes={"r": SchemeConfig(kind="hw",
+                                       rounding=default_policy())})
+        verdicts[app] = result.verdict("r")
+    print(render_table2(verdicts), file=out)
+    return 0
+
+
+def _cmd_fig5(args, out) -> int:
+    verdicts = {}
+    for app in args.apps:
+        result = check_determinism(
+            make(app), runs=args.runs,
+            schemes={"bit": SchemeConfig(kind="hw", rounding=no_rounding())})
+        verdicts[app] = result.verdict("bit")
+    print(render_figure5(verdicts), file=out)
+    return 0
+
+
+def _cmd_fig6(args, out) -> int:
+    rows = figure6([make(name) for name in REGISTRY])
+    print(render_figure6(rows), file=out)
+    return 0
+
+
+def _cmd_fig8(args, out) -> int:
+    verdicts = {}
+    for app, _bug in SEEDED_BUGS:
+        result = check_determinism(
+            seeded_program(app), runs=args.runs,
+            schemes={"r": SchemeConfig(kind="hw",
+                                       rounding=default_policy())})
+        verdicts[app] = result.verdict("r")
+    print(render_figure5(verdicts), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "check": _cmd_check,
+    "characterize": _cmd_characterize,
+    "localize": _cmd_localize,
+    "races": _cmd_races,
+    "light64": _cmd_light64,
+    "bless": _cmd_bless,
+    "verify-golden": _cmd_verify_golden,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "fig8": _cmd_fig8,
+}
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

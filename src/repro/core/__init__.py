@@ -1,0 +1,21 @@
+"""InstantCheck's core: hashing, the MHM, schemes, control, checking."""
+
+from repro.core.checker import (CheckConfig, DeterminismResult, Table1Row,
+                                characterize, check_determinism, localize)
+from repro.core.control import (InstantCheckControl, ignore_address,
+                                ignore_field, ignore_site, ignore_static)
+from repro.core.hashing import (AdHash, RoundingPolicy, default_policy,
+                                no_rounding, traverse_state_hash)
+from repro.core.iohash import OutputHasher
+from repro.core.mhm import Mhm, ThRegister
+from repro.core.schemes import (HwIncScheme, Scheme, SchemeConfig,
+                                SwIncScheme, SwTrScheme)
+
+__all__ = [
+    "CheckConfig", "DeterminismResult", "Table1Row", "characterize",
+    "check_determinism", "localize", "InstantCheckControl", "ignore_address",
+    "ignore_field", "ignore_site", "ignore_static", "AdHash",
+    "RoundingPolicy", "default_policy", "no_rounding", "traverse_state_hash",
+    "OutputHasher", "Mhm", "ThRegister", "HwIncScheme", "Scheme",
+    "SchemeConfig", "SwIncScheme", "SwTrScheme",
+]

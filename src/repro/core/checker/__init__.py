@@ -1,0 +1,24 @@
+"""The determinism checker: multi-run comparison, classification,
+distributions, and bug localization (Sections 2, 5, 7)."""
+
+from repro.core.checker.distribution import (PointDistribution,
+                                             distribution_of,
+                                             format_distribution,
+                                             format_groups,
+                                             group_distributions,
+                                             point_distributions)
+from repro.core.checker.localize import Finding, LocalizeReport, localize
+from repro.core.checker.report import (CLASS_BIT, CLASS_FP, CLASS_NDET,
+                                       CLASS_SMALL_STRUCT, Table1Row,
+                                       characterize)
+from repro.core.checker.runner import (CheckConfig, DeterminismResult,
+                                       VariantVerdict, check_determinism)
+
+__all__ = [
+    "PointDistribution", "distribution_of", "format_distribution",
+    "format_groups", "group_distributions", "point_distributions",
+    "Finding", "LocalizeReport", "localize", "CLASS_BIT", "CLASS_FP",
+    "CLASS_NDET", "CLASS_SMALL_STRUCT", "Table1Row", "characterize",
+    "CheckConfig", "DeterminismResult", "VariantVerdict",
+    "check_determinism",
+]

@@ -1,0 +1,108 @@
+"""Multi-input testing campaigns.
+
+InstantCheck checks determinism *per input*: every verdict is "within
+the coverage of the test".  Inputs therefore matter twice — the paper's
+streamcluster bug is masked at the end of the run for the medium input
+but corrupts the output for the small one, and replayed library-call
+results "can be varied in tests, to increase coverage" (Section 5).
+
+:func:`run_campaign` drives one determinism-checking session per input
+point and aggregates the verdicts, reporting which inputs exposed
+nondeterminism and where (internal barriers vs the final state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.checker.runner import CheckConfig, check_determinism
+
+
+@dataclass(frozen=True)
+class InputPoint:
+    """One input configuration: constructor kwargs for the program."""
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+
+@dataclass
+class InputOutcome:
+    """What one input's checking session found."""
+
+    input: InputPoint
+    deterministic: bool
+    det_at_end: bool
+    n_ndet_points: int
+    first_ndet_run: int | None
+    result: object  # the full DeterminismResult
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate over every input point."""
+
+    program: str
+    outcomes: list
+
+    @property
+    def deterministic_on_all_inputs(self) -> bool:
+        return all(o.deterministic for o in self.outcomes)
+
+    @property
+    def flagged_inputs(self) -> list:
+        return [o.input.name for o in self.outcomes if not o.deterministic]
+
+    @property
+    def end_visible_inputs(self) -> list:
+        """Inputs on which nondeterminism reaches the final state —
+        the ones end-to-end output comparison alone would catch."""
+        return [o.input.name for o in self.outcomes if not o.det_at_end]
+
+    @property
+    def internal_only_inputs(self) -> list:
+        """Inputs where only internal checkpoints expose the problem
+        (the streamcluster-medium pattern)."""
+        return [o.input.name for o in self.outcomes
+                if not o.deterministic and o.det_at_end]
+
+    def summary(self) -> str:
+        lines = [f"campaign over {len(self.outcomes)} input(s) of "
+                 f"{self.program}:"]
+        for o in self.outcomes:
+            status = "deterministic" if o.deterministic else (
+                f"NONDETERMINISTIC ({o.n_ndet_points} points, "
+                f"end {'clean' if o.det_at_end else 'corrupted'}, "
+                f"first run {o.first_ndet_run})")
+            lines.append(f"  {o.input.name:12s} {status}")
+        return "\n".join(lines)
+
+
+def run_campaign(program_factory, inputs, config: CheckConfig | None = None,
+                 **overrides) -> CampaignResult:
+    """Check determinism across several input points.
+
+    *program_factory* is called with each input's params to build a
+    fresh program; each input gets its own controller (record/replay
+    logs must never leak across inputs — different inputs legitimately
+    allocate differently).
+    """
+    outcomes = []
+    program_name = None
+    for point in inputs:
+        program = program_factory(**point.params)
+        program_name = program.name
+        result = check_determinism(program, config, **overrides)
+        # Judge by the *last* configured variant (the most permissive:
+        # e.g. rounded, or rounded+ignore when ignores are configured).
+        verdict = list(result.verdicts.values())[-1]
+        outcomes.append(InputOutcome(
+            input=point,
+            deterministic=(verdict.deterministic and result.structures_match
+                           and result.outputs_match),
+            det_at_end=verdict.det_at_end and result.outputs_match,
+            n_ndet_points=verdict.n_ndet_points,
+            first_ndet_run=verdict.first_ndet_run,
+            result=result,
+        ))
+    return CampaignResult(program=program_name or "?", outcomes=outcomes)

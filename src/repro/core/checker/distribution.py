@@ -1,0 +1,77 @@
+"""Per-checkpoint nondeterminism distributions (Figures 5 and 8).
+
+For each dynamic checking point, count how the N test runs distribute
+over distinct observed states.  A distribution of ``(30,)`` means all 30
+runs produced the same state (deterministic); ``(29, 1)`` means one run
+strayed; ``(16, 11, 3)`` is the sphinx3 D5 pattern of Figure 5(c).
+Checking points with identical distributions are grouped, which is how
+the paper's figures present them ("156 checking points with the
+following behavior ...").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PointDistribution:
+    """How the runs distribute over states at one checking point."""
+
+    index: int
+    label: str
+    distribution: tuple  # run counts per distinct state, descending
+
+    @property
+    def n_states(self) -> int:
+        return len(self.distribution)
+
+    @property
+    def deterministic(self) -> bool:
+        return len(self.distribution) == 1
+
+    @property
+    def n_runs(self) -> int:
+        return sum(self.distribution)
+
+
+def distribution_of(hashes) -> tuple:
+    """Run-count distribution over distinct hash values, descending."""
+    return tuple(sorted(Counter(hashes).values(), reverse=True))
+
+
+def point_distributions(labels, per_run_hashes) -> list:
+    """Distributions for every checkpoint.
+
+    *labels* is the aligned checkpoint label sequence; *per_run_hashes*
+    is a list of per-run hash tuples (all the same length as *labels*).
+    """
+    points = []
+    for index, label in enumerate(labels):
+        hashes = [run[index] for run in per_run_hashes]
+        points.append(PointDistribution(index=index, label=label,
+                                        distribution=distribution_of(hashes)))
+    return points
+
+
+def group_distributions(points) -> dict:
+    """Figure 5 grouping: {distribution: number of checking points}."""
+    groups: Counter = Counter(p.distribution for p in points)
+    return dict(groups)
+
+
+def format_distribution(distribution: tuple) -> str:
+    """Render a distribution the way the paper's figures label bars."""
+    return "-".join(str(n) for n in distribution)
+
+
+def format_groups(points) -> str:
+    """Multi-line rendering of the Figure 5/8 view of a run set."""
+    groups = group_distributions(points)
+    lines = []
+    for dist, count in sorted(groups.items(),
+                              key=lambda kv: (len(kv[0]), kv[0]), reverse=False):
+        tag = "deterministic" if len(dist) == 1 else f"{len(dist)} states"
+        lines.append(f"  {count:6d} points x [{format_distribution(dist)}]  ({tag})")
+    return "\n".join(lines)

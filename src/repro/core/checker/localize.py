@@ -1,0 +1,139 @@
+"""Bug localization by whole-state diffing (Section 2.3).
+
+InstantCheck only tells the programmer *that* a point is nondeterministic.
+The paper's companion tool helps localize the cause: re-execute the two
+differing runs, store the *entire* memory states (not just hashes) at the
+nondeterministic point, diff them, and map each differing address back to
+the source line that allocated it and the offset within the allocation
+(array index or struct field) — or the static symbol for globals.
+
+:func:`localize` reproduces that tool: it re-runs the program for two
+schedule seeds with a full-state snapshot armed at the chosen checkpoint
+index, compares the snapshots bit by bit, and reports findings grouped by
+allocation site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.control.controller import InstantCheckControl
+from repro.errors import CheckerError
+from repro.sim.program import Runner
+from repro.sim.scheduler import make_scheduler
+from repro.sim.values import value_bits
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One memory word that differs between the two re-executed runs."""
+
+    address: int
+    value_a: object
+    value_b: object
+    site: str | None      # allocation site, for heap words
+    offset: int | None    # word offset within the allocation
+    static_name: str | None  # symbol name, for static words
+
+    def location(self) -> str:
+        if self.static_name is not None:
+            return f"static {self.static_name}+{self.offset}"
+        if self.site is not None:
+            return f"{self.site}[{self.offset}]"
+        return f"addr {self.address:#x}"
+
+
+@dataclass
+class LocalizeReport:
+    """The diff of two runs' states at one nondeterministic point."""
+
+    program: str
+    checkpoint_index: int
+    checkpoint_label: str
+    seed_a: int
+    seed_b: int
+    findings: list
+
+    @property
+    def n_differences(self) -> int:
+        return len(self.findings)
+
+    def by_site(self) -> dict:
+        """Findings grouped by allocation site / static symbol."""
+        groups: dict = {}
+        for finding in self.findings:
+            key = finding.static_name or finding.site or "<unknown>"
+            groups.setdefault(key, []).append(finding)
+        return groups
+
+    def summary(self) -> str:
+        lines = [f"{self.n_differences} differing words at checkpoint "
+                 f"{self.checkpoint_index} ({self.checkpoint_label!r}) "
+                 f"between runs {self.seed_a} and {self.seed_b}:"]
+        for key, group in sorted(self.by_site().items()):
+            offsets = sorted(f.offset for f in group if f.offset is not None)
+            shown = ", ".join(map(str, offsets[:8]))
+            more = "" if len(offsets) <= 8 else f", ... ({len(offsets)} total)"
+            lines.append(f"  {key}: offsets [{shown}{more}]")
+        return "\n".join(lines)
+
+
+def _locate(address: int, program, blocks_a, blocks_b):
+    """Map an address to (site, offset, static_name)."""
+    layout = getattr(program, "static_layout", None)
+    if layout is not None and address < layout.words:
+        name = layout.name_of(address)
+        base = layout.addr(name) if name is not None else address
+        return None, address - base, name
+    for blocks in (blocks_a, blocks_b):
+        if not blocks:
+            continue
+        for block in blocks:
+            if block.contains(address):
+                return block.site, address - block.base, None
+    return None, None, None
+
+
+def localize(program, checkpoint_index: int, seed_a: int, seed_b: int, *,
+             control_kwargs: dict | None = None, scheduler: str = "random",
+             granularity: str = "sync", n_cores: int = 8) -> LocalizeReport:
+    """Re-execute two runs and diff their full states at one checkpoint."""
+    control = InstantCheckControl(**(control_kwargs or {}))
+    runner = Runner(program, control=control,
+                    scheduler=make_scheduler(scheduler, granularity),
+                    n_cores=n_cores, snapshot_at=checkpoint_index)
+    record_a = runner.run(seed_a)
+    record_b = runner.run(seed_b)
+
+    def checkpoint(record, seed):
+        if checkpoint_index >= len(record.checkpoints):
+            raise CheckerError(
+                f"run {seed} has only {len(record.checkpoints)} checkpoints")
+        cp = record.checkpoints[checkpoint_index]
+        if cp.snapshot is None:
+            raise CheckerError("snapshot was not captured; internal error")
+        return cp
+
+    cp_a = checkpoint(record_a, seed_a)
+    cp_b = checkpoint(record_b, seed_b)
+
+    findings = []
+    for address in sorted(set(cp_a.snapshot) | set(cp_b.snapshot)):
+        va = cp_a.snapshot.get(address, 0)
+        vb = cp_b.snapshot.get(address, 0)
+        if value_bits(va) == value_bits(vb):
+            continue
+        site, offset, static_name = _locate(address, program,
+                                            cp_a.blocks, cp_b.blocks)
+        findings.append(Finding(address=address, value_a=va, value_b=vb,
+                                site=site, offset=offset,
+                                static_name=static_name))
+
+    return LocalizeReport(
+        program=program.name,
+        checkpoint_index=checkpoint_index,
+        checkpoint_label=cp_a.label,
+        seed_a=seed_a,
+        seed_b=seed_b,
+        findings=findings,
+    )

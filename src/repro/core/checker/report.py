@@ -1,0 +1,133 @@
+"""Application characterization — the Table 1 ladder.
+
+For each application the paper reports: is it deterministic as-is
+(bit-by-bit)?  If not, when was that detected?  Does FP rounding make it
+deterministic?  Does additionally isolating small programmer-identified
+structures?  How many dynamic checking points are deterministic, and is
+the final state?
+
+:func:`characterize` computes the whole ladder from *one* 30-run session
+by attaching two scheme variants (bit-by-bit and FP-rounded) to the same
+runs and applying ignore-deletion as a third reading of the rounded
+variant.  Workload classes advertise their metadata (source suite, FP
+usage, suggested ignores, the determinism class the paper reports) as
+class attributes; see :mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.checker.runner import (CheckConfig, DeterminismResult,
+                                       check_determinism)
+from repro.core.hashing.rounding import default_policy, no_rounding
+from repro.core.schemes.base import SchemeConfig
+
+#: Determinism classes, in the order Table 1 groups them.
+CLASS_BIT = "bit-by-bit"
+CLASS_FP = "fp-prec"
+CLASS_SMALL_STRUCT = "small-struct"
+CLASS_NDET = "ndet"
+
+
+@dataclass
+class Table1Row:
+    """One row of Table 1."""
+
+    application: str
+    source: str
+    has_fp: bool
+    det_as_is: bool
+    first_ndet_run: int | None          # column 6
+    det_with_rounding: bool             # column 7 ("Impact of FP rounding")
+    first_ndet_run_after_fp: int | None  # column 8
+    det_with_ignores: bool | None       # column 9 (None when no ignores given)
+    n_det_points: int                   # column 10 (final configuration)
+    n_ndet_points: int                  # column 11
+    det_at_end: bool                    # column 12
+    det_class: str
+    output_deterministic: bool
+    result: DeterminismResult
+
+    def columns(self) -> list:
+        """Render the row the way Table 1 prints it."""
+        def yn(v):
+            return "-" if v is None else ("Y" if v else "N")
+
+        def arrow(before, after):
+            return f"{'Det' if before else 'NDet'} -> {'Det' if after else 'NDet'}"
+
+        return [
+            self.application,
+            self.source,
+            yn(self.has_fp),
+            yn(self.det_as_is),
+            "-" if self.first_ndet_run is None else str(self.first_ndet_run),
+            arrow(self.det_as_is, self.det_with_rounding),
+            "-" if self.first_ndet_run_after_fp is None
+            else str(self.first_ndet_run_after_fp),
+            "-" if self.det_with_ignores is None
+            else arrow(self.det_with_rounding, self.det_with_ignores),
+            str(self.n_det_points),
+            str(self.n_ndet_points),
+            yn(self.det_at_end),
+        ]
+
+
+def characterize(program, runs: int = 30, base_seed: int = 1000,
+                 scheduler: str = "random", granularity: str = "sync",
+                 n_cores: int = 8) -> Table1Row:
+    """Run the Table 1 ladder for one application."""
+    ignores = tuple(getattr(program, "SUGGESTED_IGNORES", ()))
+    config = CheckConfig(
+        runs=runs,
+        schemes={
+            "bitwise": SchemeConfig(kind="hw", rounding=no_rounding()),
+            "rounded": SchemeConfig(kind="hw", rounding=default_policy()),
+        },
+        scheduler=scheduler,
+        granularity=granularity,
+        n_cores=n_cores,
+        base_seed=base_seed,
+        ignores=ignores,
+    )
+    result = check_determinism(program, config)
+
+    structures_ok = result.structures_match
+    outputs_ok = result.outputs_match
+
+    v_bit = result.verdict("bitwise")
+    v_fp = result.verdict("rounded")
+    v_final = result.verdicts.get("rounded+ignore", v_fp)
+
+    det_as_is = v_bit.deterministic and structures_ok and outputs_ok
+    det_fp = v_fp.deterministic and structures_ok and outputs_ok
+    det_ign = (v_final.deterministic and structures_ok and outputs_ok
+               if ignores else None)
+
+    if det_as_is:
+        det_class = CLASS_BIT
+    elif det_fp:
+        det_class = CLASS_FP
+    elif ignores and det_ign:
+        det_class = CLASS_SMALL_STRUCT
+    else:
+        det_class = CLASS_NDET
+
+    return Table1Row(
+        application=program.name,
+        source=getattr(program, "SOURCE", "?"),
+        has_fp=getattr(program, "HAS_FP", False),
+        det_as_is=det_as_is,
+        first_ndet_run=(v_bit.first_ndet_run if not det_as_is else None),
+        det_with_rounding=det_fp,
+        first_ndet_run_after_fp=(v_fp.first_ndet_run
+                                 if not det_as_is and not det_fp else None),
+        det_with_ignores=det_ign,
+        n_det_points=v_final.n_det_points,
+        n_ndet_points=v_final.n_ndet_points,
+        det_at_end=v_final.det_at_end and outputs_ok,
+        det_class=det_class,
+        output_deterministic=outputs_ok,
+        result=result,
+    )

@@ -1,0 +1,193 @@
+"""The multi-run determinism checker (Sections 2 and 7).
+
+``check_determinism`` runs one program many times with the same input
+under different schedules — piggybacking on the kind of testing loop
+programmers already run — collects the state hash at every checkpoint,
+and compares the hash sequences across runs.  If two runs disagree at a
+point, the program is (externally) nondeterministic at that point; if
+all runs agree everywhere, the program is deterministic *within the
+coverage of the test*, as the paper is careful to phrase it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.checker.distribution import (PointDistribution,
+                                             group_distributions,
+                                             point_distributions)
+from repro.core.control.controller import InstantCheckControl
+from repro.core.schemes.base import SchemeConfig
+from repro.errors import CheckerError
+from repro.sim.program import Program, Runner
+from repro.sim.scheduler import make_scheduler
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Configuration of one determinism-checking session.
+
+    ``schemes`` maps variant names to :class:`SchemeConfig`; every variant
+    hashes the same runs, so one session can judge a program bit-by-bit
+    and FP-rounded at once.  The first variant is the primary one.
+    """
+
+    runs: int = 30
+    schemes: dict = field(default_factory=lambda: {"main": SchemeConfig()})
+    scheduler: str = "random"
+    granularity: str = "sync"
+    n_cores: int = 8
+    base_seed: int = 1000
+    ignores: tuple = ()
+    zero_fill: bool = True
+    malloc_replay: bool = True
+    libcall_replay: bool = True
+    io_hash: bool = True
+    compare_output: bool = True
+    stop_on_first: bool = False
+    migrate_prob: float = 0.0
+
+
+@dataclass
+class VariantVerdict:
+    """Determinism verdict for one scheme variant of a session."""
+
+    name: str
+    adjusted: bool  # True when ignore-deletion was applied
+    points: list    # list[PointDistribution]
+    deterministic: bool
+    first_ndet_run: int | None  # 1-based, as Table 1 reports it
+    n_det_points: int
+    n_ndet_points: int
+    det_at_end: bool
+
+    @property
+    def distribution_groups(self) -> dict:
+        return group_distributions(self.points)
+
+
+@dataclass
+class DeterminismResult:
+    """Everything one checking session learned."""
+
+    program: str
+    runs: int
+    records: list
+    structures_match: bool
+    outputs_match: bool
+    output_first_ndet_run: int | None
+    verdicts: dict  # variant name (or name+"+ignore") -> VariantVerdict
+
+    def verdict(self, name: str) -> VariantVerdict:
+        return self.verdicts[name]
+
+    @property
+    def deterministic(self) -> bool:
+        """Deterministic under the primary variant (and output hash)."""
+        primary = next(iter(self.verdicts.values()))
+        return (primary.deterministic and self.structures_match
+                and self.outputs_match)
+
+
+def _first_divergent_run(per_run_values) -> int | None:
+    """1-based index of the first run that differs from run 1, or None."""
+    reference = per_run_values[0]
+    for r, values in enumerate(per_run_values[1:], start=2):
+        if values != reference:
+            return r
+    return None
+
+
+def _make_verdict(name, adjusted, labels, per_run_hashes, runs) -> VariantVerdict:
+    points = point_distributions(labels, per_run_hashes)
+    n_det = sum(1 for p in points if p.deterministic)
+    return VariantVerdict(
+        name=name,
+        adjusted=adjusted,
+        points=points,
+        deterministic=n_det == len(points),
+        first_ndet_run=_first_divergent_run(per_run_hashes),
+        n_det_points=n_det,
+        n_ndet_points=len(points) - n_det,
+        det_at_end=points[-1].deterministic if points else True,
+    )
+
+
+def check_determinism(program: Program, config: CheckConfig | None = None,
+                      **overrides) -> DeterminismResult:
+    """Run a full determinism-checking session over *program*.
+
+    Keyword overrides are applied on top of *config* (or the default
+    config), e.g. ``check_determinism(prog, runs=10, ignores=(...,))``.
+    """
+    if config is None:
+        config = CheckConfig()
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+    if config.runs < 2:
+        raise CheckerError("determinism checking needs at least 2 runs")
+
+    control = InstantCheckControl(
+        zero_fill=config.zero_fill,
+        malloc_replay=config.malloc_replay,
+        libcall_replay=config.libcall_replay,
+        io_hash=config.io_hash,
+        ignores=config.ignores,
+    )
+    scheduler = make_scheduler(config.scheduler, config.granularity)
+    runner = Runner(program, scheme_factory=dict(config.schemes),
+                    control=control, scheduler=scheduler,
+                    n_cores=config.n_cores, migrate_prob=config.migrate_prob)
+
+    records = []
+    reference_hashes = None
+    for i in range(config.runs):
+        record = runner.run(config.base_seed + i)
+        records.append(record)
+        if config.stop_on_first:
+            hashes = record.hashes()
+            if reference_hashes is None:
+                reference_hashes = (record.structure, hashes,
+                                    record.output_hashes)
+            elif (record.structure, hashes, record.output_hashes) != reference_hashes:
+                break
+
+    structures = [r.structure for r in records]
+    structures_match = all(s == structures[0] for s in structures)
+    # On structural divergence, compare the common prefix so the verdicts
+    # still localize where runs first disagree.
+    common = min(len(s) for s in structures)
+    if structures_match:
+        labels = list(structures[0])
+    else:
+        labels = [structures[0][i] if all(s[i] == structures[0][i] for s in structures)
+                  else f"<divergent#{i}>" for i in range(common)]
+
+    verdicts: dict = {}
+    for name in config.schemes:
+        for adjusted, suffix in ((False, ""), (True, "+ignore")):
+            if adjusted and not config.ignores:
+                continue
+            per_run = [r.variant_hashes(name, adjusted=adjusted)[:common]
+                       for r in records]
+            verdicts[name + suffix] = _make_verdict(
+                name + suffix, adjusted, labels, per_run, config.runs)
+
+    outputs = [tuple(sorted(r.output_hashes.items())) for r in records]
+    outputs_match = all(o == outputs[0] for o in outputs)
+    output_first = _first_divergent_run(outputs) if not outputs_match else None
+    if not config.compare_output:
+        outputs_match = True
+        output_first = None
+
+    return DeterminismResult(
+        program=program.name,
+        runs=len(records),
+        records=records,
+        structures_match=structures_match,
+        outputs_match=outputs_match,
+        output_first_ndet_run=output_first,
+        verdicts=verdicts,
+    )

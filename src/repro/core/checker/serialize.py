@@ -1,0 +1,95 @@
+"""JSON-friendly serialization of checker results.
+
+Testing infrastructure wants machine-readable output: CI gates on the
+verdict, dashboards plot distributions over time, and a regression
+harness diffs today's Table 1 against yesterday's.  These converters
+flatten the checker's dataclasses into plain dicts (JSON-safe: hashes
+become hex strings so 64-bit values survive any JSON consumer).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.checker.report import Table1Row
+from repro.core.checker.runner import DeterminismResult, VariantVerdict
+
+
+def _hex(value):
+    return None if value is None else f"{value:#018x}"
+
+
+def verdict_to_dict(verdict: VariantVerdict) -> dict:
+    return {
+        "name": verdict.name,
+        "adjusted": verdict.adjusted,
+        "deterministic": verdict.deterministic,
+        "first_ndet_run": verdict.first_ndet_run,
+        "n_det_points": verdict.n_det_points,
+        "n_ndet_points": verdict.n_ndet_points,
+        "det_at_end": verdict.det_at_end,
+        "points": [
+            {
+                "index": p.index,
+                "label": p.label,
+                "distribution": list(p.distribution),
+            }
+            for p in verdict.points
+        ],
+    }
+
+
+def result_to_dict(result: DeterminismResult,
+                   include_hashes: bool = False) -> dict:
+    out = {
+        "program": result.program,
+        "runs": result.runs,
+        "deterministic": result.deterministic,
+        "structures_match": result.structures_match,
+        "outputs_match": result.outputs_match,
+        "output_first_ndet_run": result.output_first_ndet_run,
+        "verdicts": {name: verdict_to_dict(v)
+                     for name, v in result.verdicts.items()},
+    }
+    if include_hashes:
+        out["run_hashes"] = [
+            {
+                "seed": record.seed,
+                "checkpoints": [_hex(h) for h in record.hashes()],
+                "outputs": {str(fd): _hex(h)
+                            for fd, h in record.output_hashes.items()},
+            }
+            for record in result.records
+        ]
+    return out
+
+
+def table1_row_to_dict(row: Table1Row) -> dict:
+    return {
+        "application": row.application,
+        "source": row.source,
+        "has_fp": row.has_fp,
+        "det_class": row.det_class,
+        "det_as_is": row.det_as_is,
+        "first_ndet_run": row.first_ndet_run,
+        "det_with_rounding": row.det_with_rounding,
+        "first_ndet_run_after_fp": row.first_ndet_run_after_fp,
+        "det_with_ignores": row.det_with_ignores,
+        "n_det_points": row.n_det_points,
+        "n_ndet_points": row.n_ndet_points,
+        "det_at_end": row.det_at_end,
+        "output_deterministic": row.output_deterministic,
+    }
+
+
+def to_json(obj, **kwargs) -> str:
+    """Serialize a checker result/row/verdict to a JSON string."""
+    if isinstance(obj, DeterminismResult):
+        payload = result_to_dict(obj, **kwargs)
+    elif isinstance(obj, Table1Row):
+        payload = table1_row_to_dict(obj)
+    elif isinstance(obj, VariantVerdict):
+        payload = verdict_to_dict(obj)
+    else:
+        raise TypeError(f"cannot serialize {type(obj).__name__}")
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,12 @@
+"""Controlling sources of nondeterminism other than scheduling (Section 5)."""
+
+from repro.core.control.controller import InstantCheckControl
+from repro.core.control.ignore import (IgnoreSpec, ignore_address,
+                                       ignore_field, ignore_site,
+                                       ignore_static, resolve_ignores)
+from repro.core.control.libcalls import LibcallLog
+from repro.core.control.malloc_replay import MallocLog
+
+__all__ = ["InstantCheckControl", "IgnoreSpec", "ignore_address",
+           "ignore_field", "ignore_site", "ignore_static", "resolve_ignores",
+           "LibcallLog", "MallocLog"]

@@ -1,0 +1,135 @@
+"""The InstantCheck nondeterminism controller (Section 5).
+
+"InstantCheck always compares hashes in software and also controls
+sources of nondeterminism in software":
+
+* dynamic allocation — addresses are logged on the first run and replayed
+  on later runs; allocated regions are zeroed (as calloc does), so
+  uninitialized garbage cannot corrupt the hash;
+* nondeterministic library calls — results are recorded and replayed;
+* output — the stream written through libc ``write`` is hashed;
+* explicitly ignored structures — resolved at every checkpoint and
+  deleted from the hash.
+
+One controller instance persists across the runs of one checking session:
+the first run records, later runs replay — exactly the checker's loop.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.control.ignore import resolve_ignores
+from repro.core.control.libcalls import LibcallLog
+from repro.core.control.malloc_replay import MallocLog
+from repro.core.iohash import OutputHasher
+from repro.errors import AllocationError
+
+
+class InstantCheckControl:
+    """Runtime services with InstantCheck's nondeterminism control on."""
+
+    def __init__(self, *, zero_fill: bool = True, malloc_replay: bool = True,
+                 libcall_replay: bool = True, io_hash: bool = True,
+                 ignores=()):
+        self.zero_fill = zero_fill
+        self.malloc_replay = malloc_replay
+        self.libcall_replay = libcall_replay
+        self.io_hash = io_hash
+        self.ignores = list(ignores)
+        self.malloc_log = MallocLog()
+        self.libcall_log = LibcallLog()
+        self._recording = True
+        self._output = OutputHasher()
+        self._static_layout = None
+        self._static_types = None
+
+    # -- run lifecycle ------------------------------------------------------------------
+
+    def begin_run(self, runner, seed: int) -> None:
+        self._recording = not self.malloc_log.recorded
+        self._output = OutputHasher()
+        self._libcall_seq: dict[tuple, int] = {}
+        # Shared-hidden-state rand, like libc: the value a call sees
+        # depends on every call that happened before it, in any thread.
+        self._rand_state = random.Random(seed ^ 0x5EED)
+        self._static_layout = getattr(runner.program, "static_layout", None)
+        self._static_types = getattr(runner.program, "static_types", None)
+
+        allocator = runner.allocator
+        if self.malloc_replay:
+            if self._recording:
+                allocator.address_recorder = self.malloc_log.record
+            else:
+                allocator.address_policy = self.malloc_log.lookup
+                # Keep fresh (replay-miss) allocations clear of every
+                # address the replayed run will hand out later.
+                allocator._bump = max(allocator._bump,
+                                      self.malloc_log.high_water())
+
+    def end_run(self, runner) -> None:
+        if self._recording:
+            self.malloc_log.recorded = True
+            self.libcall_log.recorded = True
+
+    # -- allocation ----------------------------------------------------------------------
+
+    def do_malloc(self, runner, tid, nwords, site, typeinfo):
+        block = runner.allocator.malloc(tid, nwords, site=site,
+                                        typeinfo=typeinfo,
+                                        zeroed=self.zero_fill)
+        if self.zero_fill:
+            # The zeroing stores are InstantCheck's only HW-scheme cost
+            # (the 0.3% of Figure 6); they run with hashing stopped so
+            # h(a, 0) terms never enter the Thread Hashes.
+            runner.counters.charge("zero_fill", nwords)
+            runner.counters.note("zero_filled_words", nwords)
+        return block
+
+    def do_free(self, runner, tid, base):
+        block = runner.allocator.block_of(base)
+        if block is None or block.base != base:
+            raise AllocationError(f"free of non-block address {base:#x}")
+        old_values = [runner.memory.load(a) for a in block.addresses()]
+        runner.allocator.free(base)
+        runner.machine.free_block(tid, block, old_values)
+        runner.counters.note("freed_words", block.nwords)
+        return None
+
+    # -- library calls --------------------------------------------------------------------
+
+    def _libcall(self, runner, kind: str, tid: int, native_value: int) -> int:
+        if not self.libcall_replay:
+            return native_value
+        seq = self._libcall_seq.get((kind, tid), 0)
+        self._libcall_seq[(kind, tid)] = seq + 1
+        if self._recording:
+            self.libcall_log.record(kind, tid, seq, native_value)
+            return native_value
+        value = self.libcall_log.lookup(kind, tid, seq)
+        if value is None:
+            value = self.libcall_log.fallback(kind, tid, seq)
+        return value
+
+    def do_rand(self, runner, tid):
+        return self._libcall(runner, "rand", tid,
+                             self._rand_state.randrange(1 << 31))
+
+    def do_time(self, runner, tid):
+        return self._libcall(runner, "time", tid, runner.step_count)
+
+    # -- output --------------------------------------------------------------------------
+
+    def do_write(self, runner, tid, fd, data):
+        if self.io_hash:
+            self._output.write(fd, data)
+
+    def output_hashes(self) -> dict:
+        return self._output.digests()
+
+    # -- ignored structures ----------------------------------------------------------------
+
+    def resolve_ignores(self, allocator) -> list:
+        return resolve_ignores(self.ignores, allocator,
+                               static_layout=self._static_layout,
+                               static_types=self._static_types)

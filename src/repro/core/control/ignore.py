@@ -1,0 +1,103 @@
+"""Explicitly ignoring nondeterministic structures (Sections 2.2 and 5).
+
+Auxiliary structures — cholesky's per-thread free-task lists, pbzip2's
+dangling pointer fields, sphinx3's 4% of nondeterministic memory — may
+legitimately end runs in different states.  InstantCheck never ignores
+them *silently*; the programmer explicitly specifies them, and the
+checker deletes them from the hash with the Section 2.2 technique
+(subtract the hash of each location's current value).
+
+An :class:`IgnoreSpec` names locations symbolically — by allocation site,
+by (site, field offset), by static symbol, or by raw address — and is
+resolved against the live allocation table at each checkpoint, yielding
+the concrete ``(address, is_fp)`` pairs whose terms the runtime subtracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CheckerError
+from repro.sim.values import TYPE_FLOAT
+
+KINDS = ("site", "site_offset", "static", "address")
+
+
+@dataclass(frozen=True)
+class IgnoreSpec:
+    """One programmer-specified nondeterministic structure."""
+
+    kind: str
+    site: str | None = None       # allocation site ('site', 'site_offset')
+    offset: int | None = None     # word offset within block ('site_offset')
+    name: str | None = None       # static symbol ('static')
+    address: int | None = None    # raw word address ('address')
+    is_fp: bool = False           # only used for 'address' specs
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise CheckerError(f"unknown ignore kind {self.kind!r}")
+
+
+def ignore_site(site: str) -> IgnoreSpec:
+    """Ignore every word of every live block allocated at *site*."""
+    return IgnoreSpec(kind="site", site=site)
+
+
+def ignore_field(site: str, offset: int) -> IgnoreSpec:
+    """Ignore one word (field) of every live block from *site* —
+    pbzip2's nondeterministic pointer field in its result-task structs."""
+    return IgnoreSpec(kind="site_offset", site=site, offset=offset)
+
+
+def ignore_static(name: str) -> IgnoreSpec:
+    """Ignore a named static global (or global array)."""
+    return IgnoreSpec(kind="static", name=name)
+
+
+def ignore_address(address: int, is_fp: bool = False) -> IgnoreSpec:
+    """Ignore one concrete word address."""
+    return IgnoreSpec(kind="address", address=address, is_fp=is_fp)
+
+
+def resolve_ignores(specs, allocator, static_layout=None,
+                    static_types: dict | None = None) -> list:
+    """Resolve specs to concrete (address, is_fp) pairs at a checkpoint.
+
+    Site-based specs expand against the *live* allocation table, so the
+    resolved set naturally tracks allocation and deallocation.
+    """
+    if not specs:
+        return []
+    resolved: list = []
+    live = None
+    for spec in specs:
+        if spec.kind == "address":
+            resolved.append((spec.address, spec.is_fp))
+            continue
+        if spec.kind == "static":
+            if static_layout is None:
+                raise CheckerError(
+                    f"static ignore {spec.name!r} needs the program's layout")
+            base = static_layout.addr(spec.name)
+            for a in range(base, base + static_layout.size(spec.name)):
+                tag = (static_types or static_layout.types).get(a)
+                resolved.append((a, tag == TYPE_FLOAT))
+            continue
+        if live is None:
+            live = allocator.live_blocks()
+        for block in live:
+            if block.site != spec.site:
+                continue
+            if spec.kind == "site":
+                for offset in range(block.nwords):
+                    resolved.append((block.base + offset,
+                                     block.word_type(offset) == TYPE_FLOAT))
+            else:  # site_offset
+                if spec.offset >= block.nwords:
+                    raise CheckerError(
+                        f"ignore offset {spec.offset} outside block of "
+                        f"{block.nwords} words at site {block.site!r}")
+                resolved.append((block.base + spec.offset,
+                                 block.word_type(spec.offset) == TYPE_FLOAT))
+    return resolved

@@ -1,0 +1,47 @@
+"""Record/replay of nondeterministic library calls (Section 5).
+
+``rand`` and ``gettimeofday`` "return different values each time they are
+called.  Thus, on multiple runs, they will return different results."
+InstantCheck, like most replay systems, treats their results as input:
+the first run records what each call returned, and successive runs return
+the same values — keyed, like allocations, by (thread, per-thread call
+index), which is stable across interleavings of a fixed input.
+"""
+
+from __future__ import annotations
+
+from repro.sim.values import MASK64
+
+
+class LibcallLog:
+    """Record/replay log for library-call results."""
+
+    def __init__(self):
+        self._values: dict[tuple, int] = {}
+        self.recorded = False
+        self.replay_misses = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def record(self, kind: str, tid: int, seq: int, value: int) -> None:
+        self._values[(kind, tid, seq)] = value
+
+    def lookup(self, kind: str, tid: int, seq: int) -> int | None:
+        value = self._values.get((kind, tid, seq))
+        if value is None:
+            self.replay_misses += 1
+        return value
+
+    def fallback(self, kind: str, tid: int, seq: int) -> int:
+        """Deterministic value for a replay miss.
+
+        A miss means the replayed run made more calls than the recorded
+        one — already structural nondeterminism — but we still return a
+        run-independent value so the miss itself does not add noise.
+        (Python's ``hash()`` is process-randomized, so mix explicitly.)
+        """
+        z = sum(ord(c) for c in kind) + tid * 1000003 + seq * 0x9E3779B9
+        z = (z * 0x9E3779B97F4A7C15) & MASK64
+        z ^= z >> 31
+        return z & 0x7FFFFFFF

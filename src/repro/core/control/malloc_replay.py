@@ -1,0 +1,60 @@
+"""Deterministic replay of dynamic-allocation addresses (Section 5).
+
+"Calls to malloc can return different addresses in different runs", so
+InstantCheck "logs the addresses returned by the dynamic allocator in the
+previous runs and repeatedly returns the same addresses for future runs",
+treating them as program input, like deterministic-replay systems do.
+
+The replay key is (allocating thread, per-thread allocation index): with
+a fixed input, each thread performs the same allocation sequence in every
+run even though the *global* interleaving of those sequences — and hence
+a naive bump allocator's answers — varies.
+"""
+
+from __future__ import annotations
+
+
+class MallocLog:
+    """Record/replay log of allocator decisions."""
+
+    def __init__(self):
+        self._addresses: dict[tuple, int] = {}
+        self._sizes: dict[tuple, int] = {}
+        self.recorded = False
+        self.replay_misses = 0
+        self.size_mismatches = 0
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def record(self, tid: int, seq: int, nwords: int, base: int) -> None:
+        self._addresses[(tid, seq)] = base
+        self._sizes[(tid, seq)] = nwords
+
+    def lookup(self, tid: int, seq: int, nwords: int) -> int | None:
+        """Replayed base address for this allocation, or None on a miss.
+
+        A size mismatch means the replayed run diverged structurally from
+        the recorded one (e.g. a custom allocator recycling blocks above
+        malloc, Section 4.2's automation hazard).  The entry is unusable,
+        so we fall back to a fresh address — the divergence then surfaces
+        as the nondeterminism it really is instead of crashing the check.
+        """
+        key = (tid, seq)
+        base = self._addresses.get(key)
+        if base is None:
+            self.replay_misses += 1
+            return None
+        if self._sizes[key] != nwords:
+            self.size_mismatches += 1
+            self.replay_misses += 1
+            return None
+        return base
+
+    def high_water(self) -> int:
+        """One past the highest recorded word, so fresh (miss) allocations
+        in replayed runs can start above every replayed block."""
+        if not self._addresses:
+            return 0
+        return max(base + self._sizes[key]
+                   for key, base in self._addresses.items())

@@ -1,0 +1,28 @@
+"""Incremental memory-state hashing (Section 2.2).
+
+The mathematical core of InstantCheck: per-location hash functions
+(:mod:`mixers`), the Bellare–Micciancio AdHash group over Z_2^64
+(:mod:`adhash`), the FP round-off unit (:mod:`rounding`), and the
+traversal-based ground truth (:mod:`state_hash`).
+"""
+
+from repro.core.hashing.adhash import AdHash, combine, gadd, gneg, gsub
+from repro.core.hashing.mixers import (Crc64Mixer, DEFAULT_MIXER_NAME, Mixer,
+                                       SplitMix64Mixer, available_mixers,
+                                       get_mixer)
+from repro.core.hashing.rounding import (RoundingMode, RoundingPolicy,
+                                         decimal_floor, decimal_nearest,
+                                         default_policy, floor_policy,
+                                         mantissa_policy, no_rounding,
+                                         zero_mantissa_bits)
+from repro.core.hashing.state_hash import (TypeOracle, hash_snapshot,
+                                           traverse_state_hash)
+
+__all__ = [
+    "AdHash", "combine", "gadd", "gneg", "gsub", "Crc64Mixer",
+    "DEFAULT_MIXER_NAME", "Mixer", "SplitMix64Mixer", "available_mixers",
+    "get_mixer", "RoundingMode", "RoundingPolicy", "decimal_floor",
+    "decimal_nearest", "default_policy", "floor_policy", "mantissa_policy",
+    "no_rounding", "zero_mantissa_bits", "TypeOracle", "hash_snapshot",
+    "traverse_state_hash",
+]

@@ -1,0 +1,126 @@
+"""Bellare–Micciancio AdHash over the group (Z_2^64, +).
+
+Section 2.2: the State Hash of a memory state S with values v_1..v_m at
+addresses a_1..a_m is ``SH(S) = h(a_1,v_1) ⊕ ... ⊕ h(a_m,v_m)`` where ⊕ is
+64-bit modulo addition.  Because modulo addition is commutative and
+associative, and modulo subtraction inverts it, the hash can be maintained
+*incrementally*: a write of v' over v at address a updates
+``SH' = SH ⊖ h(a,v) ⊕ h(a,v')``.
+
+:class:`AdHash` is a tiny value-like accumulator implementing exactly this
+group, used by the TH registers, the MHM clusters, and the traversal
+hasher.  The mixers are normalized so ``h(a, 0) == 0`` (see
+:mod:`repro.core.hashing.mixers`), which fixes the all-zero memory state
+as the shared zero of the group: an incremental hash started from zeroed
+memory equals the traversal hash of the final state, word for word.
+"""
+
+from __future__ import annotations
+
+from repro.core.hashing.mixers import DEFAULT_MIXER_NAME, Mixer, get_mixer
+from repro.sim.values import MASK64
+
+
+def gadd(x: int, y: int) -> int:
+    """Group operation ⊕: 64-bit modulo addition."""
+    return (x + y) & MASK64
+
+
+def gsub(x: int, y: int) -> int:
+    """Inverse group operation ⊖: 64-bit modulo subtraction."""
+    return (x - y) & MASK64
+
+
+def gneg(x: int) -> int:
+    """Group inverse: ``gadd(x, gneg(x)) == 0``."""
+    return (-x) & MASK64
+
+
+class AdHash:
+    """Incremental set-of-locations hash over (Z_2^64, +).
+
+    The accumulator value is exposed as :attr:`value`.  All mutating
+    operations return ``self`` so updates can be chained.
+    """
+
+    __slots__ = ("mixer", "value")
+
+    def __init__(self, mixer: Mixer | str = DEFAULT_MIXER_NAME, value: int = 0):
+        if isinstance(mixer, str):
+            mixer = get_mixer(mixer)
+        self.mixer = mixer
+        self.value = value & MASK64
+
+    # -- raw group operations -------------------------------------------------
+
+    def add(self, term: int) -> "AdHash":
+        """⊕ a precomputed 64-bit term into the accumulator."""
+        self.value = (self.value + term) & MASK64
+        return self
+
+    def sub(self, term: int) -> "AdHash":
+        """⊖ a precomputed 64-bit term out of the accumulator."""
+        self.value = (self.value - term) & MASK64
+        return self
+
+    # -- location-level operations --------------------------------------------
+
+    def location_hash(self, address: int, value) -> int:
+        """The term ``h(address, value)`` contributed by one location."""
+        return self.mixer.location_hash(address, value)
+
+    def include(self, address: int, value) -> "AdHash":
+        """Add location (address, value) to the hashed set."""
+        return self.add(self.mixer.location_hash(address, value))
+
+    def exclude(self, address: int, value) -> "AdHash":
+        """Remove location (address, value) from the hashed set."""
+        return self.sub(self.mixer.location_hash(address, value))
+
+    def update(self, address: int, old_value, new_value) -> "AdHash":
+        """Incremental write update: ⊖ h(a, old) ⊕ h(a, new)."""
+        m = self.mixer
+        self.value = (
+            self.value - m.location_hash(address, old_value)
+            + m.location_hash(address, new_value)
+        ) & MASK64
+        return self
+
+    # -- whole-accumulator operations ------------------------------------------
+
+    def merge(self, other: "AdHash") -> "AdHash":
+        """⊕ another accumulator (e.g. sum Thread Hashes into a State Hash)."""
+        self.value = (self.value + other.value) & MASK64
+        return self
+
+    def copy(self) -> "AdHash":
+        return AdHash(self.mixer, self.value)
+
+    def reset(self) -> "AdHash":
+        self.value = 0
+        return self
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, AdHash):
+            return self.value == other.value
+        if isinstance(other, int):
+            return self.value == other & MASK64
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        return f"AdHash(0x{self.value:016x}, mixer={self.mixer.name})"
+
+
+def combine(values, mixer: Mixer | str = DEFAULT_MIXER_NAME) -> int:
+    """Mod-2^64 sum of an iterable of 64-bit hash values.
+
+    This is the software step that combines per-core Thread Hashes into
+    the State Hash (Section 2.2): ``SH = TH_0 ⊕ TH_1 ⊕ ...``.
+    """
+    total = 0
+    for v in values:
+        total = (total + v) & MASK64
+    return total

@@ -1,0 +1,139 @@
+"""Per-location hash functions ``h(address, value)``.
+
+Section 2.2 of the paper defines the State Hash as the mod-2^64 sum of
+``h(a_i, v_i)`` over all memory locations, where ``h`` is "a regular hash
+function (e.g., CRC)" of the address and value of one location.
+
+This module provides two interchangeable mixers:
+
+* :class:`Crc64Mixer` — table-driven CRC-64/ECMA over the 16 bytes of
+  (address, value-bits), the paper's suggested choice.
+* :class:`SplitMix64Mixer` — a SplitMix64-style finalizer, much faster in
+  Python and with excellent avalanche behaviour.
+
+Both are *normalized* so that ``h(a, 0) == 0`` for every address ``a``
+(see :mod:`repro.core.hashing.adhash` for why: it makes the incremental
+delta hash and the traversal hash coincide exactly, with all-zero memory
+as the common baseline).  Normalization subtracts ``raw(a, 0)`` and does
+not change collision behaviour: for a fixed address it is a bijection on
+the value's raw hash.
+"""
+
+from __future__ import annotations
+
+from repro.sim.values import MASK64, value_bits
+
+_CRC64_POLY = 0x42F0E1EBA9EA3693  # CRC-64/ECMA-182
+
+
+def _build_crc64_table(poly: int) -> tuple:
+    table = []
+    for byte in range(256):
+        crc = byte << 56
+        for _ in range(8):
+            if crc & (1 << 63):
+                crc = ((crc << 1) ^ poly) & MASK64
+            else:
+                crc = (crc << 1) & MASK64
+        table.append(crc)
+    return tuple(table)
+
+
+_CRC64_TABLE = _build_crc64_table(_CRC64_POLY)
+
+
+class Mixer:
+    """Interface: hash one (address, value) pair into 64 bits.
+
+    Subclasses implement :meth:`raw`; the public :meth:`location_hash`
+    applies the ``h(a, 0) == 0`` normalization described above and is
+    what every InstantCheck scheme uses.
+    """
+
+    name = "abstract"
+
+    def raw(self, address: int, bits: int) -> int:
+        raise NotImplementedError
+
+    def location_hash(self, address: int, value) -> int:
+        """Normalized hash of one memory location: 0 for a zero word."""
+        bits = value_bits(value)
+        if bits == 0:
+            return 0
+        return (self.raw(address, bits) - self.raw(address, 0)) & MASK64
+
+
+class Crc64Mixer(Mixer):
+    """CRC-64/ECMA over the concatenated address and value bit patterns."""
+
+    name = "crc64"
+
+    def raw(self, address: int, bits: int) -> int:
+        crc = 0
+        table = _CRC64_TABLE
+        data = (address & MASK64) | ((bits & MASK64) << 64)
+        for _ in range(16):
+            crc = (((crc << 8) & MASK64) ^ table[((crc >> 56) ^ data) & 0xFF])
+            data >>= 8
+        return crc
+
+
+class SplitMix64Mixer(Mixer):
+    """SplitMix64 finalizer over a combination of address and value."""
+
+    name = "splitmix64"
+
+    _GOLDEN = 0x9E3779B97F4A7C15
+
+    def __init__(self):
+        # Per-address memoization: the address-keyed finalizer round and
+        # the h(a, 0) normalization term are reused by every store to the
+        # same address (a pure speed optimization; results are identical).
+        self._addr_cache: dict = {}
+
+    def _finalize(self, z: int) -> int:
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & MASK64
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EB & MASK64
+        return z ^ (z >> 31)
+
+    def raw(self, address: int, bits: int) -> int:
+        # Two finalizer rounds keyed by address then value; a single round
+        # over (a xor v) would make h(a, v) == h(v, a) — the paper includes
+        # the address precisely so permutations of values hash differently.
+        z = self._finalize((address + self._GOLDEN) & MASK64)
+        return self._finalize((z + bits) & MASK64)
+
+    def location_hash(self, address: int, value) -> int:
+        bits = value_bits(value)
+        if bits == 0:
+            return 0
+        cached = self._addr_cache.get(address)
+        if cached is None:
+            z = self._finalize((address + self._GOLDEN) & MASK64)
+            cached = (z, self._finalize(z))
+            self._addr_cache[address] = cached
+        z, zero_term = cached
+        return (self._finalize((z + bits) & MASK64) - zero_term) & MASK64
+
+
+_MIXERS = {
+    Crc64Mixer.name: Crc64Mixer,
+    SplitMix64Mixer.name: SplitMix64Mixer,
+}
+
+DEFAULT_MIXER_NAME = SplitMix64Mixer.name
+
+
+def get_mixer(name: str = DEFAULT_MIXER_NAME) -> Mixer:
+    """Return a mixer instance by name (``"crc64"`` or ``"splitmix64"``)."""
+    try:
+        return _MIXERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown mixer {name!r}; choose from {sorted(_MIXERS)}"
+        ) from None
+
+
+def available_mixers() -> tuple:
+    """Names of all registered mixers."""
+    return tuple(sorted(_MIXERS))

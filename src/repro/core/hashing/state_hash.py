@@ -1,0 +1,69 @@
+"""Ground-truth whole-state hashing by traversal.
+
+This is the reference computation every incremental scheme must agree
+with: sweep the hashable state (static segment + live heap) and sum the
+normalized per-location hashes.  SW-InstantCheck_Tr is built on it; the
+test suite uses it as the oracle for the incremental schemes.
+"""
+
+from __future__ import annotations
+
+from repro.core.hashing.adhash import AdHash
+from repro.core.hashing.mixers import DEFAULT_MIXER_NAME, Mixer, get_mixer
+from repro.core.hashing.rounding import RoundingPolicy, no_rounding
+from repro.sim.values import MASK64, TYPE_FLOAT
+
+
+class TypeOracle:
+    """Answers "is the word at this address floating point?".
+
+    Static data types come from the program's :class:`StaticLayout`
+    annotations; heap types come from the allocation table's per-word
+    type info (the manual annotations of Section 4.2).
+    """
+
+    def __init__(self, static_types: dict | None = None, allocator=None):
+        self.static_types = static_types or {}
+        self.allocator = allocator
+
+    def is_fp(self, address: int) -> bool:
+        tag = self.static_types.get(address)
+        if tag is not None:
+            return tag == TYPE_FLOAT
+        if self.allocator is not None:
+            block = self.allocator.block_of(address)
+            if block is not None:
+                return block.word_type(address - block.base) == TYPE_FLOAT
+        return False
+
+
+def traverse_state_hash(memory, mixer: Mixer | str = DEFAULT_MIXER_NAME,
+                        rounding: RoundingPolicy | None = None,
+                        type_oracle: TypeOracle | None = None) -> int:
+    """Hash the entire current memory state by traversal.
+
+    With rounding enabled, FP-typed words are rounded before hashing so
+    the traversal agrees bit-for-bit with an incremental scheme whose FP
+    round-off unit uses the same policy.
+    """
+    if isinstance(mixer, str):
+        mixer = get_mixer(mixer)
+    if rounding is None:
+        rounding = no_rounding()
+    total = 0
+    round_fp = rounding.enabled and type_oracle is not None
+    for address, value in memory.iter_nonzero():
+        if round_fp and isinstance(value, float) and type_oracle.is_fp(address):
+            value = rounding.apply(value)
+        total = (total + mixer.location_hash(address, value)) & MASK64
+    return total
+
+
+def hash_snapshot(snapshot: dict, mixer: Mixer | str = DEFAULT_MIXER_NAME) -> int:
+    """Hash a :meth:`Memory.snapshot` dict (no rounding)."""
+    if isinstance(mixer, str):
+        mixer = get_mixer(mixer)
+    acc = AdHash(mixer)
+    for address, value in snapshot.items():
+        acc.include(address, value)
+    return acc.value

@@ -1,0 +1,54 @@
+"""Output-stream hashing (Section 4.3).
+
+InstantCheck focuses on memory-state determinism, but for completeness it
+also checks output determinism: a hash over the total output stream,
+computed "at a point ... where the partial outputs from various threads
+can no longer be reordered in buffers" — modeled here as the libc
+``write`` interception the paper's prototype uses.
+
+Unlike the memory-state hash, a *stream* hash must be order sensitive:
+the same bytes written in a different order are a different output.  We
+therefore chain a SplitMix-style mix over the word sequence instead of
+using the commutative AdHash.
+"""
+
+from __future__ import annotations
+
+from repro.sim.values import MASK64, value_bits
+
+_MULT = 0x9E3779B97F4A7C15
+
+
+def _mix(state: int, word_bits: int) -> int:
+    z = (state * 0x100000001B3 + word_bits + _MULT) & MASK64
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & MASK64
+    return (z ^ (z >> 27)) & MASK64
+
+
+class OutputHasher:
+    """Per-file-descriptor rolling hashes over written words."""
+
+    def __init__(self):
+        self._streams: dict[int, int] = {}
+        self._lengths: dict[int, int] = {}
+
+    def write(self, fd: int, data) -> None:
+        """Hash the words written to *fd*, in order."""
+        state = self._streams.get(fd, 0)
+        n = 0
+        for word in data:
+            state = _mix(state, value_bits(word))
+            n += 1
+        self._streams[fd] = state
+        self._lengths[fd] = self._lengths.get(fd, 0) + n
+
+    def digest(self, fd: int) -> int:
+        """Current hash of one stream (0 if nothing was written)."""
+        return self._streams.get(fd, 0)
+
+    def digests(self) -> dict:
+        """All stream hashes, keyed by fd."""
+        return dict(self._streams)
+
+    def length(self, fd: int) -> int:
+        return self._lengths.get(fd, 0)

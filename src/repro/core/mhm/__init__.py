@@ -1,0 +1,9 @@
+"""The Memory-State Hashing Module hardware model (Section 3)."""
+
+from repro.core.mhm.clusters import ClusterBank, DRAIN_POLICIES, drain_order
+from repro.core.mhm.isa import INSTRUCTIONS, execute
+from repro.core.mhm.module import Mhm
+from repro.core.mhm.register import ThRegister
+
+__all__ = ["ClusterBank", "DRAIN_POLICIES", "drain_order", "INSTRUCTIONS",
+           "execute", "Mhm", "ThRegister"]

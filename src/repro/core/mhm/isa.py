@@ -1,0 +1,81 @@
+"""The MHM software interface — the Figure 4 instructions.
+
+The instructions execute on a specific core's MHM.  ``save_hash`` and
+``restore_hash`` move the TH register to and from simulated memory (the
+OS path for context switching and virtualization); ``minus_hash`` reads
+the current value of the named memory location through the same datapath
+a store's old value takes, so FP rounding applies consistently.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IsaError
+
+INSTRUCTIONS = (
+    "start_hashing",
+    "stop_hashing",
+    "save_hash",
+    "restore_hash",
+    "minus_hash",
+    "plus_hash",
+    "start_FP_rounding",
+    "stop_FP_rounding",
+)
+
+
+def execute(instruction: str, mhm, memory, *args):
+    """Execute one Figure 4 instruction on *mhm* over *memory*.
+
+    Returns the instruction result (None for most).  ``minus_hash addr
+    [is_fp]`` and ``plus_hash addr val [is_fp]`` accept the FP marker the
+    compiler attaches to FP memory operations.
+    """
+    if instruction == "start_hashing":
+        mhm.hashing_enabled = True
+        return None
+    if instruction == "stop_hashing":
+        mhm.flush()
+        mhm.hashing_enabled = False
+        return None
+    if instruction == "save_hash":
+        _need(args, 1, instruction)
+        # The register value is spilled to memory unhashed: the MHM must
+        # not hash its own save, or saving would perturb the state hash.
+        was = mhm.hashing_enabled
+        mhm.hashing_enabled = False
+        memory.store(args[0], mhm.read_th())
+        mhm.hashing_enabled = was
+        return None
+    if instruction == "restore_hash":
+        _need(args, 1, instruction)
+        mhm.write_th(memory.load(args[0]))
+        return None
+    if instruction == "minus_hash":
+        if len(args) not in (1, 2):
+            raise IsaError("minus_hash takes addr [is_fp]")
+        address = args[0]
+        is_fp = bool(args[1]) if len(args) == 2 else False
+        mhm.minus_hash(address, memory.load(address), is_fp=is_fp)
+        return None
+    if instruction == "plus_hash":
+        if len(args) not in (2, 3):
+            raise IsaError("plus_hash takes addr val [is_fp]")
+        address, value = args[0], args[1]
+        is_fp = bool(args[2]) if len(args) == 3 else False
+        mhm.plus_hash(address, value, is_fp=is_fp)
+        return None
+    if instruction == "start_FP_rounding":
+        mhm.flush()
+        mhm.fp_rounding_enabled = True
+        return None
+    if instruction == "stop_FP_rounding":
+        mhm.flush()
+        mhm.fp_rounding_enabled = False
+        return None
+    raise IsaError(f"unknown MHM instruction {instruction!r}; "
+                   f"available: {INSTRUCTIONS}")
+
+
+def _need(args, n: int, instruction: str) -> None:
+    if len(args) != n:
+        raise IsaError(f"{instruction} takes {n} operand(s), got {len(args)}")

@@ -1,0 +1,41 @@
+"""The per-core 64-bit Thread Hash (TH) register.
+
+"The hash is kept in a per-core 64-bit register, which trivially supports
+virtualization, migration, and context switching" — saving and restoring
+the register is all the OS must do at a thread switch (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from repro.sim.values import MASK64
+
+
+class ThRegister:
+    """A 64-bit accumulator register with save/restore."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = value & MASK64
+
+    def add(self, term: int) -> None:
+        """Modulo-add a hash term (the ⊕ of Section 2.2)."""
+        self.value = (self.value + term) & MASK64
+
+    def sub(self, term: int) -> None:
+        """Modulo-subtract a hash term (the ⊖ of Section 2.2)."""
+        self.value = (self.value - term) & MASK64
+
+    def save(self) -> int:
+        """``save_hash``: read the register out (e.g. at a context switch)."""
+        return self.value
+
+    def restore(self, value: int) -> None:
+        """``restore_hash``: load a previously saved value."""
+        self.value = value & MASK64
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self):
+        return f"ThRegister(0x{self.value:016x})"

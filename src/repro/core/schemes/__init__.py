@@ -1,0 +1,9 @@
+"""The three InstantCheck state-hashing schemes (Sections 3 and 4)."""
+
+from repro.core.schemes.base import SCHEME_KINDS, Scheme, SchemeConfig
+from repro.core.schemes.hw_inc import HwIncScheme
+from repro.core.schemes.sw_inc import SwIncScheme
+from repro.core.schemes.sw_tr import SwTrScheme
+
+__all__ = ["SCHEME_KINDS", "Scheme", "SchemeConfig", "HwIncScheme",
+           "SwIncScheme", "SwTrScheme"]

@@ -1,0 +1,110 @@
+"""Common interface and configuration of the InstantCheck schemes.
+
+A *scheme* is one way to obtain the 64-bit State Hash of the current
+memory state (Section 2.2): the hardware incremental scheme, the software
+incremental scheme, or the software traversal scheme.  Schemes attach to
+a fresh machine at the start of each run; the runtime asks them for
+``state_hash()`` at every determinism checkpoint and for
+``location_term()`` when deleting ignored structures from the hash.
+
+:class:`SchemeConfig` is the serializable description the checker stores
+in its configuration; calling it with a :class:`~repro.sim.program.Runner`
+builds and attaches the scheme for that run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hashing.mixers import DEFAULT_MIXER_NAME, get_mixer
+from repro.core.hashing.rounding import RoundingPolicy, no_rounding
+from repro.errors import IsaError
+from repro.sim.machine import WriteObserver
+from repro.sim.values import TYPE_FLOAT
+
+SCHEME_KINDS = ("hw", "sw_inc", "sw_tr")
+
+
+class Scheme(WriteObserver):
+    """Interface every InstantCheck scheme implements."""
+
+    name = "abstract"
+
+    def __init__(self, machine, allocator, mixer=DEFAULT_MIXER_NAME,
+                 rounding: RoundingPolicy | None = None):
+        self.machine = machine
+        self.allocator = allocator
+        self.mixer = get_mixer(mixer) if isinstance(mixer, str) else mixer
+        self.rounding = rounding if rounding is not None else no_rounding()
+
+    def state_hash(self) -> int:
+        """The 64-bit State Hash of the current memory state."""
+        raise NotImplementedError
+
+    def location_term(self, address: int, is_fp: bool = False) -> int:
+        """The term the current value at *address* contributes to the hash.
+
+        Reads memory through the same rounding datapath stores take, so
+        subtracting this term deletes the location from the hash exactly
+        (Section 2.2's technique for ignoring nondeterministic data).
+        """
+        value = self.machine.memory.load(address)
+        if is_fp and self.rounding.enabled:
+            value = self.rounding.apply(value)
+        return self.mixer.location_hash(address, value)
+
+    def isa_exec(self, instruction: str, core: int, *args):
+        """Execute an MHM interface instruction (hardware scheme only)."""
+        raise IsaError(f"scheme {self.name} has no MHM hardware interface")
+
+    def _block_word_is_fp(self, block, offset: int) -> bool:
+        return block.word_type(offset) == TYPE_FLOAT
+
+
+@dataclass(frozen=True)
+class SchemeConfig:
+    """Factory configuration for a scheme, usable as ``scheme_factory``.
+
+    ``kind`` selects the scheme; ``rounding`` configures the FP round-off
+    unit (``no_rounding()`` means bit-by-bit comparison); ``atomic``
+    selects SW-InstantCheck_Inc's instrumentation atomicity (Section 4.1);
+    ``n_clusters``/``drain_policy`` pick the MHM implementation point of
+    Section 3.2.
+    """
+
+    kind: str = "hw"
+    mixer: str = DEFAULT_MIXER_NAME
+    rounding: RoundingPolicy = field(default_factory=no_rounding)
+    atomic: bool = True
+    n_clusters: int = 1
+    drain_policy: str = "fifo"
+    drain_seed: int = 0
+
+    def __post_init__(self):
+        if self.kind not in SCHEME_KINDS:
+            raise ValueError(
+                f"unknown scheme kind {self.kind!r}; choose from {SCHEME_KINDS}")
+
+    def __call__(self, runner) -> Scheme:
+        """Build the scheme for one run and attach it to the machine."""
+        from repro.core.schemes.hw_inc import HwIncScheme
+        from repro.core.schemes.sw_inc import SwIncScheme
+        from repro.core.schemes.sw_tr import SwTrScheme
+
+        if self.kind == "hw":
+            scheme = HwIncScheme(runner.machine, runner.allocator,
+                                 mixer=self.mixer, rounding=self.rounding,
+                                 n_clusters=self.n_clusters,
+                                 drain_policy=self.drain_policy,
+                                 drain_seed=self.drain_seed)
+        elif self.kind == "sw_inc":
+            scheme = SwIncScheme(runner.machine, runner.allocator,
+                                 mixer=self.mixer, rounding=self.rounding,
+                                 atomic=self.atomic)
+        else:
+            scheme = SwTrScheme(runner.machine, runner.allocator,
+                                mixer=self.mixer, rounding=self.rounding,
+                                static_types=getattr(runner.program,
+                                                     "static_types", None))
+        scheme.attach()
+        return scheme

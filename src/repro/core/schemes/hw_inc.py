@@ -1,0 +1,97 @@
+"""HW-InstantCheck_Inc: the hardware incremental scheme (Section 3).
+
+One :class:`~repro.core.mhm.module.Mhm` per core observes the L1 write
+path and keeps a Thread Hash in its TH register.  On a context switch the
+OS saves the outgoing thread's TH to its thread-control block and
+restores the incoming thread's — exactly a register save/restore, which
+is why virtualization and migration are "trivial".
+
+When the State Hash is needed (a checkpoint), software modulo-adds every
+resident TH register and every saved slot — the rare global operation
+that in real hardware overlaps with the barrier communication.
+
+Freed heap blocks are removed from the hash by the allocation
+interceptor: for each word, ``minus_hash`` of its last value, returning
+the word's contribution to zero (as if never written), matching the
+paper's observation that deallocated memory "is no longer part of the
+program state".
+"""
+
+from __future__ import annotations
+
+from repro.core.hashing.mixers import DEFAULT_MIXER_NAME
+from repro.core.hashing.rounding import RoundingPolicy
+from repro.core.mhm import isa as mhm_isa
+from repro.core.mhm.module import Mhm
+from repro.core.schemes.base import Scheme
+from repro.sim.values import MASK64
+
+
+class HwIncScheme(Scheme):
+    """On-the-fly incremental hashing with per-core MHM hardware."""
+
+    name = "hw"
+
+    def __init__(self, machine, allocator, mixer=DEFAULT_MIXER_NAME,
+                 rounding: RoundingPolicy | None = None, n_clusters: int = 1,
+                 drain_policy: str = "fifo", drain_seed: int = 0):
+        super().__init__(machine, allocator, mixer, rounding)
+        self.mhms = [
+            Mhm(core.core_id, mixer=self.mixer, rounding=self.rounding,
+                n_clusters=n_clusters, drain_policy=drain_policy,
+                drain_seed=drain_seed)
+            for core in machine.cores
+        ]
+        #: Saved TH of threads not currently resident on any core —
+        #: the OS's per-thread register save area.
+        self._saved: dict[int, int] = {}
+
+    def attach(self) -> None:
+        self.machine.add_observer(self)
+
+    # -- write-path events ------------------------------------------------------------
+
+    def on_store(self, core, tid, address, old_value, new_value, is_fp, hashed):
+        if not hashed:
+            return
+        self.mhms[core].on_store(address, old_value, new_value, is_fp)
+
+    def on_free(self, core, tid, block, old_values):
+        mhm = self.mhms[core]
+        for offset, value in enumerate(old_values):
+            mhm.minus_hash(block.base + offset, value,
+                           is_fp=self._block_word_is_fp(block, offset))
+
+    # -- context switching --------------------------------------------------------------
+
+    def on_switch_out(self, core, tid):
+        self._saved[tid] = self.mhms[core].read_th()
+        self.mhms[core].write_th(0)
+
+    def on_switch_in(self, core, tid):
+        self.mhms[core].write_th(self._saved.pop(tid, 0))
+
+    # -- State Hash ------------------------------------------------------------------------
+
+    def state_hash(self) -> int:
+        """SH = ⊕ of all TH registers (resident cores + saved slots)."""
+        total = 0
+        for mhm in self.mhms:
+            total = (total + mhm.read_th()) & MASK64
+        for value in self._saved.values():
+            total = (total + value) & MASK64
+        return total
+
+    def thread_hashes(self) -> dict:
+        """Per-thread TH values (for Figure 2-style inspection)."""
+        result = dict(self._saved)
+        for core, mhm in zip(self.machine.cores, self.mhms):
+            if core.current_tid is not None:
+                result[core.current_tid] = mhm.read_th()
+        return result
+
+    # -- MHM ISA --------------------------------------------------------------------------
+
+    def isa_exec(self, instruction: str, core: int, *args):
+        return mhm_isa.execute(instruction, self.mhms[core],
+                               self.machine.memory, *args)

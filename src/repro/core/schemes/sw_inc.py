@@ -1,0 +1,82 @@
+"""SW-InstantCheck_Inc: incremental hashing in software (Section 4.1).
+
+The same algebra as the hardware scheme, but the per-store work is done
+by instrumentation added to the code under test: read the old value of
+the destination, subtract its hash, add the hash of the new value.
+
+The atomicity caveat is modeled mechanically.  In ``atomic=True`` mode
+the instrumentation executes atomically with the store (our serialized
+runtime gives this for free — "our implementation ... serializes program
+execution and achieves atomicity without using locks").  In
+``atomic=False`` mode the scheme asks the machine for *split* stores: the
+instrumentation's read of the old value becomes a separate scheduling
+step, so under a write-write race another thread's store can land in
+between and the captured old value goes stale — corrupting the hash and
+potentially reporting nondeterminism for deterministic code (a false
+alarm the programmer trades against the atomicity overhead).
+"""
+
+from __future__ import annotations
+
+from repro.core.hashing.mixers import DEFAULT_MIXER_NAME
+from repro.core.hashing.rounding import RoundingPolicy
+from repro.core.schemes.base import Scheme
+from repro.sim.values import MASK64
+
+
+class SwIncScheme(Scheme):
+    """Per-store software instrumentation maintaining per-thread hashes."""
+
+    name = "sw_inc"
+
+    def __init__(self, machine, allocator, mixer=DEFAULT_MIXER_NAME,
+                 rounding: RoundingPolicy | None = None, atomic: bool = True):
+        super().__init__(machine, allocator, mixer, rounding)
+        self.atomic = atomic
+        #: Per-thread software hash accumulators (thread-local variables
+        #: of the instrumented program; no synchronization needed).
+        self._thread_hash: dict[int, int] = {}
+
+    def attach(self) -> None:
+        self.machine.add_observer(self)
+        # Non-atomic instrumentation: the old-value read is its own step.
+        self.machine.store_split = not self.atomic
+
+    def _round(self, value, is_fp: bool):
+        if is_fp and self.rounding.enabled:
+            return self.rounding.apply(value)
+        return value
+
+    def _term(self, address, value, is_fp):
+        return self.mixer.location_hash(address, self._round(value, is_fp))
+
+    # -- write-path events -----------------------------------------------------------
+
+    def on_store(self, core, tid, address, old_value, new_value, is_fp, hashed):
+        # ``old_value`` is the instrumentation's captured read: the true
+        # old value in atomic mode, possibly stale in non-atomic mode.
+        if not hashed:
+            return
+        th = self._thread_hash.get(tid, 0)
+        th = (th - self._term(address, old_value, is_fp)
+              + self._term(address, new_value, is_fp)) & MASK64
+        self._thread_hash[tid] = th
+        self.machine.counters.note("sw_inc_instrumented_stores")
+
+    def on_free(self, core, tid, block, old_values):
+        th = self._thread_hash.get(tid, 0)
+        for offset, value in enumerate(old_values):
+            th = (th - self._term(block.base + offset, value,
+                                  self._block_word_is_fp(block, offset))) & MASK64
+        self._thread_hash[tid] = th
+
+    # -- State Hash ----------------------------------------------------------------------
+
+    def state_hash(self) -> int:
+        total = 0
+        for th in self._thread_hash.values():
+            total = (total + th) & MASK64
+        return total
+
+    def thread_hashes(self) -> dict:
+        return dict(self._thread_hash)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the InstantCheck reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class MemoryError_(ReproError):
+    """Access to an address that is not mapped in the simulated memory.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`, which means something entirely different.
+    """
+
+
+class AllocationError(ReproError):
+    """Invalid allocator operation (double free, bad free, exhaustion)."""
+
+
+class SchedulerError(ReproError):
+    """The scheduler reached an invalid state, e.g. a global deadlock."""
+
+
+class DeadlockError(SchedulerError):
+    """No thread is runnable but not all threads have finished."""
+
+
+class ProgramError(ReproError):
+    """A simulated program misused the thread context API."""
+
+
+class ReplayError(ReproError):
+    """A record/replay log diverged from the execution that consumes it.
+
+    Raised when a replayed run performs a different sequence of allocator
+    or library calls than the recorded run, which means the two runs are
+    structurally incomparable.
+    """
+
+
+class CheckerError(ReproError):
+    """The determinism checker was configured or driven incorrectly."""
+
+
+class IsaError(ReproError):
+    """Invalid use of the MHM software interface (Figure 4 instructions)."""

@@ -1,0 +1,32 @@
+"""The simulated multicore substrate InstantCheck runs on.
+
+This package replaces the paper's native x86 + Pin environment with a
+word-addressed shared memory, an observable L1 write path, a pthread-like
+thread runtime driven as generators, and the serializing schedulers the
+paper's evaluation methodology uses (Section 7.1).
+"""
+
+from repro.sim.allocator import Allocator, Block, FreeListAllocator
+from repro.sim.context import Ctx, Op
+from repro.sim.counters import CostModel, Counters
+from repro.sim.layout import StaticLayout
+from repro.sim.machine import Machine, WriteObserver
+from repro.sim.memory import Memory, garbage_value
+from repro.sim.program import (CheckpointRecord, NativeServices, Program,
+                               Runner, RunRecord)
+from repro.sim.scheduler import (PctScheduler, RandomScheduler,
+                                 RoundRobinScheduler, Scheduler,
+                                 make_scheduler)
+from repro.sim.sync import Barrier, CondVar, Lock
+from repro.sim.values import (TYPE_FLOAT, TYPE_INT, TYPE_PTR, bits_to_float,
+                              float_to_bits, value_bits, words_equal)
+
+__all__ = [
+    "Allocator", "Block", "FreeListAllocator", "Ctx", "Op", "CostModel",
+    "Counters", "StaticLayout", "Machine", "WriteObserver", "Memory",
+    "garbage_value", "CheckpointRecord", "NativeServices", "Program",
+    "Runner", "RunRecord", "PctScheduler", "RandomScheduler",
+    "RoundRobinScheduler", "Scheduler", "make_scheduler", "Barrier",
+    "CondVar", "Lock", "TYPE_FLOAT", "TYPE_INT", "TYPE_PTR",
+    "bits_to_float", "float_to_bits", "value_bits", "words_equal",
+]

@@ -1,0 +1,217 @@
+"""Heap allocator for the simulated machine.
+
+A bump allocator whose returned addresses depend on the *global order* of
+allocation requests.  When several threads allocate concurrently, the
+addresses each thread receives vary from run to run with the schedule —
+this is precisely the "calls to malloc can return different addresses in
+different runs" nondeterminism Section 5 of the paper controls with
+address replay (:mod:`repro.core.control.malloc_replay`).
+
+Every live block carries its allocation *site* (a source-line-like label)
+and per-word *type info* (Section 4.2: SW-InstantCheck_Tr needs to know
+which bytes hold FP values; the bug-localization tool of Section 2.3 maps
+differing addresses back to sites and offsets).
+
+A :class:`FreeListAllocator` models the application-specific custom
+allocators the paper meets in cholesky: it recycles freed blocks in LIFO
+order, so *which* address a thread gets depends on the interleaving even
+when the underlying malloc addresses are replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError
+from repro.sim.values import TYPE_INT, is_valid_type
+
+
+@dataclass(frozen=True)
+class Block:
+    """One live heap allocation."""
+
+    base: int
+    nwords: int
+    site: str
+    typeinfo: str  # one type tag per word
+    tid: int  # allocating thread
+    seq: int  # per-thread allocation index (replay key)
+
+    def word_type(self, offset: int) -> str:
+        return self.typeinfo[offset]
+
+    def addresses(self):
+        return range(self.base, self.base + self.nwords)
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.nwords
+
+
+def normalize_typeinfo(typeinfo: str | None, nwords: int) -> str:
+    """Expand type info to one tag per word.
+
+    ``None`` means all-int; a single tag applies to every word; otherwise
+    the string must give one valid tag per word.
+    """
+    if typeinfo is None:
+        return TYPE_INT * nwords
+    if len(typeinfo) == 1:
+        typeinfo = typeinfo * nwords
+    if len(typeinfo) != nwords:
+        raise AllocationError(
+            f"typeinfo length {len(typeinfo)} != block size {nwords}"
+        )
+    for tag in typeinfo:
+        if not is_valid_type(tag):
+            raise AllocationError(f"invalid type tag {tag!r}")
+    return typeinfo
+
+
+@dataclass
+class _SiteStats:
+    count: int = 0
+    words: int = 0
+
+
+class Allocator:
+    """Bump allocator over the heap region of a :class:`~repro.sim.memory.Memory`.
+
+    The *address_policy* hook lets the nondeterminism controller replay
+    recorded addresses: if set, it is consulted before bumping and may
+    return a previously recorded base address (which the allocator then
+    places the block at, without advancing the bump pointer past it).
+    """
+
+    def __init__(self, memory, heap_base: int | None = None, heap_words: int = 1 << 24):
+        self.memory = memory
+        self.heap_base = memory.static_words if heap_base is None else heap_base
+        self.heap_limit = self.heap_base + heap_words
+        self._bump = self.heap_base
+        self._blocks: dict[int, Block] = {}
+        self._per_thread_seq: dict[int, int] = {}
+        self._site_stats: dict[str, _SiteStats] = {}
+        #: Optional callable (tid, seq, nwords) -> base address or None.
+        self.address_policy = None
+        #: Optional callable (tid, seq, nwords, base) -> None, for recording.
+        self.address_recorder = None
+
+    # -- allocation --------------------------------------------------------------
+
+    def malloc(self, tid: int, nwords: int, site: str = "?", typeinfo: str | None = None,
+               zeroed: bool = False) -> Block:
+        """Allocate ``nwords`` words; returns the new :class:`Block`."""
+        if nwords <= 0:
+            raise AllocationError("allocation size must be positive")
+        typeinfo = normalize_typeinfo(typeinfo, nwords)
+        seq = self._per_thread_seq.get(tid, 0)
+        self._per_thread_seq[tid] = seq + 1
+
+        base = None
+        if self.address_policy is not None:
+            base = self.address_policy(tid, seq, nwords)
+        if base is None:
+            base = self._bump
+            self._bump += nwords
+        else:
+            # A replayed address: keep the bump pointer clear of it so
+            # fresh allocations (replay misses) never collide.
+            self._bump = max(self._bump, base + nwords)
+        if base + nwords > self.heap_limit:
+            raise AllocationError("simulated heap exhausted")
+
+        block = Block(base=base, nwords=nwords, site=site,
+                      typeinfo=typeinfo, tid=tid, seq=seq)
+        self.memory.map_heap(base, nwords, zeroed=zeroed)
+        self._blocks[base] = block
+        stats = self._site_stats.setdefault(site, _SiteStats())
+        stats.count += 1
+        stats.words += nwords
+        if self.address_recorder is not None:
+            self.address_recorder(tid, seq, nwords, base)
+        return block
+
+    def free(self, base: int) -> Block:
+        """Free the block starting at ``base``; its words leave the state."""
+        block = self._blocks.pop(base, None)
+        if block is None:
+            raise AllocationError(f"free of non-block address {base:#x}")
+        self.memory.unmap_heap(block.base, block.nwords)
+        return block
+
+    # -- queries -----------------------------------------------------------------
+
+    def live_blocks(self):
+        """All currently allocated blocks, in address order."""
+        return [self._blocks[b] for b in sorted(self._blocks)]
+
+    def block_of(self, address: int) -> Block | None:
+        """The live block containing ``address``, or None.
+
+        Used by the bug-localization tool to map a differing address back
+        to (allocation site, offset).
+        """
+        import bisect
+
+        bases = sorted(self._blocks)
+        i = bisect.bisect_right(bases, address) - 1
+        if i >= 0:
+            block = self._blocks[bases[i]]
+            if block.contains(address):
+                return block
+        return None
+
+    def live_words(self) -> int:
+        return sum(b.nwords for b in self._blocks.values())
+
+    def site_stats(self) -> dict:
+        """Per-site allocation counts/words (sphinx3's "15 of 230 sites")."""
+        return {s: (st.count, st.words) for s, st in self._site_stats.items()}
+
+    def sites(self):
+        return sorted(self._site_stats)
+
+
+class FreeListAllocator:
+    """Application-specific allocator layered over :class:`Allocator`.
+
+    Models the custom allocators the paper encounters (cholesky): freed
+    blocks go on a shared LIFO free list and are handed back to whichever
+    thread asks next.  Under different interleavings, different threads
+    receive different recycled addresses — nondeterminism that malloc
+    address replay does *not* remove, because it lives above malloc.
+
+    Setting ``bypass=True`` reproduces the paper's fix: "we simply call
+    malloc from inside the custom allocator".
+    """
+
+    def __init__(self, allocator: Allocator, nwords: int, site: str,
+                 typeinfo: str | None = None, bypass: bool = False):
+        self.allocator = allocator
+        self.nwords = nwords
+        self.site = site
+        self.typeinfo = typeinfo
+        self.bypass = bypass
+        self._free_list: list[int] = []
+
+    def alloc(self, tid: int, zeroed: bool = False) -> Block:
+        if not self.bypass and self._free_list:
+            base = self._free_list.pop()
+            return self._reuse(base, tid, zeroed)
+        return self.allocator.malloc(
+            tid, self.nwords, site=self.site, typeinfo=self.typeinfo, zeroed=zeroed)
+
+    def _reuse(self, base: int, tid: int, zeroed: bool) -> Block:
+        # Re-map the recycled region as a fresh block at the same address.
+        seq = self.allocator._per_thread_seq.get(tid, 0)
+        self.allocator._per_thread_seq[tid] = seq + 1
+        typeinfo = normalize_typeinfo(self.typeinfo, self.nwords)
+        block = Block(base=base, nwords=self.nwords, site=self.site,
+                      typeinfo=typeinfo, tid=tid, seq=seq)
+        self.allocator.memory.map_heap(base, self.nwords, zeroed=zeroed)
+        self.allocator._blocks[base] = block
+        return block
+
+    def release(self, base: int) -> None:
+        block = self.allocator.free(base)
+        if not self.bypass:
+            self._free_list.append(block.base)

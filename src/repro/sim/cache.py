@@ -1,0 +1,172 @@
+"""A per-core write-allocate L1 cache model (performance only).
+
+Section 3.1 rests an important claim on the cache: "Obtaining Data_old
+does not incur an additional cache miss in write-allocate caches
+(ubiquitous in current general purpose processors), because either the
+data is already in the cache or will be brought any way to service the
+write."  The MHM taps the line the write allocated, so HW-InstantCheck
+adds *zero* misses over native execution; its only memory-system cost is
+potential read-port contention, which Section 3.2's buffering freedom
+lets the implementation schedule away.
+
+This module models exactly enough to check that: a direct-mapped,
+write-allocate, write-back L1 per core with hit/miss accounting and a
+counter of MHM old-value taps (the read-port pressure).  It is a
+*performance* model — simulated memory stays the source of truth for
+values — attached to a machine via :func:`attach_caches`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Direct-mapped cache shape, in words (the machine's unit)."""
+
+    line_words: int = 8     # 64-byte lines of 8-byte words
+    n_sets: int = 64        # 64 sets x 8 words = a 4 KiB toy L1
+
+    def __post_init__(self):
+        if self.line_words & (self.line_words - 1):
+            raise ValueError("line_words must be a power of two")
+        if self.n_sets <= 0:
+            raise ValueError("n_sets must be positive")
+
+    def line_of(self, address: int) -> int:
+        return address // self.line_words
+
+    def set_of(self, address: int) -> int:
+        return self.line_of(address) % self.n_sets
+
+
+@dataclass
+class CacheStats:
+    """Per-core access accounting."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+    #: MHM taps of Data_old off the allocated line (read-port pressure).
+    mhm_old_reads: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return (self.read_hits + self.read_misses
+                + self.write_hits + self.write_misses)
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class L1Cache:
+    """One core's direct-mapped write-allocate write-back L1."""
+
+    def __init__(self, geometry: CacheGeometry | None = None):
+        self.geometry = geometry if geometry is not None else CacheGeometry()
+        # set index -> (resident line number, dirty)
+        self._sets: dict[int, tuple] = {}
+        self.stats = CacheStats()
+
+    def access(self, address: int, write: bool) -> bool:
+        """One load or store; returns True on hit.
+
+        Both loads and stores allocate the line on a miss
+        (write-allocate), evicting — and writing back if dirty — the
+        previous resident of the set.
+        """
+        line = self.geometry.line_of(address)
+        index = self.geometry.set_of(address)
+        resident = self._sets.get(index)
+        hit = resident is not None and resident[0] == line
+        if hit:
+            if write:
+                self.stats.write_hits += 1
+                self._sets[index] = (line, True)
+            else:
+                self.stats.read_hits += 1
+            return True
+        # Miss: write back a dirty victim, then allocate.
+        if resident is not None and resident[1]:
+            self.stats.writebacks += 1
+        self._sets[index] = (line, write)
+        if write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        return False
+
+    def holds(self, address: int) -> bool:
+        """Is the word's line currently resident?"""
+        resident = self._sets.get(self.geometry.set_of(address))
+        return resident is not None and resident[0] == self.geometry.line_of(address)
+
+    def tap_old_value(self, address: int) -> None:
+        """The MHM reads Data_old off the (just-allocated) line.
+
+        Asserts the Section 3.1 claim structurally: at tap time the line
+        is always resident, so the tap can never miss.
+        """
+        assert self.holds(address), "MHM tapped a non-resident line"
+        self.stats.mhm_old_reads += 1
+
+
+class CacheObserver:
+    """Machine observer wiring per-core L1 models into the write path.
+
+    Loads are fed through :meth:`on_load` by the machine when caches are
+    attached; stores arrive via the standard observer callback.  When
+    ``mhm_taps`` is set, every hashed store also taps the old value,
+    modeling the MHM datapath of Figure 3(a).
+    """
+
+    def __init__(self, n_cores: int, geometry: CacheGeometry | None = None,
+                 mhm_taps: bool = False):
+        self.caches = [L1Cache(geometry) for _ in range(n_cores)]
+        self.mhm_taps = mhm_taps
+
+    def on_load(self, core: int, address: int) -> None:
+        self.caches[core].access(address, write=False)
+
+    def on_store(self, core, tid, address, old_value, new_value, is_fp,
+                 hashed):
+        self.caches[core].access(address, write=True)
+        if self.mhm_taps and hashed:
+            self.caches[core].tap_old_value(address)
+
+    def on_free(self, core, tid, block, old_values):
+        pass
+
+    def on_switch_in(self, core, tid):
+        pass
+
+    def on_switch_out(self, core, tid):
+        pass
+
+    def total_stats(self) -> CacheStats:
+        total = CacheStats()
+        for cache in self.caches:
+            stats = cache.stats
+            total.read_hits += stats.read_hits
+            total.read_misses += stats.read_misses
+            total.write_hits += stats.write_hits
+            total.write_misses += stats.write_misses
+            total.writebacks += stats.writebacks
+            total.mhm_old_reads += stats.mhm_old_reads
+        return total
+
+
+def attach_caches(machine, geometry: CacheGeometry | None = None,
+                  mhm_taps: bool = False) -> CacheObserver:
+    """Attach per-core L1 models to a machine; returns the observer."""
+    observer = CacheObserver(machine.n_cores, geometry, mhm_taps=mhm_taps)
+    machine.add_observer(observer)
+    machine.cache_observer = observer
+    return observer

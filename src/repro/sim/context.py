@@ -1,0 +1,154 @@
+"""The thread-facing API of the simulated runtime.
+
+Simulated threads are Python generators.  Every interaction with the
+machine — loads, stores, allocation, synchronization, library calls —
+is expressed by yielding an :class:`Op` to the runtime trampoline
+(:mod:`repro.sim.program`), which executes it and sends the result back.
+Each yielded op is one *scheduling point*, so the serializing scheduler
+can interleave threads at the granularity the paper's testing setup uses.
+
+:class:`Ctx` wraps op construction in readable helpers; workload code
+says ``v = yield from ctx.load(a)`` and ``yield from ctx.store(a, v)``.
+
+FP stores: the paper marks FP writes with the LLVM compiler; here the
+Python value type plays the compiler's role (storing a ``float`` marks
+the store FP) with an explicit ``fp=`` override for union-like cases.
+"""
+
+from __future__ import annotations
+
+from repro.sim.values import TYPE_FLOAT
+
+
+class Op:
+    """One operation yielded by a simulated thread."""
+
+    __slots__ = ("kind", "args")
+
+    def __init__(self, kind: str, args: tuple = ()):
+        self.kind = kind
+        self.args = args
+
+    def __repr__(self):
+        return f"Op({self.kind}, {self.args})"
+
+
+#: Op kinds at which the sync-granularity scheduler may switch threads.
+SWITCH_POINTS = frozenset({
+    "lock", "unlock", "barrier", "cond_wait", "cond_signal", "cond_broadcast",
+    "yield", "checkpoint", "rand", "time", "malloc", "free", "write_out",
+})
+
+
+class Ctx:
+    """Per-thread handle to the simulated machine and runtime services."""
+
+    def __init__(self, runtime, tid: int):
+        self._runtime = runtime
+        self.tid = tid
+
+    # -- memory ------------------------------------------------------------------
+
+    def load(self, address: int):
+        """Read one word of shared memory."""
+        return (yield Op("load", (address,)))
+
+    def store(self, address: int, value, fp: bool | None = None):
+        """Write one word of shared memory.
+
+        When SW-InstantCheck_Inc runs in non-atomic mode the machine asks
+        for *split* stores: the instrumentation's read of the old value is
+        a separate scheduling step, so a racing writer can slip between the
+        read and the store and make the captured old value stale — the
+        Section 4.1 false-alarm hazard, reproduced mechanically.
+        """
+        if fp is None:
+            fp = isinstance(value, float)
+        if self._runtime.machine.store_split:
+            old = yield Op("read_old", (address,))
+            yield Op("store", (address, value, fp, old))
+        else:
+            yield Op("store", (address, value, fp, None))
+
+    def compute(self, instructions: int):
+        """Account *instructions* of pure ALU work (no memory traffic)."""
+        yield Op("compute", (instructions,))
+
+    # -- heap --------------------------------------------------------------------
+
+    def malloc(self, nwords: int, site: str = "?", typeinfo: str | None = None):
+        """Allocate a heap block; returns its :class:`~repro.sim.allocator.Block`."""
+        return (yield Op("malloc", (nwords, site, typeinfo)))
+
+    def malloc_floats(self, nwords: int, site: str = "?"):
+        """Allocate a block of doubles (all words typed FP)."""
+        return (yield Op("malloc", (nwords, site, TYPE_FLOAT)))
+
+    def free(self, base: int):
+        """Free a heap block; its words leave the hashable state."""
+        yield Op("free", (base,))
+
+    # -- synchronization -----------------------------------------------------------
+
+    def lock(self, lk):
+        yield Op("lock", (lk,))
+
+    def unlock(self, lk):
+        yield Op("unlock", (lk,))
+
+    def barrier_wait(self, barrier):
+        """Arrive at a pthread-style barrier (a determinism checkpoint)."""
+        yield Op("barrier", (barrier,))
+
+    def cond_wait(self, cond, lk):
+        """Wait on *cond*, releasing *lk*; reacquires *lk* before returning."""
+        yield Op("cond_wait", (cond, lk))
+        yield Op("lock", (lk,))
+
+    def cond_signal(self, cond):
+        yield Op("cond_signal", (cond,))
+
+    def cond_broadcast(self, cond):
+        yield Op("cond_broadcast", (cond,))
+
+    def sched_yield(self):
+        """A pure scheduling point (spin-wait loops must yield)."""
+        yield Op("yield", ())
+
+    # -- InstantCheck services --------------------------------------------------------
+
+    def checkpoint(self, label: str):
+        """A programmer-specified determinism check point (Section 2.3)."""
+        yield Op("checkpoint", (label,))
+
+    def isa(self, instruction: str, *args):
+        """Execute an MHM interface instruction (Figure 4) on this core."""
+        return (yield Op("isa", (instruction, args)))
+
+    # -- library calls ----------------------------------------------------------------
+
+    def rand(self):
+        """libc-style ``rand()``: hidden *shared* state, so the value a
+        thread sees depends on the global call interleaving."""
+        return (yield Op("rand", ()))
+
+    def gettimeofday(self):
+        """A wall-clock-like value; varies across runs unless replayed."""
+        return (yield Op("time", ()))
+
+    def write_output(self, data, fd: int = 1):
+        """Write words to an output stream (hashed per Section 4.3)."""
+        yield Op("write_out", (fd, tuple(data)))
+
+
+def run_inline(gen):
+    """Drive a ctx generator outside the scheduler (test helper).
+
+    Only usable for generators that never yield blocking ops; raises if
+    the generator yields anything (it must be pre-bound to direct ops).
+    """
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise RuntimeError("generator yielded; use the runtime to execute it")

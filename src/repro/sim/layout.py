@@ -1,0 +1,59 @@
+"""Static data segment layout.
+
+Real applications put globals in the static data segment; the linker
+assigns their addresses and the debug info records their types.  Here a
+workload builds a :class:`StaticLayout` in its constructor — assigning a
+word address to every named global/array — and the resulting type map is
+what SW-InstantCheck_Tr's annotations (Section 4.2) read for static data.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+from repro.sim.values import TYPE_INT, is_valid_type
+
+
+class StaticLayout:
+    """Assigns addresses in the static segment to named globals."""
+
+    def __init__(self):
+        self._next = 0
+        self.types: dict[int, str] = {}
+        self.names: dict[int, str] = {}
+        self._vars: dict[str, tuple] = {}  # name -> (base, nwords, tag)
+
+    def var(self, name: str, tag: str = TYPE_INT) -> int:
+        """Declare a scalar global; returns its address."""
+        return self.array(name, 1, tag)
+
+    def array(self, name: str, nwords: int, tag: str = TYPE_INT) -> int:
+        """Declare a global array; returns its base address."""
+        if name in self._vars:
+            raise ProgramError(f"static name {name!r} declared twice")
+        if nwords <= 0:
+            raise ProgramError("static array size must be positive")
+        if not is_valid_type(tag):
+            raise ProgramError(f"invalid type tag {tag!r}")
+        base = self._next
+        self._next += nwords
+        self._vars[name] = (base, nwords, tag)
+        for a in range(base, base + nwords):
+            self.types[a] = tag
+            self.names[a] = name
+        return base
+
+    def addr(self, name: str) -> int:
+        """Address of a declared global."""
+        return self._vars[name][0]
+
+    def size(self, name: str) -> int:
+        return self._vars[name][1]
+
+    @property
+    def words(self) -> int:
+        """Total static segment size in words."""
+        return self._next
+
+    def name_of(self, address: int) -> str | None:
+        """Symbol covering *address*, if any (for localization reports)."""
+        return self.names.get(address)

@@ -1,0 +1,157 @@
+"""The simulated multicore machine: cores, the L1 write path, observers.
+
+All InstantCheck schemes hook the machine through the *write observer*
+interface — the single interception point that plays the role of both
+Pin's store instrumentation (software schemes) and the L1-controller MHM
+(hardware scheme): every store that updates memory reports
+``(core, tid, address, old_value, new_value, is_fp, hashed)``.
+
+``old_value`` is read from memory *before* the update, mirroring how "a
+write access first brings the cache line with the current values into the
+processor's cache and only then updates the cache line" (Section 3.1).
+For SW-InstantCheck_Inc's non-atomic mode, the context layer captures the
+old value in a separate earlier step and passes it as ``captured_old``;
+under write-write races that captured value can be stale, which is
+exactly the false-alarm hazard Section 4.1 describes.
+
+Context switching: the runtime tells the machine which thread runs next;
+the machine places it on a core (static ``tid % n_cores`` placement, with
+optional random migration) and emits switch-out/switch-in events that the
+hardware scheme uses to save/restore TH registers (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.counters import Counters
+from repro.sim.memory import Memory
+
+
+class WriteObserver:
+    """Interface for schemes observing the machine."""
+
+    def on_store(self, core: int, tid: int, address: int, old_value, new_value,
+                 is_fp: bool, hashed: bool) -> None:
+        """A store retired and updated the L1/memory."""
+
+    def on_free(self, core: int, tid: int, block, old_values: list) -> None:
+        """A heap block was freed; its words leave the hashable state."""
+
+    def on_switch_out(self, core: int, tid: int) -> None:
+        """Thread *tid* is descheduled from *core*."""
+
+    def on_switch_in(self, core: int, tid: int) -> None:
+        """Thread *tid* is scheduled onto *core*."""
+
+
+class Core:
+    """One core; carries the identity the MHM registers attach to."""
+
+    def __init__(self, core_id: int):
+        self.core_id = core_id
+        self.current_tid: int | None = None
+
+
+class Machine:
+    """Shared memory + cores + instruction counters + write observers."""
+
+    def __init__(self, memory: Memory, n_cores: int = 8,
+                 counters: Counters | None = None,
+                 migrate_prob: float = 0.0, migrate_rng: random.Random | None = None):
+        self.memory = memory
+        self.cores = [Core(i) for i in range(n_cores)]
+        self.counters = counters if counters is not None else Counters()
+        self.observers: list[WriteObserver] = []
+        self.migrate_prob = migrate_prob
+        self._migrate_rng = migrate_rng or random.Random(0)
+        self._placement: dict[int, int] = {}
+        #: When True the context layer splits instrumented stores into a
+        #: separate old-value read step (SW-InstantCheck_Inc, non-atomic).
+        self.store_split = False
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    def add_observer(self, observer: WriteObserver) -> None:
+        self.observers.append(observer)
+
+    def remove_observer(self, observer: WriteObserver) -> None:
+        self.observers.remove(observer)
+
+    # -- thread placement ---------------------------------------------------------
+
+    def core_of(self, tid: int) -> int:
+        """Current core assignment of a thread (assigning one if new)."""
+        core = self._placement.get(tid)
+        if core is None:
+            core = tid % self.n_cores
+            self._placement[tid] = core
+        return core
+
+    def schedule_thread(self, tid: int) -> int:
+        """Place *tid* on a core before it executes; returns the core id.
+
+        With ``migrate_prob`` > 0, the thread occasionally migrates to a
+        random core — exercising TH save/restore on every such move.
+        """
+        previous = self._placement.get(tid)
+        core_id = self.core_of(tid)
+        if (self.migrate_prob > 0.0
+                and self._migrate_rng.random() < self.migrate_prob):
+            core_id = self._migrate_rng.randrange(self.n_cores)
+            self._placement[tid] = core_id
+        if previous is not None and previous != core_id:
+            # Migration: the OS saves the thread's state — including its
+            # TH register — off the old core before it runs elsewhere.
+            old_core = self.cores[previous]
+            if old_core.current_tid == tid:
+                for obs in self.observers:
+                    obs.on_switch_out(previous, tid)
+                old_core.current_tid = None
+        core = self.cores[core_id]
+        if core.current_tid != tid:
+            if core.current_tid is not None:
+                for obs in self.observers:
+                    obs.on_switch_out(core_id, core.current_tid)
+            core.current_tid = tid
+            for obs in self.observers:
+                obs.on_switch_in(core_id, tid)
+        return core_id
+
+    # -- memory operations ----------------------------------------------------------
+
+    #: Set by :func:`repro.sim.cache.attach_caches`; loads are fed to it
+    #: so the L1 performance model sees the full access stream.
+    cache_observer = None
+
+    def load(self, tid: int, address: int):
+        """A program load; charged to the native instruction count."""
+        self.counters.charge("load")
+        if self.cache_observer is not None:
+            self.cache_observer.on_load(self.core_of(tid), address)
+        return self.memory.load(address)
+
+    def store(self, tid: int, address: int, value, is_fp: bool = False,
+              hashed: bool = True, captured_old=None, charge: bool = True) -> None:
+        """A store retiring through the write path.
+
+        ``hashed=False`` marks stores issued by InstantCheck's own control
+        layer with hashing disabled (e.g. allocation zero-fill); observers
+        see the flag and leave their hash registers untouched.
+        """
+        core = self.core_of(tid)
+        old = self.memory.load(address)
+        self.memory.store(address, value)
+        if charge:
+            self.counters.charge("store")
+        old_for_hash = captured_old if captured_old is not None else old
+        for obs in self.observers:
+            obs.on_store(core, tid, address, old_for_hash, value, is_fp, hashed)
+
+    def free_block(self, tid: int, block, old_values: list) -> None:
+        """Notify observers that a block's words left the state."""
+        core = self.core_of(tid)
+        for obs in self.observers:
+            obs.on_free(core, tid, block, old_values)

@@ -1,0 +1,123 @@
+"""Virtual-to-physical paging: why the MHM hashes *virtual* addresses.
+
+Figure 3(a) goes to some trouble to reconstruct the virtual address at
+the L1: "When a write instruction retires from the ROB, as the data and
+its physical address (P_addr) are saved in the write buffer structure,
+the hardware also saves the virtual page number (VPN) of the address.
+With VPN and the page offset from P_addr, the hardware can later compute
+V_addr when the write is pushed into the L1 cache."
+
+The reason is correctness, not convenience: the OS assigns physical
+frames nondeterministically (allocation order, page reuse), so a hash
+over *physical* addresses would differ across runs of a perfectly
+deterministic program.  Virtual addresses are program-visible state and
+— under InstantCheck's malloc replay — identical across runs.
+
+This module models a per-run page table with schedule-entropy frame
+assignment, the write-buffer entry carrying (VPN, page offset, data),
+and both a correct (virtual-hashing) and a deliberately wrong
+(physical-hashing) MHM front end, so the design decision is testable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+PAGE_WORDS = 64
+
+
+@dataclass(frozen=True)
+class WriteBufferEntry:
+    """What the write buffer holds for one retired store (Figure 3a)."""
+
+    vpn: int          # virtual page number, saved at retirement
+    page_offset: int  # from the physical address
+    data_old: object
+    data_new: object
+    is_fp: bool
+
+    @property
+    def v_addr(self) -> int:
+        """The reconstruction the MHM performs: VPN + page offset."""
+        return self.vpn * PAGE_WORDS + self.page_offset
+
+
+class PageTable:
+    """Lazy virtual-to-physical mapping with nondeterministic frames.
+
+    Frames are assigned on first touch of a page, in an order perturbed
+    by the run's entropy — modeling an OS whose physical allocator is
+    not deterministic across runs.
+    """
+
+    def __init__(self, entropy: int = 0, n_frames: int = 1 << 16):
+        self._rng = random.Random(entropy * 2654435761 + 17)
+        self._free_frames = list(range(n_frames))
+        self._map: dict[int, int] = {}
+
+    def frame_of(self, vpn: int) -> int:
+        frame = self._map.get(vpn)
+        if frame is None:
+            index = self._rng.randrange(len(self._free_frames))
+            # Swap-pop: O(1) removal of a random free frame.
+            self._free_frames[index], self._free_frames[-1] = (
+                self._free_frames[-1], self._free_frames[index])
+            frame = self._free_frames.pop()
+            self._map[vpn] = frame
+        return frame
+
+    def translate(self, v_addr: int) -> int:
+        """Virtual word address -> physical word address."""
+        vpn, offset = divmod(v_addr, PAGE_WORDS)
+        return self.frame_of(vpn) * PAGE_WORDS + offset
+
+    def make_entry(self, v_addr: int, data_old, data_new,
+                   is_fp: bool = False) -> WriteBufferEntry:
+        """Build the write-buffer entry for a store to *v_addr*."""
+        p_addr = self.translate(v_addr)
+        return WriteBufferEntry(vpn=v_addr // PAGE_WORDS,
+                                page_offset=p_addr % PAGE_WORDS,
+                                data_old=data_old, data_new=data_new,
+                                is_fp=is_fp)
+
+
+class VirtualHashingFrontEnd:
+    """The paper's design: feed V_addr (VPN + offset) to the hash unit."""
+
+    def address_for_hash(self, entry: WriteBufferEntry,
+                         page_table: PageTable) -> int:
+        return entry.v_addr
+
+
+class PhysicalHashingFrontEnd:
+    """The broken alternative: hash P_addr.
+
+    Exists to demonstrate the failure: physical frames differ across
+    runs, so the State Hash of identical program states diverges — a
+    false nondeterminism report for every program that touches memory.
+    """
+
+    def address_for_hash(self, entry: WriteBufferEntry,
+                         page_table: PageTable) -> int:
+        return (page_table.frame_of(entry.vpn) * PAGE_WORDS
+                + entry.page_offset)
+
+
+def state_hash_through_frontend(stores, entropy: int, frontend,
+                                mixer) -> int:
+    """Hash a store sequence through a paging front end.
+
+    *stores* is a sequence of (v_addr, old, new) triples — the program-
+    visible write stream, identical across runs of a deterministic
+    program; *entropy* seeds the run's (nondeterministic) frame layout.
+    """
+    page_table = PageTable(entropy)
+    total = 0
+    mask = (1 << 64) - 1
+    for v_addr, old, new in stores:
+        entry = page_table.make_entry(v_addr, old, new)
+        address = frontend.address_for_hash(entry, page_table)
+        total = (total - mixer.location_hash(address, old)
+                 + mixer.location_hash(address, new)) & mask
+    return total

@@ -1,0 +1,496 @@
+"""Programs, the runtime trampoline, and run records.
+
+A :class:`Program` is the simulated analog of one pthreads application:
+a ``setup`` phase run by the main thread (allocate and initialize the
+input state — the fixed input of Section 2.1), ``n_workers`` worker
+threads run under the serializing scheduler, and a ``teardown`` phase
+(final reductions, output writes).  A determinism checkpoint fires at
+every pthread barrier generation, at every explicit ``ctx.checkpoint``,
+and once at the very end of the run.
+
+:class:`Runner` executes one interleaving of a program: it builds a fresh
+machine, attaches the InstantCheck scheme (if any) and the nondeterminism
+controller, drives the trampoline, and returns a :class:`RunRecord` with
+the checkpoint hash sequence that the determinism checker compares across
+runs.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+
+from repro.errors import DeadlockError, ProgramError, SchedulerError
+from repro.sim.allocator import Allocator
+from repro.sim.context import Ctx, Op
+from repro.sim.counters import CostModel, Counters
+from repro.sim.machine import Machine
+from repro.sim.memory import Memory
+from repro.sim.scheduler import RandomScheduler, Scheduler
+from repro.sim.values import MASK64
+
+
+class Program:
+    """Base class for simulated parallel applications.
+
+    Subclasses override :meth:`setup`, :meth:`worker`, and optionally
+    :meth:`teardown`; all three are generator functions using the
+    :class:`~repro.sim.context.Ctx` API.  ``st`` is a plain namespace for
+    Python-side metadata (addresses, sync objects) shared across phases —
+    only the simulated memory is part of the hashed program state.
+    """
+
+    name = "program"
+    #: Optional :class:`~repro.sim.layout.StaticLayout` describing globals;
+    #: workloads set both so SW-InstantCheck_Tr and static ignores can
+    #: resolve addresses to symbols and types.
+    static_layout = None
+    static_types: dict | None = None
+
+    def __init__(self, n_workers: int = 8, static_words: int = 64):
+        self.n_workers = n_workers
+        self.static_words = static_words
+
+    def make_state(self) -> SimpleNamespace:
+        return SimpleNamespace()
+
+    def setup(self, ctx: Ctx, st):
+        yield from ()
+
+    def worker(self, ctx: Ctx, st, wid: int):
+        yield from ()
+
+    def teardown(self, ctx: Ctx, st):
+        yield from ()
+
+
+@dataclass
+class CheckpointRecord:
+    """One determinism check point of one run."""
+
+    index: int
+    label: str
+    raw_hash: int | None  # primary-scheme hash before ignore-deletion
+    hash: int | None      # primary-scheme hash after deleting ignored structures
+    state_words: int      # full-sweep size at this point (overhead model)
+    #: Per scheme variant: name -> (raw_hash, adjusted_hash).  Lets one
+    #: run be judged under several hash configurations at once (e.g.
+    #: bit-by-bit and FP-rounded), as the Table 1 ladder needs.
+    variants: dict = field(default_factory=dict)
+    snapshot: dict | None = None        # full state, when requested
+    blocks: list | None = None          # live allocation table, with snapshot
+
+
+@dataclass
+class RunRecord:
+    """Everything the checker needs from one run."""
+
+    program: str
+    seed: int
+    checkpoints: list = field(default_factory=list)
+    output_hashes: dict = field(default_factory=dict)
+    instructions: dict = field(default_factory=dict)
+    events: dict = field(default_factory=dict)
+    final_snapshot: dict | None = None
+
+    @property
+    def structure(self) -> tuple:
+        """Checkpoint labels, used to align checkpoints across runs."""
+        return tuple(c.label for c in self.checkpoints)
+
+    def hashes(self) -> tuple:
+        return tuple(c.hash for c in self.checkpoints)
+
+    def raw_hashes(self) -> tuple:
+        return tuple(c.raw_hash for c in self.checkpoints)
+
+    def variant_hashes(self, name: str, adjusted: bool = True) -> tuple:
+        """Checkpoint hashes under one scheme variant."""
+        idx = 1 if adjusted else 0
+        return tuple(c.variants[name][idx] for c in self.checkpoints)
+
+
+class NativeServices:
+    """Default runtime services: no InstantCheck control at all.
+
+    malloc returns garbage-filled memory at schedule-dependent addresses,
+    ``rand`` draws from one *shared* hidden-state generator (so values
+    depend on the global call interleaving), ``gettimeofday`` reflects
+    execution progress, and output is discarded unhashed.  This is the
+    "Native" configuration of Figure 6 and the uncontrolled baseline the
+    checker's controlled runs are contrasted with.
+    """
+
+    zero_fill = False
+
+    def begin_run(self, runner, seed: int) -> None:
+        self._rand_state = random.Random(seed ^ 0x5EED)
+
+    def end_run(self, runner) -> None:
+        pass
+
+    def do_malloc(self, runner, tid: int, nwords: int, site: str, typeinfo):
+        return runner.allocator.malloc(tid, nwords, site=site, typeinfo=typeinfo,
+                                       zeroed=False)
+
+    def do_free(self, runner, tid: int, base: int) -> None:
+        block = runner.allocator.block_of(base)
+        if block is None or block.base != base:
+            from repro.errors import AllocationError
+
+            raise AllocationError(f"free of non-block address {base:#x}")
+        old_values = [runner.memory.load(a) for a in block.addresses()]
+        runner.allocator.free(base)
+        runner.machine.free_block(tid, block, old_values)
+        runner.counters.note("freed_words", block.nwords)
+
+    def do_rand(self, runner, tid: int) -> int:
+        return self._rand_state.randrange(1 << 31)
+
+    def do_time(self, runner, tid: int) -> int:
+        return runner.step_count
+
+    def do_write(self, runner, tid: int, fd: int, data: tuple) -> None:
+        pass
+
+    def resolve_ignores(self, allocator) -> list:
+        return []
+
+    def output_hashes(self) -> dict:
+        return {}
+
+
+class _Status(enum.Enum):
+    READY = "ready"
+    PARKED = "parked"
+    DONE = "done"
+
+
+class _Thread:
+    __slots__ = ("tid", "gen", "pending", "status", "deliver", "resume_value",
+                 "waiting_on")
+
+    def __init__(self, tid: int, gen):
+        self.tid = tid
+        self.gen = gen
+        self.pending: Op | None = None
+        self.status = _Status.READY
+        self.deliver = False
+        self.resume_value = None
+        self.waiting_on = None
+
+
+class Runner:
+    """Executes one interleaving of a :class:`Program`."""
+
+    def __init__(self, program: Program, *, scheme_factory=None, control=None,
+                 scheduler: Scheduler | None = None, n_cores: int = 8,
+                 cost_model: CostModel | None = None, snapshot_at: int | None = None,
+                 keep_final_snapshot: bool = False, migrate_prob: float = 0.0,
+                 max_steps: int = 20_000_000, tracer=None,
+                 machine_hook=None):
+        self.program = program
+        self.scheme_factory = scheme_factory
+        self.control = control if control is not None else NativeServices()
+        self.scheduler = scheduler if scheduler is not None else RandomScheduler()
+        self.n_cores = n_cores
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.snapshot_at = snapshot_at
+        self.keep_final_snapshot = keep_final_snapshot
+        self.migrate_prob = migrate_prob
+        self.max_steps = max_steps
+        #: Optional :class:`~repro.sim.trace.HbTracer`-like observer that
+        #: sees every executed op (for HB signatures and race detection).
+        self.tracer = tracer
+        #: Optional callable invoked with each run's fresh machine right
+        #: after construction (e.g. to attach L1 cache models).
+        self.machine_hook = machine_hook
+
+        # Per-run state, rebuilt by run(); exposed for inspection in tests.
+        self.memory: Memory | None = None
+        self.machine: Machine | None = None
+        self.allocator: Allocator | None = None
+        self.counters: Counters | None = None
+        self.scheme = None
+        self.schemes: dict = {}
+        self.step_count = 0
+        self.checkpoints: list[CheckpointRecord] = []
+
+    # -- top level -------------------------------------------------------------------
+
+    def run(self, seed: int) -> RunRecord:
+        """Execute one full run under schedule *seed* and record it."""
+        self.memory = Memory(self.program.static_words, entropy=seed)
+        self.counters = Counters(self.cost_model)
+        self.machine = Machine(self.memory, self.n_cores, self.counters,
+                               migrate_prob=self.migrate_prob,
+                               migrate_rng=random.Random(seed ^ 0xC0DE))
+        self.allocator = Allocator(self.memory)
+        if self.machine_hook is not None:
+            self.machine_hook(self.machine)
+        self.scheduler.begin_run(seed)
+        self.control.begin_run(self, seed)
+        # ``scheme_factory`` is one factory or a {name: factory} mapping;
+        # every scheme observes the same run and hashes it its own way.
+        self.schemes = {}
+        if self.scheme_factory is not None:
+            factories = self.scheme_factory
+            if callable(factories):
+                factories = {"main": factories}
+            for name, factory in factories.items():
+                self.schemes[name] = factory(self)
+        self.scheme = next(iter(self.schemes.values()), None)
+        self.step_count = 0
+        self.checkpoints = []
+
+        st = self.program.make_state()
+        main_ctx = Ctx(self, 0)
+
+        # Phase 1: main thread sets up the (fixed) input state.
+        self._run_phase({0: _Thread(0, self.program.setup(main_ctx, st))})
+
+        # Phase 2: worker threads under the scheduler.
+        workers = {}
+        for wid in range(self.program.n_workers):
+            tid = wid + 1
+            ctx = Ctx(self, tid)
+            workers[tid] = _Thread(tid, self.program.worker(ctx, st, wid))
+        if self.tracer is not None:
+            # pthread_create: spawned workers inherit main's past.
+            self.tracer.on_fork(0, list(workers))
+        self._run_phase(workers)
+        if self.tracer is not None:
+            # pthread_join: main resumes after every worker.
+            self.tracer.on_join(0, list(workers))
+
+        # Phase 3: main thread tears down (reductions, output).
+        self._run_phase({0: _Thread(0, self.program.teardown(main_ctx, st))})
+
+        self._take_checkpoint("end")
+        self.control.end_run(self)
+
+        record = RunRecord(
+            program=self.program.name,
+            seed=seed,
+            checkpoints=list(self.checkpoints),
+            output_hashes=dict(self.control.output_hashes()),
+            instructions=dict(self.counters.instructions),
+            events=dict(self.counters.events),
+        )
+        if self.keep_final_snapshot:
+            record.final_snapshot = self.memory.snapshot()
+        return record
+
+    # -- trampoline -------------------------------------------------------------------
+
+    def _run_phase(self, threads: dict) -> None:
+        for thread in threads.values():
+            self._advance(thread, None)  # prime to the first op
+        self._threads = threads
+        current: int | None = None
+        at_switch = True
+        while True:
+            runnable = sorted(
+                t.tid for t in threads.values() if self._runnable(t))
+            if not runnable:
+                if all(t.status is _Status.DONE for t in threads.values()):
+                    return
+                states = {t.tid: (t.status.value, t.waiting_on) for t in
+                          threads.values() if t.status is not _Status.DONE}
+                raise DeadlockError(f"deadlock; blocked threads: {states}")
+            tid = self.scheduler.pick(runnable, current, at_switch)
+            if tid not in runnable:
+                raise SchedulerError(f"scheduler picked non-runnable tid {tid}")
+            thread = threads[tid]
+            self.machine.schedule_thread(tid)
+            op_kind = self._step(thread)
+            at_switch = self.scheduler.is_switch_point(op_kind)
+            current = tid
+            self.step_count += 1
+            if self.step_count > self.max_steps:
+                raise SchedulerError(
+                    f"run exceeded {self.max_steps} steps (livelock?)")
+
+    def _runnable(self, thread: _Thread) -> bool:
+        if thread.status is not _Status.READY:
+            return False
+        if thread.deliver:
+            return True
+        op = thread.pending
+        if op is None:
+            return False
+        if op.kind == "lock":
+            return not op.args[0].held
+        return True
+
+    def _step(self, thread: _Thread) -> str | None:
+        """Advance one thread by one scheduling step; returns the op kind."""
+        if thread.deliver:
+            value, thread.deliver, thread.resume_value = (
+                thread.resume_value, False, None)
+            self._advance(thread, value)
+            return None
+        op = thread.pending
+        thread.pending = None
+        result = self._exec(thread, op)
+        if thread.status is _Status.READY and not thread.deliver:
+            self._advance(thread, result)
+        return op.kind
+
+    def _advance(self, thread: _Thread, value) -> None:
+        try:
+            thread.pending = thread.gen.send(value)
+        except StopIteration:
+            thread.pending = None
+            thread.status = _Status.DONE
+
+    def _wake(self, tid: int, value=None) -> None:
+        thread = self._threads[tid]
+        thread.status = _Status.READY
+        thread.deliver = True
+        thread.resume_value = value
+        thread.waiting_on = None
+
+    # -- op execution -------------------------------------------------------------------
+
+    def _exec(self, thread: _Thread, op: Op):
+        kind = op.kind
+        args = op.args
+        tid = thread.tid
+        if self.tracer is not None:
+            self.tracer.on_op(tid, kind, args)
+
+        if kind == "load":
+            self.counters.note("loads")
+            return self.machine.load(tid, args[0])
+        if kind == "store":
+            address, value, is_fp, captured_old = args
+            self.counters.note("stores")
+            if is_fp:
+                self.counters.note("fp_stores")
+            self.machine.store(tid, address, value, is_fp=is_fp,
+                               captured_old=captured_old)
+            return None
+        if kind == "read_old":
+            # SW-InstantCheck_Inc's instrumentation read; its cost belongs
+            # to the overhead model, not the native instruction count.
+            return self.memory.load(args[0])
+        if kind == "compute":
+            self.counters.charge("compute", args[0])
+            return None
+        if kind == "malloc":
+            nwords, site, typeinfo = args
+            self.counters.charge("alloc")
+            self.counters.note("allocs")
+            self.counters.note("alloc_words", nwords)
+            return self.control.do_malloc(self, tid, nwords, site, typeinfo)
+        if kind == "free":
+            self.counters.charge("alloc")
+            self.counters.note("frees")
+            self.control.do_free(self, tid, args[0])
+            return None
+        if kind == "lock":
+            self.counters.charge("sync")
+            args[0].acquire(tid)
+            return None
+        if kind == "unlock":
+            self.counters.charge("sync")
+            args[0].release(tid)
+            return None
+        if kind == "barrier":
+            self.counters.charge("sync")
+            return self._exec_barrier(thread, args[0])
+        if kind == "cond_wait":
+            self.counters.charge("sync")
+            cond, lk = args
+            lk.release(tid)
+            cond.add_waiter(tid)
+            thread.status = _Status.PARKED
+            thread.waiting_on = cond
+            return None
+        if kind == "cond_signal":
+            self.counters.charge("sync")
+            woken = args[0].take_one()
+            if woken is not None:
+                self._wake(woken)
+            return None
+        if kind == "cond_broadcast":
+            self.counters.charge("sync")
+            for woken in args[0].take_all():
+                self._wake(woken)
+            return None
+        if kind == "yield":
+            return None
+        if kind == "checkpoint":
+            self.counters.charge("sync")
+            self._take_checkpoint(args[0])
+            return None
+        if kind == "rand":
+            self.counters.charge("libcall")
+            self.counters.note("libcalls")
+            return self.control.do_rand(self, tid)
+        if kind == "time":
+            self.counters.charge("libcall")
+            self.counters.note("libcalls")
+            return self.control.do_time(self, tid)
+        if kind == "write_out":
+            fd, data = args
+            self.counters.charge("output", len(data))
+            self.counters.note("output_words", len(data))
+            self.control.do_write(self, tid, fd, data)
+            return None
+        if kind == "isa":
+            name, isa_args = args
+            if self.scheme is None:
+                return None
+            core = self.machine.core_of(tid)
+            return self.scheme.isa_exec(name, core, *isa_args)
+        raise ProgramError(f"unknown op kind {kind!r}")
+
+    def _exec_barrier(self, thread: _Thread, barrier) -> None:
+        if barrier.arrive(thread.tid):
+            # Everyone is parked at the barrier: the state is quiescent,
+            # which is exactly when InstantCheck reads the hash.
+            if barrier.checkpoint:
+                self._take_checkpoint(f"{barrier.name}#{barrier.generation}")
+            for rtid in barrier.complete():
+                if rtid != thread.tid:
+                    self._wake(rtid)
+            return None
+        thread.status = _Status.PARKED
+        thread.waiting_on = barrier
+        return None
+
+    # -- checkpoints -------------------------------------------------------------------
+
+    def _take_checkpoint(self, label: str) -> None:
+        index = len(self.checkpoints)
+        state_words = self.memory.state_words()
+        raw = adjusted = None
+        variants: dict = {}
+        if self.schemes:
+            ignored = self.control.resolve_ignores(self.allocator)
+            for name, scheme in self.schemes.items():
+                r = scheme.state_hash()
+                a = r
+                if ignored:
+                    total = 0
+                    for address, is_fp in ignored:
+                        total = (total + scheme.location_term(address, is_fp)) & MASK64
+                    a = (r - total) & MASK64
+                variants[name] = (r, a)
+            if ignored:
+                self.counters.charge("ignore_unhash", len(ignored))
+                self.counters.note("ignored_words", len(ignored))
+            raw, adjusted = next(iter(variants.values()))
+        record = CheckpointRecord(index=index, label=label, raw_hash=raw,
+                                  hash=adjusted, state_words=state_words,
+                                  variants=variants)
+        if self.snapshot_at is not None and index == self.snapshot_at:
+            record.snapshot = self.memory.snapshot()
+            record.blocks = self.allocator.live_blocks()
+        self.checkpoints.append(record)
+        self.counters.note("checkpoints")
+        self.counters.note("checkpoint_words", state_words)

@@ -1,0 +1,101 @@
+"""Synchronization objects for the simulated pthread-like runtime.
+
+These are passive state holders; the runtime in :mod:`repro.sim.program`
+interprets the blocking semantics.  Barriers are the interesting one for
+InstantCheck: every barrier release is a *determinism checkpoint* —
+"barriers are natural and intuitive points for a deterministic program to
+be in a deterministic state" (Section 2.3) — and when the last thread
+arrives, all participants are parked, so the memory state is quiescent
+exactly when the hash is read.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+
+
+class Lock:
+    """A mutex.  ``holder`` is the owning tid or None."""
+
+    def __init__(self, name: str = "lock"):
+        self.name = name
+        self.holder: int | None = None
+        self.waiters: set[int] = set()
+
+    @property
+    def held(self) -> bool:
+        return self.holder is not None
+
+    def acquire(self, tid: int) -> None:
+        if self.holder is not None:
+            raise ProgramError(f"{self.name}: acquire while held by {self.holder}")
+        self.holder = tid
+
+    def release(self, tid: int) -> None:
+        if self.holder != tid:
+            raise ProgramError(
+                f"{self.name}: release by {tid} but held by {self.holder}")
+        self.holder = None
+
+    def __repr__(self):
+        return f"Lock({self.name}, holder={self.holder})"
+
+
+class Barrier:
+    """A pthread-style cyclic barrier over ``parties`` threads.
+
+    The runtime fires a determinism checkpoint each time a *generation*
+    completes.  ``generation`` counts completions, giving each dynamic
+    barrier instance a stable label that aligns across runs.
+    """
+
+    def __init__(self, parties: int, name: str = "barrier", checkpoint: bool = True):
+        if parties <= 0:
+            raise ProgramError("barrier must have at least one party")
+        self.parties = parties
+        self.name = name
+        self.checkpoint = checkpoint
+        self.arrived: set[int] = set()
+        self.generation = 0
+
+    def arrive(self, tid: int) -> bool:
+        """Register arrival; returns True if this completes the generation."""
+        if tid in self.arrived:
+            raise ProgramError(f"{self.name}: thread {tid} arrived twice")
+        self.arrived.add(tid)
+        return len(self.arrived) == self.parties
+
+    def complete(self) -> list[int]:
+        """Finish the generation; returns the tids to release."""
+        released = sorted(self.arrived)
+        self.arrived.clear()
+        self.generation += 1
+        return released
+
+    def __repr__(self):
+        return (f"Barrier({self.name}, {len(self.arrived)}/{self.parties}, "
+                f"gen={self.generation})")
+
+
+class CondVar:
+    """A condition variable used with an external :class:`Lock`."""
+
+    def __init__(self, name: str = "cond"):
+        self.name = name
+        self.waiters: list[int] = []
+
+    def add_waiter(self, tid: int) -> None:
+        self.waiters.append(tid)
+
+    def take_one(self) -> int | None:
+        """Pop the longest-waiting tid (FIFO), or None."""
+        if self.waiters:
+            return self.waiters.pop(0)
+        return None
+
+    def take_all(self) -> list[int]:
+        woken, self.waiters = self.waiters, []
+        return woken
+
+    def __repr__(self):
+        return f"CondVar({self.name}, waiters={self.waiters})"

@@ -1,0 +1,192 @@
+"""Execution tracing: happens-before, race detection, sync signatures.
+
+Two of the paper's Section 6 applications need to look *inside* an
+execution rather than only at its final hashes:
+
+* systematic testing (Section 6.2) compares InstantCheck's state-hash
+  pruning against CHESS's happens-before pruning, so we must decide when
+  two interleavings are happens-before equivalent.  Per Mazurkiewicz
+  trace theory, two serialized executions of the same program are
+  HB-equivalent iff every synchronization object saw the same sequence
+  of (operation, thread) pairs — the :meth:`HbTracer.sync_signature`.
+
+* benign-race filtering (Section 6.1) needs to *find* the races first.
+  :class:`HbTracer` runs a small vector-clock detector (FastTrack-style,
+  simplified): each thread carries a vector clock, lock releases publish
+  the holder's clock into the lock, acquires join it back, barriers join
+  all participants; two conflicting accesses to the same address race if
+  neither's clock dominates the other's at access time.
+
+The tracer attaches to a :class:`~repro.sim.program.Runner` via its
+``tracer`` parameter and observes every executed operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def vc_join(a: dict, b: dict) -> dict:
+    """Pointwise maximum of two vector clocks."""
+    out = dict(a)
+    for tid, clock in b.items():
+        if out.get(tid, 0) < clock:
+            out[tid] = clock
+    return out
+
+
+def vc_leq(a: dict, b: dict) -> bool:
+    """True iff clock *a* happens-before-or-equals *b* (a <= b pointwise)."""
+    return all(b.get(tid, 0) >= clock for tid, clock in a.items())
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One data race: two unordered conflicting accesses."""
+
+    address: int
+    first_tid: int
+    second_tid: int
+    kinds: tuple  # e.g. ("write", "write") or ("write", "read")
+
+    def is_write_write(self) -> bool:
+        return self.kinds == ("write", "write")
+
+
+class HbTracer:
+    """Vector-clock happens-before tracker and race detector."""
+
+    def __init__(self, detect_races: bool = True):
+        self.detect_races = detect_races
+        self._clocks: dict[int, dict] = {}
+        self._lock_clocks: dict[str, dict] = {}
+        self._barrier_arrivals: dict[tuple, list] = {}
+        #: Per-sync-object (op, tid) sequences: the HB signature.
+        self._sync_seq: dict[str, list] = {}
+        #: Per-address access metadata for race detection.
+        self._last_write: dict[int, tuple] = {}   # addr -> (tid, vc)
+        self._last_reads: dict[int, list] = {}    # addr -> [(tid, vc)]
+        self.races: list[RaceReport] = []
+        self._race_keys: set = set()
+
+    # -- clock bookkeeping ----------------------------------------------------------
+
+    def _clock(self, tid: int) -> dict:
+        clock = self._clocks.get(tid)
+        if clock is None:
+            clock = self._clocks[tid] = {tid: 0}
+        return clock
+
+    def _tick(self, tid: int) -> dict:
+        clock = self._clock(tid)
+        clock[tid] = clock.get(tid, 0) + 1
+        return clock
+
+    # -- runner hook ------------------------------------------------------------------
+
+    def on_op(self, tid: int, kind: str, args: tuple) -> None:
+        """Called by the runner after executing each operation."""
+        if kind in ("load", "store"):
+            if self.detect_races:
+                address = args[0]
+                self._on_access(tid, address, is_write=(kind == "store"))
+            return
+        if kind == "lock":
+            lock = args[0]
+            self._note_sync(lock.name, kind, tid)
+            self._clocks[tid] = vc_join(
+                self._tick(tid), self._lock_clocks.get(lock.name, {}))
+        elif kind == "unlock":
+            lock = args[0]
+            self._note_sync(lock.name, kind, tid)
+            self._lock_clocks[lock.name] = dict(self._tick(tid))
+        elif kind == "barrier":
+            barrier = args[0]
+            self._note_sync(barrier.name, kind, tid)
+            self._on_barrier(tid, barrier)
+        elif kind in ("cond_signal", "cond_broadcast"):
+            cond = args[0]
+            self._note_sync(cond.name, kind, tid)
+            self._lock_clocks[cond.name] = vc_join(
+                self._lock_clocks.get(cond.name, {}), self._tick(tid))
+        elif kind == "cond_wait":
+            cond = args[0]
+            self._note_sync(cond.name, kind, tid)
+            self._clocks[tid] = vc_join(
+                self._tick(tid), self._lock_clocks.get(cond.name, {}))
+
+    def on_fork(self, parent_tid: int, child_tids) -> None:
+        """pthread_create edges: children start after the parent's past."""
+        parent = self._tick(parent_tid)
+        for child in child_tids:
+            self._clocks[child] = vc_join(self._clock(child), parent)
+
+    def on_join(self, parent_tid: int, child_tids) -> None:
+        """pthread_join edges: the parent resumes after all children."""
+        joined = self._clock(parent_tid)
+        for child in child_tids:
+            joined = vc_join(joined, self._clock(child))
+        self._clocks[parent_tid] = joined
+
+    def _note_sync(self, name: str, kind: str, tid: int) -> None:
+        self._sync_seq.setdefault(name, []).append((kind, tid))
+
+    def _on_barrier(self, tid: int, barrier) -> None:
+        key = (barrier.name, barrier.generation)
+        arrivals = self._barrier_arrivals.setdefault(key, [])
+        arrivals.append(tid)
+        self._tick(tid)
+        if len(arrivals) == barrier.parties:
+            # Everyone's clock joins; all participants adopt the join.
+            joined: dict = {}
+            for t in arrivals:
+                joined = vc_join(joined, self._clock(t))
+            for t in arrivals:
+                self._clocks[t] = dict(joined)
+
+    # -- race detection -----------------------------------------------------------------
+
+    def _on_access(self, tid: int, address: int, is_write: bool) -> None:
+        # Each access advances the thread's own epoch, so a conflicting
+        # access by another thread can only be ordered after it through
+        # an intervening synchronization edge.
+        clock = self._tick(tid)
+        last_write = self._last_write.get(address)
+        if last_write is not None:
+            w_tid, w_vc = last_write
+            if w_tid != tid and not vc_leq(w_vc, clock):
+                self._report(address, w_tid, tid,
+                             ("write", "write" if is_write else "read"))
+        if is_write:
+            for r_tid, r_vc in self._last_reads.get(address, ()):
+                if r_tid != tid and not vc_leq(r_vc, clock):
+                    self._report(address, r_tid, tid, ("read", "write"))
+            self._last_write[address] = (tid, dict(clock))
+            self._last_reads[address] = []
+        else:
+            reads = self._last_reads.setdefault(address, [])
+            reads[:] = [(t, vc) for t, vc in reads if t != tid]
+            reads.append((tid, dict(clock)))
+
+    def _report(self, address, first, second, kinds) -> None:
+        key = (address, min(first, second), max(first, second), kinds)
+        if key in self._race_keys:
+            return
+        self._race_keys.add(key)
+        self.races.append(RaceReport(address=address, first_tid=first,
+                                     second_tid=second, kinds=kinds))
+
+    # -- signatures ------------------------------------------------------------------------
+
+    def sync_signature(self) -> tuple:
+        """Canonical happens-before signature of this execution.
+
+        Two executions with equal signatures are HB-equivalent: every
+        sync object saw the same operation sequence, so the partial
+        orders coincide.
+        """
+        return tuple(sorted(
+            (name, tuple(seq)) for name, seq in self._sync_seq.items()))
+
+    def racy_addresses(self) -> set:
+        return {r.address for r in self.races}

@@ -1,0 +1,74 @@
+"""Analogs of the paper's 17 applications (Section 7.1, Table 1).
+
+Each module recreates one application's determinism *mechanism* at a
+scale a simulated machine can run thousands of times; see the module
+docstrings for the mapping.  :data:`REGISTRY` lists the applications in
+Table 1 order; :func:`make` builds one by name with default parameters.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.barnes import Barnes
+from repro.workloads.blackscholes import Blackscholes
+from repro.workloads.canneal import Canneal
+from repro.workloads.cholesky import Cholesky
+from repro.workloads.common import Workload
+from repro.workloads.fft import Fft
+from repro.workloads.fluidanimate import Fluidanimate
+from repro.workloads.lu import Lu
+from repro.workloads.ocean import Ocean
+from repro.workloads.pbzip2 import Pbzip2
+from repro.workloads.radiosity import Radiosity
+from repro.workloads.radix import Radix
+from repro.workloads.seeded_bugs import (SEEDED_BUGS, seeded_program,
+                                         seeded_radix, seeded_waterNS,
+                                         seeded_waterSP)
+from repro.workloads.sphinx3 import Sphinx3
+from repro.workloads.streamcluster import Streamcluster
+from repro.workloads.swaptions import Swaptions
+from repro.workloads.volrend import Volrend
+from repro.workloads.water import WaterNS, WaterSP
+
+#: The 17 applications in Table 1 order (grouped by determinism class).
+REGISTRY: dict = {
+    "blackscholes": Blackscholes,
+    "fft": Fft,
+    "lu": Lu,
+    "radix": Radix,
+    "streamcluster": Streamcluster,
+    "swaptions": Swaptions,
+    "volrend": Volrend,
+    "fluidanimate": Fluidanimate,
+    "ocean": Ocean,
+    "waterNS": WaterNS,
+    "waterSP": WaterSP,
+    "cholesky": Cholesky,
+    "pbzip2": Pbzip2,
+    "sphinx3": Sphinx3,
+    "barnes": Barnes,
+    "canneal": Canneal,
+    "radiosity": Radiosity,
+}
+
+
+def make(name: str, n_workers: int = 8, **kwargs) -> Workload:
+    """Instantiate a Table 1 application analog by name."""
+    try:
+        cls = REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {sorted(REGISTRY)}"
+        ) from None
+    return cls(n_workers=n_workers, **kwargs)
+
+
+def all_names() -> tuple:
+    return tuple(REGISTRY)
+
+
+__all__ = ["REGISTRY", "make", "all_names", "Workload", "Barnes",
+           "Blackscholes", "Canneal", "Cholesky", "Fft", "Fluidanimate",
+           "Lu", "Ocean", "Pbzip2", "Radiosity", "Radix", "Sphinx3",
+           "Streamcluster", "Swaptions", "Volrend", "WaterNS", "WaterSP",
+           "SEEDED_BUGS", "seeded_program", "seeded_radix",
+           "seeded_waterNS", "seeded_waterSP"]

@@ -1,0 +1,129 @@
+"""barnes (SPLASH-2) — nondeterministic.
+
+The N-body tree code "ends up in nondeterministic states with many
+differences" (Table 1, last group: 2 deterministic and 16
+nondeterministic points, not deterministic at the end).  The mechanism:
+threads claim bodies from a shared counter and insert them into a shared
+space-partitioning tree under a lock — the *insertion order* is schedule
+dependent, and tree topology depends on insertion order, so the node
+link structure (and everything computed by walking it) differs from run
+to run.  This is result nondeterminism, not FP noise or an ignorable
+scratch structure; the paper notes such code can be rewritten to be
+deterministic (a Java barnes was, in DPJ), but as written it is not.
+
+The two deterministic points are the body-initialization barriers that
+precede any tree work.
+"""
+
+from __future__ import annotations
+
+from repro.sim.sync import Lock
+from repro.workloads.common import CLASS_NDET, Workload
+
+NODE_WORDS = 3  # [key, left_ptr, right_ptr]
+
+
+class Barnes(Workload):
+    """Shared-tree N-body analog: insertion order shapes the result."""
+
+    name = "barnes"
+    SOURCE = "splash2"
+    HAS_FP = True
+    EXPECTED_CLASS = CLASS_NDET
+
+    def __init__(self, n_workers: int = 8, n_bodies: int = 24,
+                 force_steps: int = 8, inner_sweeps: int = 6):
+        super().__init__(n_workers=n_workers)
+        self.n_bodies = n_bodies
+        self.force_steps = force_steps
+        # Sweeps per barrier: barnes does a lot of writing between its
+        # few barriers, the profile that favors SW-Tr in Figure 6.
+        self.inner_sweeps = inner_sweeps
+
+    def declare_globals(self, layout):
+        self.root = layout.var("tree_root", tag="p")
+        self.next_body = layout.var("next_body")
+
+    def make_state(self):
+        st = super().make_state()
+        st.tree_lock = Lock("barnes.tree")
+        return st
+
+    def setup(self, ctx, st):
+        n = self.n_bodies
+        st.pos = (yield from ctx.malloc_floats(n, site="barnes.c:pos")).base
+        st.acc = (yield from ctx.malloc_floats(n, site="barnes.c:acc")).base
+
+    def worker(self, ctx, st, wid):
+        n = self.n_bodies
+        mine = range(wid, n, self.n_workers)
+
+        # Two deterministic initialization phases (disjoint writes).
+        for i in mine:
+            yield from ctx.store(st.pos + i, float((i * 37) % 101))
+        yield from ctx.barrier_wait(st.barrier)
+        for i in mine:
+            yield from ctx.store(st.acc + i, 0.0)
+        yield from ctx.barrier_wait(st.barrier)
+
+        # Tree build: bodies claimed from a shared counter, inserted
+        # into an unbalanced BST under a lock.  Claim order — and hence
+        # tree shape — is schedule dependent.
+        while True:
+            yield from ctx.lock(st.tree_lock)
+            i = yield from ctx.load(self.next_body)
+            if i < n:
+                yield from ctx.store(self.next_body, i + 1)
+            yield from ctx.unlock(st.tree_lock)
+            if i >= n:
+                break
+            key = int((yield from ctx.load(st.pos + i)))
+            node = (yield from ctx.malloc(NODE_WORDS, site="barnes.c:cell",
+                                          typeinfo="ipp")).base
+            yield from ctx.store(node + 0, key)
+            yield from self._tree_insert(ctx, st, node, key)
+        yield from ctx.barrier_wait(st.barrier)
+
+        # Force steps: walk the (nondeterministic) tree; every
+        # subsequent barrier sees nondeterministic node links.
+        for step in range(self.force_steps):
+            for sweep in range(self.inner_sweeps):
+                for i in mine:
+                    depth = yield from self._tree_depth_of(ctx, st, i)
+                    a = yield from ctx.load(st.acc + i)
+                    yield from ctx.compute(10)
+                    yield from ctx.store(
+                        st.acc + i,
+                        float(a) + 0.01 * depth * (step + sweep + 1))
+            yield from ctx.barrier_wait(st.barrier)
+
+    def _tree_insert(self, ctx, st, node, key):
+        yield from ctx.lock(st.tree_lock)
+        parent = yield from ctx.load(self.root)
+        if parent == 0:
+            yield from ctx.store(self.root, node)
+            yield from ctx.unlock(st.tree_lock)
+            return
+        while True:
+            parent_key = yield from ctx.load(parent + 0)
+            side = 1 if key < parent_key else 2
+            child = yield from ctx.load(parent + side)
+            if child == 0:
+                yield from ctx.store(parent + side, node)
+                break
+            parent = child
+        yield from ctx.unlock(st.tree_lock)
+
+    def _tree_depth_of(self, ctx, st, i):
+        """Depth at which body i's key sits in the shared tree."""
+        key = int((yield from ctx.load(st.pos + i)))
+        node = yield from ctx.load(self.root)
+        depth = 0
+        while node != 0:
+            node_key = yield from ctx.load(node + 0)
+            if node_key == key:
+                break
+            side = 1 if key < node_key else 2
+            node = yield from ctx.load(node + side)
+            depth += 1
+        return depth

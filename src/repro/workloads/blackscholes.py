@@ -1,0 +1,72 @@
+"""blackscholes (PARSEC) — bit-by-bit deterministic.
+
+Each thread prices a disjoint slice of an option portfolio with a
+closed-form Black–Scholes approximation, repeated over several simulation
+passes.  There is plenty of floating point, but no FP value is ever
+accumulated across threads: every result word is written by exactly one
+thread with inputs independent of the interleaving, so the application is
+bit-by-bit deterministic (Table 1, first group; "the parallelism does not
+trigger FP non-associative operations").
+
+Checkpoints: one per simulation pass (the paper checks blackscholes "at
+the end of a loop iteration in a simulation pass" — 101 points at its
+scale) plus the end of the run.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.common import CLASS_BIT, Workload
+
+
+def _norm_cdf(x: float) -> float:
+    """Abramowitz–Stegun style approximation of the standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def _price(spot: float, strike: float, rate: float, vol: float, t: float) -> float:
+    d1 = ((math.log(spot / strike) + (rate + vol * vol / 2.0) * t)
+          / (vol * math.sqrt(t)))
+    d2 = d1 - vol * math.sqrt(t)
+    return spot * _norm_cdf(d1) - strike * math.exp(-rate * t) * _norm_cdf(d2)
+
+
+class Blackscholes(Workload):
+    """Portfolio pricing over disjoint slices; FP without sharing."""
+
+    name = "blackscholes"
+    SOURCE = "parsec"
+    HAS_FP = True
+    EXPECTED_CLASS = CLASS_BIT
+
+    def __init__(self, n_workers: int = 8, n_options: int = 64,
+                 passes: int = 10):
+        super().__init__(n_workers=n_workers)
+        self.n_options = n_options
+        self.passes = passes
+
+    def setup(self, ctx, st):
+        st.spots = (yield from ctx.malloc_floats(self.n_options,
+                                                 site="bs.c:init_spots")).base
+        st.strikes = (yield from ctx.malloc_floats(self.n_options,
+                                                   site="bs.c:init_strikes")).base
+        st.prices = (yield from ctx.malloc_floats(self.n_options,
+                                                  site="bs.c:prices")).base
+        for i in range(self.n_options):
+            yield from ctx.store(st.spots + i, 90.0 + (i * 7) % 40)
+            yield from ctx.store(st.strikes + i, 95.0 + (i * 3) % 30)
+
+    def worker(self, ctx, st, wid):
+        per = self.n_options // self.n_workers
+        lo = wid * per
+        hi = self.n_options if wid == self.n_workers - 1 else lo + per
+        for p in range(self.passes):
+            t = 0.5 + 0.1 * p
+            for i in range(lo, hi):
+                spot = yield from ctx.load(st.spots + i)
+                strike = yield from ctx.load(st.strikes + i)
+                yield from ctx.compute(60)  # the closed-form FP pipeline
+                price = _price(float(spot), float(strike), 0.02, 0.3, t)
+                yield from ctx.store(st.prices + i, price)
+            yield from ctx.barrier_wait(st.barrier)

@@ -1,0 +1,58 @@
+"""canneal (PARSEC) — nondeterministic (lock-free racy annealing).
+
+canneal's simulated-annealing kernel is the paper's example of a *truly
+nondeterministic algorithm*: threads swap netlist elements using racy,
+lock-free reads and writes, and the final placement depends on how the
+swaps interleave.  Table 1 reports 0 deterministic and 64
+nondeterministic points and a nondeterministic end state.
+
+Each worker draws its swap candidates from its own :class:`LocalRng`
+(so the *choices* are input, not schedule), but the swap itself reads
+two slots and writes them back unsynchronized — concurrent swaps
+overlap and the outcome is schedule-dependent from the very first
+barrier on.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import CLASS_NDET, LocalRng, Workload
+
+
+class Canneal(Workload):
+    """Racy element swaps over a shared netlist."""
+
+    name = "canneal"
+    SOURCE = "parsec"
+    HAS_FP = False
+    EXPECTED_CLASS = CLASS_NDET
+
+    def __init__(self, n_workers: int = 8, n_elements: int = 32,
+                 rounds: int = 16, swaps_per_round: int = 6):
+        super().__init__(n_workers=n_workers)
+        self.n_elements = n_elements
+        self.rounds = rounds
+        self.swaps_per_round = swaps_per_round
+
+    def setup(self, ctx, st):
+        n = self.n_elements
+        st.netlist = (yield from ctx.malloc(n, site="canneal.c:netlist")).base
+        for i in range(n):
+            yield from ctx.store(st.netlist + i, (i * 11 + 3) % n)
+
+    def worker(self, ctx, st, wid):
+        rng = LocalRng(7000 + wid)
+        n = self.n_elements
+        for _ in range(self.rounds):
+            for _ in range(self.swaps_per_round):
+                i = rng.next_int(n)
+                j = rng.next_int(n)
+                # The racy swap: no lock, and a yield between the reads
+                # and the writes widens the race window the way real
+                # lock-free canneal's memory accesses interleave.
+                a = yield from ctx.load(st.netlist + i)
+                b = yield from ctx.load(st.netlist + j)
+                yield from ctx.sched_yield()
+                yield from ctx.compute(8)  # routing-cost delta estimate
+                yield from ctx.store(st.netlist + i, b)
+                yield from ctx.store(st.netlist + j, a)
+            yield from ctx.barrier_wait(st.barrier)

@@ -1,0 +1,163 @@
+"""cholesky (SPLASH-2) — deterministic after isolating small structures.
+
+The paper finds three nondeterminism sources in cholesky: FP precision
+limitations, a nondeterministic *custom memory allocator*, and one
+nondeterministic data structure — ``freeTask``, a per-thread singly
+linked list of free task nodes whose link order and length differ from
+run to run ("from the programmer's functional view, the nodes are free
+and their values do not matter").
+
+The analog:
+
+* columns are factored by tasks drawn from a shared queue (whoever asks
+  next gets the next task); the numeric result of each task depends only
+  on the task id, so the columns stay deterministic modulo FP rounding;
+* after processing, each worker pushes its task node onto *its own*
+  ``freeTask`` list — which tasks a worker processed is schedule
+  dependent, so list membership, order, and the nodes' stale payloads
+  differ bit-by-bit even after FP rounding;
+* each task uses a scratch block from an application-specific allocator.
+  With ``custom_alloc=True`` (the original code) scratch blocks are
+  recycled through a shared in-memory LIFO stack, so *which address* a
+  task's scratch landed at depends on the interleaving — nondeterminism
+  that malloc replay cannot remove because it lives above malloc.
+  ``custom_alloc=False`` is the paper's fix ("we simply call malloc from
+  inside the custom allocator"): scratch comes straight from (replayed)
+  malloc and is freed, leaving no trace in the final state.
+
+``SUGGESTED_IGNORES`` deletes the task nodes and the ``freeTask`` heads
+from the hash; with the custom allocator bypassed, the remaining state is
+deterministic under FP rounding — Table 1's third group (4 checking
+points: 3 barriers + the end of the run).
+"""
+
+from __future__ import annotations
+
+from repro.core.control.ignore import ignore_site, ignore_static
+from repro.sim.sync import Lock
+from repro.workloads.common import (CLASS_SMALL_STRUCT, Workload,
+                                    locked_fp_add, spread_magnitude)
+
+NODE_WORDS = 4  # [next_ptr, task_id, scratch0, scratch1]
+SCRATCH_WORDS = 3
+
+
+class Cholesky(Workload):
+    """Task-queue column factorization with recycled task nodes."""
+
+    name = "cholesky"
+    SOURCE = "splash2"
+    HAS_FP = True
+    EXPECTED_CLASS = CLASS_SMALL_STRUCT
+    SUGGESTED_IGNORES = (ignore_site("chol.c:tasknode"),
+                         ignore_static("freeTask"))
+
+    def __init__(self, n_workers: int = 8, n_columns: int = 16,
+                 column_words: int = 6, custom_alloc: bool = False):
+        self._n_workers_hint = n_workers  # read by declare_globals
+        super().__init__(n_workers=n_workers)
+        self.n_columns = n_columns
+        self.column_words = column_words
+        self.custom_alloc = custom_alloc
+
+    def declare_globals(self, layout):
+        self.freeTask = layout.array("freeTask", self._n_workers_hint, tag="p")
+        self.next_task = layout.var("next_task")
+        self.norm = layout.var("norm", tag="f")
+        # The custom allocator's shared free stack: count + slots.
+        self.stack_count = layout.var("stack_count")
+        self.stack_slots = layout.array("stack_slots", 64, tag="p")
+
+    def make_state(self):
+        st = super().make_state()
+        st.alloc_lock = Lock("chol.alloc")
+        st.queue_lock = Lock("chol.queue")
+        return st
+
+    def setup(self, ctx, st):
+        n = self.n_columns * self.column_words
+        st.columns = (yield from ctx.malloc_floats(n, site="chol.c:columns")).base
+        for i in range(n):
+            yield from ctx.store(st.columns + i, 1.0 + 0.21 * ((i * 5) % 17))
+
+    # -- the application-specific scratch allocator ---------------------------------
+
+    def _scratch_get(self, ctx, st):
+        if self.custom_alloc:
+            yield from ctx.lock(st.alloc_lock)
+            count = yield from ctx.load(self.stack_count)
+            if count > 0:
+                base = yield from ctx.load(self.stack_slots + count - 1)
+                yield from ctx.store(self.stack_count, count - 1)
+                yield from ctx.unlock(st.alloc_lock)
+                return base
+            yield from ctx.unlock(st.alloc_lock)
+        block = yield from ctx.malloc(SCRATCH_WORDS, site="chol.c:scratch")
+        return block.base
+
+    def _scratch_put(self, ctx, st, base):
+        if self.custom_alloc:
+            # Recycle through the shared stack: the block stays mapped,
+            # its stale contents stay in the state, and which task gets
+            # it next depends on the interleaving.
+            yield from ctx.lock(st.alloc_lock)
+            count = yield from ctx.load(self.stack_count)
+            yield from ctx.store(self.stack_slots + count, base)
+            yield from ctx.store(self.stack_count, count + 1)
+            yield from ctx.unlock(st.alloc_lock)
+        else:
+            yield from ctx.free(base)
+
+    # -- the worker ----------------------------------------------------------------------
+
+    def worker(self, ctx, st, wid):
+        cw = self.column_words
+
+        # Phase 1: scale my columns (disjoint, deterministic).
+        for c in range(wid, self.n_columns, self.n_workers):
+            for k in range(cw):
+                v = yield from ctx.load(st.columns + c * cw + k)
+                yield from ctx.store(st.columns + c * cw + k, float(v) * 0.5)
+        yield from ctx.barrier_wait(st.barrier)
+
+        # Phase 2: factor columns task by task.
+        while True:
+            yield from ctx.lock(st.queue_lock)
+            task = yield from ctx.load(self.next_task)
+            if task < self.n_columns:
+                yield from ctx.store(self.next_task, task + 1)
+            yield from ctx.unlock(st.queue_lock)
+            if task >= self.n_columns:
+                break
+
+            scratch = yield from self._scratch_get(ctx, st)
+            for k in range(SCRATCH_WORDS):
+                yield from ctx.store(scratch + k, task * 7 + k)
+
+            node = (yield from ctx.malloc(NODE_WORDS, site="chol.c:tasknode",
+                                          typeinfo="piii")).base
+            yield from ctx.store(node + 1, task)
+            yield from ctx.store(node + 2, task * 3 + 1)
+
+            for k in range(cw):
+                v = yield from ctx.load(st.columns + task * cw + k)
+                yield from ctx.compute(9)
+                yield from ctx.store(st.columns + task * cw + k,
+                                     float(v) * float(v) * 0.125 + 0.5 * float(v))
+
+            yield from self._scratch_put(ctx, st, scratch)
+
+            # Retire the node onto MY freeTask list (the paper's
+            # nondeterministic structure: membership and order vary).
+            head = yield from ctx.load(self.freeTask + wid)
+            yield from ctx.store(node + 0, head)
+            yield from ctx.store(self.freeTask + wid, node)
+        yield from ctx.barrier_wait(st.barrier)
+
+        # Phase 3: reduce a norm across threads (FP-order noise only).
+        acc = 0.0
+        for c in range(wid, self.n_columns, self.n_workers):
+            v = yield from ctx.load(st.columns + c * cw)
+            acc += float(v) * spread_magnitude(wid, self.n_workers)
+        yield from locked_fp_add(ctx, st.lock, self.norm, acc)
+        yield from ctx.barrier_wait(st.barrier)

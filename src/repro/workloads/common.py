@@ -1,0 +1,128 @@
+"""Shared infrastructure for the 17 workload analogs.
+
+Each workload is a scaled-down analog of one application from Table 1:
+it recreates the *mechanism* that puts the application in its determinism
+class — disjoint parallel writes (bit-by-bit deterministic), order-varying
+FP accumulation (deterministic after rounding), schedule-dependent
+auxiliary structures (deterministic after ignoring them), or genuinely
+interleaving-dependent algorithms (nondeterministic).
+
+A workload advertises its Table 1 metadata as class attributes:
+
+* ``SOURCE`` — the suite the paper took the application from;
+* ``HAS_FP`` — Table 1's "FP?" column;
+* ``EXPECTED_CLASS`` — the determinism class Table 1 reports;
+* ``SUGGESTED_IGNORES`` — the structures the paper's programmer isolates
+  (cholesky's free-task list, pbzip2's dangling pointer field, sphinx3's
+  nondeterministic sites); empty for the other classes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.checker.report import (CLASS_BIT, CLASS_FP, CLASS_NDET,
+                                       CLASS_SMALL_STRUCT)
+from repro.sim.layout import StaticLayout
+from repro.sim.program import Program
+from repro.sim.sync import Barrier, Lock
+from repro.sim.values import MASK64
+
+__all__ = ["Workload", "LocalRng", "locked_fp_add", "locked_int_add",
+           "spread_magnitude", "CLASS_BIT", "CLASS_FP", "CLASS_NDET",
+           "CLASS_SMALL_STRUCT"]
+
+
+class Workload(Program):
+    """Base class wiring a :class:`StaticLayout` into a program."""
+
+    SOURCE = "?"
+    HAS_FP = False
+    EXPECTED_CLASS = CLASS_BIT
+    SUGGESTED_IGNORES: tuple = ()
+
+    def __init__(self, n_workers: int = 8):
+        layout = StaticLayout()
+        self.declare_globals(layout)
+        super().__init__(n_workers=n_workers, static_words=max(layout.words, 1))
+        self.static_layout = layout
+        self.static_types = layout.types
+
+    def declare_globals(self, layout: StaticLayout) -> None:
+        """Declare static globals on *layout* (called before __init__)."""
+
+    # -- conveniences used by most workloads ----------------------------------------
+
+    def make_state(self):
+        st = super().make_state()
+        st.lock = Lock(f"{self.name}.lock")
+        st.barrier = Barrier(self.n_workers, name=f"{self.name}.bar")
+        return st
+
+
+class LocalRng:
+    """A thread-local deterministic RNG with *no shared state*.
+
+    This is the swaptions pattern the paper highlights: "each thread
+    generates a deterministic sequence of random numbers for itself,
+    independent of the other threads or the thread interleavings" — which
+    is why a Monte Carlo code can be externally deterministic.  (Contrast
+    with ``ctx.rand()``, whose libc-style hidden shared state makes the
+    value returned to a thread depend on the global call interleaving.)
+    """
+
+    __slots__ = ("state",)
+
+    _GOLDEN = 0x9E3779B97F4A7C15
+
+    def __init__(self, seed: int):
+        self.state = (seed * 2 + 1) & MASK64
+
+    def next_u64(self) -> int:
+        self.state = (self.state + self._GOLDEN) & MASK64
+        z = self.state
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & MASK64
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EB & MASK64
+        return z ^ (z >> 31)
+
+    def next_int(self, bound: int) -> int:
+        return self.next_u64() % bound
+
+    def next_unit(self) -> float:
+        """Uniform in [0, 1)."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def next_gaussian_ish(self) -> float:
+        """A cheap symmetric variate (sum of uniforms, recentred)."""
+        return (self.next_unit() + self.next_unit() + self.next_unit()) * 2.0 - 3.0
+
+
+def locked_fp_add(ctx, lock, address, delta: float):
+    """``LOCK; G += L; UNLOCK`` with G floating point — the Figure 1
+    pattern whose result depends on accumulation order only through FP
+    non-associativity."""
+    yield from ctx.lock(lock)
+    current = yield from ctx.load(address)
+    yield from ctx.store(address, float(current) + float(delta))
+    yield from ctx.unlock(lock)
+
+
+def locked_int_add(ctx, lock, address, delta: int):
+    """``LOCK; G += L; UNLOCK`` with integer G — bit-by-bit deterministic
+    regardless of order (integer addition is associative)."""
+    yield from ctx.lock(lock)
+    current = yield from ctx.load(address)
+    yield from ctx.store(address, current + delta)
+    yield from ctx.unlock(lock)
+
+
+def spread_magnitude(wid: int, n_workers: int) -> float:
+    """Per-thread magnitudes spanning several decades.
+
+    Summing values of very different magnitudes maximizes the visibility
+    of FP non-associativity: different accumulation orders reliably give
+    results differing in the low mantissa bits (≪ the 0.001 rounding
+    grain), which is exactly the nondeterminism the FP-precision class of
+    Table 1 exhibits.
+    """
+    return math.sqrt(2.0 + wid) * 10.0 ** (wid - n_workers // 2)

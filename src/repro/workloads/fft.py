@@ -1,0 +1,100 @@
+"""fft (SPLASH-2) — bit-by-bit deterministic.
+
+An iterative radix-2 FFT over a shared complex signal.  Each stage
+partitions the butterflies disjointly among threads: every butterfly
+reads and writes only its own (i, j) pair, and pairs never overlap within
+a stage, so no FP value crosses threads in an order-dependent way.  A
+barrier separates the stages (the inter-stage data dependence), giving
+the paper's "13 dynamic checking points" pattern: one per stage plus the
+bit-reversal and normalization phases plus the end of the run.
+
+The store-heavy profile (the whole signal is rewritten at every stage
+while the state size stays fixed) is what makes SW-InstantCheck_Tr
+*cheaper* than SW-InstantCheck_Inc on fft in Figure 6.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.common import CLASS_BIT, Workload
+
+
+def _bit_reverse(i: int, bits: int) -> int:
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (i & 1)
+        i >>= 1
+    return out
+
+
+class Fft(Workload):
+    """Barrier-staged radix-2 FFT with disjoint butterflies per stage."""
+
+    name = "fft"
+    SOURCE = "splash2"
+    HAS_FP = True
+    EXPECTED_CLASS = CLASS_BIT
+
+    def __init__(self, n_workers: int = 8, log2_n: int = 7):
+        super().__init__(n_workers=n_workers)
+        self.log2_n = log2_n
+        self.n = 1 << log2_n
+
+    def setup(self, ctx, st):
+        st.re = (yield from ctx.malloc_floats(self.n, site="fft.c:re")).base
+        st.im = (yield from ctx.malloc_floats(self.n, site="fft.c:im")).base
+        for i in range(self.n):
+            yield from ctx.store(st.re + i, math.sin(0.1 * i) + 0.25 * (i % 5))
+            yield from ctx.store(st.im + i, 0.0)
+
+    def _my_indices(self, wid: int, count: int):
+        """Cyclic partition of [0, count) among workers."""
+        return range(wid, count, self.n_workers)
+
+    def worker(self, ctx, st, wid):
+        n, bits = self.n, self.log2_n
+
+        # Phase 1: bit-reversal permutation; each swap pair (i, rev(i))
+        # with i < rev(i) is handled by exactly one thread.
+        pairs = [(i, _bit_reverse(i, bits)) for i in range(n)
+                 if i < _bit_reverse(i, bits)]
+        for k in self._my_indices(wid, len(pairs)):
+            i, j = pairs[k]
+            for base in (st.re, st.im):
+                a = yield from ctx.load(base + i)
+                b = yield from ctx.load(base + j)
+                yield from ctx.store(base + i, float(b))
+                yield from ctx.store(base + j, float(a))
+        yield from ctx.barrier_wait(st.barrier)
+
+        # Phase 2: the log2(n) butterfly stages.
+        for stage in range(1, bits + 1):
+            m = 1 << stage
+            half = m >> 1
+            butterflies = [(block + k, block + k + half, k)
+                           for block in range(0, n, m) for k in range(half)]
+            for idx in self._my_indices(wid, len(butterflies)):
+                i, j, k = butterflies[idx]
+                ang = -2.0 * math.pi * k / m
+                wr, wi = math.cos(ang), math.sin(ang)
+                ar = yield from ctx.load(st.re + i)
+                ai = yield from ctx.load(st.im + i)
+                br = yield from ctx.load(st.re + j)
+                bi = yield from ctx.load(st.im + j)
+                yield from ctx.compute(12)
+                tr = wr * float(br) - wi * float(bi)
+                ti = wr * float(bi) + wi * float(br)
+                yield from ctx.store(st.re + i, float(ar) + tr)
+                yield from ctx.store(st.im + i, float(ai) + ti)
+                yield from ctx.store(st.re + j, float(ar) - tr)
+                yield from ctx.store(st.im + j, float(ai) - ti)
+            yield from ctx.barrier_wait(st.barrier)
+
+        # Phase 3: normalization, disjoint by index.
+        for i in self._my_indices(wid, n):
+            r = yield from ctx.load(st.re + i)
+            im = yield from ctx.load(st.im + i)
+            yield from ctx.store(st.re + i, float(r) / n)
+            yield from ctx.store(st.im + i, float(im) / n)
+        yield from ctx.barrier_wait(st.barrier)

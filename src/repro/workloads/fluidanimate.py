@@ -1,0 +1,75 @@
+"""fluidanimate (PARSEC) — deterministic modulo FP precision.
+
+Particles contribute density to shared per-cell accumulators under
+per-cell locks.  Which thread adds to a cell first depends on the
+schedule, and FP addition is not associative, so the accumulated cell
+densities differ across runs in their low mantissa bits — the program
+*looks* highly nondeterministic bit-by-bit, but every difference is
+rounding noise.  With the FP round-off unit enabled (the paper's default
+"round to the closest 0.001"), fluidanimate is deterministic
+(Table 1, second group: NDet -> Det under FP rounding).
+"""
+
+from __future__ import annotations
+
+from repro.sim.sync import Lock
+from repro.workloads.common import CLASS_FP, Workload, spread_magnitude
+
+
+class Fluidanimate(Workload):
+    """Cell-accumulation SPH analog with order-varying FP adds."""
+
+    name = "fluidanimate"
+    SOURCE = "parsec"
+    HAS_FP = True
+    EXPECTED_CLASS = CLASS_FP
+
+    def __init__(self, n_workers: int = 8, n_particles: int = 32,
+                 n_cells: int = 8, rounds: int = 20):
+        super().__init__(n_workers=n_workers)
+        self.n_particles = n_particles
+        self.n_cells = n_cells
+        self.rounds = rounds
+
+    def make_state(self):
+        st = super().make_state()
+        st.cell_locks = [Lock(f"cell{c}") for c in range(self.n_cells)]
+        return st
+
+    def setup(self, ctx, st):
+        st.pos = (yield from ctx.malloc_floats(self.n_particles,
+                                               site="fa.c:pos")).base
+        st.density = (yield from ctx.malloc_floats(self.n_cells,
+                                                   site="fa.c:density")).base
+        for i in range(self.n_particles):
+            yield from ctx.store(st.pos + i, 0.5 + 0.37 * (i % 11))
+
+    def worker(self, ctx, st, wid):
+        per = self.n_particles // self.n_workers
+        lo = wid * per
+        hi = self.n_particles if wid == self.n_workers - 1 else lo + per
+        my_cells = range(wid, self.n_cells, self.n_workers)
+        for r in range(self.rounds):
+            # Phase 1 (disjoint): reset my cells, advance my particles.
+            for c in my_cells:
+                yield from ctx.store(st.density + c, 0.0)
+            for i in range(lo, hi):
+                p = yield from ctx.load(st.pos + i)
+                yield from ctx.compute(10)
+                yield from ctx.store(st.pos + i,
+                                     float(p) + 0.001 * ((i + r) % 3 - 1))
+            yield from ctx.barrier_wait(st.barrier)
+
+            # Phase 2 (order-varying): scatter density contributions into
+            # the shared cells my particles currently fall in.
+            scale = spread_magnitude(wid, self.n_workers)
+            for i in range(lo, hi):
+                p = yield from ctx.load(st.pos + i)
+                cell = int(float(p) * 10) % self.n_cells
+                contribution = scale * (1.0 + float(p))
+                yield from ctx.lock(st.cell_locks[cell])
+                d = yield from ctx.load(st.density + cell)
+                yield from ctx.store(st.density + cell,
+                                     float(d) + contribution)
+                yield from ctx.unlock(st.cell_locks[cell])
+            yield from ctx.barrier_wait(st.barrier)

@@ -1,0 +1,97 @@
+"""lu (SPLASH-2) — bit-by-bit deterministic.
+
+Blocked dense LU factorization without pivoting.  Per block step, one
+thread factors the diagonal block and the panel below it; after a
+barrier, all threads update the trailing rows they own (cyclic row
+ownership), reading the frozen panel.  No word is ever written by two
+threads and no FP accumulation order varies, so lu is bit-by-bit
+deterministic despite being FP-heavy.
+
+Blocking also reproduces lu's Figure 6 profile: the trailing update
+rewrites O(n^3) words between only O(n/B) barriers, so hashing by
+traversal at each barrier (SW-InstantCheck_Tr) is *cheaper* than hashing
+every store (SW-InstantCheck_Inc) — one of the paper's crossover cases.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import CLASS_BIT, Workload
+
+
+class Lu(Workload):
+    """Blocked right-looking LU with cyclic row ownership."""
+
+    name = "lu"
+    SOURCE = "splash2"
+    HAS_FP = True
+    EXPECTED_CLASS = CLASS_BIT
+
+    def __init__(self, n_workers: int = 8, n: int = 24, block: int = 8):
+        super().__init__(n_workers=n_workers)
+        if n % block:
+            raise ValueError("matrix size must be a multiple of the block size")
+        self.n = n
+        self.block = block
+
+    def _addr(self, st, i: int, j: int) -> int:
+        return st.matrix + i * self.n + j
+
+    def setup(self, ctx, st):
+        n = self.n
+        st.matrix = (yield from ctx.malloc_floats(n * n, site="lu.c:matrix")).base
+        # Diagonally dominant matrix: elimination never divides by ~0.
+        for i in range(n):
+            for j in range(n):
+                value = 1.0 + ((i * 31 + j * 17) % 13) * 0.25
+                if i == j:
+                    value += 4.0 * n
+                yield from ctx.store(self._addr(st, i, j), value)
+
+    def worker(self, ctx, st, wid):
+        n, nb = self.n, self.block
+        my_rows = tuple(range(wid, n, self.n_workers))
+        for kb in range(0, n, nb):
+            # Panel factorization by one thread (worker kb/nb mod T):
+            # unblocked LU on columns kb..kb+nb-1 for all rows >= kb.
+            if wid == (kb // nb) % self.n_workers:
+                for k in range(kb, kb + nb):
+                    pivot = yield from ctx.load(self._addr(st, k, k))
+                    for i in range(k + 1, n):
+                        a_ik = yield from ctx.load(self._addr(st, i, k))
+                        factor = float(a_ik) / float(pivot)
+                        yield from ctx.store(self._addr(st, i, k), factor)
+                        for j in range(k + 1, kb + nb):
+                            a_kj = yield from ctx.load(self._addr(st, k, j))
+                            a_ij = yield from ctx.load(self._addr(st, i, j))
+                            yield from ctx.store(
+                                self._addr(st, i, j),
+                                float(a_ij) - factor * float(a_kj))
+                        yield from ctx.compute(4)
+                # Triangular solve for the U block: rows of the panel
+                # block, columns right of it (still one thread: disjoint).
+                for k in range(kb, kb + nb):
+                    for i in range(k + 1, kb + nb):
+                        l_ik = yield from ctx.load(self._addr(st, i, k))
+                        for j in range(kb + nb, n):
+                            a_kj = yield from ctx.load(self._addr(st, k, j))
+                            a_ij = yield from ctx.load(self._addr(st, i, j))
+                            yield from ctx.store(
+                                self._addr(st, i, j),
+                                float(a_ij) - float(l_ik) * float(a_kj))
+            yield from ctx.barrier_wait(st.barrier)
+
+            # Trailing update: every thread updates the rows it owns
+            # (disjoint), reading the frozen panel and pivot rows.
+            for i in my_rows:
+                if i < kb + nb:
+                    continue
+                for j in range(kb + nb, n):
+                    acc = yield from ctx.load(self._addr(st, i, j))
+                    acc = float(acc)
+                    for k in range(kb, kb + nb):
+                        l_ik = yield from ctx.load(self._addr(st, i, k))
+                        u_kj = yield from ctx.load(self._addr(st, k, j))
+                        acc -= float(l_ik) * float(u_kj)
+                    yield from ctx.compute(2 * nb)
+                    yield from ctx.store(self._addr(st, i, j), acc)
+            yield from ctx.barrier_wait(st.barrier)

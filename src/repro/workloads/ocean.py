@@ -1,0 +1,71 @@
+"""ocean (SPLASH-2) — deterministic modulo FP precision.
+
+A grid relaxation solver: disjoint red/black sweeps (bit-by-bit
+deterministic on their own) plus a *global residual reduction* every
+iteration, accumulated under one lock in whatever order threads arrive.
+The reduction order varies, so the residual differs in its low bits from
+run to run; FP rounding restores determinism.
+
+ocean is also the poster child for incremental hashing's advantage in
+Figure 6: it checks at many barriers (871 at the paper's scale) while
+each iteration writes comparatively few words, so hashing by traversal at
+every barrier costs far more than updating the hash store-by-store.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import CLASS_FP, Workload, locked_fp_add, spread_magnitude
+
+
+class Ocean(Workload):
+    """Red/black relaxation with a lock-ordered global residual."""
+
+    name = "ocean"
+    SOURCE = "splash2"
+    HAS_FP = True
+    EXPECTED_CLASS = CLASS_FP
+
+    def __init__(self, n_workers: int = 8, grid: int = 8, iterations: int = 40):
+        super().__init__(n_workers=n_workers)
+        self.grid = grid
+        self.iterations = iterations
+
+    def declare_globals(self, layout):
+        self.residual = layout.var("residual", tag="f")
+
+    def _addr(self, st, i: int, j: int) -> int:
+        return st.field + i * self.grid + j
+
+    def setup(self, ctx, st):
+        n = self.grid
+        st.field = (yield from ctx.malloc_floats(n * n, site="ocean.c:field")).base
+        for i in range(n):
+            for j in range(n):
+                yield from ctx.store(self._addr(st, i, j),
+                                     float((i * 7 + j * 3) % 10))
+
+    def worker(self, ctx, st, wid):
+        n = self.grid
+        my_rows = range(wid, n, self.n_workers)
+        for it in range(self.iterations):
+            color = it & 1
+            # Relaxation sweep: each thread owns whole rows (disjoint).
+            local_err = 0.0
+            for i in my_rows:
+                for j in range(n):
+                    if (i + j) & 1 != color:
+                        continue
+                    center = yield from ctx.load(self._addr(st, i, j))
+                    up = yield from ctx.load(self._addr(st, (i - 1) % n, j))
+                    down = yield from ctx.load(self._addr(st, (i + 1) % n, j))
+                    yield from ctx.compute(8)
+                    new = 0.5 * float(center) + 0.25 * (float(up) + float(down))
+                    local_err += abs(new - float(center))
+                    yield from ctx.store(self._addr(st, i, j), new)
+            yield from ctx.barrier_wait(st.barrier)
+
+            # Global residual reduction: lock-arrival order varies, and
+            # with spread magnitudes the FP sum depends on that order.
+            contribution = local_err * spread_magnitude(wid, self.n_workers)
+            yield from locked_fp_add(ctx, st.lock, self.residual, contribution)
+            yield from ctx.barrier_wait(st.barrier)

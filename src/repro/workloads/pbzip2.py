@@ -1,0 +1,154 @@
+"""pbzip2 — deterministic after ignoring a dangling pointer field.
+
+The parallel bzip2 compressor has "very high internal nondeterminism
+(many consumer threads race for jobs created by a producer), but pbzip2
+ends in a deterministic state if ignoring a pointer field in some
+result-task structures created by the consumers.  The pointer field ...
+points to memory allocated nondeterministically by the consumers.  The
+nondeterministic memory itself is deallocated during execution and thus
+no longer part of the program state, but the nondeterministic dangling
+pointers remain."
+
+The analog: a producer splits the input into chunks and pushes chunk ids
+through a bounded lock/condvar queue; consumers race for chunks,
+"compress" them into a chunk-indexed output region (deterministic content
+at deterministic addresses), allocate a scratch buffer, record the
+scratch buffer's address in the chunk's result-task struct, and free the
+scratch.  Which consumer handled chunk k — and therefore which (replayed,
+per-thread) scratch address ended up in the struct — depends on the
+schedule: the dangling pointer field is the only nondeterministic word.
+
+The compressed stream is written out through the hashed ``write`` path of
+Section 4.3 and is deterministic.  pbzip2 has no barriers, so the single
+checking point is the end of the run, matching Table 1's "1" exactly.
+"""
+
+from __future__ import annotations
+
+from repro.core.control.ignore import ignore_field
+from repro.sim.sync import CondVar, Lock
+from repro.workloads.common import CLASS_SMALL_STRUCT, Workload
+
+RESULT_WORDS = 3     # [compressed_len, checksum, scratch_ptr]
+PTR_FIELD = 2        # the dangling pointer's offset in the struct
+SCRATCH_WORDS = 4
+SENTINEL = -1
+
+
+class Pbzip2(Workload):
+    """Producer/consumer chunk compression with a dangling pointer."""
+
+    name = "pbzip2"
+    SOURCE = "openSrc"
+    HAS_FP = False
+    EXPECTED_CLASS = CLASS_SMALL_STRUCT
+    SUGGESTED_IGNORES = (ignore_field("pbzip2.c:result_task", PTR_FIELD),)
+
+    def __init__(self, n_workers: int = 8, n_chunks: int = 14,
+                 chunk_words: int = 6, queue_slots: int = 4):
+        super().__init__(n_workers=n_workers)
+        if n_workers < 2:
+            raise ValueError("pbzip2 needs a producer and >=1 consumer")
+        self.n_chunks = n_chunks
+        self.chunk_words = chunk_words
+        self.queue_slots = queue_slots
+
+    def declare_globals(self, layout):
+        self.q_head = layout.var("q_head")
+        self.q_tail = layout.var("q_tail")
+        self.q_ring = layout.array("q_ring", 16)
+
+    def make_state(self):
+        st = super().make_state()
+        st.q_lock = Lock("pb.q")
+        st.q_not_empty = CondVar("pb.nonempty")
+        st.q_not_full = CondVar("pb.nonfull")
+        return st
+
+    def setup(self, ctx, st):
+        n_in = self.n_chunks * self.chunk_words
+        st.input = (yield from ctx.malloc(n_in, site="pbzip2.c:input")).base
+        st.output = (yield from ctx.malloc(n_in, site="pbzip2.c:output")).base
+        st.results = []
+        for k in range(self.n_chunks):
+            block = yield from ctx.malloc(RESULT_WORDS,
+                                          site="pbzip2.c:result_task",
+                                          typeinfo="iip")
+            st.results.append(block.base)
+        for i in range(n_in):
+            yield from ctx.store(st.input + i, (i * 2654435761) & 0xFFFF)
+
+    # -- the bounded queue ---------------------------------------------------------
+
+    def _enqueue(self, ctx, st, value):
+        yield from ctx.lock(st.q_lock)
+        while True:
+            head = yield from ctx.load(self.q_head)
+            tail = yield from ctx.load(self.q_tail)
+            if head - tail < self.queue_slots:
+                break
+            yield from ctx.cond_wait(st.q_not_full, st.q_lock)
+        yield from ctx.store(self.q_ring + head % self.queue_slots, value)
+        yield from ctx.store(self.q_head, head + 1)
+        yield from ctx.cond_broadcast(st.q_not_empty)
+        yield from ctx.unlock(st.q_lock)
+
+    def _dequeue(self, ctx, st):
+        yield from ctx.lock(st.q_lock)
+        while True:
+            head = yield from ctx.load(self.q_head)
+            tail = yield from ctx.load(self.q_tail)
+            if tail < head:
+                break
+            yield from ctx.cond_wait(st.q_not_empty, st.q_lock)
+        value = yield from ctx.load(self.q_ring + tail % self.queue_slots)
+        if value != SENTINEL:
+            # Sentinels stay queued so every consumer sees one and exits.
+            yield from ctx.store(self.q_tail, tail + 1)
+            yield from ctx.cond_broadcast(st.q_not_full)
+        yield from ctx.unlock(st.q_lock)
+        return value
+
+    # -- threads ----------------------------------------------------------------------
+
+    def worker(self, ctx, st, wid):
+        if wid == 0:
+            yield from self._producer(ctx, st)
+        else:
+            yield from self._consumer(ctx, st, wid)
+
+    def _producer(self, ctx, st):
+        for k in range(self.n_chunks):
+            yield from self._enqueue(ctx, st, k)
+        yield from self._enqueue(ctx, st, SENTINEL)
+
+    def _consumer(self, ctx, st, wid):
+        cw = self.chunk_words
+        while True:
+            k = yield from self._dequeue(ctx, st)
+            if k == SENTINEL:
+                return
+            scratch = yield from ctx.malloc(SCRATCH_WORDS,
+                                            site="pbzip2.c:scratch")
+            checksum = 0
+            for j in range(cw):
+                word = yield from ctx.load(st.input + k * cw + j)
+                yield from ctx.compute(12)  # the BWT/Huffman stand-in
+                compressed = (word * 31 + j) & 0xFFFF
+                yield from ctx.store(st.output + k * cw + j, compressed)
+                yield from ctx.store(scratch.base + j % SCRATCH_WORDS, word)
+                checksum = (checksum + compressed) & 0xFFFFFFFF
+            yield from ctx.store(st.results[k] + 0, cw)
+            yield from ctx.store(st.results[k] + 1, checksum)
+            # The dangling pointer: which consumer's scratch address lands
+            # here depends on who won the race for chunk k.
+            yield from ctx.store(st.results[k] + PTR_FIELD, scratch.base)
+            yield from ctx.free(scratch.base)
+
+    def teardown(self, ctx, st):
+        # The writer stage: emit the compressed stream in chunk order
+        # through the hashed write path (Section 4.3).
+        words = []
+        for i in range(self.n_chunks * self.chunk_words):
+            words.append((yield from ctx.load(st.output + i)))
+        yield from ctx.write_output(words)

@@ -1,0 +1,81 @@
+"""radiosity (SPLASH-2) — nondeterministic (order-dependent task stealing).
+
+radiosity distributes light-transfer tasks through work stealing; the
+amount of energy a task moves depends on the patch energies *at the time
+the task runs*, and integer truncation makes the transfer operation
+non-commutative — so different task interleavings genuinely produce
+different final energy distributions.  Table 1: 0 deterministic points,
+19 nondeterministic ones, nondeterministic at the end.
+
+Everything here is properly locked: this is *algorithmic* nondeterminism,
+not a data race, which is exactly why enforcing internal determinism (or
+rewriting, if the algorithm permits) is the only way to remove it.
+"""
+
+from __future__ import annotations
+
+from repro.sim.sync import Lock
+from repro.workloads.common import CLASS_NDET, Workload
+
+
+class Radiosity(Workload):
+    """Work-stealing energy redistribution with truncating transfers."""
+
+    name = "radiosity"
+    SOURCE = "splash2"
+    HAS_FP = False
+    EXPECTED_CLASS = CLASS_NDET
+
+    def __init__(self, n_workers: int = 8, n_patches: int = 16,
+                 rounds: int = 9, tasks_per_round: int = 24):
+        super().__init__(n_workers=n_workers)
+        self.n_patches = n_patches
+        self.rounds = rounds
+        self.tasks_per_round = tasks_per_round
+
+    def declare_globals(self, layout):
+        self.next_task = layout.var("next_task")
+
+    def make_state(self):
+        st = super().make_state()
+        st.patch_lock = Lock("rad.patches")
+        return st
+
+    def setup(self, ctx, st):
+        n = self.n_patches
+        st.energy = (yield from ctx.malloc(n, site="rad.c:energy")).base
+        for i in range(n):
+            yield from ctx.store(st.energy + i, 1000 + 177 * i)
+
+    def worker(self, ctx, st, wid):
+        n = self.n_patches
+        for r in range(self.rounds):
+            # Steal tasks until the round's pool is drained.  Task t
+            # moves a quarter (integer-truncated) of patch t%n's CURRENT
+            # energy to its neighbour: the amount depends on what already
+            # ran, so execution order changes the result.
+            limit = (r + 1) * self.tasks_per_round
+            while True:
+                # Claim a task id (fast, under the queue lock)...
+                yield from ctx.lock(st.lock)
+                t = yield from ctx.load(self.next_task)
+                if t < limit:
+                    yield from ctx.store(self.next_task, t + 1)
+                yield from ctx.unlock(st.lock)
+                if t >= limit:
+                    break
+                # ... then apply it under the patch lock.  Claim order is
+                # total, but *application* order is not: a thread may be
+                # preempted between claim and apply, so task t can run
+                # after task t+1 — and the transfer amounts differ.
+                src = t % n
+                dst = (t * 7 + 1) % n
+                yield from ctx.compute(12)  # form-factor evaluation
+                yield from ctx.lock(st.patch_lock)
+                e_src = yield from ctx.load(st.energy + src)
+                transfer = e_src // 4
+                yield from ctx.store(st.energy + src, e_src - transfer)
+                e_dst = yield from ctx.load(st.energy + dst)
+                yield from ctx.store(st.energy + dst, e_dst + transfer)
+                yield from ctx.unlock(st.patch_lock)
+            yield from ctx.barrier_wait(st.barrier)

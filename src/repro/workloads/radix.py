@@ -1,0 +1,110 @@
+"""radix (SPLASH-2) — bit-by-bit deterministic; order-violation bug host.
+
+Parallel radix sort, one digit per pass.  Each pass has three
+barrier-separated phases: per-thread histograms (disjoint), a serial
+prefix-sum by worker 0 assigning every (thread, digit) a disjoint output
+range, and a scatter in which each thread places its own slice's keys
+into its reserved ranges.  All writes are disjoint and integer, so the
+sort is bit-by-bit deterministic.
+
+Figure 7(c)'s seeded *order violation* lives in the scatter phase: with
+``bug=True``, worker 3 reads its output offsets *before* the prefix-sum
+barrier — exactly once (the ``justOnce == 3`` guard of the paper, which
+keeps the program from crashing) — so the key lands wherever the stale
+offset table pointed, which depends on the schedule.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import CLASS_BIT, LocalRng, Workload
+
+
+class Radix(Workload):
+    """Three-phase parallel radix sort over 12-bit keys."""
+
+    name = "radix"
+    SOURCE = "splash2"
+    HAS_FP = False
+    EXPECTED_CLASS = CLASS_BIT
+
+    RADIX_BITS = 4
+    PASSES = 3
+
+    def __init__(self, n_workers: int = 8, n_keys: int = 64, bug: bool = False):
+        super().__init__(n_workers=n_workers)
+        self.n_keys = n_keys
+        self.bug = bug
+        self.buckets = 1 << self.RADIX_BITS
+
+    def setup(self, ctx, st):
+        n, t, b = self.n_keys, self.n_workers, self.buckets
+        st.src = (yield from ctx.malloc(n, site="radix.c:keys")).base
+        st.dst = (yield from ctx.malloc(n, site="radix.c:scratch")).base
+        # Per-(thread, digit) histogram and offset tables.
+        st.hist = (yield from ctx.malloc(t * b, site="radix.c:hist")).base
+        st.offsets = (yield from ctx.malloc(t * b, site="radix.c:offsets")).base
+        rng = LocalRng(42)
+        for i in range(n):
+            yield from ctx.store(st.src + i, rng.next_int(1 << 12))
+
+    def _slice(self, wid: int):
+        per = self.n_keys // self.n_workers
+        lo = wid * per
+        hi = self.n_keys if wid == self.n_workers - 1 else lo + per
+        return lo, hi
+
+    def worker(self, ctx, st, wid):
+        t, b = self.n_workers, self.buckets
+        src, dst = st.src, st.dst
+        triggered_bug = False
+        for p in range(self.PASSES):
+            shift = p * self.RADIX_BITS
+            lo, hi = self._slice(wid)
+
+            # Phase 1: local histogram (disjoint per-thread rows).
+            for d in range(b):
+                yield from ctx.store(st.hist + wid * b + d, 0)
+            for i in range(lo, hi):
+                key = yield from ctx.load(src + i)
+                d = (key >> shift) & (b - 1)
+                count = yield from ctx.load(st.hist + wid * b + d)
+                yield from ctx.store(st.hist + wid * b + d, count + 1)
+            yield from ctx.barrier_wait(st.barrier)
+
+            # The seeded order violation: worker 3 reads its offset row
+            # BEFORE worker 0's prefix sum has produced it (one dynamic
+            # occurrence only, like the paper's justOnce guard).
+            stale_offsets = None
+            if self.bug and wid == 3 and p == 1 and not triggered_bug:
+                triggered_bug = True
+                stale_offsets = []
+                for d in range(b):
+                    stale_offsets.append(
+                        (yield from ctx.load(st.offsets + wid * b + d)))
+
+            # Phase 2: worker 0 computes the global prefix sums, giving
+            # each (digit, thread) a disjoint destination range.
+            if wid == 0:
+                running = 0
+                for d in range(b):
+                    for tt in range(t):
+                        count = yield from ctx.load(st.hist + tt * b + d)
+                        yield from ctx.store(st.offsets + tt * b + d, running)
+                        running += count
+            yield from ctx.barrier_wait(st.barrier)
+
+            # Phase 3: scatter into reserved ranges (disjoint writes).
+            cursors = []
+            for d in range(b):
+                cursors.append((yield from ctx.load(st.offsets + wid * b + d)))
+            if stale_offsets is not None:
+                cursors[0] = stale_offsets[0] % self.n_keys
+            for i in range(lo, hi):
+                key = yield from ctx.load(src + i)
+                d = (key >> shift) & (b - 1)
+                yield from ctx.store(dst + cursors[d], key)
+                cursors[d] += 1
+                if cursors[d] >= self.n_keys:
+                    cursors[d] = 0  # keep the buggy cursor in bounds
+            yield from ctx.barrier_wait(st.barrier)
+            src, dst = dst, src

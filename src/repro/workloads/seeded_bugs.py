@@ -1,0 +1,56 @@
+"""The Figure 7 seeded bugs (Section 7.4, Table 2).
+
+"We seed three bugs (semantic, atomicity violation, and order violation)
+in the applications from Section 7.2 ...  The bugs do not cause program
+crashes but create incorrect results.  To simulate rarely occurring
+bugs, we insert the buggy code path in only one thread" — thread 3 — and
+for radix with only *one* dynamic occurrence (the ``justOnce`` guard),
+"since otherwise the program crashes".
+
+The buggy variants are constructor flags on the host workloads; this
+module names them the way Table 2 does and records the bug taxonomy used
+by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.radix import Radix
+from repro.workloads.water import WaterNS, WaterSP
+
+#: (application, bug type) exactly as Table 2 lists them.
+SEEDED_BUGS = (
+    ("waterNS", "semantic"),
+    ("waterSP", "atomicity violation"),
+    ("radix", "order violation"),
+)
+
+
+def seeded_waterNS(n_workers: int = 8, **kwargs) -> WaterNS:
+    """waterNS with the Figure 7(a) semantic bug in thread 3."""
+    return WaterNS(n_workers=n_workers, bug="semantic", **kwargs)
+
+
+def seeded_waterSP(n_workers: int = 8, **kwargs) -> WaterSP:
+    """waterSP with the Figure 7(b) atomicity violation in thread 3."""
+    return WaterSP(n_workers=n_workers, bug="atomicity", **kwargs)
+
+
+def seeded_radix(n_workers: int = 8, **kwargs) -> Radix:
+    """radix with the Figure 7(c) order violation (one occurrence)."""
+    return Radix(n_workers=n_workers, bug=True, **kwargs)
+
+
+def seeded_program(application: str, n_workers: int = 8, **kwargs):
+    """Build the seeded variant of a Table 2 application by name."""
+    factories = {
+        "waterNS": seeded_waterNS,
+        "waterSP": seeded_waterSP,
+        "radix": seeded_radix,
+    }
+    try:
+        factory = factories[application]
+    except KeyError:
+        raise ValueError(
+            f"no seeded bug for {application!r}; Table 2 covers "
+            f"{sorted(factories)}") from None
+    return factory(n_workers=n_workers, **kwargs)

@@ -1,0 +1,129 @@
+"""streamcluster (PARSEC) — bit-by-bit deterministic, except for the bug.
+
+The paper's headline anecdote: streamcluster 2.1 contains a real
+concurrency bug — "a non-benign data race that creates an order
+violation" — that InstantCheck exposed as nondeterminism at 74 internal
+barriers (of 13002) for the *simmedium* input, after which it is masked
+away and does not manifest at the end of the program.  For small inputs
+(*simdev*) the nondeterminism propagates to the program's end and changes
+the output.  The PARSEC author fixed the bug after the report.
+
+The analog: in some rounds the coordinator publishes a new value of a
+shared global (``gl_lower``) that every worker reads into its slice of
+the shared ``work_mem`` scratch.  With ``buggy=True`` there is no barrier
+between the publish and the reads (the order violation): a worker may
+consume the previous round's value, so ``work_mem`` is schedule-dependent
+at the next checkpoint.  Clean rounds overwrite the scratch
+deterministically, masking the damage — and with ``input_size="medium"``
+a final cleanup pass wipes it entirely, so the end state is deterministic
+anyway.  With ``input_size="dev"`` the cleanup is skipped (fewer passes,
+as in the real program) and the corruption reaches the end of the run.
+With ``buggy=False`` a synchronizing barrier orders publish before
+consume and every point is deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.sim.sync import Barrier
+from repro.workloads.common import CLASS_BIT, Workload
+
+INPUT_SIZES = ("medium", "dev")
+
+
+class Streamcluster(Workload):
+    """Round-based clustering with the version-2.1 order-violation race."""
+
+    name = "streamcluster"
+    SOURCE = "parsec"
+    HAS_FP = True
+    EXPECTED_CLASS = CLASS_BIT  # once the bug is fixed
+
+    def __init__(self, n_workers: int = 8, n_points: int = 64,
+                 rounds: int | None = None, buggy: bool = False,
+                 input_size: str = "medium"):
+        super().__init__(n_workers=n_workers)
+        if input_size not in INPUT_SIZES:
+            raise ValueError(f"input_size must be one of {INPUT_SIZES}")
+        if rounds is None:
+            # simdev is a much shorter input; its last rounds include a
+            # bug round, so the corruption is never masked.
+            rounds = 24 if input_size == "medium" else 6
+        self.n_points = n_points
+        self.rounds = rounds
+        self.buggy = buggy
+        self.input_size = input_size
+
+    def declare_globals(self, layout):
+        self.gl_lower = layout.var("gl_lower")
+        self.gl_cost = layout.var("gl_cost", tag="f")
+
+    def _is_bug_round(self, r: int) -> bool:
+        """Rounds in which the coordinator republishes gl_lower."""
+        return r % 4 == 1
+
+    def make_state(self):
+        st = super().make_state()
+        # The barrier the fix adds between publish and consume; not a
+        # checkpoint so buggy and fixed runs have identical structure.
+        st.fix_barrier = Barrier(self.n_workers, name="sc.fix", checkpoint=False)
+        return st
+
+    def setup(self, ctx, st):
+        st.points = (yield from ctx.malloc_floats(self.n_points,
+                                                  site="sc.c:points")).base
+        st.partials = (yield from ctx.malloc_floats(self.n_workers,
+                                                    site="sc.c:partials")).base
+        st.work_mem = (yield from ctx.malloc(self.n_workers,
+                                             site="sc.c:work_mem")).base
+        for i in range(self.n_points):
+            yield from ctx.store(st.points + i, 1.0 + 0.5 * ((i * 13) % 7))
+        yield from ctx.store(self.gl_lower, 17)
+
+    def worker(self, ctx, st, wid):
+        per = self.n_points // self.n_workers
+        lo = wid * per
+        hi = self.n_points if wid == self.n_workers - 1 else lo + per
+        for r in range(self.rounds):
+            bug_round = self._is_bug_round(r)
+            if bug_round:
+                # The coordinator publishes this round's lower bound...
+                if wid == 0:
+                    yield from ctx.store(self.gl_lower, 100 + r)
+                if not self.buggy:
+                    # ...and the FIXED version orders the publish before
+                    # any consume.  Version 2.1 lacks this barrier.
+                    yield from ctx.barrier_wait(st.fix_barrier)
+                else:
+                    yield from ctx.sched_yield()
+                lower = yield from ctx.load(self.gl_lower)
+                yield from ctx.store(st.work_mem + wid, lower * 2 + wid)
+            else:
+                # Clean rounds overwrite the scratch deterministically,
+                # masking whatever a buggy round left behind.
+                yield from ctx.store(st.work_mem + wid, r * 10 + wid)
+
+            # The clustering work itself: disjoint FP partial costs.
+            acc = 0.0
+            for i in range(lo, hi):
+                p = yield from ctx.load(st.points + i)
+                yield from ctx.compute(6)
+                acc += float(p) * (1.0 + 0.125 * (r % 5))
+            yield from ctx.store(st.partials + wid, acc)
+            yield from ctx.barrier_wait(st.barrier)
+
+            # The coordinator folds the partials (fixed thread order, so
+            # the FP sum is order-stable and bit-by-bit deterministic).
+            if wid == 0:
+                total = 0.0
+                for t in range(self.n_workers):
+                    part = yield from ctx.load(st.partials + t)
+                    total += float(part)
+                yield from ctx.store(self.gl_cost, total)
+            yield from ctx.barrier_wait(st.barrier)
+
+        # The larger (simmedium-like) input runs a final cleanup pass
+        # that wipes the scratch; the tiny simdev-like input does not,
+        # letting the corruption reach the end of the program.
+        if self.input_size == "medium":
+            yield from ctx.store(st.work_mem + wid, 0)
+            yield from ctx.barrier_wait(st.barrier)

@@ -1,0 +1,63 @@
+"""swaptions (PARSEC) — bit-by-bit deterministic *Monte Carlo*.
+
+The case the paper calls out: "swaptions is a Monte Carlo simulation, so
+one might expect it to be nondeterministic.  However, swaptions uses
+thread-local random number generators that have no shared state.  Thus,
+given the same seed, each thread generates a deterministic sequence of
+random numbers for itself, independent of the other threads or the
+thread interleavings."
+
+Each worker prices its own swaptions, accumulating trial payoffs into its
+own result words with a per-swaption :class:`LocalRng`.  A checkpoint
+closes every simulation block (the paper's 2501 loop-iteration checks,
+scaled down).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import CLASS_BIT, LocalRng, Workload
+
+
+class Swaptions(Workload):
+    """Monte Carlo swaption pricing with thread-local RNGs."""
+
+    name = "swaptions"
+    SOURCE = "parsec"
+    HAS_FP = True
+    EXPECTED_CLASS = CLASS_BIT
+
+    def __init__(self, n_workers: int = 8, n_swaptions: int = 16,
+                 blocks: int = 10, trials_per_block: int = 8):
+        super().__init__(n_workers=n_workers)
+        self.n_swaptions = n_swaptions
+        self.blocks = blocks
+        self.trials_per_block = trials_per_block
+
+    def setup(self, ctx, st):
+        st.sums = (yield from ctx.malloc_floats(self.n_swaptions,
+                                                site="swap.c:sums")).base
+        st.prices = (yield from ctx.malloc_floats(self.n_swaptions,
+                                                  site="swap.c:prices")).base
+
+    def worker(self, ctx, st, wid):
+        mine = range(wid, self.n_swaptions, self.n_workers)
+        # One RNG per swaption, seeded by the swaption index: the seed is
+        # program input, not schedule, so every run draws the same paths.
+        rngs = {s: LocalRng(1000 + s) for s in mine}
+        for _ in range(self.blocks):
+            for s in mine:
+                rng = rngs[s]
+                acc = yield from ctx.load(st.sums + s)
+                acc = float(acc)
+                for _ in range(self.trials_per_block):
+                    yield from ctx.compute(25)  # HJM path simulation step
+                    rate_path = 0.02 + 0.01 * rng.next_gaussian_ish()
+                    payoff = max(0.0, rate_path - 0.018) * 100.0
+                    acc += payoff
+                yield from ctx.store(st.sums + s, acc)
+            yield from ctx.barrier_wait(st.barrier)
+        # Final per-swaption price: mean payoff (still disjoint writes).
+        trials = self.blocks * self.trials_per_block
+        for s in mine:
+            total = yield from ctx.load(st.sums + s)
+            yield from ctx.store(st.prices + s, float(total) / trials)

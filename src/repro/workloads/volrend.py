@@ -1,0 +1,64 @@
+"""volrend (SPLASH-2) — bit-by-bit deterministic despite a benign race.
+
+Integer volume rendering over disjoint image tiles.  The interesting bit
+is the *hand-coded barrier* with a benign data race, which the paper
+notes InstantCheck handles correctly: at the end of each phase every
+worker racily stores the same value (1) to a shared ready flag — a
+write-write race, but one whose every outcome leaves the same bit pattern
+in memory, so the state hash is untouched and volrend is correctly
+reported deterministic.
+
+(The actual cross-phase ordering is enforced by a pthread barrier, which
+is also where the determinism checkpoints fire — 6 points at the paper's
+scale: 5 phases plus the end of the run.)
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import CLASS_BIT, Workload
+
+
+class Volrend(Workload):
+    """Tile-parallel integer ray casting with a benign-race ready flag."""
+
+    name = "volrend"
+    SOURCE = "splash2"
+    HAS_FP = False
+    EXPECTED_CLASS = CLASS_BIT
+
+    PHASES = 5
+
+    def __init__(self, n_workers: int = 8, image_words: int = 64):
+        super().__init__(n_workers=n_workers)
+        self.image_words = image_words
+
+    def declare_globals(self, layout):
+        # The hand-coded barrier's shared ready flag, one per phase.
+        self.ready_flags = layout.array("ready_flags", self.PHASES)
+
+    def setup(self, ctx, st):
+        st.volume = (yield from ctx.malloc(self.image_words,
+                                           site="vr.c:volume")).base
+        st.image = (yield from ctx.malloc(self.image_words,
+                                          site="vr.c:image")).base
+        for i in range(self.image_words):
+            yield from ctx.store(st.volume + i, (i * 2654435761) & 0xFF)
+
+    def worker(self, ctx, st, wid):
+        per = self.image_words // self.n_workers
+        lo = wid * per
+        hi = self.image_words if wid == self.n_workers - 1 else lo + per
+        for phase in range(self.PHASES):
+            # Render my tile: fixed-point shading, disjoint writes.
+            for i in range(lo, hi):
+                voxel = yield from ctx.load(st.volume + i)
+                pixel = yield from ctx.load(st.image + i)
+                yield from ctx.compute(8)
+                shaded = (voxel * (phase + 3) + (pixel >> 1)) & 0xFFFF
+                yield from ctx.store(st.image + i, shaded)
+            # The benign race: every worker stores 1 to the same flag
+            # word with no synchronization.  Same value from every
+            # writer => externally invisible.
+            yield from ctx.store(self.ready_flags + phase, 1)
+            yield from ctx.sched_yield()
+            yield from ctx.barrier_wait(st.barrier)

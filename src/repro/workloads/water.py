@@ -1,0 +1,139 @@
+"""waterNS and waterSP (SPLASH-2) — deterministic modulo FP precision.
+
+Molecular-dynamics analogs: per-molecule state advances with disjoint
+writes (deterministic), while the global potential and kinetic energies
+are accumulated under a lock in schedule-dependent order — the classic
+Figure 1 pattern with FP operands, so the totals differ in their low
+bits until the FP round-off unit masks them (Table 1: NDet -> Det).
+
+Both applications host Figure 7 seeded bugs (Table 2):
+
+* waterNS, *semantic* bug (``bug="semantic"``): thread 3 computes its
+  potential-energy contribution from the global accumulator's current
+  value instead of its local sum — a wrong formula whose input depends on
+  how many other threads have already added, producing differences far
+  above the rounding grain.
+* waterSP, *atomicity violation* (``bug="atomicity"``): thread 3 releases
+  the accumulator lock between reading and writing the total, so a
+  concurrent update can be lost entirely.
+
+Both are seeded "only for thread 3" to model rarely-executed buggy
+paths, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import CLASS_FP, Workload, spread_magnitude
+
+BUGS = (None, "semantic", "atomicity")
+
+
+class _WaterBase(Workload):
+    """Shared skeleton of the two water variants."""
+
+    SOURCE = "splash2"
+    HAS_FP = True
+    EXPECTED_CLASS = CLASS_FP
+
+    #: Constant distinguishing the NS/SP force models.
+    FORCE_SCALE = 1.0
+
+    #: First timestep at which the seeded buggy path can execute; the
+    #: checkpoints before it stay deterministic, giving Table 2's mix of
+    #: deterministic and nondeterministic points per application.
+    BUG_FROM_STEP = 6
+
+    def __init__(self, n_workers: int = 8, n_molecules: int = 32,
+                 steps: int = 10, bug: str | None = None,
+                 bug_from_step: int | None = None):
+        super().__init__(n_workers=n_workers)
+        if bug not in BUGS:
+            raise ValueError(f"bug must be one of {BUGS}")
+        self.n_molecules = n_molecules
+        self.steps = steps
+        self.bug = bug
+        self.bug_from_step = (self.BUG_FROM_STEP if bug_from_step is None
+                              else bug_from_step)
+
+    def declare_globals(self, layout):
+        self.potential = layout.var("potential", tag="f")
+        self.kinetic = layout.var("kinetic", tag="f")
+
+    def setup(self, ctx, st):
+        n = self.n_molecules
+        st.pos = (yield from ctx.malloc_floats(n, site="water.c:pos")).base
+        st.vel = (yield from ctx.malloc_floats(n, site="water.c:vel")).base
+        for i in range(n):
+            yield from ctx.store(st.pos + i, 1.0 + 0.31 * (i % 13))
+            yield from ctx.store(st.vel + i, 0.1 * ((i % 7) - 3))
+
+    def _slice(self, wid: int):
+        per = self.n_molecules // self.n_workers
+        lo = wid * per
+        hi = self.n_molecules if wid == self.n_workers - 1 else lo + per
+        return lo, hi
+
+    def worker(self, ctx, st, wid):
+        lo, hi = self._slice(wid)
+        scale = spread_magnitude(wid, self.n_workers) * self.FORCE_SCALE
+        for step in range(self.steps):
+            # Inter-molecular forces on my molecules (disjoint, det).
+            local_pe = 0.0
+            for i in range(lo, hi):
+                p = yield from ctx.load(st.pos + i)
+                yield from ctx.compute(14)
+                local_pe += scale / (1.0 + float(p) * float(p))
+
+            # Global potential-energy reduction — the FP-order hazard,
+            # and the home of both seeded bugs.
+            bug_live = self.bug is not None and step >= self.bug_from_step
+            yield from ctx.lock(st.lock)
+            total = yield from ctx.load(self.potential)
+            if bug_live and self.bug == "semantic" and wid == 3:
+                # Fig 7(a): the formula wrongly folds in the global
+                # accumulator's current (schedule-dependent) value.
+                contribution = local_pe + 0.01 * float(total)
+            else:
+                contribution = local_pe
+            if bug_live and self.bug == "atomicity" and wid == 3:
+                # Fig 7(b): the read-modify-write is split across an
+                # unlock/lock pair; updates landing in the gap are lost.
+                yield from ctx.unlock(st.lock)
+                yield from ctx.sched_yield()
+                yield from ctx.lock(st.lock)
+            yield from ctx.store(self.potential, float(total) + contribution)
+            yield from ctx.unlock(st.lock)
+            yield from ctx.barrier_wait(st.barrier)
+
+            # Position/velocity integration (disjoint) + kinetic energy.
+            local_ke = 0.0
+            for i in range(lo, hi):
+                p = yield from ctx.load(st.pos + i)
+                v = yield from ctx.load(st.vel + i)
+                yield from ctx.compute(10)
+                new_v = float(v) * 0.999
+                new_p = float(p) + 0.01 * new_v
+                local_ke += 0.5 * scale * new_v * new_v
+                yield from ctx.store(st.vel + i, new_v)
+                yield from ctx.store(st.pos + i, new_p)
+            yield from ctx.lock(st.lock)
+            ke = yield from ctx.load(self.kinetic)
+            yield from ctx.store(self.kinetic, float(ke) + local_ke)
+            yield from ctx.unlock(st.lock)
+            yield from ctx.barrier_wait(st.barrier)
+
+
+class WaterNS(_WaterBase):
+    """water-nsquared: all-pairs force evaluation."""
+
+    name = "waterNS"
+    FORCE_SCALE = 1.0
+    BUG_FROM_STEP = 6   # Table 2: 12 det / 9 ndet points
+
+
+class WaterSP(_WaterBase):
+    """water-spatial: cell-list force evaluation (different constants)."""
+
+    name = "waterSP"
+    FORCE_SCALE = 0.75
+    BUG_FROM_STEP = 4   # Table 2: 9 det / 12 ndet points

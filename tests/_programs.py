@@ -1,0 +1,92 @@
+"""Small example programs with known determinism behavior."""
+
+from __future__ import annotations
+
+from repro.sim.layout import StaticLayout
+from repro.sim.program import Program
+from repro.sim.sync import Lock
+
+
+class Fig1Program(Program):
+    """The paper's Figure 1: G += L under a lock, two threads.
+
+    Externally deterministic (G always ends at 12) but internally
+    nondeterministic (update order and intermediate values vary).
+    """
+
+    name = "fig1"
+
+    def __init__(self, initial: int = 2, locals_=(7, 3), fp: bool = False):
+        layout = StaticLayout()
+        self.G = layout.var("G", tag="f" if fp else "i")
+        super().__init__(n_workers=len(locals_), static_words=layout.words)
+        self.static_layout = layout
+        self.static_types = layout.types
+        self.initial = initial
+        self.locals_ = locals_
+        self.fp = fp
+
+    def make_state(self):
+        st = super().make_state()
+        st.lock = Lock("g_lock")
+        return st
+
+    def setup(self, ctx, st):
+        yield from ctx.store(self.G, float(self.initial) if self.fp
+                             else self.initial)
+
+    def worker(self, ctx, st, wid):
+        local = self.locals_[wid]
+        yield from ctx.lock(st.lock)
+        g = yield from ctx.load(self.G)
+        value = (float(g) + float(local)) if self.fp else g + local
+        yield from ctx.store(self.G, value)
+        yield from ctx.unlock(st.lock)
+
+
+class RacyProgram(Program):
+    """Unsynchronized read-modify-write: lost updates, nondeterministic."""
+
+    name = "racy"
+
+    def __init__(self, n_workers: int = 2):
+        layout = StaticLayout()
+        self.G = layout.var("G")
+        super().__init__(n_workers=n_workers, static_words=layout.words)
+        self.static_layout = layout
+        self.static_types = layout.types
+
+    def setup(self, ctx, st):
+        yield from ctx.store(self.G, 2)
+
+    def worker(self, ctx, st, wid):
+        g = yield from ctx.load(self.G)
+        yield from ctx.sched_yield()
+        yield from ctx.store(self.G, g + (wid + 1) * 7)
+
+
+class AllocProgram(Program):
+    """Workers allocate, write, and publish their block addresses.
+
+    Without malloc replay the published pointers differ run to run;
+    with replay they are fixed.
+    """
+
+    name = "allocp"
+
+    def __init__(self, n_workers: int = 3, block_words: int = 4):
+        layout = StaticLayout()
+        self.ptrs = layout.array("ptrs", n_workers, tag="p")
+        super().__init__(n_workers=n_workers, static_words=layout.words)
+        self.static_layout = layout
+        self.static_types = layout.types
+        self.block_words = block_words
+
+    def worker(self, ctx, st, wid):
+        yield from ctx.sched_yield()
+        block = yield from ctx.malloc(self.block_words, site="alloc.c:buf")
+        for j in range(self.block_words):
+            yield from ctx.store(block.base + j, wid * 10 + j)
+        yield from ctx.store(self.ptrs + wid, block.base)
+
+

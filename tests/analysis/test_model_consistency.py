@@ -1,0 +1,61 @@
+"""Consistency of the overhead model with the instrumented runs."""
+
+from repro.analysis.overhead import measure_overheads
+from repro.core.control.controller import InstantCheckControl
+from repro.core.schemes.base import SchemeConfig
+from repro.sim.program import NativeServices, Runner
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.workloads import make
+
+NATIVE_CATEGORIES = ("load", "store", "compute", "sync", "alloc",
+                     "libcall", "output")
+
+
+def native_count(record):
+    return sum(record.instructions.get(c, 0) for c in NATIVE_CATEGORIES)
+
+
+def test_native_instructions_independent_of_instrumentation():
+    """The application executes the same native work whether InstantCheck
+    watches it or not (with a deterministic scheduler the op streams are
+    identical); the Figure 6 "Native" bar is thus well-defined."""
+    app = "fft"
+    native_runner = Runner(make(app), control=NativeServices(),
+                           scheduler=RoundRobinScheduler())
+    native_record = native_runner.run(7)
+    checked_runner = Runner(make(app), scheme_factory=SchemeConfig(kind="hw"),
+                            control=InstantCheckControl(),
+                            scheduler=RoundRobinScheduler())
+    checked_record = checked_runner.run(7)
+    assert native_count(native_record) == native_count(checked_record)
+
+
+def test_hw_overhead_in_run_matches_model():
+    """The instructions the controlled run *charges* as overhead equal
+    what the model derives from its events."""
+    app = "pbzip2"
+    runner = Runner(make(app), scheme_factory=SchemeConfig(kind="hw"),
+                    control=InstantCheckControl(),
+                    scheduler=RoundRobinScheduler())
+    record = runner.run(7)
+    charged = record.instructions.get("zero_fill", 0)
+    assert charged == record.events["zero_filled_words"]  # 1 instr/word
+    row = measure_overheads(make(app), seed=7, scheduler="round_robin")
+    assert row.hw - row.native >= charged  # model >= the pure zeroing cost
+
+
+def test_overheads_deterministic_given_seed():
+    a = measure_overheads(make("ocean"), seed=5)
+    b = measure_overheads(make("ocean"), seed=5)
+    assert (a.native, a.hw, a.sw_inc, a.sw_tr) == (b.native, b.hw,
+                                                   b.sw_inc, b.sw_tr)
+
+
+def test_event_stream_consistency():
+    """Events the model consumes are internally consistent."""
+    row = measure_overheads(make("cholesky"), seed=9)
+    events = row.events
+    assert events["checkpoints"] == 4
+    assert events["checkpoint_words"] >= events["checkpoints"]
+    assert events["alloc_words"] >= events["freed_words"]
+    assert events["stores"] > 0

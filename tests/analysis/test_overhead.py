@@ -1,0 +1,94 @@
+"""Tests for the Figure 6 overhead model."""
+
+import pytest
+
+from repro.analysis.overhead import (OverheadConstants, figure6, geomean,
+                                     measure_overheads, overheads_from_events)
+from repro.workloads import Fft, Ocean, Sphinx3, Swaptions
+
+
+def test_geomean():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([]) == 0.0
+    assert geomean([3.0]) == pytest.approx(3.0)
+
+
+def test_overheads_from_events_native_floor():
+    """With no events, every configuration equals Native."""
+    row = overheads_from_events("x", 1000, {})
+    norm = row.normalized()
+    assert norm == {"native": 1.0, "hw": 1.0, "sw_inc": 1.0, "sw_tr": 1.0}
+
+
+def test_hw_overhead_is_zero_fill_only():
+    row = overheads_from_events("x", 1000, {"zero_filled_words": 100})
+    assert row.hw == 1000 + 100
+    # Stores are free for the hardware scheme...
+    row2 = overheads_from_events("x", 1000, {"stores": 500})
+    assert row2.hw == 1000
+    # ...but expensive for SW-Inc.
+    assert row2.sw_inc > row2.hw
+
+
+def test_sw_inc_scales_with_stores():
+    a = overheads_from_events("x", 1000, {"stores": 10})
+    b = overheads_from_events("x", 1000, {"stores": 100})
+    assert b.sw_inc > a.sw_inc
+    assert a.sw_tr == b.sw_tr  # traversal cost is store-independent
+
+
+def test_sw_tr_scales_with_checkpoint_words():
+    a = overheads_from_events("x", 1000, {"checkpoint_words": 50})
+    b = overheads_from_events("x", 1000, {"checkpoint_words": 500})
+    assert b.sw_tr > a.sw_tr
+    assert a.sw_inc == b.sw_inc
+
+
+def test_constants_paper_value():
+    c = OverheadConstants()
+    # 5 instructions per hashed byte, 8 bytes per (address, value) pair.
+    assert c.hash_location == 40
+
+
+def test_measured_ordering_per_app():
+    """HW is always (near-)free; the SW schemes cross over by profile:
+    ocean favors incremental, fft favors traversal (Figure 6)."""
+    ocean = measure_overheads(Ocean()).normalized()
+    fft = measure_overheads(Fft()).normalized()
+    for norm in (ocean, fft):
+        assert norm["hw"] < 1.1
+        assert norm["hw"] < norm["sw_inc"]
+        assert norm["hw"] < norm["sw_tr"]
+    assert ocean["sw_inc"] < ocean["sw_tr"]
+    assert fft["sw_tr"] < fft["sw_inc"]
+
+
+def test_sphinx3_ignore_ordering():
+    """The sphinx3-ignore case: HW ≪ SW-Inc ≤ SW-Tr (paper: 4.5X, 55X,
+    438X), and ignoring costs the hardware something but far less."""
+    plain = measure_overheads(Sphinx3()).normalized()
+    ignoring = measure_overheads(Sphinx3(), with_ignores=True).normalized()
+    assert ignoring["hw"] > plain["hw"]
+    assert ignoring["hw"] < ignoring["sw_inc"]
+    assert ignoring["sw_inc"] < ignoring["sw_tr"] * 1.5
+
+
+def test_swaptions_near_native():
+    """Almost no allocation, no ignores: every scheme is cheap-ish and
+    HW is essentially free."""
+    norm = measure_overheads(Swaptions()).normalized()
+    assert norm["hw"] < 1.01
+
+
+def test_figure6_includes_geom_row():
+    rows = figure6([Ocean(), Fft()], include_sphinx_ignore=False)
+    assert rows[-1].application == "GEOM"
+    summary = rows[-1].events["normalized"]
+    assert summary["hw"] >= 1.0
+    assert summary["sw_inc"] > 1.0
+
+
+def test_figure6_sphinx_ignore_row_appended():
+    rows = figure6([Sphinx3()])
+    labels = [r.application for r in rows]
+    assert "sphinx3+ignore" in labels

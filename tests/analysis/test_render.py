@@ -1,0 +1,68 @@
+"""Tests for table/figure rendering."""
+
+from repro.analysis.figures import render_figure5, render_figure6
+from repro.analysis.overhead import overheads_from_events
+from repro.analysis.tables import (PAPER_TABLE1, PAPER_TABLE2,
+                                   classify_matches_paper, render_table,
+                                   render_table1, render_table1_comparison,
+                                   render_table2)
+from repro.core.checker.report import characterize
+from repro.core.checker.runner import check_determinism
+from repro.core.hashing.rounding import default_policy
+from repro.core.schemes.base import SchemeConfig
+from repro.workloads import Volrend, seeded_waterNS
+
+
+def test_paper_tables_cover_all_apps():
+    assert len(PAPER_TABLE1) == 17
+    assert set(PAPER_TABLE2) == {"waterNS", "waterSP", "radix"}
+
+
+def test_render_table_alignment():
+    text = render_table(("A", "Bee"), [("x", 1), ("longer", 22)])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("A")
+    assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+
+def test_render_table1_and_comparison():
+    row = characterize(Volrend(), runs=4)
+    text = render_table1([row])
+    assert "volrend" in text
+    assert "Application" in text
+    comparison = render_table1_comparison([row])
+    assert "volrend" in comparison
+    assert "6/0" in comparison  # the paper's point counts appear
+
+
+def test_classify_matches_paper():
+    row = characterize(Volrend(), runs=4)
+    assert classify_matches_paper(row)
+
+
+def test_render_table2():
+    result = check_determinism(
+        seeded_waterNS(), runs=6,
+        schemes={"r": SchemeConfig(kind="hw", rounding=default_policy())})
+    text = render_table2({"waterNS": result.verdict("r")})
+    assert "semantic" in text
+    assert "12/9" in text  # the paper column
+
+
+def test_render_figure5():
+    result = check_determinism(
+        seeded_waterNS(), runs=6,
+        schemes={"r": SchemeConfig(kind="hw", rounding=default_policy())})
+    text = render_figure5({"waterNS": result.verdict("r")})
+    assert "waterNS" in text
+    assert "D1" in text
+
+
+def test_render_figure6():
+    rows = [overheads_from_events("toy", 1000, {"stores": 50,
+                                                "checkpoint_words": 200})]
+    text = render_figure6(rows)
+    assert "toy" in text
+    assert "sw_inc" in text
+    assert "|#" in text

@@ -1,0 +1,95 @@
+"""Tests for always-on golden-baseline regression checking."""
+
+import pytest
+
+from repro.apps.golden import GoldenBaseline, bless, verify
+from repro.workloads import Fft, Pbzip2, Streamcluster, Volrend
+
+
+def test_bless_then_verify_same_build():
+    program = Volrend(n_workers=4, image_words=16)
+    baseline = bless(program, "default")
+    verdict = verify(Volrend(n_workers=4, image_words=16), "default",
+                     baseline)
+    assert verdict.matches
+    assert "state-identical" in verdict.summary()
+
+
+def test_semantic_change_diverges():
+    """A changed constant is a different program: the baseline flags it
+    at the first checkpoint whose state it altered."""
+    baseline = bless(Fft(n_workers=4, log2_n=5), "default")
+
+    class ChangedFft(Fft):
+        def setup(self, ctx, st):
+            yield from super().setup(ctx, st)
+            yield from ctx.store(st.re, 999.0)  # perturb one input word
+
+    verdict = verify(ChangedFft(n_workers=4, log2_n=5), "default", baseline)
+    assert not verdict.matches
+    assert verdict.first_divergence is not None
+    assert "DIVERGES" in verdict.summary()
+
+
+def test_structure_change_reported_distinctly():
+    baseline = bless(Volrend(n_workers=4, image_words=16), "default")
+
+    class ExtraPhaseVolrend(Volrend):
+        PHASES = 7  # more barriers than the blessed build
+
+    verdict = verify(ExtraPhaseVolrend(n_workers=4, image_words=16),
+                     "default", baseline)
+    assert not verdict.matches
+    assert verdict.structure_changed
+    assert "structure changed" in verdict.summary()
+
+
+def test_output_stream_covered():
+    program = Pbzip2(n_chunks=6)
+    baseline = bless(program, "log", seed=7)
+
+    class LouderPbzip2(Pbzip2):
+        def teardown(self, ctx, st):
+            yield from super().teardown(ctx, st)
+            yield from ctx.write_output([42])  # extra trailing word
+
+    verdict = verify(LouderPbzip2(n_chunks=6), "log", baseline)
+    assert not verdict.matches
+    assert not verdict.outputs_match
+
+
+def test_multiple_inputs_in_one_baseline():
+    baseline = bless(Streamcluster(n_workers=4, input_size="medium",
+                                   n_points=16), "medium")
+    baseline = bless(Streamcluster(n_workers=4, input_size="dev",
+                                   n_points=16), "dev", baseline=baseline)
+    assert set(baseline.inputs) == {"medium", "dev"}
+    for name, size in (("medium", "medium"), ("dev", "dev")):
+        verdict = verify(Streamcluster(n_workers=4, input_size=size,
+                                       n_points=16), name, baseline)
+        assert verdict.matches, name
+
+
+def test_baseline_json_roundtrip():
+    baseline = bless(Volrend(n_workers=4, image_words=16), "default")
+    restored = GoldenBaseline.from_json(baseline.to_json())
+    verdict = verify(Volrend(n_workers=4, image_words=16), "default",
+                     restored)
+    assert verdict.matches
+
+
+def test_unknown_input_rejected():
+    baseline = bless(Volrend(n_workers=4, image_words=16), "default")
+    with pytest.raises(KeyError, match="no golden entry"):
+        verify(Volrend(n_workers=4, image_words=16), "other", baseline)
+
+
+def test_bug_introduction_caught():
+    """The workflow's purpose: a blessed streamcluster baseline catches
+    the (re)introduction of the order-violation bug, because the buggy
+    build's racy state diverges from the golden sequence."""
+    baseline = bless(Streamcluster(n_workers=4, buggy=False, n_points=16),
+                     "default", scheduler="random", seed=3)
+    verdict = verify(Streamcluster(n_workers=4, buggy=True, n_points=16),
+                     "default", baseline)
+    assert not verdict.matches

@@ -1,0 +1,73 @@
+"""Tests for the Light64-style load-history extension (Section 9)."""
+
+from repro.apps.light64 import (LoadHistoryHasher, check_races_light64)
+from _programs import Fig1Program, RacyProgram
+
+
+def test_load_history_is_order_sensitive():
+    hasher = LoadHistoryHasher()
+    hasher.record_load(1, 10, 5)
+    hasher.record_load(1, 11, 6)
+    other = LoadHistoryHasher()
+    other.record_load(1, 11, 6)
+    other.record_load(1, 10, 5)
+    assert hasher.histories() != other.histories()
+
+
+def test_load_history_per_thread():
+    hasher = LoadHistoryHasher()
+    hasher.record_load(1, 10, 5)
+    hasher.record_load(2, 10, 5)
+    histories = hasher.histories()
+    assert histories[1] == histories[2]  # same sequence, same hash
+    hasher.record_load(1, 10, 7)
+    assert hasher.histories()[1] != hasher.histories()[2]
+
+
+def test_racy_reads_detected():
+    """An unsynchronized read-modify-write: all runs share the (empty)
+    sync signature, and the racy loads give different histories."""
+    result = check_races_light64(RacyProgram(), runs=10)
+    assert result.comparable_classes >= 1
+    assert result.race_detected
+
+
+def test_race_free_program_clean():
+    """Figure 1 is properly locked: within each lock-order class the
+    load histories are identical — no race."""
+    result = check_races_light64(Fig1Program(), runs=12)
+    assert result.comparable_classes >= 1
+    assert not result.race_detected
+
+
+def test_class_sizes_account_all_runs():
+    result = check_races_light64(Fig1Program(), runs=8)
+    assert sum(result.class_sizes.values()) == 8
+
+
+def test_write_write_same_value_race_invisible():
+    """A write-write race that writes identical values never changes any
+    loaded value: Light64-style hashing (like the state hash) treats it
+    as benign — volrend's hand-coded-barrier race is exactly this."""
+    from repro.sim.layout import StaticLayout
+    from repro.sim.program import Program
+
+    class SameValueFlag(Program):
+        name = "svflag"
+
+        def __init__(self):
+            layout = StaticLayout()
+            self.flag = layout.var("flag")
+            self.out = layout.array("out", 2)
+            super().__init__(n_workers=2, static_words=layout.words)
+            self.static_layout = layout
+
+        def worker(self, ctx, st, wid):
+            yield from ctx.store(self.flag, 1)   # the benign racy write
+            yield from ctx.sched_yield()
+            value = yield from ctx.load(self.flag)
+            yield from ctx.store(self.out + wid, value)
+
+    result = check_races_light64(SameValueFlag(), runs=10)
+    assert result.comparable_classes >= 1
+    assert not result.race_detected

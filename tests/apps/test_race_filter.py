@@ -1,0 +1,43 @@
+"""Tests for benign-race filtering (Section 6.1)."""
+
+from repro.apps.race_filter import classify_races, detect_races
+from repro.workloads import Fft, Streamcluster, Volrend
+
+
+def test_volrend_races_classified_benign():
+    """The hand-coded-barrier race writes identical values: benign."""
+    result = classify_races(Volrend(n_workers=4, image_words=16), runs=8)
+    assert result.n_races > 0
+    assert result.benign
+    assert result.first_divergent_run is None
+
+
+def test_streamcluster_bug_classified_harmful():
+    result = classify_races(
+        Streamcluster(n_workers=4, buggy=True, input_size="dev",
+                      n_points=16),
+        runs=8)
+    assert result.n_races > 0
+    assert not result.benign
+    assert result.first_divergent_run is not None
+
+
+def test_race_free_program_reports_none():
+    races = detect_races(Fft(n_workers=4, log2_n=5))
+    assert races == []
+
+
+def test_fixed_streamcluster_race_free():
+    races = detect_races(Streamcluster(n_workers=4, buggy=False,
+                                       n_points=16))
+    assert races == []
+
+
+def test_detection_union_across_seeds():
+    """More traced runs can only grow the set of observed races."""
+    program = Volrend(n_workers=4, image_words=16)
+    few = detect_races(program, seeds=(1,))
+    more = detect_races(program, seeds=(1, 2, 3))
+    keys = lambda races: {(r.address, r.first_tid, r.second_tid, r.kinds)
+                          for r in races}
+    assert keys(few) <= keys(more)

@@ -1,0 +1,25 @@
+"""Shared fixtures exposing the example programs in _programs.py."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _programs import AllocProgram, Fig1Program, RacyProgram  # noqa: E402
+
+
+@pytest.fixture
+def fig1():
+    return Fig1Program()
+
+
+@pytest.fixture
+def racy():
+    return RacyProgram()
+
+
+@pytest.fixture
+def allocp():
+    return AllocProgram()

@@ -1,0 +1,116 @@
+"""Tests for the AdHash group over (Z_2^64, +) — Section 2.2's algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hashing.adhash import AdHash, combine, gadd, gneg, gsub
+from repro.sim.values import MASK64
+
+U64 = st.integers(min_value=0, max_value=MASK64)
+ADDRESSES = st.integers(min_value=0, max_value=(1 << 32) - 1)
+VALUES = st.integers(min_value=0, max_value=(1 << 62))
+
+
+@given(x=U64, y=U64, z=U64)
+def test_group_laws(x, y, z):
+    assert gadd(x, y) == gadd(y, x)                       # commutative
+    assert gadd(gadd(x, y), z) == gadd(x, gadd(y, z))     # associative
+    assert gadd(x, 0) == x                                # identity
+    assert gadd(x, gneg(x)) == 0                          # inverse
+    assert gsub(gadd(x, y), y) == x                       # sub inverts add
+
+
+@given(pairs=st.lists(st.tuples(ADDRESSES, VALUES), max_size=30))
+def test_include_order_irrelevant(pairs):
+    """The State Hash is a set hash: inclusion order cannot matter."""
+    forward = AdHash()
+    for a, v in pairs:
+        forward.include(a, v)
+    backward = AdHash()
+    for a, v in reversed(pairs):
+        backward.include(a, v)
+    assert forward.value == backward.value
+
+
+@given(pairs=st.lists(st.tuples(ADDRESSES, VALUES), min_size=1, max_size=20))
+def test_exclude_cancels_include(pairs):
+    acc = AdHash()
+    for a, v in pairs:
+        acc.include(a, v)
+    for a, v in pairs:
+        acc.exclude(a, v)
+    assert acc.value == 0
+
+
+@given(address=ADDRESSES, old=VALUES, new=VALUES)
+def test_update_is_exclude_then_include(address, old, new):
+    """SH' = SH ⊖ h(a, v) ⊕ h(a, v') — the incremental write rule."""
+    via_update = AdHash().include(address, old).update(address, old, new)
+    direct = AdHash().include(address, new)
+    assert via_update.value == direct.value
+
+
+@given(pairs=st.lists(st.tuples(ADDRESSES, VALUES), max_size=24),
+       split=st.integers(min_value=0, max_value=24))
+def test_merge_equals_single_accumulator(pairs, split):
+    """Per-thread hashes combined == one global hash (TH -> SH)."""
+    split = min(split, len(pairs))
+    th0, th1 = AdHash(), AdHash()
+    for a, v in pairs[:split]:
+        th0.include(a, v)
+    for a, v in pairs[split:]:
+        th1.include(a, v)
+    single = AdHash()
+    for a, v in pairs:
+        single.include(a, v)
+    assert th0.copy().merge(th1).value == single.value
+    assert combine([th0.value, th1.value]) == single.value
+
+
+def test_combine_empty():
+    assert combine([]) == 0
+
+
+def test_combine_wraps():
+    assert combine([MASK64, 1]) == 0
+
+
+def test_adhash_accepts_mixer_name():
+    assert AdHash("crc64").mixer.name == "crc64"
+    assert AdHash("splitmix64").mixer.name == "splitmix64"
+
+
+def test_adhash_equality_and_repr():
+    a = AdHash(value=5)
+    assert a == AdHash(value=5)
+    assert a == 5
+    assert a != AdHash(value=6)
+    assert "0x0000000000000005" in repr(a)
+
+
+def test_reset():
+    acc = AdHash().include(1, 2)
+    assert acc.value != 0
+    assert acc.reset().value == 0
+
+
+def test_location_hash_matches_mixer():
+    acc = AdHash()
+    assert acc.location_hash(7, 9) == acc.mixer.location_hash(7, 9)
+
+
+@given(terms=st.lists(U64, max_size=16))
+def test_add_sub_roundtrip(terms):
+    acc = AdHash()
+    for t in terms:
+        acc.add(t)
+    for t in terms:
+        acc.sub(t)
+    assert acc.value == 0
+
+
+def test_copy_is_independent():
+    a = AdHash().include(1, 1)
+    b = a.copy()
+    b.include(2, 2)
+    assert a.value != b.value

@@ -1,0 +1,44 @@
+"""Tests for multi-input campaigns."""
+
+from repro.core.checker.campaign import InputPoint, run_campaign
+from repro.workloads import Streamcluster, Volrend
+
+
+def test_campaign_clean_program():
+    result = run_campaign(
+        lambda **kw: Volrend(**kw),
+        [InputPoint("small", {"image_words": 16}),
+         InputPoint("large", {"image_words": 64})],
+        runs=4)
+    assert result.deterministic_on_all_inputs
+    assert result.flagged_inputs == []
+    assert "deterministic" in result.summary()
+
+
+def test_campaign_exposes_input_dependent_bug():
+    """The streamcluster pattern: the medium input masks the bug at the
+    end; the dev input corrupts the final state.  A campaign shows both
+    — and shows that end-only comparison would catch only one."""
+    result = run_campaign(
+        lambda **kw: Streamcluster(buggy=True, **kw),
+        [InputPoint("medium", {"input_size": "medium"}),
+         InputPoint("dev", {"input_size": "dev"})],
+        runs=8)
+    assert not result.deterministic_on_all_inputs
+    assert set(result.flagged_inputs) == {"medium", "dev"}
+    assert result.end_visible_inputs == ["dev"]
+    assert result.internal_only_inputs == ["medium"]
+    text = result.summary()
+    assert "NONDETERMINISTIC" in text
+
+
+def test_campaign_isolated_controllers():
+    """Each input records its own malloc log: differently-sized inputs
+    must not poison one another's replay."""
+    result = run_campaign(
+        lambda **kw: Volrend(**kw),
+        [InputPoint("a", {"image_words": 16}),
+         InputPoint("b", {"image_words": 32}),
+         InputPoint("c", {"image_words": 48})],
+        runs=3)
+    assert result.deterministic_on_all_inputs

@@ -1,0 +1,83 @@
+"""Checker-level properties over random programs (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checker.runner import check_determinism
+from repro.core.control.ignore import ignore_address, ignore_static
+from repro.core.hashing.rounding import no_rounding
+from repro.core.schemes.base import SchemeConfig
+from repro.sim.layout import StaticLayout
+from repro.sim.program import Program
+
+
+class MixedProgram(Program):
+    """Some deterministic words, some racy words, seed-configurable."""
+
+    name = "mixed"
+
+    def __init__(self, n_racy: int, n_det: int):
+        layout = StaticLayout()
+        self.racy = layout.array("racy", max(n_racy, 1))
+        self.det = layout.array("det", max(n_det, 1))
+        super().__init__(n_workers=2, static_words=layout.words)
+        self.static_layout = layout
+        self.static_types = layout.types
+        self.n_racy = n_racy
+        self.n_det = n_det
+
+    def worker(self, ctx, st, wid):
+        for i in range(self.n_det):
+            # Disjoint deterministic writes (partitioned by parity).
+            if i % 2 == wid:
+                yield from ctx.store(self.det + i, i * 3 + 7)
+        for i in range(self.n_racy):
+            value = yield from ctx.load(self.racy + i)
+            yield from ctx.sched_yield()
+            yield from ctx.store(self.racy + i, value + wid + 1)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n_racy=st.integers(1, 4), n_det=st.integers(1, 4))
+def test_ignoring_all_racy_words_restores_determinism(n_racy, n_det):
+    """Deleting exactly the nondeterministic words flips the verdict —
+    for *any* mix of racy and deterministic state."""
+    program = MixedProgram(n_racy, n_det)
+    result = check_determinism(
+        program, runs=8,
+        schemes={"bit": SchemeConfig(kind="hw", rounding=no_rounding())},
+        ignores=(ignore_static("racy"),))
+    assert not result.verdict("bit").deterministic        # raw: flagged
+    assert result.verdict("bit+ignore").deterministic     # adjusted: clean
+
+
+@settings(max_examples=10, deadline=None)
+@given(n_det=st.integers(1, 5),
+       extra_ignores=st.lists(st.integers(0, 4), max_size=3))
+def test_ignore_deletion_is_monotone(n_det, extra_ignores):
+    """If the raw hashes agree across runs, deleting any set of (then
+    necessarily identical-valued) words preserves agreement: ignores can
+    only remove nondeterminism, never introduce it."""
+    program = MixedProgram(0, n_det)
+    ignores = tuple(ignore_address(program.det + i % max(n_det, 1))
+                    for i in extra_ignores)
+    result = check_determinism(
+        program, runs=6,
+        schemes={"bit": SchemeConfig(kind="hw", rounding=no_rounding())},
+        ignores=ignores or (ignore_address(program.det),))
+    assert result.verdict("bit").deterministic
+    key = "bit+ignore"
+    assert result.verdict(key).deterministic
+
+
+@settings(max_examples=8, deadline=None)
+@given(n_racy=st.integers(1, 3))
+def test_partial_ignores_insufficient(n_racy):
+    """Ignoring only some racy words still reports nondeterminism: the
+    checker cannot be silenced by an incomplete specification."""
+    program = MixedProgram(n_racy + 1, 1)
+    ignores = tuple(ignore_address(program.racy + i) for i in range(n_racy))
+    result = check_determinism(
+        program, runs=8,
+        schemes={"bit": SchemeConfig(kind="hw", rounding=no_rounding())},
+        ignores=ignores)
+    assert not result.verdict("bit+ignore").deterministic

@@ -1,0 +1,146 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_list():
+    code, text = run_cli("list")
+    assert code == 0
+    assert "blackscholes" in text
+    assert "radiosity" in text
+    assert text.count("\n") >= 18
+
+
+def test_check_deterministic_app_exit_zero():
+    code, text = run_cli("check", "volrend", "--runs", "4")
+    assert code == 0
+    assert "deterministic : True" in text
+
+
+def test_check_ndet_app_exit_nonzero():
+    code, text = run_cli("check", "canneal", "--runs", "4")
+    assert code == 1
+    assert "deterministic : False" in text
+    assert "first NDet run" in text
+
+
+def test_check_with_rounding_and_ignores():
+    code, text = run_cli("check", "cholesky", "--runs", "4",
+                         "--rounding", "default", "--ignores")
+    assert code == 0
+
+
+def test_check_distributions_flag():
+    code, text = run_cli("check", "volrend", "--runs", "4",
+                         "--distributions")
+    assert "deterministic)" in text
+
+
+def test_characterize():
+    code, text = run_cli("characterize", "volrend", "--runs", "4")
+    assert code == 0
+    assert "class: bit-by-bit" in text
+
+
+def test_localize():
+    code, text = run_cli("localize", "pbzip2", "--checkpoint", "0",
+                         "--seed-a", "50", "--seed-b", "53")
+    assert "differing words" in text
+
+
+def test_table1_subset():
+    code, text = run_cli("table1", "--runs", "4",
+                         "--apps", "volrend", "fft")
+    assert code == 0
+    assert "volrend" in text and "fft" in text
+    assert "Class (paper)" in text
+
+
+def test_table2():
+    code, text = run_cli("table2", "--runs", "6")
+    assert code == 0
+    assert "atomicity violation" in text
+
+
+def test_fig5_custom_apps():
+    code, text = run_cli("fig5", "--runs", "4", "--apps", "canneal")
+    assert code == 0
+    assert "canneal" in text and "D1" in text
+
+
+def test_fig8():
+    code, text = run_cli("fig8", "--runs", "4")
+    assert code == 0
+    assert "radix" in text
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        run_cli("check", "doom")
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        run_cli()
+
+
+def test_races_benign_app():
+    code, text = run_cli("races", "volrend", "--runs", "6")
+    assert code == 0
+    assert "benign" in text
+    assert "write-write" in text
+
+
+def test_races_race_free_app():
+    code, text = run_cli("races", "fft", "--runs", "4")
+    assert code == 0
+    assert "0 race(s)" in text
+
+
+def test_light64_no_comparable_classes_note():
+    code, text = run_cli("light64", "canneal", "--runs", "4")
+    assert "comparable schedule class" in text
+
+
+def test_check_json():
+    import json
+
+    code, text = run_cli("check", "volrend", "--runs", "4", "--json")
+    payload = json.loads(text)
+    assert payload["program"] == "volrend"
+    assert code == 0
+
+
+def test_characterize_json():
+    import json
+
+    code, text = run_cli("characterize", "volrend", "--runs", "4", "--json")
+    payload = json.loads(text)
+    assert payload["det_class"] == "bit-by-bit"
+
+
+def test_bless_and_verify_golden(tmp_path):
+    path = str(tmp_path / "golden.json")
+    code, text = run_cli("bless", "volrend", "--out", path)
+    assert code == 0
+    assert "blessed" in text
+    code, text = run_cli("verify-golden", "volrend", "--baseline", path)
+    assert code == 0
+    assert "state-identical" in text
+
+
+def test_verify_golden_flags_different_app(tmp_path):
+    path = str(tmp_path / "golden.json")
+    run_cli("bless", "fft", "--out", path)
+    code, text = run_cli("verify-golden", "lu", "--baseline", path)
+    assert code == 1

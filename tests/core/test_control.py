@@ -1,0 +1,199 @@
+"""Tests for the Section 5 nondeterminism controller."""
+
+import pytest
+
+from repro.core.control.controller import InstantCheckControl
+from repro.core.control.libcalls import LibcallLog
+from repro.core.control.malloc_replay import MallocLog
+from repro.core.schemes.base import SchemeConfig
+from repro.sim.program import Program, Runner
+from repro.sim.scheduler import RandomScheduler
+
+
+class TestMallocLog:
+    def test_record_lookup(self):
+        log = MallocLog()
+        log.record(1, 0, 4, 100)
+        assert log.lookup(1, 0, 4) == 100
+        assert len(log) == 1
+
+    def test_miss_counted(self):
+        log = MallocLog()
+        assert log.lookup(1, 0, 4) is None
+        assert log.replay_misses == 1
+
+    def test_size_mismatch_is_miss(self):
+        """A custom allocator above malloc can desynchronize sizes; the
+        entry is unusable and must fall back, not crash (Section 4.2)."""
+        log = MallocLog()
+        log.record(1, 0, 4, 100)
+        assert log.lookup(1, 0, 8) is None
+        assert log.size_mismatches == 1
+
+    def test_high_water(self):
+        log = MallocLog()
+        assert log.high_water() == 0
+        log.record(1, 0, 4, 100)
+        log.record(2, 0, 8, 300)
+        assert log.high_water() == 308
+
+
+class TestLibcallLog:
+    def test_record_lookup(self):
+        log = LibcallLog()
+        log.record("rand", 1, 0, 42)
+        assert log.lookup("rand", 1, 0) == 42
+        assert log.lookup("rand", 1, 1) is None
+        assert log.replay_misses == 1
+
+    def test_fallback_is_deterministic(self):
+        log = LibcallLog()
+        assert log.fallback("rand", 1, 5) == log.fallback("rand", 1, 5)
+        assert log.fallback("rand", 1, 5) != log.fallback("rand", 2, 5)
+
+
+class MallocPublisher(Program):
+    """Each worker mallocs and publishes the address (conftest twin,
+    standalone so this module can tweak it)."""
+
+    name = "mpub"
+
+    def __init__(self, n_workers=3):
+        from repro.sim.layout import StaticLayout
+
+        layout = StaticLayout()
+        self.ptrs = layout.array("ptrs", n_workers, tag="p")
+        super().__init__(n_workers=n_workers, static_words=layout.words)
+        self.static_layout = layout
+        self.static_types = layout.types
+
+    def worker(self, ctx, st, wid):
+        yield from ctx.sched_yield()
+        block = yield from ctx.malloc(4, site="m")
+        yield from ctx.store(self.ptrs + wid, block.base)
+
+
+def run_with_control(program, control, seed):
+    runner = Runner(program, scheme_factory=SchemeConfig(kind="hw"),
+                    control=control, scheduler=RandomScheduler())
+    record = runner.run(seed)
+    return runner, record
+
+
+def test_malloc_replay_pins_addresses():
+    program = MallocPublisher()
+    control = InstantCheckControl()
+    runner, _ = run_with_control(program, control, 1)
+    first = [runner.memory.load(program.ptrs + w) for w in range(3)]
+    runner, _ = run_with_control(program, control, 2)
+    second = [runner.memory.load(program.ptrs + w) for w in range(3)]
+    assert first == second
+
+
+def test_without_replay_addresses_vary():
+    program = MallocPublisher()
+    control = InstantCheckControl(malloc_replay=False)
+    seen = set()
+    for seed in range(6):
+        runner, _ = run_with_control(program, control, seed)
+        seen.add(tuple(runner.memory.load(program.ptrs + w) for w in range(3)))
+    assert len(seen) > 1
+
+
+def test_zero_fill_makes_fresh_memory_zero():
+    class ReadFresh(Program):
+        name = "readfresh"
+
+        def __init__(self):
+            super().__init__(n_workers=1, static_words=2)
+
+        def worker(self, ctx, st, wid):
+            block = yield from ctx.malloc(4, site="f")
+            value = yield from ctx.load(block.base + 2)
+            yield from ctx.store(0, value)
+
+    runner, _ = run_with_control(ReadFresh(), InstantCheckControl(), 9)
+    assert runner.memory.load(0) == 0
+
+
+def test_no_zero_fill_reads_garbage():
+    class ReadFresh(Program):
+        name = "readfresh2"
+
+        def __init__(self):
+            super().__init__(n_workers=1, static_words=2)
+
+        def worker(self, ctx, st, wid):
+            block = yield from ctx.malloc(4, site="f")
+            value = yield from ctx.load(block.base + 2)
+            yield from ctx.store(0, value)
+
+    control = InstantCheckControl(zero_fill=False)
+    values = set()
+    for seed in (5, 6, 7):
+        runner, _ = run_with_control(ReadFresh(), control, seed)
+        values.add(runner.memory.load(0))
+    assert len(values) > 1  # garbage varies with run entropy
+
+
+def test_zero_fill_charged_as_overhead():
+    program = MallocPublisher()
+    _runner, record = run_with_control(program, InstantCheckControl(), 1)
+    assert record.instructions.get("zero_fill", 0) > 0
+    assert record.events["zero_filled_words"] == 3 * 4
+
+
+class LibcallProgram(Program):
+    name = "libcalls"
+
+    def __init__(self):
+        from repro.sim.layout import StaticLayout
+
+        layout = StaticLayout()
+        self.out = layout.array("out", 4)
+        super().__init__(n_workers=2, static_words=layout.words)
+        self.static_layout = layout
+
+    def worker(self, ctx, st, wid):
+        r = yield from ctx.rand()
+        yield from ctx.sched_yield()
+        t = yield from ctx.gettimeofday()
+        yield from ctx.store(self.out + wid * 2, r)
+        yield from ctx.store(self.out + wid * 2 + 1, t)
+
+
+def test_libcall_replay_pins_results():
+    program = LibcallProgram()
+    control = InstantCheckControl()
+    runner, _ = run_with_control(program, control, 1)
+    first = [runner.memory.load(program.out + i) for i in range(4)]
+    runner, _ = run_with_control(program, control, 2)
+    second = [runner.memory.load(program.out + i) for i in range(4)]
+    assert first == second
+
+
+def test_libcall_no_replay_varies():
+    program = LibcallProgram()
+    control = InstantCheckControl(libcall_replay=False)
+    seen = set()
+    for seed in range(5):
+        runner, _ = run_with_control(program, control, seed)
+        seen.add(tuple(runner.memory.load(program.out + i) for i in range(4)))
+    assert len(seen) > 1
+
+
+def test_output_hashing_per_fd():
+    class Writer(Program):
+        name = "writer"
+
+        def __init__(self):
+            super().__init__(n_workers=1, static_words=1)
+
+        def worker(self, ctx, st, wid):
+            yield from ctx.write_output([1, 2, 3], fd=1)
+            yield from ctx.write_output([9], fd=2)
+
+    control = InstantCheckControl()
+    _runner, record = run_with_control(Writer(), control, 0)
+    assert set(record.output_hashes) == {1, 2}
+    assert record.output_hashes[1] != record.output_hashes[2]

@@ -1,0 +1,126 @@
+"""Tests for ignoring nondeterministic structures (Sections 2.2, 5)."""
+
+import pytest
+
+from repro.core.control.controller import InstantCheckControl
+from repro.core.control.ignore import (IgnoreSpec, ignore_address,
+                                       ignore_field, ignore_site,
+                                       ignore_static, resolve_ignores)
+from repro.core.schemes.base import SchemeConfig
+from repro.errors import CheckerError
+from repro.sim.allocator import Allocator
+from repro.sim.layout import StaticLayout
+from repro.sim.memory import Memory
+from repro.sim.program import Program, Runner
+from repro.sim.values import MASK64
+
+
+@pytest.fixture
+def allocator():
+    return Allocator(Memory(static_words=8))
+
+
+def test_spec_validation():
+    with pytest.raises(CheckerError):
+        IgnoreSpec(kind="wildcard")
+
+
+def test_resolve_address(allocator):
+    specs = [ignore_address(42, is_fp=True)]
+    assert resolve_ignores(specs, allocator) == [(42, True)]
+
+
+def test_resolve_site_expands_live_blocks(allocator):
+    a = allocator.malloc(1, 2, site="node", typeinfo="if")
+    b = allocator.malloc(2, 2, site="node", typeinfo="if")
+    allocator.malloc(1, 2, site="other")
+    resolved = resolve_ignores([ignore_site("node")], allocator)
+    assert sorted(resolved) == sorted([
+        (a.base, False), (a.base + 1, True),
+        (b.base, False), (b.base + 1, True)])
+
+
+def test_resolve_site_tracks_frees(allocator):
+    a = allocator.malloc(1, 2, site="node")
+    allocator.free(a.base)
+    assert resolve_ignores([ignore_site("node")], allocator) == []
+
+
+def test_resolve_field(allocator):
+    a = allocator.malloc(1, 3, site="task", typeinfo="iip")
+    resolved = resolve_ignores([ignore_field("task", 2)], allocator)
+    assert resolved == [(a.base + 2, False)]  # 'p' is not FP
+
+
+def test_resolve_field_out_of_range(allocator):
+    allocator.malloc(1, 2, site="task")
+    with pytest.raises(CheckerError, match="outside block"):
+        resolve_ignores([ignore_field("task", 7)], allocator)
+
+
+def test_resolve_static(allocator):
+    layout = StaticLayout()
+    layout.var("x")
+    layout.array("fs", 2, tag="f")
+    resolved = resolve_ignores([ignore_static("fs")], allocator,
+                               static_layout=layout)
+    assert resolved == [(1, True), (2, True)]
+
+
+def test_resolve_static_needs_layout(allocator):
+    with pytest.raises(CheckerError, match="layout"):
+        resolve_ignores([ignore_static("fs")], allocator)
+
+
+def test_empty_specs(allocator):
+    assert resolve_ignores([], allocator) == []
+
+
+class IgnorableProgram(Program):
+    """One deterministic word, one schedule-dependent word."""
+
+    name = "ignorable"
+
+    def __init__(self):
+        layout = StaticLayout()
+        self.stable = layout.var("stable")
+        super().__init__(n_workers=2, static_words=layout.words)
+        self.static_layout = layout
+        self.static_types = layout.types
+
+    def worker(self, ctx, st, wid):
+        yield from ctx.sched_yield()
+        block = yield from ctx.malloc(1, site="scratch")
+        # Schedule-dependent: records who allocated first.
+        yield from ctx.store(block.base, block.base * 7 + wid)
+        if wid == 0:
+            yield from ctx.store(self.stable, 5)
+
+
+def test_deletion_makes_adjusted_hash_deterministic():
+    program = IgnorableProgram()
+    control = InstantCheckControl(malloc_replay=False,
+                                  ignores=[ignore_site("scratch")])
+    runner = Runner(program, scheme_factory=SchemeConfig(kind="hw"),
+                    control=control)
+    raw_hashes, adjusted_hashes = set(), set()
+    for seed in range(6):
+        record = runner.run(seed)
+        raw_hashes.add(record.checkpoints[-1].raw_hash)
+        adjusted_hashes.add(record.checkpoints[-1].hash)
+    assert len(raw_hashes) > 1        # the scratch word really varies
+    assert len(adjusted_hashes) == 1  # deletion removes exactly that word
+
+
+def test_deletion_matches_hash_without_the_word():
+    """SH ⊖ h(a, cur) == the hash of the state with a zeroed (Section 2.2)."""
+    program = IgnorableProgram()
+    control = InstantCheckControl(ignores=[ignore_static("stable")])
+    runner = Runner(program, scheme_factory=SchemeConfig(kind="hw"),
+                    control=control)
+    record = runner.run(0)
+    checkpoint = record.checkpoints[-1]
+    # Reconstruct: adjusted + h(stable, 5) == raw.
+    scheme = runner.scheme
+    term = scheme.mixer.location_hash(program.stable, 5)
+    assert (checkpoint.hash + term) & MASK64 == checkpoint.raw_hash

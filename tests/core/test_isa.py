@@ -1,0 +1,89 @@
+"""Tests for the MHM software interface (Figure 4)."""
+
+import pytest
+
+from repro.core.mhm import isa
+from repro.core.mhm.module import Mhm
+from repro.errors import IsaError
+from repro.sim.memory import Memory
+
+
+@pytest.fixture
+def env():
+    memory = Memory(static_words=16)
+    return Mhm(0), memory
+
+
+def test_start_stop_hashing(env):
+    mhm, memory = env
+    isa.execute("stop_hashing", mhm, memory)
+    mhm.on_store(1, 0, 5, False)
+    assert mhm.read_th() == 0
+    isa.execute("start_hashing", mhm, memory)
+    mhm.on_store(1, 0, 5, False)
+    assert mhm.read_th() != 0
+
+
+def test_save_restore_hash_via_memory(env):
+    """The OS path: spill TH to memory at a context switch, reload later."""
+    mhm, memory = env
+    mhm.on_store(1, 0, 5, False)
+    th = mhm.read_th()
+    isa.execute("save_hash", mhm, memory, 8)
+    assert memory.load(8) == th
+    mhm.write_th(0)
+    isa.execute("restore_hash", mhm, memory, 8)
+    assert mhm.read_th() == th
+
+
+def test_save_hash_does_not_hash_its_own_spill(env):
+    mhm, memory = env
+    mhm.on_store(1, 0, 5, False)
+    before = mhm.read_th()
+    isa.execute("save_hash", mhm, memory, 8)
+    assert mhm.read_th() == before  # the spill store left TH untouched
+
+
+def test_minus_plus_hash(env):
+    mhm, memory = env
+    memory.store(3, 77)
+    mhm.on_store(3, 0, 77, False)  # pretend the program wrote it
+    isa.execute("minus_hash", mhm, memory, 3)
+    assert mhm.read_th() == 0
+    isa.execute("plus_hash", mhm, memory, 3, 77)
+    mhm2 = Mhm(0)
+    mhm2.on_store(3, 0, 77, False)
+    assert mhm.read_th() == mhm2.read_th()
+
+
+def test_fp_rounding_instructions(env):
+    from repro.core.hashing.rounding import default_policy
+
+    memory = Memory(static_words=4)
+    mhm = Mhm(0, rounding=default_policy())
+    isa.execute("stop_FP_rounding", mhm, memory)
+    assert not mhm.fp_rounding_enabled
+    isa.execute("start_FP_rounding", mhm, memory)
+    assert mhm.fp_rounding_enabled
+
+
+def test_unknown_instruction(env):
+    mhm, memory = env
+    with pytest.raises(IsaError, match="unknown MHM instruction"):
+        isa.execute("hash_all_the_things", mhm, memory)
+
+
+def test_operand_count_validation(env):
+    mhm, memory = env
+    with pytest.raises(IsaError):
+        isa.execute("save_hash", mhm, memory)
+    with pytest.raises(IsaError):
+        isa.execute("minus_hash", mhm, memory)
+    with pytest.raises(IsaError):
+        isa.execute("plus_hash", mhm, memory, 1)
+
+
+def test_instruction_list_is_figure4():
+    assert set(isa.INSTRUCTIONS) == {
+        "start_hashing", "stop_hashing", "save_hash", "restore_hash",
+        "minus_hash", "plus_hash", "start_FP_rounding", "stop_FP_rounding"}

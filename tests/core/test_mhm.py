@@ -1,0 +1,168 @@
+"""Tests for the Memory-State Hashing Module (Figure 3) and TH register."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hashing.rounding import default_policy
+from repro.core.mhm.clusters import ClusterBank, drain_order
+from repro.core.mhm.module import Mhm
+from repro.core.mhm.register import ThRegister
+from repro.sim.values import MASK64
+
+STORES = st.lists(
+    st.tuples(st.integers(0, 63),                      # address
+              st.integers(0, 1 << 32),                 # new value
+              st.booleans()),                          # is_fp (int values: no-op)
+    max_size=40)
+
+
+class TestThRegister:
+    def test_add_sub(self):
+        reg = ThRegister()
+        reg.add(5)
+        reg.add(MASK64)  # wraps
+        assert reg.value == 4
+        reg.sub(5)
+        assert reg.value == MASK64
+
+    def test_save_restore(self):
+        reg = ThRegister(123)
+        saved = reg.save()
+        reg.add(999)
+        reg.restore(saved)
+        assert reg.value == 123
+
+    def test_reset(self):
+        reg = ThRegister(7)
+        reg.reset()
+        assert reg.value == 0
+
+
+class TestClusterBank:
+    def test_merge_folds_and_clears(self):
+        bank = ClusterBank(4)
+        bank.route(10, cluster=0)
+        bank.route(20, cluster=3)
+        assert bank.merge() == 30
+        assert bank.merge() == 0
+
+    def test_routing_irrelevant(self):
+        terms = [random.Random(1).randrange(MASK64) for _ in range(20)]
+        banks = [ClusterBank(k, route_seed=s) for k, s in
+                 ((1, 0), (2, 5), (8, 9))]
+        results = []
+        for bank in banks:
+            for t in terms:
+                bank.route(t)
+            results.append(bank.merge())
+        assert len(set(results)) == 1
+
+    def test_zero_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterBank(0)
+
+
+def test_drain_order_policies():
+    rng = random.Random(0)
+    assert drain_order(4, "fifo", rng) == [0, 1, 2, 3]
+    assert drain_order(4, "lifo", rng) == [3, 2, 1, 0]
+    assert sorted(drain_order(8, "shuffle", rng)) == list(range(8))
+    with pytest.raises(ValueError):
+        drain_order(4, "sideways", rng)
+
+
+def run_stores(mhm, stores):
+    shadow = {}
+    for address, value, is_fp in stores:
+        old = shadow.get(address, 0)
+        mhm.on_store(address, old, value, is_fp)
+        shadow[address] = value
+    return shadow
+
+
+class TestMhm:
+    def test_incremental_equals_final_state_sum(self):
+        """After any store sequence, TH == sum of h(a, final) over the
+        final state (telescoping from the all-zero baseline)."""
+        mhm = Mhm(0)
+        stores = [(1, 10, False), (2, 20, False), (1, 30, False),
+                  (2, 0, False), (3, 7, False)]
+        shadow = run_stores(mhm, stores)
+        expected = 0
+        for a, v in shadow.items():
+            expected = (expected + mhm.mixer.location_hash(a, v)) & MASK64
+        assert mhm.read_th() == expected
+
+    @settings(max_examples=60)
+    @given(stores=STORES)
+    def test_buffered_designs_equal_immediate(self, stores):
+        """Section 3.2: drain order and clustering never change TH."""
+        reference = Mhm(0)
+        run_stores(reference, stores)
+        expected = reference.read_th()
+        for n_clusters, policy in ((2, "shuffle"), (4, "lifo"), (3, "fifo")):
+            mhm = Mhm(0, n_clusters=n_clusters, drain_policy=policy,
+                      drain_seed=17)
+            run_stores(mhm, stores)
+            assert mhm.read_th() == expected
+
+    def test_stop_hashing_ignores_stores(self):
+        mhm = Mhm(0)
+        mhm.hashing_enabled = False
+        mhm.on_store(1, 0, 5, False)
+        assert mhm.read_th() == 0
+
+    def test_minus_plus_hash_cancel_a_location(self):
+        """Section 2.2: deleting a variable from the hash."""
+        mhm = Mhm(0)
+        mhm.on_store(4, 0, 99, False)
+        mhm.on_store(5, 0, 1, False)
+        mhm.minus_hash(4, 99)      # remove current value
+        mhm.plus_hash(4, 0)        # as if it were never written
+        only_5 = Mhm(0)
+        only_5.on_store(5, 0, 1, False)
+        assert mhm.read_th() == only_5.read_th()
+
+    def test_fp_rounding_unit_in_datapath(self):
+        policy = default_policy()
+        mhm = Mhm(0, rounding=policy)
+        mhm.on_store(1, 0.0, 1.23456789, True)
+        rounded = Mhm(0, rounding=policy)
+        rounded.on_store(1, 0.0, policy.apply(1.23456789), True)
+        assert mhm.read_th() == rounded.read_th()
+
+    def test_fp_rounding_disabled_for_int_stores(self):
+        policy = default_policy()
+        mhm = Mhm(0, rounding=policy)
+        mhm.on_store(1, 0, 12345, False)
+        plain = Mhm(0)
+        plain.on_store(1, 0, 12345, False)
+        assert mhm.read_th() == plain.read_th()
+
+    def test_fp_rounding_toggle(self):
+        policy = default_policy()
+        mhm = Mhm(0, rounding=policy)
+        assert mhm.fp_rounding_enabled
+        mhm.fp_rounding_enabled = False
+        mhm.on_store(1, 0.0, 1.23456789, True)
+        unrounded = Mhm(0)
+        unrounded.on_store(1, 0.0, 1.23456789, True)
+        assert mhm.read_th() == unrounded.read_th()
+
+    def test_write_th_read_th(self):
+        mhm = Mhm(0)
+        mhm.write_th(42)
+        assert mhm.read_th() == 42
+
+    def test_rounded_old_value_cancels(self):
+        """Old values are rounded through the same datapath, so repeated
+        FP stores to one address telescope exactly."""
+        policy = default_policy()
+        mhm = Mhm(0, rounding=policy)
+        mhm.on_store(1, 0.0, 1.111111, True)
+        mhm.on_store(1, 1.111111, 2.222222, True)
+        direct = Mhm(0, rounding=policy)
+        direct.on_store(1, 0.0, 2.222222, True)
+        assert mhm.read_th() == direct.read_th()

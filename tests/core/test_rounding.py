@@ -1,0 +1,143 @@
+"""Tests for the FP round-off unit (Sections 3.1 and 5)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hashing.rounding import (RoundingMode, RoundingPolicy,
+                                         decimal_floor, decimal_nearest,
+                                         default_policy, floor_policy,
+                                         mantissa_policy, no_rounding,
+                                         zero_mantissa_bits)
+
+FINITE = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e12, max_value=1e12)
+
+
+def test_default_policy_is_nearest_0_001():
+    policy = default_policy()
+    assert policy.mode is RoundingMode.DECIMAL_NEAREST
+    assert policy.digits == 3
+    assert policy.apply(1.23456) == pytest.approx(1.235)
+    assert policy.apply(1.2344) == pytest.approx(1.234)
+
+
+def test_no_rounding_identity():
+    policy = no_rounding()
+    assert not policy.enabled
+    assert policy.apply(1.23456789) == 1.23456789
+
+
+def test_mantissa_policy_masks_low_bits():
+    policy = mantissa_policy(bits=20)
+    a = policy.apply(1.0 + 1e-13)
+    b = policy.apply(1.0 + 2e-13)
+    assert a == b  # the tiny relative difference is gone
+    assert policy.apply(1.5) == 1.5  # representable values untouched
+
+
+def test_mantissa_zero_bits_identity_for_zero_m():
+    assert zero_mantissa_bits(3.14159, 0) == 3.14159
+
+
+def test_mantissa_zero_preserves_sign_and_magnitude():
+    value = -123.456
+    rounded = zero_mantissa_bits(value, 24)
+    assert rounded < 0
+    assert abs(rounded - value) < abs(value) * 1e-4
+
+
+def test_floor_policy_discards_absolute_differences():
+    policy = floor_policy(digits=2)
+    assert policy.apply(3.14159) == pytest.approx(3.14)
+    assert policy.apply(-3.14159) == pytest.approx(-3.15)  # floor, not trunc
+
+
+def test_decimal_floor_vs_nearest():
+    assert decimal_floor(1.9999, 3) == pytest.approx(1.999)
+    assert decimal_nearest(1.9999, 3) == pytest.approx(2.0)
+    assert decimal_nearest(-1.9999, 3) == pytest.approx(-2.0)
+
+
+def test_nearest_ties_away_from_zero():
+    assert decimal_nearest(0.0005, 3) == pytest.approx(0.001)
+    assert decimal_nearest(-0.0005, 3) == pytest.approx(-0.001)
+
+
+@given(value=FINITE)
+def test_rounding_idempotent(value):
+    """Rounding a rounded value must not move it by more than the
+    representability error.
+
+    MANTISSA_ZERO is exactly idempotent (a pure bit mask).  The decimal
+    modes floor/round in *decimal*, whose grid points are generally not
+    representable in binary64 (128.468 is stored as 128.46799...), so a
+    second application may step one grain — bounded, and irrelevant to
+    the schemes, which always round raw stored values exactly once.
+    """
+    policy = mantissa_policy(16)
+    once = policy.apply(value)
+    assert policy.apply(once) == once
+    for policy in (default_policy(), floor_policy(3)):
+        once = policy.apply(value)
+        twice = policy.apply(once)
+        assert abs(twice - once) <= 10.0 ** -policy.digits + 1e-12 * abs(once)
+
+
+@given(value=FINITE)
+def test_nearest_is_within_half_grain(value):
+    policy = default_policy()
+    assert abs(policy.apply(value) - value) <= 0.0005 + 1e-9 * abs(value)
+
+
+@given(value=FINITE, noise=st.floats(min_value=-1e-7, max_value=1e-7))
+def test_small_noise_usually_collapses(value, noise):
+    """The unit's purpose: sub-grain noise maps to the same value unless
+    the input sits within noise of a grain boundary."""
+    policy = default_policy()
+    a, b = policy.apply(value), policy.apply(value + noise)
+    scaled = value * 1000.0
+    near_boundary = abs(scaled + 0.5 - round(scaled + 0.5)) < 1e-3
+    if not near_boundary:
+        assert a == b
+
+
+def test_non_finite_pass_through():
+    for policy in (default_policy(), mantissa_policy(8), floor_policy(1)):
+        assert math.isnan(policy.apply(float("nan")))
+        assert policy.apply(float("inf")) == float("inf")
+        assert policy.apply(float("-inf")) == float("-inf")
+
+
+def test_integers_are_coerced():
+    assert default_policy().apply(3) == 3.0
+    assert isinstance(default_policy().apply(3), float)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="mantissa_bits"):
+        RoundingPolicy(mode=RoundingMode.MANTISSA_ZERO, mantissa_bits=53)
+    with pytest.raises(ValueError, match="digits"):
+        RoundingPolicy(mode=RoundingMode.DECIMAL_FLOOR, digits=-1)
+
+
+def test_policy_is_frozen():
+    policy = default_policy()
+    with pytest.raises(Exception):
+        policy.digits = 5
+
+
+def test_fp_order_noise_scenario():
+    """The Figure 1 scenario with FP operands: two accumulation orders
+    differ bit-by-bit but agree after rounding."""
+    terms = [1e8, 1.5, -1e8, 0.25, 3.75e-4]
+    forward = 0.0
+    for t in terms:
+        forward += t
+    backward = 0.0
+    for t in reversed(terms):
+        backward += t
+    assert forward != backward  # FP non-associativity is real here
+    policy = default_policy()
+    assert policy.apply(forward) == policy.apply(backward)

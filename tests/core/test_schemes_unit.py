@@ -1,0 +1,133 @@
+"""Unit-level scheme behaviors not covered by the equivalence suite."""
+
+import pytest
+
+from repro.core.control.controller import InstantCheckControl
+from repro.core.hashing.rounding import default_policy, no_rounding
+from repro.core.schemes.base import SCHEME_KINDS, Scheme, SchemeConfig
+from repro.core.schemes.sw_tr import SwTrScheme
+from repro.errors import IsaError
+from repro.sim.program import Program, Runner
+
+
+def test_scheme_kinds():
+    assert set(SCHEME_KINDS) == {"hw", "sw_inc", "sw_tr"}
+
+
+def test_scheme_config_validates_kind():
+    with pytest.raises(ValueError, match="unknown scheme kind"):
+        SchemeConfig(kind="fpga")
+
+
+def test_scheme_config_is_frozen_and_reusable():
+    config = SchemeConfig(kind="hw")
+    with pytest.raises(Exception):
+        config.kind = "sw_tr"
+
+
+class TinyProgram(Program):
+    name = "tiny"
+
+    def __init__(self):
+        super().__init__(n_workers=1, static_words=4)
+
+    def worker(self, ctx, st, wid):
+        yield from ctx.store(0, 5)
+        yield from ctx.store(1, 1.23456)  # off the 0.001 rounding grain
+
+
+def build(kind, rounding=None):
+    runner = Runner(TinyProgram(),
+                    scheme_factory=SchemeConfig(
+                        kind=kind,
+                        rounding=rounding if rounding else no_rounding()),
+                    control=InstantCheckControl())
+    runner.run(0)
+    return runner
+
+
+@pytest.mark.parametrize("kind", ["sw_inc", "sw_tr"])
+def test_sw_schemes_reject_isa(kind):
+    runner = build(kind)
+    with pytest.raises(IsaError, match="no MHM hardware interface"):
+        runner.scheme.isa_exec("start_hashing", 0)
+
+
+def test_location_term_reads_current_memory():
+    runner = build("hw")
+    scheme = runner.scheme
+    term = scheme.location_term(0)
+    assert term == scheme.mixer.location_hash(0, 5)
+
+
+def test_location_term_applies_rounding_for_fp():
+    runner = build("hw", rounding=default_policy())
+    scheme = runner.scheme
+    runner.memory.store(2, 1.23456)
+    term = scheme.location_term(2, is_fp=True)
+    assert term == scheme.mixer.location_hash(2, default_policy().apply(1.23456))
+    assert term != scheme.mixer.location_hash(2, 1.23456)
+
+
+def test_sw_tr_type_oracle_uses_static_and_heap_types():
+    from repro.sim.layout import StaticLayout
+
+    class TypedProgram(Program):
+        name = "typed"
+
+        def __init__(self):
+            layout = StaticLayout()
+            self.f_global = layout.var("f_global", tag="f")
+            self.i_global = layout.var("i_global")
+            super().__init__(n_workers=1, static_words=layout.words)
+            self.static_layout = layout
+            self.static_types = layout.types
+
+        def worker(self, ctx, st, wid):
+            st.block = yield from ctx.malloc(2, site="m", typeinfo="fi")
+
+    runner = Runner(TypedProgram(), scheme_factory=SchemeConfig(kind="sw_tr"),
+                    control=InstantCheckControl())
+    runner.run(0)
+    oracle = runner.scheme.type_oracle
+    program = runner.program
+    assert oracle.is_fp(program.f_global)
+    assert not oracle.is_fp(program.i_global)
+    block = runner.allocator.live_blocks()[0]
+    assert oracle.is_fp(block.base)
+    assert not oracle.is_fp(block.base + 1)
+    assert not oracle.is_fp(99999)  # unknown addresses default to int
+
+
+def test_sw_tr_location_term_infers_fp_from_oracle():
+    runner = build("sw_tr", rounding=default_policy())
+    scheme = runner.scheme
+    assert isinstance(scheme, SwTrScheme)
+    # Address 1 holds a float but is typed int in static (no layout):
+    # explicit is_fp overrides; None consults the oracle.
+    explicit = scheme.location_term(1, is_fp=True)
+    inferred = scheme.location_term(1)
+    assert explicit != inferred  # oracle says int, so no rounding applied
+
+
+def test_hw_thread_hashes_accounts_resident_and_saved():
+    runner = build("hw")
+    total = 0
+    for th in runner.scheme.thread_hashes().values():
+        total = (total + th) & ((1 << 64) - 1)
+    assert total == runner.scheme.state_hash()
+
+
+def test_abstract_scheme_contract():
+    class Dummy(Scheme):
+        pass
+
+    import repro.sim.machine as machine_mod
+    from repro.sim.memory import Memory
+
+    machine = machine_mod.Machine(Memory(static_words=1))
+    dummy = Dummy(machine, allocator=None)
+    with pytest.raises(NotImplementedError):
+        dummy.state_hash()
+    with pytest.raises(IsaError):
+        dummy.isa_exec("start_hashing", 0)

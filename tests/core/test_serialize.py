@@ -1,0 +1,54 @@
+"""Tests for JSON serialization of checker results."""
+
+import json
+
+import pytest
+
+from repro.core.checker.report import characterize
+from repro.core.checker.runner import check_determinism
+from repro.core.checker.serialize import (result_to_dict, table1_row_to_dict,
+                                          to_json, verdict_to_dict)
+from _programs import Fig1Program, RacyProgram
+
+
+def test_result_roundtrips_through_json():
+    result = check_determinism(RacyProgram(), runs=4)
+    payload = json.loads(to_json(result))
+    assert payload["program"] == "racy"
+    assert payload["runs"] == 4
+    assert payload["deterministic"] is False
+    verdict = payload["verdicts"]["main"]
+    assert verdict["n_ndet_points"] >= 1
+    assert verdict["points"][0]["label"] == "end"
+
+
+def test_hashes_serialized_as_hex():
+    result = check_determinism(Fig1Program(), runs=3)
+    payload = result_to_dict(result, include_hashes=True)
+    for run in payload["run_hashes"]:
+        for h in run["checkpoints"]:
+            assert h.startswith("0x") and len(h) == 18
+    assert json.dumps(payload)  # JSON-safe end to end
+
+
+def test_verdict_to_dict():
+    result = check_determinism(Fig1Program(), runs=3)
+    verdict = verdict_to_dict(result.verdict("main"))
+    assert verdict["deterministic"] is True
+    assert verdict["first_ndet_run"] is None
+    assert verdict["points"][0]["distribution"] == [3]
+
+
+def test_table1_row_to_dict():
+    from repro.workloads import Volrend
+
+    row = characterize(Volrend(), runs=4)
+    payload = json.loads(to_json(row))
+    assert payload["application"] == "volrend"
+    assert payload["det_class"] == "bit-by-bit"
+    assert payload["n_det_points"] == 6
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(TypeError):
+        to_json({"not": "a result"})

@@ -1,0 +1,78 @@
+"""End-to-end tests of the paper's worked examples (Figures 1 and 2)."""
+
+from repro.core.control.controller import InstantCheckControl
+from repro.core.schemes.base import SchemeConfig
+from repro.sim.program import Runner
+from repro.sim.scheduler import DecisionScheduler, RandomScheduler
+from repro.sim.values import MASK64
+from _programs import Fig1Program
+
+
+def run_ordered(program, first_worker):
+    """Run Figure 1 forcing one worker to update G first.
+
+    Decision position 0 is consumed by the (single-threaded) setup
+    phase; position 1 is the first choice among the two workers.
+    """
+    scheduler = DecisionScheduler([0, first_worker] + [0] * 50)
+    runner = Runner(program, scheme_factory=SchemeConfig(kind="hw"),
+                    control=InstantCheckControl(), scheduler=scheduler)
+    record = runner.run(0)
+    return runner, record
+
+
+def test_figure1_both_orders_end_at_12():
+    for first in (0, 1):
+        program = Fig1Program()
+        runner, _record = run_ordered(program, first)
+        assert runner.memory.load(program.G) == 12
+
+
+def test_figure2_state_hash_equal_thread_hashes_differ():
+    """Figure 2: SH is identical for both runs, while the per-thread
+    TH values differ — internal nondeterminism with external
+    determinism, exactly the case InstantCheck is built to accept."""
+    hashes, thread_hashes = [], []
+    for first in (0, 1):
+        program = Fig1Program()
+        runner, record = run_ordered(program, first)
+        hashes.append(record.hashes())
+        thread_hashes.append(tuple(sorted(
+            runner.scheme.thread_hashes().items())))
+    assert hashes[0] == hashes[1]
+    assert thread_hashes[0] != thread_hashes[1]
+
+
+def test_figure2_sh_is_sum_of_thread_hashes():
+    program = Fig1Program()
+    runner, record = run_ordered(program, 0)
+    th_sum = 0
+    for _tid, th in runner.scheme.thread_hashes().items():
+        th_sum = (th_sum + th) & MASK64
+    assert th_sum == runner.scheme.state_hash()
+
+
+def test_figure2_deleting_g_equalizes_everything():
+    """Section 2.2: SH ⊕ h(G, 2) ⊖ h(G, 12) deletes G from the hash;
+    after deletion even a run where G ended differently matches."""
+    program_a = Fig1Program(locals_=(7, 3))   # G ends at 12
+    program_b = Fig1Program(locals_=(5, 5))   # G ends at 12 differently? no: 12
+    program_c = Fig1Program(locals_=(1, 1))   # G ends at 4
+    def final_hash_without_g(program):
+        runner, record = run_ordered(program, 0)
+        scheme = runner.scheme
+        raw = scheme.state_hash()
+        return (raw - scheme.location_term(program.G)) & MASK64
+
+    assert (final_hash_without_g(program_a)
+            == final_hash_without_g(program_c))
+
+
+def test_internal_nondeterminism_in_30_runs():
+    """Across many random schedules the final state hash never varies."""
+    program = Fig1Program()
+    runner = Runner(program, scheme_factory=SchemeConfig(kind="hw"),
+                    control=InstantCheckControl(),
+                    scheduler=RandomScheduler())
+    final_hashes = {runner.run(seed).hashes()[-1] for seed in range(30)}
+    assert len(final_hashes) == 1

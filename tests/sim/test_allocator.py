@@ -1,0 +1,159 @@
+"""Tests for the heap allocator and the free-list custom allocator."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.sim.allocator import Allocator, FreeListAllocator, normalize_typeinfo
+from repro.sim.memory import Memory
+
+
+def make_allocator(static=4, heap=1 << 16):
+    memory = Memory(static_words=static)
+    return Allocator(memory, heap_words=heap), memory
+
+
+def test_bump_allocation_is_order_dependent():
+    alloc, _ = make_allocator()
+    a = alloc.malloc(1, 4, site="s")
+    b = alloc.malloc(2, 4, site="s")
+    assert b.base == a.base + 4  # addresses reflect global request order
+
+
+def test_malloc_maps_memory():
+    alloc, memory = make_allocator()
+    block = alloc.malloc(1, 3, site="s", zeroed=True)
+    assert all(memory.load(a) == 0 for a in block.addresses())
+
+
+def test_free_unmaps():
+    alloc, memory = make_allocator()
+    block = alloc.malloc(1, 2, site="s", zeroed=True)
+    alloc.free(block.base)
+    assert not memory.is_mapped(block.base)
+
+
+def test_free_non_block_raises():
+    alloc, _ = make_allocator()
+    alloc.malloc(1, 4, site="s")
+    with pytest.raises(AllocationError):
+        alloc.free(9999)
+
+
+def test_block_of_finds_containing_block():
+    alloc, _ = make_allocator()
+    a = alloc.malloc(1, 4, site="x")
+    b = alloc.malloc(1, 4, site="y")
+    assert alloc.block_of(a.base + 2) is a
+    assert alloc.block_of(b.base) is b
+    assert alloc.block_of(b.base + b.nwords) is None
+
+
+def test_per_thread_seq_is_replay_key():
+    alloc, _ = make_allocator()
+    a0 = alloc.malloc(1, 1, site="s")
+    b0 = alloc.malloc(2, 1, site="s")
+    a1 = alloc.malloc(1, 1, site="s")
+    assert (a0.tid, a0.seq) == (1, 0)
+    assert (b0.tid, b0.seq) == (2, 0)
+    assert (a1.tid, a1.seq) == (1, 1)
+
+
+def test_address_policy_overrides_bump():
+    alloc, _ = make_allocator()
+    alloc.address_policy = lambda tid, seq, nwords: 500
+    block = alloc.malloc(1, 4, site="s")
+    assert block.base == 500
+    # The bump pointer cleared the replayed block.
+    alloc.address_policy = None
+    fresh = alloc.malloc(1, 4, site="s")
+    assert fresh.base >= 504
+
+
+def test_address_recorder_called():
+    alloc, _ = make_allocator()
+    seen = []
+    alloc.address_recorder = lambda *a: seen.append(a)
+    block = alloc.malloc(3, 2, site="s")
+    assert seen == [(3, 0, 2, block.base)]
+
+
+def test_site_stats():
+    alloc, _ = make_allocator()
+    alloc.malloc(1, 4, site="a")
+    alloc.malloc(1, 2, site="a")
+    alloc.malloc(2, 8, site="b")
+    stats = alloc.site_stats()
+    assert stats["a"] == (2, 6)
+    assert stats["b"] == (1, 8)
+    assert alloc.sites() == ["a", "b"]
+
+
+def test_live_blocks_sorted_and_live_words():
+    alloc, _ = make_allocator()
+    a = alloc.malloc(1, 4, site="s")
+    b = alloc.malloc(1, 4, site="s")
+    alloc.free(a.base)
+    assert alloc.live_blocks() == [b]
+    assert alloc.live_words() == 4
+
+
+def test_typeinfo_normalization():
+    assert normalize_typeinfo(None, 3) == "iii"
+    assert normalize_typeinfo("f", 3) == "fff"
+    assert normalize_typeinfo("ifp", 3) == "ifp"
+    with pytest.raises(AllocationError):
+        normalize_typeinfo("if", 3)
+    with pytest.raises(AllocationError):
+        normalize_typeinfo("z", 1)
+
+
+def test_block_word_type():
+    alloc, _ = make_allocator()
+    block = alloc.malloc(1, 3, site="s", typeinfo="ifp")
+    assert block.word_type(0) == "i"
+    assert block.word_type(1) == "f"
+    assert block.word_type(2) == "p"
+
+
+def test_invalid_size_rejected():
+    alloc, _ = make_allocator()
+    with pytest.raises(AllocationError):
+        alloc.malloc(1, 0, site="s")
+
+
+def test_heap_exhaustion():
+    alloc, _ = make_allocator(heap=8)
+    alloc.malloc(1, 8, site="s")
+    with pytest.raises(AllocationError):
+        alloc.malloc(1, 1, site="s")
+
+
+class TestFreeListAllocator:
+    def test_recycles_lifo(self):
+        alloc, _ = make_allocator()
+        custom = FreeListAllocator(alloc, nwords=4, site="node")
+        a = custom.alloc(1)
+        b = custom.alloc(1)
+        custom.release(a.base)
+        custom.release(b.base)
+        c = custom.alloc(2)
+        assert c.base == b.base  # LIFO: last released first reused
+
+    def test_recycled_block_remaps(self):
+        alloc, memory = make_allocator()
+        custom = FreeListAllocator(alloc, nwords=2, site="node")
+        a = custom.alloc(1, zeroed=True)
+        memory.store(a.base, 42)
+        custom.release(a.base)
+        b = custom.alloc(2, zeroed=True)
+        assert b.base == a.base
+        assert memory.load(b.base) == 0  # zeroed on reuse
+
+    def test_bypass_always_mallocs(self):
+        """The paper's fix: call malloc from inside the custom allocator."""
+        alloc, _ = make_allocator()
+        custom = FreeListAllocator(alloc, nwords=4, site="node", bypass=True)
+        a = custom.alloc(1)
+        custom.release(a.base)
+        b = custom.alloc(2)
+        assert b.base != a.base  # no recycling

@@ -1,0 +1,105 @@
+"""Tests for the write-allocate L1 model and the Section 3.1 claim."""
+
+import pytest
+
+from repro.core.control.controller import InstantCheckControl
+from repro.core.schemes.base import SchemeConfig
+from repro.sim.cache import (CacheGeometry, CacheObserver, CacheStats,
+                             L1Cache, attach_caches)
+from repro.sim.program import Runner
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.workloads import make
+
+
+class TestGeometry:
+    def test_line_and_set_mapping(self):
+        g = CacheGeometry(line_words=8, n_sets=4)
+        assert g.line_of(0) == 0
+        assert g.line_of(7) == 0
+        assert g.line_of(8) == 1
+        assert g.set_of(8 * 4) == 0  # wraps around the sets
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(line_words=3)
+        with pytest.raises(ValueError):
+            CacheGeometry(n_sets=0)
+
+
+class TestL1Cache:
+    def test_cold_miss_then_hit(self):
+        cache = L1Cache(CacheGeometry(line_words=4, n_sets=2))
+        assert not cache.access(0, write=False)
+        assert cache.access(1, write=False)   # same line
+        assert cache.stats.read_misses == 1
+        assert cache.stats.read_hits == 1
+
+    def test_write_allocate(self):
+        cache = L1Cache(CacheGeometry(line_words=4, n_sets=2))
+        assert not cache.access(0, write=True)   # miss allocates
+        assert cache.holds(0)
+        assert cache.access(2, write=False)      # subsequent read hits
+
+    def test_conflict_eviction_and_writeback(self):
+        g = CacheGeometry(line_words=4, n_sets=2)
+        cache = L1Cache(g)
+        cache.access(0, write=True)      # set 0, dirty
+        cache.access(8, write=False)     # also set 0: evicts dirty line
+        assert cache.stats.writebacks == 1
+        assert not cache.holds(0)
+
+    def test_clean_eviction_no_writeback(self):
+        g = CacheGeometry(line_words=4, n_sets=2)
+        cache = L1Cache(g)
+        cache.access(0, write=False)
+        cache.access(8, write=False)
+        assert cache.stats.writebacks == 0
+
+    def test_tap_requires_residency(self):
+        cache = L1Cache()
+        cache.access(0, write=True)
+        cache.tap_old_value(0)
+        assert cache.stats.mhm_old_reads == 1
+
+    def test_miss_rate(self):
+        stats = CacheStats(read_hits=3, read_misses=1)
+        assert stats.miss_rate() == 0.25
+        assert CacheStats().miss_rate() == 0.0
+
+
+def run_with_cache(app, scheme, seed=5, mhm_taps=False):
+    factory = SchemeConfig(kind=scheme) if scheme else None
+    observer_box = {}
+
+    def hook(machine):
+        observer_box["obs"] = attach_caches(machine, mhm_taps=mhm_taps)
+
+    runner = Runner(make(app), scheme_factory=factory,
+                    control=InstantCheckControl(),
+                    scheduler=RoundRobinScheduler(), machine_hook=hook)
+    record = runner.run(seed)
+    return record, observer_box["obs"].total_stats()
+
+
+def test_hw_scheme_adds_no_cache_misses():
+    """Section 3.1: the MHM's Data_old read never misses — HW-InstantCheck
+    is cache-neutral relative to native execution."""
+    _record_native, native_stats = run_with_cache("ocean", None)
+    _record_hw, hw_stats = run_with_cache("ocean", "hw", mhm_taps=True)
+    assert hw_stats.misses == native_stats.misses
+    assert hw_stats.writebacks == native_stats.writebacks
+    # The MHM did tap the cache for every hashed store.
+    assert hw_stats.mhm_old_reads > 0
+
+
+def test_mhm_taps_match_hashed_stores():
+    record, stats = run_with_cache("fft", "hw", mhm_taps=True)
+    assert stats.mhm_old_reads == record.events["stores"]
+
+
+def test_cache_observer_aggregates_cores():
+    observer = CacheObserver(n_cores=2)
+    observer.on_load(0, 0)
+    observer.on_load(1, 100)
+    total = observer.total_stats()
+    assert total.read_misses == 2

@@ -1,0 +1,59 @@
+"""Tests for instruction accounting."""
+
+from repro.sim.counters import (CostModel, Counters, NATIVE_CATEGORIES,
+                                OVERHEAD_CATEGORIES)
+
+
+def test_charge_uses_cost_model():
+    counters = Counters(CostModel(load=3, store=2))
+    counters.charge("load")
+    counters.charge("load")
+    counters.charge("store")
+    assert counters.instructions == {"load": 6, "store": 2}
+
+
+def test_compute_charges_units_directly():
+    counters = Counters()
+    counters.charge("compute", 17)
+    assert counters.instructions["compute"] == 17
+
+
+def test_per_word_categories():
+    model = CostModel(output_per_word=4, zero_fill_per_word=1,
+                      ignore_unhash_per_word=4)
+    counters = Counters(model)
+    counters.charge("output", 5)
+    counters.charge("zero_fill", 10)
+    counters.charge("ignore_unhash", 2)
+    assert counters.instructions["output"] == 20
+    assert counters.instructions["zero_fill"] == 10
+    assert counters.instructions["ignore_unhash"] == 8
+
+
+def test_native_vs_overhead_split():
+    counters = Counters()
+    counters.charge("load")
+    counters.charge("zero_fill", 4)
+    assert counters.native_instructions() == counters.instructions["load"]
+    assert counters.overhead_instructions() == counters.instructions["zero_fill"]
+    assert counters.total_instructions() == (counters.native_instructions()
+                                             + counters.overhead_instructions())
+
+
+def test_categories_disjoint():
+    assert not set(NATIVE_CATEGORIES) & set(OVERHEAD_CATEGORIES)
+
+
+def test_events_accumulate():
+    counters = Counters()
+    counters.note("stores")
+    counters.note("stores", 3)
+    assert counters.events == {"stores": 4}
+
+
+def test_snapshot_is_copy():
+    counters = Counters()
+    counters.charge("load")
+    snap = counters.snapshot()
+    counters.charge("load")
+    assert snap["instructions"]["load"] < counters.instructions["load"]

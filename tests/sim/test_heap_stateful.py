@@ -1,0 +1,96 @@
+"""Stateful property test: memory + allocator under random op sequences.
+
+Hypothesis drives random malloc/free/store/load sequences against a
+Python-dict reference model; the invariants cover mapping consistency,
+content fidelity, allocation-table accuracy, and the hashable-state
+domain (exactly the live words).
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (Bundle, RuleBasedStateMachine, consumes,
+                                 invariant, rule)
+from hypothesis import strategies as st
+
+from repro.core.hashing.adhash import AdHash
+from repro.sim.allocator import Allocator
+from repro.sim.memory import Memory
+from repro.sim.values import value_bits
+
+
+class HeapMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.memory = Memory(static_words=8)
+        self.allocator = Allocator(self.memory, heap_words=4096)
+        self.model: dict = {}        # addr -> value (written live words)
+        self.live: dict = {}         # base -> nwords
+
+    blocks = Bundle("blocks")
+
+    @rule(target=blocks, nwords=st.integers(1, 8), tid=st.integers(1, 4))
+    def malloc(self, nwords, tid):
+        block = self.allocator.malloc(tid, nwords, site="h", zeroed=True)
+        self.live[block.base] = nwords
+        return block.base
+
+    @rule(base=consumes(blocks))
+    def free(self, base):
+        if base not in self.live:
+            return
+        nwords = self.live.pop(base)
+        self.allocator.free(base)
+        for a in range(base, base + nwords):
+            self.model.pop(a, None)
+
+    @rule(base=blocks, offset=st.integers(0, 7), value=st.integers(0, 1 << 40))
+    def store(self, base, offset, value):
+        if base not in self.live:
+            return
+        nwords = self.live[base]
+        address = base + offset % nwords
+        self.memory.store(address, value)
+        self.model[address] = value
+
+    @rule(address=st.integers(0, 7), value=st.integers(0, 1 << 40))
+    def store_static(self, address, value):
+        self.memory.store(address, value)
+        self.model[address] = value
+
+    @rule(base=blocks, offset=st.integers(0, 7))
+    def load_matches_model(self, base, offset):
+        if base not in self.live:
+            return
+        address = base + offset % self.live[base]
+        expected = self.model.get(address, 0)  # zero-filled on alloc
+        assert self.memory.load(address) == expected
+
+    @invariant()
+    def live_words_consistent(self):
+        assert self.allocator.live_words() == sum(self.live.values())
+        assert self.memory.state_words() == 8 + sum(self.live.values())
+
+    @invariant()
+    def nonzero_view_matches_model(self):
+        expected = {a: v for a, v in self.model.items()
+                    if value_bits(v) != 0}
+        assert dict(self.memory.iter_nonzero()) == expected
+
+    @invariant()
+    def traversal_hash_matches_model(self):
+        acc = AdHash()
+        for a, v in self.model.items():
+            acc.include(a, v)
+        from repro.core.hashing.state_hash import traverse_state_hash
+
+        assert traverse_state_hash(self.memory, mixer=acc.mixer) == acc.value
+
+    @invariant()
+    def block_of_agrees(self):
+        for base, nwords in self.live.items():
+            block = self.allocator.block_of(base + nwords - 1)
+            assert block is not None and block.base == base
+
+
+HeapMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestHeap = HeapMachine.TestCase

@@ -1,0 +1,49 @@
+"""Tests for the static data segment layout."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.sim.layout import StaticLayout
+
+
+def test_var_and_array_addresses_are_contiguous():
+    layout = StaticLayout()
+    a = layout.var("a")
+    b = layout.array("b", 3)
+    c = layout.var("c")
+    assert (a, b, c) == (0, 1, 4)
+    assert layout.words == 5
+
+
+def test_addr_size_name_of():
+    layout = StaticLayout()
+    layout.var("x")
+    layout.array("ys", 4, tag="f")
+    assert layout.addr("ys") == 1
+    assert layout.size("ys") == 4
+    assert layout.name_of(3) == "ys"
+    assert layout.name_of(0) == "x"
+    assert layout.name_of(99) is None
+
+
+def test_types_recorded_per_word():
+    layout = StaticLayout()
+    layout.var("i")
+    layout.array("fs", 2, tag="f")
+    layout.var("p", tag="p")
+    assert layout.types == {0: "i", 1: "f", 2: "f", 3: "p"}
+
+
+def test_duplicate_name_rejected():
+    layout = StaticLayout()
+    layout.var("x")
+    with pytest.raises(ProgramError):
+        layout.var("x")
+
+
+def test_bad_size_and_tag_rejected():
+    layout = StaticLayout()
+    with pytest.raises(ProgramError):
+        layout.array("bad", 0)
+    with pytest.raises(ProgramError):
+        layout.var("bad2", tag="q")

@@ -1,0 +1,129 @@
+"""Tests for the word-addressed memory."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.sim.memory import Memory, garbage_value
+
+
+def test_static_segment_zero_initialized():
+    mem = Memory(static_words=8)
+    for a in range(8):
+        assert mem.load(a) == 0
+
+
+def test_static_store_load():
+    mem = Memory(static_words=4)
+    mem.store(2, 99)
+    assert mem.load(2) == 99
+
+
+def test_unmapped_access_raises():
+    mem = Memory(static_words=4)
+    with pytest.raises(MemoryError_):
+        mem.load(100)
+    with pytest.raises(MemoryError_):
+        mem.store(100, 1)
+
+
+def test_heap_mapping_lifecycle():
+    mem = Memory(static_words=2)
+    mem.map_heap(10, 3, zeroed=True)
+    assert mem.is_mapped(11)
+    mem.store(11, 7)
+    assert mem.load(11) == 7
+    mem.unmap_heap(10, 3)
+    assert not mem.is_mapped(11)
+    with pytest.raises(MemoryError_):
+        mem.load(11)
+
+
+def test_double_map_rejected():
+    mem = Memory()
+    mem.map_heap(5, 2, zeroed=True)
+    with pytest.raises(MemoryError_):
+        mem.map_heap(6, 2, zeroed=True)
+
+
+def test_unmap_unmapped_rejected():
+    mem = Memory()
+    with pytest.raises(MemoryError_):
+        mem.unmap_heap(5, 1)
+
+
+def test_zeroed_heap_reads_zero():
+    mem = Memory()
+    mem.map_heap(20, 4, zeroed=True)
+    assert all(mem.load(20 + i) == 0 for i in range(4))
+
+
+def test_garbage_depends_on_entropy():
+    """Uninitialized (non-zeroed) memory varies with the run's entropy —
+    the hash-corruption hazard Section 5 guards against."""
+    mem_a = Memory(entropy=1)
+    mem_b = Memory(entropy=2)
+    mem_a.map_heap(30, 8, zeroed=False)
+    mem_b.map_heap(30, 8, zeroed=False)
+    values_a = [mem_a.load(30 + i) for i in range(8)]
+    values_b = [mem_b.load(30 + i) for i in range(8)]
+    assert values_a != values_b
+
+
+def test_garbage_is_deterministic_per_entropy():
+    assert garbage_value(100, 42) == garbage_value(100, 42)
+    assert garbage_value(100, 42) != garbage_value(101, 42)
+
+
+def test_iter_nonzero_skips_zero_words():
+    mem = Memory(static_words=4)
+    mem.store(0, 5)
+    mem.store(1, 0)      # written back to zero: no hash contribution
+    mem.store(2, 0.0)    # zero bit pattern as float
+    assert dict(mem.iter_nonzero()) == {0: 5}
+
+
+def test_iter_nonzero_includes_garbage():
+    mem = Memory(entropy=3)
+    mem.map_heap(50, 2, zeroed=False)
+    nonzero = dict(mem.iter_nonzero())
+    for a in (50, 51):
+        g = garbage_value(a, 3)
+        if g != 0:
+            assert nonzero[a] == g
+
+
+def test_state_words_counts_full_sweep():
+    mem = Memory(static_words=10)
+    assert mem.state_words() == 10
+    mem.map_heap(100, 5, zeroed=True)
+    assert mem.state_words() == 15
+    mem.unmap_heap(100, 5)
+    assert mem.state_words() == 10
+
+
+def test_snapshot_is_copy():
+    mem = Memory(static_words=2)
+    mem.store(0, 1)
+    snap = mem.snapshot()
+    mem.store(0, 2)
+    assert snap == {0: 1}
+
+
+def test_freed_cells_cleared_on_unmap():
+    mem = Memory()
+    mem.map_heap(60, 1, zeroed=True)
+    mem.store(60, 9)
+    mem.unmap_heap(60, 1)
+    mem.map_heap(60, 1, zeroed=True)
+    assert mem.load(60) == 0
+
+
+def test_store_rejects_bad_type():
+    mem = Memory(static_words=1)
+    with pytest.raises(TypeError):
+        mem.store(0, "string")
+
+
+def test_negative_static_words_rejected():
+    with pytest.raises(ValueError):
+        Memory(static_words=-1)

@@ -1,0 +1,83 @@
+"""Tests for the paging model and the virtual-address-hashing decision."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.hashing.mixers import get_mixer
+from repro.sim.paging import (PAGE_WORDS, PageTable, PhysicalHashingFrontEnd,
+                              VirtualHashingFrontEnd, WriteBufferEntry,
+                              state_hash_through_frontend)
+
+STORES = st.lists(
+    st.tuples(st.integers(0, 8 * PAGE_WORDS - 1),   # v_addr over 8 pages
+              st.integers(0, 100),                   # old
+              st.integers(1, 1 << 30)),              # new
+    min_size=1, max_size=30)
+
+
+def test_translation_preserves_offset():
+    table = PageTable(entropy=1)
+    v_addr = 3 * PAGE_WORDS + 17
+    assert table.translate(v_addr) % PAGE_WORDS == 17
+
+
+def test_translation_stable_within_run():
+    table = PageTable(entropy=1)
+    assert table.translate(100) == table.translate(100)
+
+
+def test_frames_vary_across_runs():
+    layouts = {tuple(PageTable(entropy=e).frame_of(v) for v in range(6))
+               for e in range(5)}
+    assert len(layouts) > 1
+
+
+def test_frames_unique():
+    table = PageTable(entropy=9)
+    frames = [table.frame_of(v) for v in range(100)]
+    assert len(set(frames)) == 100
+
+
+def test_write_buffer_entry_reconstructs_v_addr():
+    """The Figure 3(a) path: VPN (saved at retirement) + page offset
+    (from P_addr) recovers the virtual address exactly."""
+    table = PageTable(entropy=4)
+    for v_addr in (0, 17, PAGE_WORDS, 5 * PAGE_WORDS + 63):
+        entry = table.make_entry(v_addr, 0, 1)
+        assert entry.v_addr == v_addr
+
+
+@given(stores=STORES, entropy_a=st.integers(0, 1000),
+       entropy_b=st.integers(0, 1000))
+def test_virtual_hashing_is_layout_independent(stores, entropy_a, entropy_b):
+    """The paper's design: identical program write streams hash equally
+    regardless of the run's physical frame layout."""
+    mixer = get_mixer()
+    frontend = VirtualHashingFrontEnd()
+    hash_a = state_hash_through_frontend(stores, entropy_a, frontend, mixer)
+    hash_b = state_hash_through_frontend(stores, entropy_b, frontend, mixer)
+    assert hash_a == hash_b
+
+
+def test_physical_hashing_breaks_determinism_checking():
+    """The counterfactual: hashing P_addr makes two runs of the same
+    deterministic write stream hash differently — false nondeterminism
+    on everything.  This is why the MHM reconstructs V_addr."""
+    mixer = get_mixer()
+    stores = [(v, 0, v * 7 + 1) for v in range(0, 4 * PAGE_WORDS, 13)]
+    frontend = PhysicalHashingFrontEnd()
+    hashes = {state_hash_through_frontend(stores, entropy, frontend, mixer)
+              for entropy in range(6)}
+    assert len(hashes) > 1
+
+
+def test_both_frontends_agree_given_identity_layout():
+    """With the *same* frame layout the two designs agree up to the
+    address relabeling — sanity that the broken one is only broken
+    across runs, not within one."""
+    mixer = get_mixer()
+    stores = [(v, 0, 5) for v in range(0, 2 * PAGE_WORDS, 7)]
+    physical = state_hash_through_frontend(stores, 3,
+                                           PhysicalHashingFrontEnd(), mixer)
+    same_again = state_hash_through_frontend(stores, 3,
+                                             PhysicalHashingFrontEnd(), mixer)
+    assert physical == same_again

@@ -1,0 +1,142 @@
+"""Runtime edge cases: error propagation, misuse, odd configurations."""
+
+import pytest
+
+from repro.errors import DeadlockError, MemoryError_, ProgramError
+from repro.sim.context import Op
+from repro.sim.layout import StaticLayout
+from repro.sim.program import Program, Runner
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.sim.sync import Barrier, Lock
+
+
+class _OneShot(Program):
+    def __init__(self, body, n_workers=1, static_words=8):
+        super().__init__(n_workers=n_workers, static_words=static_words)
+        self._body = body
+
+    def worker(self, ctx, st, wid):
+        yield from self._body(ctx, st, wid)
+
+
+def test_program_exception_propagates():
+    def body(ctx, st, wid):
+        yield from ctx.store(0, 1)
+        raise ValueError("application bug")
+
+    with pytest.raises(ValueError, match="application bug"):
+        Runner(_OneShot(body)).run(0)
+
+
+def test_wild_pointer_raises_memory_error():
+    def body(ctx, st, wid):
+        yield from ctx.store(123456, 1)
+
+    with pytest.raises(MemoryError_):
+        Runner(_OneShot(body)).run(0)
+
+
+def test_unlock_without_lock_is_program_error():
+    lock = Lock("l")
+
+    def body(ctx, st, wid):
+        yield from ctx.unlock(lock)
+
+    with pytest.raises(ProgramError):
+        Runner(_OneShot(body)).run(0)
+
+
+def test_recursive_lock_self_deadlock():
+    lock = Lock("l")
+
+    def body(ctx, st, wid):
+        yield from ctx.lock(lock)
+        yield from ctx.lock(lock)  # not re-entrant
+
+    with pytest.raises(DeadlockError):
+        Runner(_OneShot(body)).run(0)
+
+
+def test_barrier_with_wrong_parties_deadlocks():
+    barrier = Barrier(3, name="b")  # but only 2 workers will arrive
+
+    def body(ctx, st, wid):
+        yield from ctx.barrier_wait(barrier)
+
+    with pytest.raises(DeadlockError):
+        Runner(_OneShot(body, n_workers=2)).run(0)
+
+
+def test_unknown_op_kind_rejected():
+    def body(ctx, st, wid):
+        yield Op("teleport", ())
+
+    with pytest.raises(ProgramError, match="unknown op kind"):
+        Runner(_OneShot(body)).run(0)
+
+
+def test_zero_workers_program_runs_setup_and_teardown():
+    class Empty(Program):
+        name = "empty"
+
+        def __init__(self):
+            layout = StaticLayout()
+            self.x = layout.var("x")
+            super().__init__(n_workers=0, static_words=layout.words)
+
+        def setup(self, ctx, st):
+            yield from ctx.store(self.x, 1)
+
+        def teardown(self, ctx, st):
+            v = yield from ctx.load(self.x)
+            yield from ctx.store(self.x, v + 1)
+
+    runner = Runner(Empty())
+    record = runner.run(0)
+    assert runner.memory.load(0) == 2
+    assert record.structure == ("end",)
+
+
+def test_worker_returning_value_is_fine():
+    def body(ctx, st, wid):
+        yield from ctx.store(0, 1)
+        return 42  # generators may return; the runtime ignores it
+
+    Runner(_OneShot(body)).run(0)
+
+
+def test_more_threads_than_cores():
+    counted = Lock("c")
+
+    class Many(Program):
+        name = "many"
+
+        def __init__(self):
+            layout = StaticLayout()
+            self.total = layout.var("total")
+            super().__init__(n_workers=12, static_words=layout.words)
+
+        def worker(self, ctx, st, wid):
+            yield from ctx.lock(counted)
+            v = yield from ctx.load(self.total)
+            yield from ctx.store(self.total, v + 1)
+            yield from ctx.unlock(counted)
+
+    runner = Runner(Many(), n_cores=3, scheduler=RoundRobinScheduler())
+    runner.run(0)
+    assert runner.memory.load(0) == 12
+
+
+def test_seed_reproducibility():
+    """The same seed reproduces the identical run record."""
+    from repro.core.control.controller import InstantCheckControl
+    from repro.core.schemes.base import SchemeConfig
+    from repro.workloads import make
+
+    control = InstantCheckControl()
+    runner = Runner(make("canneal", rounds=3),
+                    scheme_factory=SchemeConfig(kind="hw"), control=control)
+    first = runner.run(42)
+    again = runner.run(42)
+    assert first.hashes() == again.hashes()
+    assert first.structure == again.structure

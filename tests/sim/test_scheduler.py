@@ -1,0 +1,125 @@
+"""Tests for the serializing schedulers."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.sim.scheduler import (DecisionScheduler, GuidedScheduler,
+                                 PctScheduler, RandomScheduler,
+                                 RoundRobinScheduler, make_scheduler)
+
+
+def test_make_scheduler():
+    assert isinstance(make_scheduler("random"), RandomScheduler)
+    assert isinstance(make_scheduler("round_robin"), RoundRobinScheduler)
+    assert isinstance(make_scheduler("pct"), PctScheduler)
+    with pytest.raises(SchedulerError):
+        make_scheduler("fifo")
+    with pytest.raises(SchedulerError):
+        make_scheduler("random", granularity="word")
+
+
+def test_random_scheduler_seed_determinism():
+    a, b = RandomScheduler(), RandomScheduler()
+    a.begin_run(42)
+    b.begin_run(42)
+    runnable = [1, 2, 3, 4]
+    picks_a = [a.pick(runnable, None, True) for _ in range(50)]
+    picks_b = [b.pick(runnable, None, True) for _ in range(50)]
+    assert picks_a == picks_b
+
+
+def test_random_scheduler_seed_sensitivity():
+    a = RandomScheduler()
+    a.begin_run(1)
+    first = [a.pick([1, 2, 3, 4], None, True) for _ in range(30)]
+    a.begin_run(2)
+    second = [a.pick([1, 2, 3, 4], None, True) for _ in range(30)]
+    assert first != second
+
+
+def test_sync_granularity_keeps_current_until_switch_point():
+    sched = RandomScheduler(granularity="sync")
+    sched.begin_run(0)
+    assert sched.pick([1, 2, 3], current=2, at_switch_point=False) == 2
+    assert not sched.is_switch_point("load")
+    assert sched.is_switch_point("lock")
+    assert sched.is_switch_point("barrier")
+    assert sched.is_switch_point(None)
+
+
+def test_access_granularity_always_switchable():
+    sched = RandomScheduler(granularity="access")
+    assert sched.is_switch_point("load")
+    assert sched.is_switch_point("store")
+
+
+def test_current_not_runnable_forces_choice():
+    sched = RandomScheduler()
+    sched.begin_run(0)
+    pick = sched.pick([1, 3], current=2, at_switch_point=False)
+    assert pick in (1, 3)
+
+
+def test_round_robin_cycles():
+    sched = RoundRobinScheduler()
+    sched.begin_run(0)
+    picks = [sched.pick([1, 2, 3], None, True) for _ in range(6)]
+    assert picks == [1, 2, 3, 1, 2, 3]
+
+
+def test_pct_prefers_priorities():
+    sched = PctScheduler(depth=1)
+    sched.begin_run(5)
+    picks = {sched.pick([1, 2, 3], None, True) for _ in range(10)}
+    assert len(picks) == 1  # no change points with depth=1: stable winner
+
+
+def test_pct_change_points_demote():
+    sched = PctScheduler(depth=5, horizon=20)
+    sched.begin_run(3)
+    picks = [sched.pick([1, 2, 3], None, True) for _ in range(40)]
+    assert len(set(picks)) >= 2  # at least one demotion happened
+
+
+class TestDecisionScheduler:
+    def test_replays_decisions(self):
+        sched = DecisionScheduler([1, 0, 2])
+        sched.begin_run(0)
+        assert sched.pick([10, 20, 30], None, True) == 20
+        assert sched.pick([10, 20, 30], None, True) == 10
+        assert sched.pick([10, 20, 30], None, True) == 30
+
+    def test_defaults_to_first_beyond_vector(self):
+        sched = DecisionScheduler([])
+        sched.begin_run(0)
+        assert sched.pick([5, 6], None, True) == 5
+
+    def test_records_counts_and_taken(self):
+        sched = DecisionScheduler([1])
+        sched.begin_run(0)
+        sched.pick([1, 2], None, True)
+        sched.pick([1, 2, 3], None, True)
+        assert sched.choice_counts == [2, 3]
+        assert sched.taken == [1, 0]
+
+    def test_clamps_out_of_range(self):
+        sched = DecisionScheduler([9])
+        sched.begin_run(0)
+        assert sched.pick([4, 5], None, True) == 5  # clamped to last
+
+
+class TestGuidedScheduler:
+    def test_forces_logged_choices(self):
+        sched = GuidedScheduler({0: 7, 2: 9})
+        sched.begin_run(0)
+        assert sched.pick([5, 7, 9], None, True) == 7
+        sched.pick([5, 7, 9], None, True)  # unconstrained
+        assert sched.pick([5, 9], None, True) == 9
+        assert sched.violations == 0
+
+    def test_counts_violations(self):
+        sched = GuidedScheduler({0: 99})
+        sched.begin_run(0)
+        pick = sched.pick([1, 2], None, True)
+        assert pick in (1, 2)
+        assert sched.violations == 1

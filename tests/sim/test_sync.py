@@ -1,0 +1,76 @@
+"""Tests for the synchronization primitives."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.sim.sync import Barrier, CondVar, Lock
+
+
+class TestLock:
+    def test_acquire_release(self):
+        lock = Lock("l")
+        assert not lock.held
+        lock.acquire(1)
+        assert lock.held and lock.holder == 1
+        lock.release(1)
+        assert not lock.held
+
+    def test_double_acquire_rejected(self):
+        lock = Lock("l")
+        lock.acquire(1)
+        with pytest.raises(ProgramError):
+            lock.acquire(2)
+
+    def test_release_by_non_holder_rejected(self):
+        lock = Lock("l")
+        lock.acquire(1)
+        with pytest.raises(ProgramError):
+            lock.release(2)
+
+    def test_repr(self):
+        assert "holder=None" in repr(Lock("l"))
+
+
+class TestBarrier:
+    def test_generation_cycle(self):
+        barrier = Barrier(2, name="b")
+        assert not barrier.arrive(1)
+        assert barrier.arrive(2)
+        assert barrier.complete() == [1, 2]
+        assert barrier.generation == 1
+        # Reusable for the next generation.
+        assert not barrier.arrive(2)
+        assert barrier.arrive(1)
+        assert barrier.complete() == [1, 2]
+        assert barrier.generation == 2
+
+    def test_double_arrival_rejected(self):
+        barrier = Barrier(3)
+        barrier.arrive(1)
+        with pytest.raises(ProgramError):
+            barrier.arrive(1)
+
+    def test_zero_parties_rejected(self):
+        with pytest.raises(ProgramError):
+            Barrier(0)
+
+    def test_checkpoint_flag(self):
+        assert Barrier(1).checkpoint
+        assert not Barrier(1, checkpoint=False).checkpoint
+
+
+class TestCondVar:
+    def test_fifo_wakeup(self):
+        cond = CondVar("c")
+        cond.add_waiter(5)
+        cond.add_waiter(6)
+        assert cond.take_one() == 5
+        assert cond.take_one() == 6
+        assert cond.take_one() is None
+
+    def test_take_all(self):
+        cond = CondVar("c")
+        cond.add_waiter(1)
+        cond.add_waiter(2)
+        assert cond.take_all() == [1, 2]
+        assert cond.take_all() == []

@@ -1,0 +1,140 @@
+"""Tests for happens-before tracking and race detection."""
+
+from repro.core.control.controller import InstantCheckControl
+from repro.sim.layout import StaticLayout
+from repro.sim.program import Program, Runner
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.sim.sync import Lock
+from repro.sim.trace import HbTracer, vc_join, vc_leq
+
+
+def test_vc_join_pointwise_max():
+    assert vc_join({1: 2, 2: 1}, {1: 1, 3: 5}) == {1: 2, 2: 1, 3: 5}
+
+
+def test_vc_leq():
+    assert vc_leq({1: 1}, {1: 2})
+    assert vc_leq({}, {1: 1})
+    assert not vc_leq({1: 3}, {1: 2})
+    assert not vc_leq({2: 1}, {1: 5})
+
+
+def run_traced(program, seed=0):
+    tracer = HbTracer()
+    runner = Runner(program, control=InstantCheckControl(),
+                    scheduler=RoundRobinScheduler(), tracer=tracer)
+    runner.run(seed)
+    return tracer
+
+
+class UnsyncWriters(Program):
+    name = "unsync"
+
+    def __init__(self):
+        layout = StaticLayout()
+        self.X = layout.var("X")
+        super().__init__(n_workers=2, static_words=layout.words)
+
+    def worker(self, ctx, st, wid):
+        yield from ctx.store(self.X, wid)
+
+
+def test_write_write_race_detected():
+    tracer = run_traced(UnsyncWriters())
+    assert any(r.is_write_write() for r in tracer.races)
+    assert tracer.racy_addresses() == {0}
+
+
+class LockedWriters(Program):
+    name = "locked"
+
+    def __init__(self):
+        layout = StaticLayout()
+        self.X = layout.var("X")
+        super().__init__(n_workers=2, static_words=layout.words)
+
+    def make_state(self):
+        st = super().make_state()
+        st.lock = Lock("l")
+        return st
+
+    def worker(self, ctx, st, wid):
+        yield from ctx.lock(st.lock)
+        yield from ctx.store(self.X, wid)
+        yield from ctx.unlock(st.lock)
+
+
+def test_lock_ordering_suppresses_race():
+    tracer = run_traced(LockedWriters())
+    assert tracer.races == []
+
+
+class ReadAfterSetup(Program):
+    """Workers read what main wrote in setup: fork edge orders them."""
+
+    name = "readsetup"
+
+    def __init__(self):
+        layout = StaticLayout()
+        self.X = layout.var("X")
+        self.out = layout.array("out", 2)
+        super().__init__(n_workers=2, static_words=layout.words)
+
+    def setup(self, ctx, st):
+        yield from ctx.store(self.X, 9)
+
+    def worker(self, ctx, st, wid):
+        value = yield from ctx.load(self.X)
+        yield from ctx.store(self.out + wid, value)
+
+
+def test_fork_edge_orders_setup_writes():
+    tracer = run_traced(ReadAfterSetup())
+    assert tracer.races == []
+
+
+class BarrierOrdered(Program):
+    """Phase 1 writers, phase 2 readers, barrier between: no race."""
+
+    name = "barrier-ordered"
+
+    def __init__(self):
+        layout = StaticLayout()
+        self.data = layout.array("data", 2)
+        self.out = layout.array("out", 2)
+        super().__init__(n_workers=2, static_words=layout.words)
+
+    def make_state(self):
+        st = super().make_state()
+        from repro.sim.sync import Barrier
+
+        st.barrier = Barrier(2, name="b")
+        return st
+
+    def worker(self, ctx, st, wid):
+        yield from ctx.store(self.data + wid, wid + 1)
+        yield from ctx.barrier_wait(st.barrier)
+        other = yield from ctx.load(self.data + (1 - wid))
+        yield from ctx.store(self.out + wid, other)
+
+
+def test_barrier_edge_orders_cross_reads():
+    tracer = run_traced(BarrierOrdered())
+    assert tracer.races == []
+
+
+def test_sync_signature_captures_lock_order():
+    program = LockedWriters()
+    tracer_a = run_traced(program)
+    signature = tracer_a.sync_signature()
+    names = [name for name, _seq in signature]
+    assert "l" in names
+    ops = dict(signature)["l"]
+    assert [k for k, _ in ops] == ["lock", "unlock", "lock", "unlock"]
+
+
+def test_race_reported_once_per_pair():
+    tracer = run_traced(UnsyncWriters())
+    keys = {(r.address, r.first_tid, r.second_tid, r.kinds)
+            for r in tracer.races}
+    assert len(keys) == len(tracer.races)

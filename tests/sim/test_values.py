@@ -1,0 +1,61 @@
+"""Tests for typed 64-bit word values."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.values import (MASK64, bits_to_float, float_to_bits,
+                              int_to_bits, is_valid_type, value_bits,
+                              words_equal)
+
+
+def test_type_tags():
+    assert is_valid_type("i") and is_valid_type("f") and is_valid_type("p")
+    assert not is_valid_type("x")
+
+
+@given(value=st.floats(allow_nan=False))
+def test_float_bits_roundtrip(value):
+    assert bits_to_float(float_to_bits(value)) == value or (
+        value == 0.0 and bits_to_float(float_to_bits(value)) == value)
+
+
+def test_float_bits_roundtrip_negative_zero():
+    assert math.copysign(1.0, bits_to_float(float_to_bits(-0.0))) == -1.0
+
+
+def test_nan_canonicalized():
+    import struct
+
+    other_nan = struct.unpack("<d", struct.pack("<Q", 0x7FF8000000000099))[0]
+    assert float_to_bits(other_nan) == float_to_bits(float("nan"))
+    assert float_to_bits(float("nan")) == 0x7FF8000000000000
+
+
+@given(value=st.integers(min_value=-(1 << 63), max_value=(1 << 64) - 1))
+def test_int_bits_in_range(value):
+    assert 0 <= int_to_bits(value) <= MASK64
+
+
+def test_twos_complement():
+    assert int_to_bits(-1) == MASK64
+    assert int_to_bits(-2) == MASK64 - 1
+    assert int_to_bits(1 << 64) == 0
+
+
+def test_value_bits_dispatch():
+    assert value_bits(5) == 5
+    assert value_bits(True) == 1
+    assert value_bits(1.0) == float_to_bits(1.0)
+    with pytest.raises(TypeError):
+        value_bits("nope")
+    with pytest.raises(TypeError):
+        value_bits(None)
+
+
+def test_words_equal_is_bitwise():
+    assert words_equal(3, 3)
+    assert not words_equal(1, 1.0)
+    assert not words_equal(0.0, -0.0)
+    assert words_equal(0, 0.0) == (float_to_bits(0.0) == 0)  # both zero bits

@@ -1,0 +1,22 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in ("MemoryError_", "AllocationError", "SchedulerError",
+                 "DeadlockError", "ProgramError", "ReplayError",
+                 "CheckerError", "IsaError"):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_deadlock_is_scheduler_error():
+    assert issubclass(errors.DeadlockError, errors.SchedulerError)
+
+
+def test_catching_the_base_class():
+    with pytest.raises(errors.ReproError):
+        raise errors.IsaError("boom")

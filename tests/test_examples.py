@@ -1,0 +1,42 @@
+"""The examples must keep working: import them all, execute the quick one.
+
+(The longer walkthroughs run 30-run checking sessions and are exercised
+by the benchmark harness's machinery; here we guard against import rot
+and verify the quickstart end to end.)
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", EXAMPLES_DIR / name)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_six_examples_present():
+    assert len(EXAMPLES) == 6
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_imports_and_has_main(name):
+    module = load_example(name)
+    assert callable(module.main)
+    assert module.__doc__ and "Run:" in module.__doc__
+
+
+def test_quickstart_runs(capsys):
+    module = load_example("quickstart.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "deterministic          = True" in out
+    assert "State Hash" in out

@@ -1,0 +1,114 @@
+"""Every workload must land in its Table 1 determinism class."""
+
+import pytest
+
+from repro.core.checker.report import characterize
+from repro.workloads import REGISTRY, make
+
+#: Smaller run counts keep the suite fast; the benchmarks use the paper's
+#: 30 runs.  6 runs are plenty: nondeterminism shows up by run 2-3.
+RUNS = 6
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {name: characterize(make(name), runs=RUNS, base_seed=900)
+            for name in REGISTRY}
+
+
+@pytest.mark.parametrize("name", list(REGISTRY))
+def test_expected_class(rows, name):
+    assert rows[name].det_class == REGISTRY[name].EXPECTED_CLASS
+
+
+@pytest.mark.parametrize("name", list(REGISTRY))
+def test_metadata_columns(rows, name):
+    row = rows[name]
+    assert row.source == REGISTRY[name].SOURCE
+    assert row.has_fp == REGISTRY[name].HAS_FP
+
+
+BIT_APPS = ("blackscholes", "fft", "lu", "radix", "streamcluster",
+            "swaptions", "volrend")
+FP_APPS = ("fluidanimate", "ocean", "waterNS", "waterSP")
+STRUCT_APPS = ("cholesky", "pbzip2", "sphinx3")
+NDET_APPS = ("barnes", "canneal", "radiosity")
+
+
+@pytest.mark.parametrize("name", BIT_APPS)
+def test_bit_apps_fully_deterministic(rows, name):
+    row = rows[name]
+    assert row.det_as_is
+    assert row.first_ndet_run is None
+    assert row.n_ndet_points == 0
+    assert row.det_at_end
+
+
+@pytest.mark.parametrize("name", FP_APPS)
+def test_fp_apps_fixed_by_rounding(rows, name):
+    row = rows[name]
+    assert not row.det_as_is
+    assert row.det_with_rounding
+    assert row.first_ndet_run is not None
+    assert row.first_ndet_run <= 4  # "detected after just 2 or 3 runs"
+    assert row.det_at_end
+
+
+@pytest.mark.parametrize("name", STRUCT_APPS)
+def test_struct_apps_fixed_by_ignoring(rows, name):
+    row = rows[name]
+    assert not row.det_as_is
+    assert not row.det_with_rounding   # rounding alone is not enough
+    assert row.det_with_ignores
+    assert row.n_ndet_points == 0      # with ignores applied
+    assert row.det_at_end
+
+
+@pytest.mark.parametrize("name", NDET_APPS)
+def test_ndet_apps_stay_nondeterministic(rows, name):
+    row = rows[name]
+    assert row.det_class == "ndet"
+    assert not row.det_at_end
+    assert row.n_ndet_points > 0
+
+
+def test_barnes_early_points_deterministic(rows):
+    """Table 1: barnes has exactly its init barriers deterministic."""
+    assert rows["barnes"].n_det_points == 2
+
+
+def test_canneal_radiosity_no_det_points(rows):
+    assert rows["canneal"].n_det_points == 0
+    assert rows["radiosity"].n_det_points == 0
+
+
+def test_pbzip2_single_checking_point(rows):
+    """pbzip2 has no barriers: the only check is the end of the run."""
+    row = rows["pbzip2"]
+    assert row.n_det_points + row.n_ndet_points == 1
+
+
+def test_pbzip2_output_deterministic(rows):
+    assert rows["pbzip2"].output_deterministic
+
+
+def test_volrend_six_points(rows):
+    """Matches Table 1 exactly: 5 phase barriers + end."""
+    row = rows["volrend"]
+    assert row.n_det_points == 6
+
+
+def test_cholesky_four_points(rows):
+    """Matches Table 1 exactly: 3 barriers + end."""
+    row = rows["cholesky"]
+    assert row.n_det_points == 4
+
+
+def test_registry_make():
+    assert make("fft").name == "fft"
+    with pytest.raises(ValueError, match="unknown workload"):
+        make("doom")
+
+
+def test_registry_has_17_applications():
+    assert len(REGISTRY) == 17

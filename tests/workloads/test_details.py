@@ -1,0 +1,242 @@
+"""Mechanism-level tests for individual workloads."""
+
+import pytest
+
+from repro.core.checker.runner import check_determinism
+from repro.core.control.controller import InstantCheckControl
+from repro.core.hashing.rounding import default_policy, no_rounding
+from repro.core.schemes.base import SchemeConfig
+from repro.sim.program import Runner
+from repro.workloads import (Blackscholes, Canneal, Cholesky, Fft, Pbzip2,
+                             Radix, Sphinx3, Swaptions, Volrend, WaterNS)
+from repro.workloads.common import LocalRng, spread_magnitude
+
+
+def bitwise_check(program, runs=6, **kwargs):
+    result = check_determinism(
+        program, runs=runs,
+        schemes={"bit": SchemeConfig(kind="hw", rounding=no_rounding())},
+        **kwargs)
+    return result
+
+
+class TestLocalRng:
+    def test_deterministic_per_seed(self):
+        a, b = LocalRng(7), LocalRng(7)
+        assert [a.next_u64() for _ in range(5)] == [b.next_u64() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert LocalRng(1).next_u64() != LocalRng(2).next_u64()
+
+    def test_unit_interval(self):
+        rng = LocalRng(3)
+        for _ in range(100):
+            assert 0.0 <= rng.next_unit() < 1.0
+
+    def test_bounded_int(self):
+        rng = LocalRng(4)
+        assert all(0 <= rng.next_int(10) < 10 for _ in range(100))
+
+    def test_gaussian_ish_symmetricish(self):
+        rng = LocalRng(5)
+        mean = sum(rng.next_gaussian_ish() for _ in range(500)) / 500
+        assert abs(mean) < 0.2
+
+
+def test_spread_magnitudes_span_decades():
+    values = [spread_magnitude(w, 8) for w in range(8)]
+    assert max(values) / min(values) > 1e5
+
+
+def test_swaptions_monte_carlo_is_deterministic():
+    """The paper's highlighted case: thread-local RNGs, no shared state."""
+    assert bitwise_check(Swaptions()).deterministic
+
+
+def test_swaptions_seed_is_input():
+    """Different RNG seeds are a different *input*, not nondeterminism:
+    they change the result deterministically."""
+    class ReseededSwaptions(Swaptions):
+        def worker(self, ctx, st, wid):
+            mine = range(wid, self.n_swaptions, self.n_workers)
+            rngs = {s: LocalRng(2000 + s) for s in mine}  # different seeds
+            for _ in range(self.blocks):
+                for s in mine:
+                    rng = rngs[s]
+                    acc = yield from ctx.load(st.sums + s)
+                    acc = float(acc)
+                    for _ in range(self.trials_per_block):
+                        acc += max(0.0, 0.02 + 0.01 * rng.next_gaussian_ish()
+                                   - 0.018) * 100.0
+                    yield from ctx.store(st.sums + s, acc)
+                yield from ctx.barrier_wait(st.barrier)
+
+    a = bitwise_check(Swaptions(), runs=2).records[0].hashes()
+    b = bitwise_check(ReseededSwaptions(), runs=2).records[0].hashes()
+    assert a != b
+
+
+def test_volrend_benign_race_values_identical():
+    """The hand-coded-barrier race writes the same value from every
+    thread, so the final flag words are schedule-independent."""
+    program = Volrend()
+    runner = Runner(program, control=InstantCheckControl())
+    for seed in (1, 2):
+        runner.run(seed)
+        for phase in range(program.PHASES):
+            assert runner.memory.load(program.ready_flags + phase) == 1
+
+
+def test_cholesky_custom_alloc_defeats_ignores():
+    """With the recycling custom allocator active, even ignoring the
+    freeTask structures leaves nondeterminism (schedule-dependent scratch
+    addresses) — which is why the paper *fixes* the allocator instead."""
+    fixed = check_determinism(
+        Cholesky(custom_alloc=False), runs=6,
+        schemes={"r": SchemeConfig(kind="hw", rounding=default_policy())},
+        ignores=Cholesky.SUGGESTED_IGNORES)
+    assert fixed.verdict("r+ignore").deterministic
+
+    broken = check_determinism(
+        Cholesky(custom_alloc=True), runs=6,
+        schemes={"r": SchemeConfig(kind="hw", rounding=default_policy())},
+        ignores=Cholesky.SUGGESTED_IGNORES)
+    assert not broken.verdict("r+ignore").deterministic
+
+
+def test_pbzip2_output_stream_deterministic():
+    result = bitwise_check(Pbzip2(), runs=6)
+    assert result.outputs_match
+    hashes = {tuple(sorted(r.output_hashes.items())) for r in result.records}
+    assert len(hashes) == 1
+    assert all(r.output_hashes for r in result.records)
+
+
+def test_pbzip2_only_pointer_field_differs():
+    """The dangling pointer is the *only* nondeterministic word: ignoring
+    just that field flips the verdict."""
+    plain = check_determinism(
+        Pbzip2(), runs=6,
+        schemes={"bit": SchemeConfig(kind="hw", rounding=no_rounding())})
+    assert not plain.verdict("bit").deterministic
+
+    ignored = check_determinism(
+        Pbzip2(), runs=6,
+        schemes={"bit": SchemeConfig(kind="hw", rounding=no_rounding())},
+        ignores=Pbzip2.SUGGESTED_IGNORES)
+    assert ignored.verdict("bit+ignore").deterministic
+
+
+def test_pbzip2_needs_consumers():
+    with pytest.raises(ValueError):
+        Pbzip2(n_workers=1)
+
+
+def test_sphinx3_dirty_fraction_is_small():
+    """'about 4% of the memory state' at '15 out of the total 230
+    allocation sites': the analog keeps the dirty sites a small minority
+    of sites and of state words."""
+    program = Sphinx3()
+    runner = Runner(program, control=InstantCheckControl())
+    runner.run(0)
+    stats = runner.allocator.site_stats()
+    dirty_sites = {"sphinx.c:hyp_pool", "sphinx.c:lattice_links"}
+    assert dirty_sites < set(stats)
+    dirty_words = sum(stats[s][1] for s in dirty_sites)
+    total_words = sum(words for _count, words in stats.values())
+    assert dirty_words / total_words < 0.6
+    assert len(dirty_sites) / len(stats) < 0.2
+
+
+def test_fft_normalization_runs():
+    program = Fft(n_workers=4, log2_n=5)
+    runner = Runner(program, control=InstantCheckControl())
+    runner.run(0)
+    # Parseval-ish sanity: the spectrum is not all zeros.
+    st_words = runner.memory.snapshot()
+    assert any(isinstance(v, float) and v != 0.0 for v in st_words.values())
+
+
+def test_radix_sorts_correctly():
+    program = Radix(n_workers=4, n_keys=32)
+    runner = Runner(program, control=InstantCheckControl())
+    runner.run(0)
+    # After an odd number of passes the sorted data lives in the scratch
+    # array; read both and check one is globally sorted by full key.
+    def read(base):
+        return [runner.memory.load(base + i) for i in range(32)]
+
+    import itertools
+
+    arrays = []
+    for block in runner.allocator.live_blocks():
+        if block.site in ("radix.c:keys", "radix.c:scratch"):
+            arrays.append(read(block.base))
+    assert any(all(a <= b for a, b in itertools.pairwise(arr))
+               for arr in arrays)
+
+
+def test_canneal_preserves_permutation():
+    """Swaps may race, but every run still holds a permutation-ish bag of
+    values written from the initial contents (no value invented)."""
+    program = Canneal(n_workers=4, n_elements=16, rounds=4)
+    runner = Runner(program, control=InstantCheckControl())
+    runner.run(0)
+    block = next(b for b in runner.allocator.live_blocks()
+                 if b.site == "canneal.c:netlist")
+    values = sorted(runner.memory.load(a) for a in block.addresses())
+    assert all(0 <= v < 16 for v in values)
+
+
+def test_blackscholes_loop_checkpoints():
+    program = Blackscholes(passes=5)
+    runner = Runner(program, control=InstantCheckControl())
+    record = runner.run(0)
+    assert len(record.checkpoints) == 6  # 5 pass barriers + end
+
+
+def test_waterNS_energy_accumulates():
+    program = WaterNS()
+    runner = Runner(program, control=InstantCheckControl())
+    runner.run(0)
+    assert runner.memory.load(program.potential) != 0
+    assert runner.memory.load(program.kinetic) != 0
+
+
+class SharedRngSwaptions(Swaptions):
+    """Monte Carlo drawing from libc-style *shared-state* rand() instead
+    of thread-local generators: the value a thread sees depends on the
+    global call interleaving."""
+
+    name = "swaptions-shared-rng"
+
+    def worker(self, ctx, st, wid):
+        mine = range(wid, self.n_swaptions, self.n_workers)
+        for _ in range(self.blocks):
+            for s in mine:
+                acc = yield from ctx.load(st.sums + s)
+                acc = float(acc)
+                for _ in range(self.trials_per_block):
+                    draw = yield from ctx.rand()
+                    rate_path = 0.02 + 0.01 * ((draw % 1000) / 500.0 - 1.0)
+                    acc += max(0.0, rate_path - 0.018) * 100.0
+                yield from ctx.store(st.sums + s, acc)
+            yield from ctx.barrier_wait(st.barrier)
+
+
+def test_shared_rng_controlled_by_libcall_replay():
+    """Section 5's point about rand: InstantCheck records the results and
+    replays them, so even shared-state Monte Carlo checks deterministic —
+    the randomness became *input*."""
+    result = check_determinism(
+        SharedRngSwaptions(), runs=6,
+        schemes={"bit": SchemeConfig(kind="hw", rounding=no_rounding())})
+    assert result.verdict("bit").deterministic
+
+
+def test_shared_rng_nondeterministic_without_replay():
+    """Turn the control off and the call interleaving shows through."""
+    result = check_determinism(
+        SharedRngSwaptions(), runs=6, libcall_replay=False,
+        schemes={"bit": SchemeConfig(kind="hw", rounding=no_rounding())})
+    assert not result.verdict("bit").deterministic

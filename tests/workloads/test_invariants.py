@@ -1,0 +1,155 @@
+"""Algorithm-level invariants of the workloads.
+
+Nondeterministic *state* does not mean broken *algorithm*: radiosity
+conserves total energy under every schedule even though its distribution
+varies; barnes always builds a valid BST over exactly the body keys even
+though its shape varies; canneal's racy swaps can lose values — which is
+precisely why its nondeterminism is real.  These tests pin the semantics
+the workloads claim to model.
+"""
+
+import pytest
+
+from repro.core.control.controller import InstantCheckControl
+from repro.sim.program import Runner
+from repro.sim.scheduler import RandomScheduler
+from repro.workloads import (Barnes, Canneal, Fluidanimate, Ocean, Pbzip2,
+                             Radiosity, Sphinx3, WaterNS)
+
+
+def run(program, seed):
+    runner = Runner(program, control=InstantCheckControl(),
+                    scheduler=RandomScheduler())
+    runner.run(seed)
+    return runner
+
+
+def heap_block(runner, site):
+    return next(b for b in runner.allocator.live_blocks() if b.site == site)
+
+
+class TestRadiosity:
+    def test_total_energy_conserved_every_schedule(self):
+        """Transfers are atomic moves: the total is invariant even though
+        the distribution is schedule-dependent."""
+        program = Radiosity(n_workers=4, n_patches=8, rounds=4)
+        totals, distributions = set(), set()
+        for seed in range(5):
+            runner = run(Radiosity(n_workers=4, n_patches=8, rounds=4), seed)
+            block = heap_block(runner, "rad.c:energy")
+            energies = tuple(runner.memory.load(a) for a in block.addresses())
+            totals.add(sum(energies))
+            distributions.add(energies)
+            assert all(e >= 0 for e in energies)
+        assert len(totals) == 1          # conservation law
+        assert len(distributions) > 1    # genuine result nondeterminism
+
+
+class TestBarnes:
+    def _walk(self, runner, node, lo, hi, keys):
+        if node == 0:
+            return
+        key = runner.memory.load(node + 0)
+        assert lo < key < hi, "BST ordering violated"
+        keys.append(key)
+        self._walk(runner, runner.memory.load(node + 1), lo, key, keys)
+        self._walk(runner, runner.memory.load(node + 2), key, hi, keys)
+
+    def test_tree_is_valid_bst_over_all_bodies(self):
+        program = Barnes(n_workers=4, n_bodies=16, force_steps=2)
+        shapes = set()
+        for seed in range(4):
+            runner = run(Barnes(n_workers=4, n_bodies=16, force_steps=2),
+                         seed)
+            root = runner.memory.load(runner.program.root)
+            keys = []
+            self._walk(runner, root, float("-inf"), float("inf"), keys)
+            expected = sorted(int((i * 37) % 101) for i in range(16))
+            assert sorted(keys) == expected
+            shapes.add(tuple(keys))  # pre-order = shape signature
+        assert len(shapes) > 1  # insertion order shaped the tree
+
+
+class TestCanneal:
+    def test_races_lose_or_duplicate_values(self):
+        """The racy swap is not a permutation under contention: two
+        overlapping swaps can duplicate one value and lose another —
+        that *is* the nondeterministic final state."""
+        multisets = set()
+        for seed in range(6):
+            runner = run(Canneal(n_workers=4, n_elements=16, rounds=4), seed)
+            block = heap_block(runner, "canneal.c:netlist")
+            values = tuple(sorted(runner.memory.load(a)
+                                  for a in block.addresses()))
+            multisets.add(values)
+        assert len(multisets) > 1
+
+
+class TestWaterEnergy:
+    def test_potential_positive_and_order_bounded(self):
+        """The reduction order changes low bits only: across schedules
+        the potential agrees to ~1e-9 relative."""
+        values = []
+        for seed in range(4):
+            runner = run(WaterNS(n_workers=4, n_molecules=16, steps=4), seed)
+            values.append(runner.memory.load(runner.program.potential))
+        assert all(v > 0 for v in values)
+        spread = max(values) - min(values)
+        assert spread <= abs(max(values)) * 1e-9
+
+
+class TestFluidanimate:
+    def test_density_mass_conserved_modulo_fp(self):
+        """Every particle contributes to exactly one cell: the sum over
+        cells equals the sum of contributions, up to FP-order noise."""
+        totals = []
+        for seed in range(3):
+            runner = run(Fluidanimate(n_workers=4, n_particles=16,
+                                      n_cells=4, rounds=4), seed)
+            block = heap_block(runner, "fa.c:density")
+            totals.append(sum(float(runner.memory.load(a))
+                              for a in block.addresses()))
+        assert max(totals) - min(totals) <= abs(max(totals)) * 1e-9
+
+
+class TestOcean:
+    def test_residual_monotone_nonnegative(self):
+        runner = run(Ocean(n_workers=4, grid=8, iterations=10), 1)
+        assert runner.memory.load(runner.program.residual) >= 0.0
+
+    def test_field_stays_bounded(self):
+        """The relaxation operator is an average: values stay within the
+        initial range."""
+        runner = run(Ocean(n_workers=4, grid=8, iterations=10), 2)
+        block = heap_block(runner, "ocean.c:field")
+        values = [float(runner.memory.load(a)) for a in block.addresses()]
+        assert all(-0.001 <= v <= 9.001 for v in values)
+
+
+class TestPbzip2:
+    def test_queue_indices_consistent(self):
+        program = Pbzip2(n_chunks=10)
+        runner = run(program, 3)
+        head = runner.memory.load(program.q_head)
+        tail = runner.memory.load(program.q_tail)
+        assert head == program.n_chunks + 1  # chunks + sentinel
+        assert tail == program.n_chunks      # sentinel left queued
+
+    def test_every_chunk_processed_exactly_once(self):
+        program = Pbzip2(n_chunks=10)
+        runner = run(program, 4)
+        # Every result struct carries the chunk length and a checksum.
+        blocks = [b for b in runner.allocator.live_blocks()
+                  if b.site == "pbzip2.c:result_task"]
+        assert len(blocks) == 10
+        for block in blocks:
+            assert runner.memory.load(block.base) == program.chunk_words
+            assert runner.memory.load(block.base + 2) != 0  # dangling ptr set
+
+
+class TestSphinx3:
+    def test_pool_filled_exactly(self):
+        program = Sphinx3(n_models=16, frames=6)
+        runner = run(program, 5)
+        count = runner.memory.load(runner.program.pool_count)
+        assert count == 6 * program.n_workers

@@ -1,0 +1,82 @@
+"""Robustness: determinism classes are stable across workload scale,
+thread count, core count, and migration."""
+
+import pytest
+
+from repro.core.checker.report import characterize
+from repro.core.checker.runner import check_determinism
+from repro.core.hashing.rounding import no_rounding
+from repro.core.schemes.base import SchemeConfig
+from repro.workloads import REGISTRY, make
+
+#: Per-app parameter overrides giving a smaller and a larger variant.
+VARIANTS = {
+    "blackscholes": ({"n_options": 32, "passes": 4},
+                     {"n_options": 96, "passes": 12}),
+    "fft": ({"log2_n": 5}, {"log2_n": 8}),
+    "lu": ({"n": 16, "block": 4}, {"n": 32, "block": 8}),
+    "radix": ({"n_keys": 32}, {"n_keys": 96}),
+    "streamcluster": ({"rounds": 12, "n_points": 32},
+                      {"rounds": 32, "n_points": 96}),
+    "swaptions": ({"n_swaptions": 8, "blocks": 4},
+                  {"n_swaptions": 24, "blocks": 14}),
+    "volrend": ({"image_words": 32}, {"image_words": 96}),
+    "fluidanimate": ({"n_particles": 16, "rounds": 8},
+                     {"n_particles": 48, "rounds": 28}),
+    "ocean": ({"grid": 8, "iterations": 12}, {"grid": 12, "iterations": 50}),
+    "waterNS": ({"n_molecules": 16, "steps": 6},
+                {"n_molecules": 48, "steps": 14}),
+    "waterSP": ({"n_molecules": 16, "steps": 6},
+                {"n_molecules": 48, "steps": 14}),
+    "cholesky": ({"n_columns": 8}, {"n_columns": 24}),
+    "pbzip2": ({"n_chunks": 8, "chunk_words": 4},
+               {"n_chunks": 20, "chunk_words": 8}),
+    "sphinx3": ({"n_models": 16, "frames": 8},
+                {"n_models": 48, "frames": 20}),
+    "barnes": ({"n_bodies": 16, "force_steps": 4},
+               {"n_bodies": 40, "force_steps": 10}),
+    "canneal": ({"n_elements": 16, "rounds": 8},
+                {"n_elements": 48, "rounds": 20}),
+    "radiosity": ({"n_patches": 8, "rounds": 5},
+                  {"n_patches": 24, "rounds": 12}),
+}
+
+
+def test_variants_cover_all_apps():
+    assert set(VARIANTS) == set(REGISTRY)
+
+
+@pytest.mark.parametrize("name", sorted(VARIANTS))
+@pytest.mark.parametrize("size", [0, 1], ids=["small", "large"])
+def test_class_stable_across_sizes(name, size):
+    program = make(name, **VARIANTS[name][size])
+    row = characterize(program, runs=5, base_seed=1300 + size)
+    assert row.det_class == REGISTRY[name].EXPECTED_CLASS
+
+
+@pytest.mark.parametrize("name", ["fft", "ocean", "pbzip2", "canneal"])
+def test_class_stable_with_fewer_threads(name):
+    program = make(name, n_workers=4)
+    row = characterize(program, runs=5, base_seed=1400)
+    assert row.det_class == REGISTRY[name].EXPECTED_CLASS
+
+
+@pytest.mark.parametrize("name", ["fft", "cholesky", "canneal"])
+def test_class_stable_with_few_cores(name):
+    """8 threads on 2 cores: constant context switching, so the TH
+    save/restore path is exercised on nearly every scheduling step."""
+    program = make(name)
+    row = characterize(program, runs=5, base_seed=1500, n_cores=2)
+    assert row.det_class == REGISTRY[name].EXPECTED_CLASS
+
+
+@pytest.mark.parametrize("name", ["volrend", "waterNS"])
+def test_verdict_stable_under_migration(name):
+    """Thread migration (TH save/restore across cores) never perturbs
+    the verdict."""
+    from repro.core.hashing.rounding import default_policy
+
+    result = check_determinism(
+        make(name), runs=5, base_seed=1600, migrate_prob=0.3,
+        schemes={"r": SchemeConfig(kind="hw", rounding=default_policy())})
+    assert result.verdict("r").deterministic

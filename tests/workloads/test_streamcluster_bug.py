@@ -1,0 +1,68 @@
+"""The streamcluster 2.1 order-violation bug (Section 7.2.1)."""
+
+import pytest
+
+from repro.core.checker.runner import check_determinism
+from repro.core.hashing.rounding import no_rounding
+from repro.core.schemes.base import SchemeConfig
+from repro.workloads import Streamcluster
+
+
+def check(program, runs=10):
+    result = check_determinism(
+        program, runs=runs,
+        schemes={"bit": SchemeConfig(kind="hw", rounding=no_rounding())})
+    return result.verdict("bit")
+
+
+def test_fixed_version_deterministic():
+    verdict = check(Streamcluster(buggy=False))
+    assert verdict.deterministic
+
+
+def test_buggy_medium_ndet_internally_masked_at_end():
+    """For simmedium, nondeterminism manifests at internal barriers,
+    'after which it gets masked away and does not manifest at the end'."""
+    verdict = check(Streamcluster(buggy=True, input_size="medium"))
+    assert not verdict.deterministic
+    assert verdict.n_ndet_points > 0
+    assert verdict.det_at_end  # masked
+
+
+def test_buggy_dev_propagates_to_end():
+    """'for small inputs (e.g., simdev), the nondeterminism propagates to
+    the program's end and results in different outputs' — the race is not
+    benign."""
+    verdict = check(Streamcluster(buggy=True, input_size="dev"))
+    assert not verdict.deterministic
+    assert not verdict.det_at_end
+
+
+def test_bug_found_quickly():
+    verdict = check(Streamcluster(buggy=True), runs=10)
+    assert verdict.first_ndet_run is not None
+    assert verdict.first_ndet_run <= 4
+
+
+def test_end_only_checking_misses_the_masked_bug():
+    """The paper's argument for dense checkpoints: 'checking determinism
+    at as many points as possible ... catches bugs that for some inputs
+    do not show up at the program end.'  Comparing only the end state of
+    the medium input would miss this bug entirely."""
+    verdict = check(Streamcluster(buggy=True, input_size="medium"))
+    end_point = verdict.points[-1]
+    assert end_point.deterministic          # end-only checking: all clear
+    assert verdict.n_ndet_points > 0        # internal barriers: bug found
+
+
+def test_structures_stable_across_versions():
+    """The fix barrier is checkpoint-free, so buggy and fixed runs have
+    the same checkpoint structure (comparable point counts)."""
+    buggy = check(Streamcluster(buggy=True))
+    fixed = check(Streamcluster(buggy=False))
+    assert len(buggy.points) == len(fixed.points)
+
+
+def test_invalid_input_size():
+    with pytest.raises(ValueError):
+        Streamcluster(input_size="huge")

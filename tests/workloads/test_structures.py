@@ -1,0 +1,115 @@
+"""Structure-level checks of the nondeterministic data the paper names:
+cholesky's freeTask lists, pbzip2's dangling pointers, sphinx3's pool."""
+
+from repro.core.control.controller import InstantCheckControl
+from repro.sim.program import Runner
+from repro.sim.scheduler import RandomScheduler
+from repro.workloads import Cholesky, Pbzip2, Sphinx3
+from repro.workloads.pbzip2 import PTR_FIELD
+
+
+def run(program, seed):
+    runner = Runner(program, control=InstantCheckControl(),
+                    scheduler=RandomScheduler())
+    runner.run(seed)
+    return runner
+
+
+class TestCholeskyFreeTask:
+    def _walk_free_lists(self, runner, program):
+        """Follow each per-thread freeTask list; returns task ids per list."""
+        lists = []
+        for wid in range(program.n_workers):
+            node = runner.memory.load(program.freeTask + wid)
+            tasks = []
+            while node != 0:
+                tasks.append(runner.memory.load(node + 1))
+                node = runner.memory.load(node + 0)
+            lists.append(tasks)
+        return lists
+
+    def test_lists_partition_all_tasks(self):
+        """Every task node ends on exactly one freeTask list; membership
+        varies by schedule but the union is always all tasks."""
+        program = Cholesky(n_workers=4, n_columns=12)
+        memberships = set()
+        for seed in range(4):
+            runner = run(Cholesky(n_workers=4, n_columns=12), seed)
+            lists = self._walk_free_lists(runner, runner.program)
+            all_tasks = sorted(t for tasks in lists for t in tasks)
+            assert all_tasks == list(range(12))
+            memberships.add(tuple(tuple(tasks) for tasks in lists))
+        # "the order in which the tasks are linked, and the size of the
+        # list, differ from run to run"
+        assert len(memberships) > 1
+
+    def test_list_is_lifo_per_worker(self):
+        """A worker pushes nodes at the head: its list holds its tasks
+        in reverse processing order."""
+        runner = run(Cholesky(n_workers=1, n_columns=6), 0)
+        lists = self._walk_free_lists(runner, runner.program)
+        assert lists[0] == [5, 4, 3, 2, 1, 0]
+
+
+class TestPbzip2DanglingPointers:
+    def _pointers(self, runner):
+        blocks = sorted((b for b in runner.allocator.live_blocks()
+                         if b.site == "pbzip2.c:result_task"),
+                        key=lambda b: b.base)
+        return tuple(runner.memory.load(b.base + PTR_FIELD) for b in blocks)
+
+    def test_pointers_dangle(self):
+        """The pointed-to scratch is freed: every pointer is dangling."""
+        runner = run(Pbzip2(n_chunks=8), 1)
+        for pointer in self._pointers(runner):
+            assert pointer != 0
+            assert not runner.memory.is_mapped(pointer)
+
+    def test_pointer_values_schedule_dependent(self):
+        control = InstantCheckControl()
+        runner = Runner(Pbzip2(n_chunks=8), control=control,
+                        scheduler=RandomScheduler())
+        pointer_sets = set()
+        for seed in range(5):
+            runner.run(seed)
+            pointer_sets.add(self._pointers(runner))
+        assert len(pointer_sets) > 1
+
+    def test_payload_fields_schedule_independent(self):
+        """Only the pointer field varies: length and checksum are fixed."""
+        control = InstantCheckControl()
+        runner = Runner(Pbzip2(n_chunks=8), control=control,
+                        scheduler=RandomScheduler())
+        payloads = set()
+        for seed in range(5):
+            runner.run(seed)
+            blocks = sorted((b for b in runner.allocator.live_blocks()
+                             if b.site == "pbzip2.c:result_task"),
+                            key=lambda b: b.base)
+            payloads.add(tuple(
+                (runner.memory.load(b.base), runner.memory.load(b.base + 1))
+                for b in blocks))
+        assert len(payloads) == 1
+
+
+class TestSphinx3Pool:
+    def test_pool_entries_are_a_fixed_multiset(self):
+        """The pool's *contents* are the same multiset every run (each
+        worker pushes a deterministic value per frame); only the slot
+        assignment varies — nondeterministic layout of deterministic
+        data, which is why ignoring the site is safe."""
+        control = InstantCheckControl()
+        program = Sphinx3(n_models=16, frames=5)
+        runner = Runner(program, control=control,
+                        scheduler=RandomScheduler())
+        multisets, layouts = set(), set()
+        for seed in range(4):
+            runner.run(seed)
+            block = next(b for b in runner.allocator.live_blocks()
+                         if b.site == "sphinx.c:hyp_pool")
+            values = [runner.memory.load(a) for a in block.addresses()]
+            filled = [v for v in values if v != 0]
+            multisets.add(tuple(sorted(filled)))
+            layouts.add(tuple(values))
+        assert len(multisets) == 1
+        assert len(layouts) > 1
