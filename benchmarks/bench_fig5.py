@@ -34,11 +34,16 @@ def fig5_verdicts():
     return {name: verdicts_for(name) for name in CASES}
 
 
-def test_fig5(benchmark, fig5_verdicts, emit_artifact):
+def test_fig5(benchmark, fig5_verdicts, emit_artifact, emit_artifact_json):
     benchmark.pedantic(lambda: verdicts_for("barnes"), rounds=1, iterations=1)
 
     verdicts = fig5_verdicts
     emit_artifact("fig5.txt", render_figure5(verdicts))
+    from repro.core.checker.serialize import verdict_to_dict
+    emit_artifact_json("fig5.json",
+                       {"runs": RUNS,
+                        "verdicts": {app: verdict_to_dict(v)
+                                     for app, v in verdicts.items()}})
 
     for name, verdict in verdicts.items():
         assert verdict.n_ndet_points > 0, name

@@ -38,12 +38,21 @@ def norm_by_app(rows):
     return out
 
 
-def test_fig6(benchmark, fig6_rows, emit_artifact):
+def test_fig6(benchmark, fig6_rows, emit_artifact, emit_artifact_json):
     benchmark.pedantic(lambda: measure_overheads(make("fft"), seed=77),
                        rounds=1, iterations=1)
 
     rows = fig6_rows
     emit_artifact("fig6.txt", render_figure6(rows))
+    emit_artifact_json("fig6.json", {
+        "rows": [
+            {"application": r.application, "native": r.native, "hw": r.hw,
+             "sw_inc": r.sw_inc, "sw_tr": r.sw_tr,
+             "normalized": (r.events["normalized"]
+                            if r.application == "GEOM" else r.normalized())}
+            for r in rows
+        ],
+    })
     norm = norm_by_app(rows)
 
     # HW-InstantCheck_Inc: negligible overhead, always far below SW.

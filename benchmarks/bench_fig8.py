@@ -34,11 +34,16 @@ def max_states(verdict):
     return max(p.n_states for p in verdict.points)
 
 
-def test_fig8(benchmark, fig8_verdicts, emit_artifact):
+def test_fig8(benchmark, fig8_verdicts, emit_artifact, emit_artifact_json):
     benchmark.pedantic(lambda: verdict_for("radix"), rounds=1, iterations=1)
 
     verdicts = fig8_verdicts
     emit_artifact("fig8.txt", render_figure5(verdicts))
+    from repro.core.checker.serialize import verdict_to_dict
+    emit_artifact_json("fig8.json",
+                       {"runs": RUNS,
+                        "verdicts": {app: verdict_to_dict(v)
+                                     for app, v in verdicts.items()}})
 
     # All three bugs produce nondeterministic points.
     for app, verdict in verdicts.items():

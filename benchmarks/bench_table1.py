@@ -37,7 +37,7 @@ def table1_rows():
             for name in REGISTRY]
 
 
-def test_table1(benchmark, table1_rows, emit_artifact):
+def test_table1(benchmark, table1_rows, emit_artifact, emit_artifact_json):
     # Timed unit: one fully-instrumented checking run of one application.
     runner = Runner(make("volrend"), scheme_factory=SchemeConfig(kind="hw"),
                     control=InstantCheckControl())
@@ -47,6 +47,10 @@ def test_table1(benchmark, table1_rows, emit_artifact):
     emit_artifact("table1.txt",
                   render_table1(rows) + "\n\n" +
                   render_table1_comparison(rows))
+    from repro.core.checker.serialize import table1_row_to_dict
+    emit_artifact_json("table1.json",
+                       {"runs": RUNS,
+                        "rows": [table1_row_to_dict(r) for r in rows]})
 
     # Every application lands in its paper class.
     for row in rows:
@@ -68,7 +72,8 @@ def test_table1(benchmark, table1_rows, emit_artifact):
     assert len(deterministic) == 14
 
 
-def test_table1_streamcluster_star(benchmark, emit_artifact):
+def test_table1_streamcluster_star(benchmark, emit_artifact,
+                                   emit_artifact_json):
     """The ★ footnote: with the (pre-fix) streamcluster 2.1 bug, the
     nondeterministic internal barriers appear; once fixed they are all
     deterministic again."""
@@ -88,5 +93,10 @@ def test_table1_streamcluster_star(benchmark, emit_artifact):
         f"nondeterministic internal barriers of {len(verdict.points)} "
         f"points; det at end: {verdict.det_at_end} (paper: 74 of 13002, "
         f"masked at end)")
+    emit_artifact_json(
+        "table1_streamcluster_star.json",
+        {"n_ndet_points": verdict.n_ndet_points,
+         "n_points": len(verdict.points),
+         "det_at_end": verdict.det_at_end})
     assert verdict.n_ndet_points > 0
     assert verdict.det_at_end

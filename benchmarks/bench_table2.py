@@ -29,11 +29,17 @@ def table2_verdicts():
     return {app: check(app) for app in PAPER_TABLE2}
 
 
-def test_table2(benchmark, table2_verdicts, emit_artifact):
+def test_table2(benchmark, table2_verdicts, emit_artifact,
+                emit_artifact_json):
     benchmark.pedantic(lambda: check("radix"), rounds=1, iterations=1)
 
     verdicts = table2_verdicts
     emit_artifact("table2.txt", render_table2(verdicts))
+    from repro.core.checker.serialize import verdict_to_dict
+    emit_artifact_json("table2.json",
+                       {"runs": RUNS,
+                        "verdicts": {app: verdict_to_dict(v)
+                                     for app, v in verdicts.items()}})
 
     # InstantCheck detects all three bugs.
     for app, verdict in verdicts.items():

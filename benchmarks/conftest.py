@@ -16,6 +16,7 @@ inspected without -s.)
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 
@@ -36,9 +37,28 @@ def emit(name: str, text: str) -> None:
     print(text)
 
 
+def emit_json(name: str, payload) -> None:
+    """Persist a machine-readable artifact under benchmarks/results/.
+
+    Stable keys + sorted output so the perf trajectory of any number can
+    be diffed across PRs with plain ``git diff``.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\n===== {name} (json) =====")
+
+
 @pytest.fixture(scope="session")
 def emit_artifact():
     return emit
+
+
+@pytest.fixture(scope="session")
+def emit_artifact_json():
+    return emit_json
 
 
 def pytest_collection_modifyitems(items):

@@ -12,6 +12,8 @@ Public API highlights
   SW-InstantCheck_Inc, or SW-InstantCheck_Tr, the mixer, and FP rounding.
 * :mod:`repro.workloads` — analogs of the paper's 17 applications.
 * :mod:`repro.apps` — the Section 6 applications of the primitive.
+* :class:`repro.Telemetry` — structured tracing/metrics over a checking
+  session (see docs/telemetry.md).
 """
 
 from repro.core import (CheckConfig, DeterminismResult, HwIncScheme,
@@ -22,6 +24,7 @@ from repro.core import (CheckConfig, DeterminismResult, HwIncScheme,
                         no_rounding)
 from repro.errors import ReproError
 from repro.sim import Program, Runner
+from repro.telemetry import Telemetry
 
 __version__ = "0.1.0"
 
@@ -30,5 +33,5 @@ __all__ = [
     "SchemeConfig", "SwIncScheme", "SwTrScheme", "Table1Row", "characterize",
     "check_determinism", "default_policy", "ignore_address", "ignore_field",
     "ignore_site", "ignore_static", "localize", "no_rounding", "ReproError",
-    "Program", "Runner", "__version__",
+    "Program", "Runner", "Telemetry", "__version__",
 ]

@@ -5,9 +5,15 @@ Commands
 * ``list`` — the 17 applications with their Table 1 metadata.
 * ``check APP`` — run the determinism check for one application.
 * ``characterize APP`` — the full Table 1 ladder for one application.
+* ``campaign APP`` — multi-input determinism campaign.
 * ``localize APP`` — diff two runs at a checkpoint (the §2.3 tool).
+* ``stats FILE`` — profile summary of a ``--telemetry`` JSONL file.
 * ``table1`` / ``table2`` / ``fig5`` / ``fig6`` / ``fig8`` — regenerate
   one evaluation artifact (also available via the benchmark harness).
+
+``check``, ``characterize``, and ``campaign`` accept ``--telemetry
+PATH`` to stream structured spans/metrics/events to a JSONL file (see
+docs/telemetry.md).
 """
 
 from __future__ import annotations
@@ -59,6 +65,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print per-point run distributions")
     check.add_argument("--json", action="store_true",
                        help="emit the full result as JSON")
+    check.add_argument("--telemetry", metavar="PATH",
+                       help="write telemetry events (JSONL) to PATH")
 
     char = sub.add_parser("characterize",
                           help="full Table 1 ladder for one application")
@@ -66,6 +74,27 @@ def _build_parser() -> argparse.ArgumentParser:
     char.add_argument("--runs", type=int, default=30)
     char.add_argument("--json", action="store_true",
                       help="emit the row as JSON")
+    char.add_argument("--telemetry", metavar="PATH",
+                      help="write telemetry events (JSONL) to PATH")
+
+    camp = sub.add_parser(
+        "campaign", help="determinism campaign over several input points")
+    camp.add_argument("app", choices=sorted(REGISTRY))
+    camp.add_argument("--runs", type=int, default=12)
+    camp.add_argument("--scheme", choices=SCHEME_KINDS, default="hw")
+    camp.add_argument("--rounding", choices=sorted(ROUNDINGS),
+                      default="none")
+    camp.add_argument("--seed", type=int, default=1000)
+    camp.add_argument(
+        "--inputs", nargs="*", metavar="NAME[:K=V,...]", default=None,
+        help="input points as name:param=value,... "
+        "(e.g. small:input_size=dev); default is one 'default' input")
+    camp.add_argument("--telemetry", metavar="PATH",
+                      help="write telemetry events (JSONL) to PATH")
+
+    stats = sub.add_parser(
+        "stats", help="render a profile summary from a telemetry JSONL file")
+    stats.add_argument("file", help="JSONL file written by --telemetry")
 
     races = sub.add_parser(
         "races", help="detect data races and classify them benign/harmful "
@@ -119,6 +148,42 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _telemetry_from(args):
+    """Open a JSONL telemetry session when ``--telemetry`` was given."""
+    path = getattr(args, "telemetry", None)
+    if not path:
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry.to_jsonl(path)
+
+
+def _parse_input_point(spec: str):
+    """Parse ``name[:key=value,...]`` into an InputPoint."""
+    from repro.core.checker.campaign import InputPoint
+
+    name, _, rest = spec.partition(":")
+    params = {}
+    if rest:
+        for item in rest.split(","):
+            key, _, raw = item.partition("=")
+            if not _ or not key:
+                raise SystemExit(
+                    f"bad input spec {spec!r}: expected name:key=value,...")
+            value: object = raw
+            if raw.lower() in ("true", "false"):
+                value = raw.lower() == "true"
+            else:
+                for convert in (int, float):
+                    try:
+                        value = convert(raw)
+                        break
+                    except ValueError:
+                        continue
+            params[key] = value
+    return InputPoint(name or "default", params)
+
+
 def _cmd_list(args, out) -> int:
     print(f"{'application':14s} {'source':9s} {'FP':3s} class", file=out)
     for name, cls in REGISTRY.items():
@@ -131,9 +196,15 @@ def _cmd_check(args, out) -> int:
     program = make(args.app)
     rounding = ROUNDINGS[args.rounding]()
     ignores = (tuple(program.SUGGESTED_IGNORES) if args.ignores else ())
-    result = check_determinism(
-        program, runs=args.runs, base_seed=args.seed, ignores=ignores,
-        schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding)})
+    telemetry = _telemetry_from(args)
+    try:
+        result = check_determinism(
+            program, runs=args.runs, base_seed=args.seed, ignores=ignores,
+            telemetry=telemetry,
+            schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding)})
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     verdict = result.verdicts["s+ignore" if ignores else "s"]
     if args.json:
         print(to_json(result), file=out)
@@ -153,12 +224,49 @@ def _cmd_check(args, out) -> int:
 
 
 def _cmd_characterize(args, out) -> int:
-    row = characterize(make(args.app), runs=args.runs)
+    telemetry = _telemetry_from(args)
+    try:
+        row = characterize(make(args.app), runs=args.runs,
+                           telemetry=telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     if args.json:
         print(to_json(row), file=out)
         return 0
     print(render_table1([row]), file=out)
     print(f"\nclass: {row.det_class}", file=out)
+    return 0
+
+
+def _cmd_campaign(args, out) -> int:
+    from repro.core.checker.campaign import InputPoint, run_campaign
+
+    if args.inputs:
+        points = [_parse_input_point(spec) for spec in args.inputs]
+    else:
+        points = [InputPoint("default", {})]
+    rounding = ROUNDINGS[args.rounding]()
+    telemetry = _telemetry_from(args)
+    try:
+        result = run_campaign(
+            lambda **params: make(args.app, **params), points,
+            runs=args.runs, base_seed=args.seed, telemetry=telemetry,
+            schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding)})
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    print(result.summary(), file=out)
+    if result.internal_only_inputs:
+        print(f"  internal-only (end-state masked): "
+              f"{', '.join(result.internal_only_inputs)}", file=out)
+    return 0 if result.deterministic_on_all_inputs else 1
+
+
+def _cmd_stats(args, out) -> int:
+    from repro.telemetry import render_stats_file
+
+    print(render_stats_file(args.file), file=out)
     return 0
 
 
@@ -272,6 +380,8 @@ _COMMANDS = {
     "list": _cmd_list,
     "check": _cmd_check,
     "characterize": _cmd_characterize,
+    "campaign": _cmd_campaign,
+    "stats": _cmd_stats,
     "localize": _cmd_localize,
     "races": _cmd_races,
     "light64": _cmd_light64,

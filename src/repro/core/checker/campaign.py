@@ -79,30 +79,53 @@ class CampaignResult:
 
 
 def run_campaign(program_factory, inputs, config: CheckConfig | None = None,
-                 **overrides) -> CampaignResult:
+                 telemetry=None, **overrides) -> CampaignResult:
     """Check determinism across several input points.
 
     *program_factory* is called with each input's params to build a
     fresh program; each input gets its own controller (record/replay
     logs must never leak across inputs — different inputs legitimately
-    allocate differently).
+    allocate differently).  *telemetry* wraps the campaign in a span and
+    emits one progress event per input plus a per-input verdict event.
     """
-    outcomes = []
-    program_name = None
-    for point in inputs:
-        program = program_factory(**point.params)
-        program_name = program.name
-        result = check_determinism(program, config, **overrides)
-        # Judge by the *last* configured variant (the most permissive:
-        # e.g. rounded, or rounded+ignore when ignores are configured).
-        verdict = list(result.verdicts.values())[-1]
-        outcomes.append(InputOutcome(
-            input=point,
-            deterministic=(verdict.deterministic and result.structures_match
-                           and result.outputs_match),
-            det_at_end=verdict.det_at_end and result.outputs_match,
-            n_ndet_points=verdict.n_ndet_points,
-            first_ndet_run=verdict.first_ndet_run,
-            result=result,
-        ))
-    return CampaignResult(program=program_name or "?", outcomes=outcomes)
+    inputs = list(inputs)
+    tele = telemetry if (telemetry is not None and telemetry.enabled) else None
+    span = (tele.start_span("campaign", inputs=len(inputs))
+            if tele else None)
+    try:
+        outcomes = []
+        program_name = None
+        for index, point in enumerate(inputs):
+            program = program_factory(**point.params)
+            program_name = program.name
+            if tele:
+                tele.event("progress", kind="input", program=program_name,
+                           input=point.name, index=index, total=len(inputs))
+            result = check_determinism(program, config, telemetry=telemetry,
+                                       **overrides)
+            # Judge by the *last* configured variant (the most permissive:
+            # e.g. rounded, or rounded+ignore when ignores are configured).
+            verdict = list(result.verdicts.values())[-1]
+            outcome = InputOutcome(
+                input=point,
+                deterministic=(verdict.deterministic and result.structures_match
+                               and result.outputs_match),
+                det_at_end=verdict.det_at_end and result.outputs_match,
+                n_ndet_points=verdict.n_ndet_points,
+                first_ndet_run=verdict.first_ndet_run,
+                result=result,
+            )
+            outcomes.append(outcome)
+            if tele:
+                tele.event("input_verdict", program=program_name,
+                           input=point.name,
+                           deterministic=outcome.deterministic,
+                           det_at_end=outcome.det_at_end,
+                           n_ndet_points=outcome.n_ndet_points)
+        if tele and span is not None:
+            span.set(program=program_name or "?",
+                     flagged=sum(1 for o in outcomes if not o.deterministic))
+        return CampaignResult(program=program_name or "?", outcomes=outcomes)
+    finally:
+        if tele:
+            tele.end_span(span)

@@ -76,7 +76,7 @@ class Table1Row:
 
 def characterize(program, runs: int = 30, base_seed: int = 1000,
                  scheduler: str = "random", granularity: str = "sync",
-                 n_cores: int = 8) -> Table1Row:
+                 n_cores: int = 8, telemetry=None) -> Table1Row:
     """Run the Table 1 ladder for one application."""
     ignores = tuple(getattr(program, "SUGGESTED_IGNORES", ()))
     config = CheckConfig(
@@ -91,7 +91,7 @@ def characterize(program, runs: int = 30, base_seed: int = 1000,
         base_seed=base_seed,
         ignores=ignores,
     )
-    result = check_determinism(program, config)
+    result = check_determinism(program, config, telemetry=telemetry)
 
     structures_ok = result.structures_match
     outputs_ok = result.outputs_match

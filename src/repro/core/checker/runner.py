@@ -101,24 +101,31 @@ def _first_divergent_run(per_run_values) -> int | None:
 def _make_verdict(name, adjusted, labels, per_run_hashes, runs) -> VariantVerdict:
     points = point_distributions(labels, per_run_hashes)
     n_det = sum(1 for p in points if p.deterministic)
+    # A session with zero comparable checkpoints proved nothing: refuse
+    # to call it deterministic (every healthy run has at least the "end"
+    # checkpoint, so an empty point list means the runs could not even
+    # be aligned).
     return VariantVerdict(
         name=name,
         adjusted=adjusted,
         points=points,
-        deterministic=n_det == len(points),
+        deterministic=bool(points) and n_det == len(points),
         first_ndet_run=_first_divergent_run(per_run_hashes),
         n_det_points=n_det,
         n_ndet_points=len(points) - n_det,
-        det_at_end=points[-1].deterministic if points else True,
+        det_at_end=points[-1].deterministic if points else False,
     )
 
 
 def check_determinism(program: Program, config: CheckConfig | None = None,
-                      **overrides) -> DeterminismResult:
+                      telemetry=None, **overrides) -> DeterminismResult:
     """Run a full determinism-checking session over *program*.
 
     Keyword overrides are applied on top of *config* (or the default
     config), e.g. ``check_determinism(prog, runs=10, ignores=(...,))``.
+    *telemetry* is an optional :class:`~repro.telemetry.Telemetry`
+    session: the whole session becomes one span, every run emits a
+    progress event, and first divergences are recorded as events.
     """
     if config is None:
         config = CheckConfig()
@@ -129,6 +136,21 @@ def check_determinism(program: Program, config: CheckConfig | None = None,
     if config.runs < 2:
         raise CheckerError("determinism checking needs at least 2 runs")
 
+    tele = telemetry if (telemetry is not None and telemetry.enabled) else None
+    span = (tele.start_span("check_session", program=program.name,
+                            runs=config.runs,
+                            schemes=",".join(config.schemes))
+            if tele else None)
+    try:
+        result = _run_session(program, config, tele)
+    finally:
+        if tele:
+            tele.end_span(span)
+    return result
+
+
+def _run_session(program: Program, config: CheckConfig,
+                 tele) -> DeterminismResult:
     control = InstantCheckControl(
         zero_fill=config.zero_fill,
         malloc_replay=config.malloc_replay,
@@ -139,13 +161,17 @@ def check_determinism(program: Program, config: CheckConfig | None = None,
     scheduler = make_scheduler(config.scheduler, config.granularity)
     runner = Runner(program, scheme_factory=dict(config.schemes),
                     control=control, scheduler=scheduler,
-                    n_cores=config.n_cores, migrate_prob=config.migrate_prob)
+                    n_cores=config.n_cores, migrate_prob=config.migrate_prob,
+                    telemetry=tele)
 
     records = []
     reference_hashes = None
     for i in range(config.runs):
         record = runner.run(config.base_seed + i)
         records.append(record)
+        if tele:
+            tele.event("progress", kind="run", program=program.name,
+                       run=i + 1, total=config.runs)
         if config.stop_on_first:
             hashes = record.hashes()
             if reference_hashes is None:
@@ -181,6 +207,15 @@ def check_determinism(program: Program, config: CheckConfig | None = None,
     if not config.compare_output:
         outputs_match = True
         output_first = None
+
+    if tele:
+        for name, verdict in verdicts.items():
+            if verdict.first_ndet_run is not None:
+                tele.event("first_divergence", program=program.name,
+                           variant=name, run=verdict.first_ndet_run)
+        if output_first is not None:
+            tele.event("first_divergence", program=program.name,
+                       variant="output", run=output_first)
 
     return DeterminismResult(
         program=program.name,

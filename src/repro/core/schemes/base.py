@@ -36,6 +36,11 @@ class Scheme(WriteObserver):
         self.allocator = allocator
         self.mixer = get_mixer(mixer) if isinstance(mixer, str) else mixer
         self.rounding = rounding if rounding is not None else no_rounding()
+        #: Hash-unit invocations this run (per-store updates for the
+        #: incremental schemes, per-word sweep work for traversal) —
+        #: the per-scheme cost signal telemetry reports, mirroring the
+        #: Figure 6 categories.
+        self.hash_updates = 0
 
     def state_hash(self) -> int:
         """The 64-bit State Hash of the current memory state."""

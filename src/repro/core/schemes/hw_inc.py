@@ -54,10 +54,12 @@ class HwIncScheme(Scheme):
     def on_store(self, core, tid, address, old_value, new_value, is_fp, hashed):
         if not hashed:
             return
+        self.hash_updates += 1
         self.mhms[core].on_store(address, old_value, new_value, is_fp)
 
     def on_free(self, core, tid, block, old_values):
         mhm = self.mhms[core]
+        self.hash_updates += len(old_values)
         for offset, value in enumerate(old_values):
             mhm.minus_hash(block.base + offset, value,
                            is_fp=self._block_word_is_fp(block, offset))

@@ -57,6 +57,7 @@ class SwIncScheme(Scheme):
         # old value in atomic mode, possibly stale in non-atomic mode.
         if not hashed:
             return
+        self.hash_updates += 1
         th = self._thread_hash.get(tid, 0)
         th = (th - self._term(address, old_value, is_fp)
               + self._term(address, new_value, is_fp)) & MASK64
@@ -64,6 +65,7 @@ class SwIncScheme(Scheme):
         self.machine.counters.note("sw_inc_instrumented_stores")
 
     def on_free(self, core, tid, block, old_values):
+        self.hash_updates += len(old_values)
         th = self._thread_hash.get(tid, 0)
         for offset, value in enumerate(old_values):
             th = (th - self._term(block.base + offset, value,

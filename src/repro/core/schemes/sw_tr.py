@@ -47,9 +47,11 @@ class SwTrScheme(Scheme):
         return super().location_term(address, is_fp)
 
     def state_hash(self) -> int:
+        state_words = self.machine.memory.state_words()
+        # Traversal pays one hash-unit invocation per live word per sweep.
+        self.hash_updates += state_words
         self.machine.counters.note("traversals")
-        self.machine.counters.note("traversal_words",
-                                   self.machine.memory.state_words())
+        self.machine.counters.note("traversal_words", state_words)
         return traverse_state_hash(self.machine.memory, mixer=self.mixer,
                                    rounding=self.rounding,
                                    type_oracle=self.type_oracle)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import enum
 import random
+import time
 from dataclasses import dataclass, field
 from types import SimpleNamespace
 
@@ -190,7 +191,7 @@ class Runner:
                  cost_model: CostModel | None = None, snapshot_at: int | None = None,
                  keep_final_snapshot: bool = False, migrate_prob: float = 0.0,
                  max_steps: int = 20_000_000, tracer=None,
-                 machine_hook=None):
+                 machine_hook=None, telemetry=None):
         self.program = program
         self.scheme_factory = scheme_factory
         self.control = control if control is not None else NativeServices()
@@ -207,6 +208,11 @@ class Runner:
         #: Optional callable invoked with each run's fresh machine right
         #: after construction (e.g. to attach L1 cache models).
         self.machine_hook = machine_hook
+        #: Optional :class:`~repro.telemetry.Telemetry` session; when
+        #: enabled, every run gets a span with wall-clock timing, and the
+        #: registry accumulates per-scheme hash-update counts, Figure 6
+        #: instruction categories, and scheduler decisions.
+        self.telemetry = telemetry
 
         # Per-run state, rebuilt by run(); exposed for inspection in tests.
         self.memory: Memory | None = None
@@ -222,6 +228,37 @@ class Runner:
 
     def run(self, seed: int) -> RunRecord:
         """Execute one full run under schedule *seed* and record it."""
+        tele = self.telemetry
+        if tele is None or not tele.enabled:
+            return self._run_body(seed)
+        with tele.span("run", program=self.program.name, seed=seed) as span:
+            start = time.perf_counter()
+            record = self._run_body(seed)
+            elapsed = time.perf_counter() - start
+            span.set(steps=self.step_count,
+                     checkpoints=len(self.checkpoints),
+                     sched_picks=self._sched_picks,
+                     sched_switches=self._sched_switches)
+            self._record_run_metrics(tele, elapsed)
+        return record
+
+    def _record_run_metrics(self, tele, elapsed: float) -> None:
+        """Fold one finished run into the telemetry registry."""
+        reg = tele.registry
+        reg.counter("runs").inc()
+        reg.histogram("run_seconds", program=self.program.name).observe(elapsed)
+        if elapsed > 0:
+            reg.histogram("steps_per_second").observe(self.step_count / elapsed)
+        reg.counter("sched_picks").inc(self._sched_picks)
+        reg.counter("sched_switches").inc(self._sched_switches)
+        # Mirror the Figure 6 instruction categories of sim/counters.py.
+        for category, count in self.counters.instructions.items():
+            reg.counter("instructions", category=category).inc(count)
+        for name, scheme in self.schemes.items():
+            reg.counter("scheme_hash_updates", scheme=scheme.name,
+                        variant=name).inc(scheme.hash_updates)
+
+    def _run_body(self, seed: int) -> RunRecord:
         self.memory = Memory(self.program.static_words, entropy=seed)
         self.counters = Counters(self.cost_model)
         self.machine = Machine(self.memory, self.n_cores, self.counters,
@@ -244,6 +281,8 @@ class Runner:
         self.scheme = next(iter(self.schemes.values()), None)
         self.step_count = 0
         self.checkpoints = []
+        self._sched_picks = 0
+        self._sched_switches = 0
 
         st = self.program.make_state()
         main_ctx = Ctx(self, 0)
@@ -303,6 +342,9 @@ class Runner:
             tid = self.scheduler.pick(runnable, current, at_switch)
             if tid not in runnable:
                 raise SchedulerError(f"scheduler picked non-runnable tid {tid}")
+            self._sched_picks += 1
+            if current is not None and tid != current:
+                self._sched_switches += 1
             thread = threads[tid]
             self.machine.schedule_thread(tid)
             op_kind = self._step(thread)
@@ -470,10 +512,19 @@ class Runner:
         state_words = self.memory.state_words()
         raw = adjusted = None
         variants: dict = {}
+        tele = self.telemetry
+        timed = tele is not None and tele.enabled
         if self.schemes:
             ignored = self.control.resolve_ignores(self.allocator)
             for name, scheme in self.schemes.items():
-                r = scheme.state_hash()
+                if timed:
+                    t0 = time.perf_counter()
+                    r = scheme.state_hash()
+                    tele.registry.histogram(
+                        "state_hash_seconds", scheme=scheme.name,
+                        variant=name).observe(time.perf_counter() - t0)
+                else:
+                    r = scheme.state_hash()
                 a = r
                 if ignored:
                     total = 0
@@ -494,3 +545,5 @@ class Runner:
         self.checkpoints.append(record)
         self.counters.note("checkpoints")
         self.counters.note("checkpoint_words", state_words)
+        if timed:
+            tele.registry.counter("checkpoints").inc()

@@ -1,0 +1,32 @@
+"""Structured telemetry for the checker stack.
+
+The paper's pitch is *instant* visibility into a running parallel
+program; this package gives the reproduction the same property about
+itself.  One :class:`Telemetry` session threads through a checking
+session (or campaign): hierarchical spans time every simulated run, a
+metrics registry accumulates per-scheme hash-update counts and
+instruction categories, and point events record per-run/per-input
+progress and first divergences.  Events stream to a versioned JSONL
+file that ``python -m repro stats`` renders into a profile summary.
+
+Disabled (the default, over a :class:`NullSink`) the whole subsystem is
+a no-op: ``Telemetry.enabled`` is False and hot-path call sites guard
+on it, so no events, timestamps, or dicts are ever created.
+
+See ``docs/telemetry.md`` for the event schema and usage examples.
+"""
+
+from repro.telemetry.registry import (Counter, Gauge, Histogram,
+                                      MetricsRegistry, metric_key)
+from repro.telemetry.sinks import (SCHEMA_NAME, SCHEMA_VERSION, JsonlSink,
+                                   MemorySink, NullSink, Sink, load_events)
+from repro.telemetry.stats import aggregate, render_stats, render_stats_file
+from repro.telemetry.tracer import DISABLED, Span, Telemetry
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "metric_key",
+    "SCHEMA_NAME", "SCHEMA_VERSION",
+    "Sink", "NullSink", "MemorySink", "JsonlSink", "load_events",
+    "aggregate", "render_stats", "render_stats_file",
+    "Span", "Telemetry", "DISABLED",
+]

@@ -1,0 +1,119 @@
+"""Metric instruments and the registry that owns them.
+
+Three instrument kinds cover what the checker stack needs to observe
+itself (the Laarman et al. lesson: per-component throughput counters are
+what make hash-pipeline tuning tractable):
+
+* :class:`Counter` — monotonically increasing counts (hash updates,
+  scheduler decisions, instructions per Figure 6 category);
+* :class:`Gauge` — last-value-wins measurements (runs configured);
+* :class:`Histogram` — summary statistics of repeated measurements
+  (per-checkpoint ``state_hash`` latency, per-run wall-clock).
+
+Instruments are keyed by name plus sorted labels, rendered
+Prometheus-style (``scheme_hash_updates{scheme=hw,variant=bitwise}``) so
+a snapshot is a flat, diffable dict.  Instances are created on demand
+and cached; the hot-path cost of an existing instrument is one dict
+lookup and one attribute update.
+"""
+
+from __future__ import annotations
+
+
+def metric_key(name: str, labels: dict) -> str:
+    """Canonical flat key for a (name, labels) pair."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = None
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Summary statistics (count/sum/min/max) of repeated observations."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Owns every instrument of one telemetry session."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _get(self, table: dict, factory, name: str, labels: dict):
+        key = metric_key(name, labels)
+        instrument = table.get(key)
+        if instrument is None:
+            instrument = table[key] = factory()
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(self._counters, Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(self._gauges, Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(self._histograms, Histogram, name, labels)
+
+    def snapshot(self) -> dict:
+        """Flat, JSON-safe view of every instrument's current value."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {k: h.summary()
+                           for k, h in sorted(self._histograms.items())},
+        }

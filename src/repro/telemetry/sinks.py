@@ -1,0 +1,78 @@
+"""Event sinks: where telemetry events go.
+
+A sink consumes one JSON-safe dict per event.  :class:`NullSink` is the
+disabled configuration — its ``enabled`` flag lets every call site skip
+event construction entirely, which is how the subsystem stays
+zero-overhead when nobody is watching.  :class:`JsonlSink` appends one
+JSON object per line (the interchange format ``repro stats`` reads);
+:class:`MemorySink` keeps events in a list for tests and in-process
+consumers.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Version stamped on every event line; bump on breaking schema changes.
+SCHEMA_VERSION = 1
+#: Schema identifier written by the session-opening ``meta`` event.
+SCHEMA_NAME = "repro.telemetry"
+
+
+class Sink:
+    """Interface: consume telemetry events."""
+
+    #: Call sites skip event construction when the sink is disabled.
+    enabled = True
+
+    def emit(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(Sink):
+    """Discards everything; ``enabled`` is False so callers never emit."""
+
+    enabled = False
+
+    def emit(self, event: dict) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Collects events in memory (tests, in-process aggregation)."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+
+class JsonlSink(Sink):
+    """Appends one JSON object per line to a file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "w")
+
+    def emit(self, event: dict) -> None:
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+def load_events(path: str) -> list[dict]:
+    """Read a JSONL telemetry file back into a list of event dicts."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -1,0 +1,142 @@
+"""The :class:`Telemetry` facade: spans, events, and the metric registry.
+
+One ``Telemetry`` instance is one observation session.  It owns a
+:class:`~repro.telemetry.registry.MetricsRegistry`, a monotonic clock,
+and a sink; the checker stack threads a single instance through a whole
+checking session (or campaign) so spans nest naturally:
+
+    campaign > check_session > run
+
+Spans carry wall-clock durations (``time.perf_counter``), a stable
+``span``/``parent`` id pair for reconstruction, and arbitrary JSON-safe
+attributes.  ``event()`` records a point-in-time fact (per-run progress,
+first divergence).  ``flush()`` writes the current registry snapshot as
+a ``metrics`` event; ``close()`` flushes and closes the sink.
+
+When constructed over a :class:`~repro.telemetry.sinks.NullSink` (the
+default), ``enabled`` is False and every method is a cheap no-op; call
+sites in hot paths additionally guard on ``enabled`` so no event dicts
+or timestamps are ever produced.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.sinks import (SCHEMA_NAME, SCHEMA_VERSION, JsonlSink,
+                                   NullSink, Sink)
+
+
+class Span:
+    """One open (or finished) traced region."""
+
+    __slots__ = ("span_id", "parent_id", "name", "attrs", "start", "duration")
+
+    def __init__(self, span_id: int, parent_id: int | None, name: str,
+                 attrs: dict, start: float):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.duration = None
+
+    def set(self, **attrs) -> None:
+        """Attach attributes; they ride on the ``span_end`` event."""
+        self.attrs.update(attrs)
+
+
+#: Shared inert span handed out by disabled sessions.
+_NULL_SPAN = Span(-1, None, "disabled", {}, 0.0)
+
+
+class Telemetry:
+    """One observation session over a sink."""
+
+    def __init__(self, sink: Sink | None = None):
+        self.sink = sink if sink is not None else NullSink()
+        self.enabled = self.sink.enabled
+        self.registry = MetricsRegistry()
+        self._next_span_id = 0
+        self._stack: list[Span] = []
+        if self.enabled:
+            self._epoch = time.perf_counter()
+            self.sink.emit({"v": SCHEMA_VERSION, "t": "meta",
+                            "schema": f"{SCHEMA_NAME}/v{SCHEMA_VERSION}",
+                            "ts": 0.0})
+
+    @classmethod
+    def to_jsonl(cls, path: str) -> "Telemetry":
+        """A session writing JSONL events to *path*."""
+        return cls(JsonlSink(path))
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    # -- spans --------------------------------------------------------------------
+
+    def start_span(self, name: str, **attrs) -> Span:
+        if not self.enabled:
+            return _NULL_SPAN
+        span = Span(self._next_span_id,
+                    self._stack[-1].span_id if self._stack else None,
+                    name, dict(attrs), self._now())
+        self._next_span_id += 1
+        self._stack.append(span)
+        self.sink.emit({"v": SCHEMA_VERSION, "t": "span_start",
+                        "ts": span.start, "span": span.span_id,
+                        "parent": span.parent_id, "name": name,
+                        "attrs": dict(span.attrs)})
+        return span
+
+    def end_span(self, span: Span) -> None:
+        if not self.enabled or span is _NULL_SPAN:
+            return
+        if span in self._stack:
+            # Close any dangling children along with this span.
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            self._stack.pop()
+        end = self._now()
+        span.duration = end - span.start
+        self.sink.emit({"v": SCHEMA_VERSION, "t": "span_end", "ts": end,
+                        "span": span.span_id, "parent": span.parent_id,
+                        "name": span.name, "dur_s": span.duration,
+                        "attrs": dict(span.attrs)})
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        span = self.start_span(name, **attrs)
+        try:
+            yield span
+        finally:
+            self.end_span(span)
+
+    # -- point events and metrics ------------------------------------------------
+
+    def event(self, name: str, **fields) -> None:
+        """Record one point-in-time fact (progress, divergence, ...)."""
+        if not self.enabled:
+            return
+        payload = {"v": SCHEMA_VERSION, "t": "event", "ts": self._now(),
+                   "name": name}
+        payload.update(fields)
+        self.sink.emit(payload)
+
+    def flush(self) -> None:
+        """Write the registry's current snapshot as a ``metrics`` event."""
+        if not self.enabled:
+            return
+        self.sink.emit({"v": SCHEMA_VERSION, "t": "metrics",
+                        "ts": self._now(),
+                        "metrics": self.registry.snapshot()})
+
+    def close(self) -> None:
+        self.flush()
+        self.sink.close()
+
+
+#: Shared disabled session: safe to pass anywhere a Telemetry is expected.
+DISABLED = Telemetry()

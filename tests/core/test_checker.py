@@ -129,3 +129,15 @@ def test_records_kept(fig1):
     assert len(result.records) == 4
     assert all(r.program == "fig1" for r in result.records)
     assert result.structures_match
+
+
+def test_empty_point_list_is_not_deterministic():
+    """Regression: a session with zero comparable checkpoints must not
+    silently read as deterministic — it proved nothing."""
+    from repro.core.checker.runner import _make_verdict
+
+    verdict = _make_verdict("main", False, [], [(), ()], 2)
+    assert not verdict.deterministic
+    assert not verdict.det_at_end
+    assert verdict.n_det_points == 0
+    assert verdict.n_ndet_points == 0

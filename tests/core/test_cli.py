@@ -144,3 +144,76 @@ def test_verify_golden_flags_different_app(tmp_path):
     run_cli("bless", "fft", "--out", path)
     code, text = run_cli("verify-golden", "lu", "--baseline", path)
     assert code == 1
+
+
+def test_check_telemetry_writes_jsonl(tmp_path):
+    from repro.telemetry import load_events
+
+    path = str(tmp_path / "t.jsonl")
+    code, text = run_cli("check", "volrend", "--runs", "3",
+                         "--telemetry", path)
+    assert code == 0
+    events = load_events(path)
+    assert events[0]["t"] == "meta"
+    run_spans = [e for e in events
+                 if e["t"] == "span_end" and e["name"] == "run"]
+    assert len(run_spans) == 3
+    assert events[-1]["t"] == "metrics"
+
+
+def test_stats_command_renders_profile(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    run_cli("check", "volrend", "--runs", "3", "--telemetry", path)
+    code, text = run_cli("stats", path)
+    assert code == 0
+    assert "runs recorded: 3" in text
+    assert "per-scheme hash updates" in text
+    assert "hw" in text
+
+
+def test_characterize_telemetry(tmp_path):
+    from repro.telemetry import load_events
+
+    path = str(tmp_path / "t.jsonl")
+    code, text = run_cli("characterize", "volrend", "--runs", "4",
+                         "--telemetry", path)
+    assert code == 0
+    events = load_events(path)
+    run_spans = [e for e in events
+                 if e["t"] == "span_end" and e["name"] == "run"]
+    assert len(run_spans) == 4
+
+
+def test_campaign_command_deterministic_app(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    code, text = run_cli("campaign", "volrend", "--runs", "3",
+                         "--inputs", "small:image_words=16",
+                         "large:image_words=64",
+                         "--telemetry", path)
+    assert code == 0
+    assert "campaign over 2 input(s)" in text
+    from repro.telemetry import load_events
+
+    events = load_events(path)
+    progress = [e for e in events if e["t"] == "event"
+                and e.get("name") == "progress" and e.get("kind") == "input"]
+    assert len(progress) == 2
+
+
+def test_campaign_command_flags_buggy_input():
+    code, text = run_cli("campaign", "streamcluster", "--runs", "4",
+                         "--inputs", "dev:input_size=dev,buggy=true")
+    assert code == 1
+    assert "NONDETERMINISTIC" in text
+
+
+def test_campaign_default_input():
+    code, text = run_cli("campaign", "volrend", "--runs", "3")
+    assert code == 0
+    assert "default" in text
+
+
+def test_campaign_bad_input_spec_rejected():
+    with pytest.raises(SystemExit):
+        run_cli("campaign", "volrend", "--runs", "3",
+                "--inputs", "bad:novalue")

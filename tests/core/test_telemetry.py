@@ -1,0 +1,251 @@
+"""Tests for the telemetry subsystem (registry, spans, sinks, stats)."""
+
+import json
+
+import pytest
+
+from repro.core.checker.campaign import InputPoint, run_campaign
+from repro.core.checker.runner import check_determinism
+from repro.core.schemes.base import SchemeConfig
+from repro.telemetry import (SCHEMA_VERSION, JsonlSink, MemorySink,
+                             MetricsRegistry, NullSink, Telemetry, aggregate,
+                             load_events, metric_key, render_stats)
+
+from _programs import Fig1Program, RacyProgram
+
+
+# -- registry ---------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc()
+        reg.counter("runs").inc(4)
+        assert reg.counter("runs").value == 5
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("updates", scheme="hw").inc(10)
+        reg.counter("updates", scheme="sw_tr").inc(3)
+        snap = reg.snapshot()["counters"]
+        assert snap["updates{scheme=hw}"] == 10
+        assert snap["updates{scheme=sw_tr}"] == 3
+
+    def test_label_order_is_canonical(self):
+        assert (metric_key("m", {"b": 1, "a": 2})
+                == metric_key("m", {"a": 2, "b": 1}))
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        reg.gauge("runs_configured").set(30)
+        assert reg.snapshot()["gauges"]["runs_configured"] == 30
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        summary = reg.snapshot()["histograms"]["latency"]
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+
+    def test_empty_histogram(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("x").summary()["mean"] is None
+
+
+# -- spans and events -------------------------------------------------------------
+
+
+class TestSpans:
+    def test_span_nesting_parents(self):
+        sink = MemorySink()
+        tele = Telemetry(sink)
+        with tele.span("outer") as outer:
+            with tele.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        starts = [e for e in sink.events if e["t"] == "span_start"]
+        ends = [e for e in sink.events if e["t"] == "span_end"]
+        assert [e["name"] for e in starts] == ["outer", "inner"]
+        # Inner closes before outer; parents recorded on both event kinds.
+        assert [e["name"] for e in ends] == ["inner", "outer"]
+        assert ends[0]["parent"] == outer.span_id
+        assert ends[1]["parent"] is None
+        assert all(e["dur_s"] >= 0 for e in ends)
+
+    def test_span_attrs_ride_on_end_event(self):
+        sink = MemorySink()
+        tele = Telemetry(sink)
+        with tele.span("run", seed=7) as span:
+            span.set(steps=123)
+        end = [e for e in sink.events if e["t"] == "span_end"][0]
+        assert end["attrs"] == {"seed": 7, "steps": 123}
+
+    def test_events_carry_schema_version(self):
+        sink = MemorySink()
+        tele = Telemetry(sink)
+        tele.event("progress", run=1)
+        assert all(e["v"] == SCHEMA_VERSION for e in sink.events)
+
+    def test_meta_event_opens_session(self):
+        sink = MemorySink()
+        Telemetry(sink)
+        assert sink.events[0]["t"] == "meta"
+        assert sink.events[0]["schema"] == f"repro.telemetry/v{SCHEMA_VERSION}"
+
+
+# -- disabled behavior -------------------------------------------------------------
+
+
+class TestDisabled:
+    def test_null_sink_disables_everything(self):
+        tele = Telemetry(NullSink())
+        assert not tele.enabled
+        with tele.span("run") as span:
+            tele.event("progress")
+        tele.flush()
+        tele.close()
+        assert span.duration is None  # never timed
+
+    def test_default_is_disabled(self):
+        assert not Telemetry().enabled
+
+    def test_disabled_check_matches_enabled_verdict(self, fig1):
+        plain = check_determinism(fig1, runs=4)
+        tele = Telemetry(MemorySink())
+        observed = check_determinism(Fig1Program(), runs=4, telemetry=tele)
+        assert (plain.verdict("main").deterministic
+                == observed.verdict("main").deterministic)
+        assert [r.hashes() for r in plain.records] == \
+               [r.hashes() for r in observed.records]
+
+
+# -- JSONL round-trip --------------------------------------------------------------
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tele = Telemetry(JsonlSink(path))
+        with tele.span("run", seed=1):
+            tele.event("progress", run=1, total=2)
+        tele.registry.counter("runs").inc(2)
+        tele.close()
+        events = load_events(path)
+        kinds = [e["t"] for e in events]
+        assert kinds == ["meta", "span_start", "event", "span_end", "metrics"]
+        assert events[-1]["metrics"]["counters"]["runs"] == 2
+        # Every line is valid standalone JSON with a version stamp.
+        with open(path) as handle:
+            for line in handle:
+                assert json.loads(line)["v"] == SCHEMA_VERSION
+
+
+# -- checker integration -----------------------------------------------------------
+
+
+class TestCheckerIntegration:
+    def test_every_run_has_a_span_and_progress_event(self):
+        sink = MemorySink()
+        tele = Telemetry(sink)
+        check_determinism(Fig1Program(), runs=5, telemetry=tele)
+        run_ends = [e for e in sink.events
+                    if e["t"] == "span_end" and e["name"] == "run"]
+        progress = [e for e in sink.events
+                    if e["t"] == "event" and e.get("name") == "progress"]
+        assert len(run_ends) == 5
+        assert len(progress) == 5
+        assert [e["run"] for e in progress] == [1, 2, 3, 4, 5]
+
+    def test_session_span_wraps_runs(self):
+        sink = MemorySink()
+        tele = Telemetry(sink)
+        check_determinism(Fig1Program(), runs=3, telemetry=tele)
+        session = [e for e in sink.events
+                   if e["t"] == "span_start" and e["name"] == "check_session"]
+        run_spans = [e for e in sink.events
+                     if e["t"] == "span_start" and e["name"] == "run"]
+        assert len(session) == 1
+        assert all(e["parent"] == session[0]["span"] for e in run_spans)
+
+    def test_scheme_hash_updates_counted(self):
+        tele = Telemetry(MemorySink())
+        check_determinism(
+            Fig1Program(), runs=3, telemetry=tele,
+            schemes={"hwv": SchemeConfig(kind="hw"),
+                     "trv": SchemeConfig(kind="sw_tr")})
+        counters = tele.registry.snapshot()["counters"]
+        assert counters["scheme_hash_updates{scheme=hw,variant=hwv}"] > 0
+        assert counters["scheme_hash_updates{scheme=sw_tr,variant=trv}"] > 0
+        hists = tele.registry.snapshot()["histograms"]
+        assert hists["state_hash_seconds{scheme=hw,variant=hwv}"]["count"] > 0
+
+    def test_first_divergence_event_for_racy_program(self):
+        sink = MemorySink()
+        tele = Telemetry(sink)
+        check_determinism(RacyProgram(), runs=8, telemetry=tele)
+        divergences = [e for e in sink.events
+                       if e["t"] == "event"
+                       and e.get("name") == "first_divergence"]
+        assert divergences
+        assert all(e["run"] >= 2 for e in divergences)
+
+
+# -- campaign integration ----------------------------------------------------------
+
+
+class TestCampaignIntegration:
+    def test_progress_event_once_per_input(self):
+        sink = MemorySink()
+        tele = Telemetry(sink)
+        run_campaign(
+            lambda **kw: Fig1Program(**kw),
+            [InputPoint("a", {"initial": 1}),
+             InputPoint("b", {"initial": 2}),
+             InputPoint("c", {"initial": 3})],
+            runs=3, telemetry=tele)
+        progress = [e for e in sink.events
+                    if e["t"] == "event" and e.get("name") == "progress"
+                    and e.get("kind") == "input"]
+        assert [e["input"] for e in progress] == ["a", "b", "c"]
+        verdicts = [e for e in sink.events
+                    if e["t"] == "event" and e.get("name") == "input_verdict"]
+        assert len(verdicts) == 3
+        campaign_spans = [e for e in sink.events
+                          if e["t"] == "span_end" and e["name"] == "campaign"]
+        assert len(campaign_spans) == 1
+        assert campaign_spans[0]["attrs"]["flagged"] == 0
+
+
+# -- stats rendering ---------------------------------------------------------------
+
+
+class TestStats:
+    def _profile_events(self, tmp_path, runs=4):
+        path = str(tmp_path / "t.jsonl")
+        tele = Telemetry(JsonlSink(path))
+        check_determinism(Fig1Program(), runs=runs, telemetry=tele)
+        tele.close()
+        return load_events(path)
+
+    def test_aggregate_accounts_for_every_run(self, tmp_path):
+        events = self._profile_events(tmp_path, runs=4)
+        profile = aggregate(events)
+        assert profile["schema"] == f"repro.telemetry/v{SCHEMA_VERSION}"
+        assert len(profile["runs"]) == 4
+        assert profile["progress"] == 4
+        assert profile["metrics"]["counters"]["runs"] == 4
+
+    def test_render_stats_sections(self, tmp_path):
+        events = self._profile_events(tmp_path, runs=3)
+        text = render_stats(events)
+        assert "runs recorded: 3" in text
+        assert "per-scheme hash updates" in text
+        assert "state_hash latency per scheme" in text
+        assert "simulated instructions by category" in text
+        assert "sched_picks" in text
+        assert "progress events: 3" in text

@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.core.control",
     "repro.core.checker",
     "repro.sim",
+    "repro.telemetry",
     "repro.workloads",
     "repro.apps",
     "repro.analysis",
