@@ -14,6 +14,19 @@ Commands
 ``check``, ``characterize``, and ``campaign`` accept ``--telemetry
 PATH`` to stream structured spans/metrics/events to a JSONL file (see
 docs/telemetry.md).
+
+Exit codes (see docs/robustness.md) are uniform across commands:
+
+* 0 — deterministic (or the command simply succeeded);
+* 1 — nondeterministic verdict, including crash divergence;
+* 2 — infrastructure/run failure (a :class:`~repro.errors.ReproError`
+  escaped: infeasible input, bad baseline file, ...);
+* 3 — usage error (unknown app, malformed ``--inputs`` spec, bad
+  checker configuration).
+
+``check`` and ``campaign`` also accept the fault-injection workloads of
+:mod:`repro.sim.faults` (``deadlock-fault``, ``livelock-fault``, ...),
+which exist to exercise exactly those failure paths.
 """
 
 from __future__ import annotations
@@ -27,12 +40,18 @@ from repro.analysis.tables import (render_table1, render_table1_comparison,
                                    render_table2)
 from repro.core.checker.distribution import format_groups
 from repro.core.checker.localize import localize
+from repro.core.checker.policies import RetryPolicy
 from repro.core.checker.report import characterize
-from repro.core.checker.runner import check_determinism
+from repro.core.checker.runner import (OUTCOME_DETERMINISTIC,
+                                       OUTCOME_INCOMPLETE,
+                                       OUTCOME_INFEASIBLE,
+                                       check_determinism)
 from repro.core.checker.serialize import to_json
 from repro.core.hashing.rounding import (default_policy, floor_policy,
                                          mantissa_policy, no_rounding)
 from repro.core.schemes.base import SCHEME_KINDS, SchemeConfig
+from repro.errors import CheckerError, ReproError
+from repro.sim.faults import FAULT_REGISTRY
 from repro.workloads import REGISTRY, make, seeded_program
 from repro.workloads.seeded_bugs import SEEDED_BUGS
 
@@ -42,6 +61,16 @@ ROUNDINGS = {
     "mantissa": mantissa_policy,
     "floor": floor_policy,
 }
+
+#: Uniform process exit codes (satellite of the robustness work).
+EXIT_DETERMINISTIC = 0
+EXIT_NONDETERMINISTIC = 1
+EXIT_INFRA = 2
+EXIT_USAGE = 3
+
+#: Names accepted by ``check``/``campaign``: the Table 1 applications
+#: plus the fault-injection probes.
+CHECKABLE = sorted(REGISTRY) + sorted(FAULT_REGISTRY)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -53,7 +82,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the 17 applications")
 
     check = sub.add_parser("check", help="determinism-check one application")
-    check.add_argument("app", choices=sorted(REGISTRY))
+    check.add_argument("app", choices=CHECKABLE)
     check.add_argument("--runs", type=int, default=30)
     check.add_argument("--scheme", choices=SCHEME_KINDS, default="hw")
     check.add_argument("--rounding", choices=sorted(ROUNDINGS),
@@ -67,6 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="emit the full result as JSON")
     check.add_argument("--telemetry", metavar="PATH",
                        help="write telemetry events (JSONL) to PATH")
+    _add_robustness_args(check)
 
     char = sub.add_parser("characterize",
                           help="full Table 1 ladder for one application")
@@ -79,7 +109,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     camp = sub.add_parser(
         "campaign", help="determinism campaign over several input points")
-    camp.add_argument("app", choices=sorted(REGISTRY))
+    camp.add_argument("app", choices=CHECKABLE)
     camp.add_argument("--runs", type=int, default=12)
     camp.add_argument("--scheme", choices=SCHEME_KINDS, default="hw")
     camp.add_argument("--rounding", choices=sorted(ROUNDINGS),
@@ -91,6 +121,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "(e.g. small:input_size=dev); default is one 'default' input")
     camp.add_argument("--telemetry", metavar="PATH",
                       help="write telemetry events (JSONL) to PATH")
+    camp.add_argument("--journal", metavar="PATH",
+                      help="append per-input outcomes to a JSONL journal")
+    camp.add_argument("--resume", metavar="PATH",
+                      help="resume from (and keep appending to) the journal "
+                      "at PATH, skipping inputs it already holds")
+    _add_robustness_args(camp)
 
     stats = sub.add_parser(
         "stats", help="render a profile summary from a telemetry JSONL file")
@@ -148,6 +184,45 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_robustness_args(parser) -> None:
+    """Fault-tolerance knobs shared by ``check`` and ``campaign``."""
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="re-raise the first failing run instead of "
+                        "recording it (pre-robustness behavior)")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="attempts per run for transient (replay) "
+                        "failures; 1 = no retry")
+    parser.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                        help="wall-clock budget for the whole session; on "
+                        "expiry the verdict is partial over completed runs")
+    parser.add_argument("--run-deadline", type=float, default=None,
+                        metavar="SEC", help="wall-clock budget per run")
+    parser.add_argument("--max-steps", type=int, default=20_000_000,
+                        help="scheduling-step budget per run (livelock guard)")
+    parser.add_argument("--strict-replay", action="store_true",
+                        help="treat record/replay log divergence as a hard "
+                        "(retryable) ReplayError")
+
+
+def _robustness_overrides(args) -> dict:
+    """Map the shared robustness flags onto CheckConfig fields."""
+    return {
+        "fail_fast": args.fail_fast,
+        "retry": RetryPolicy(max_attempts=max(1, args.retries)),
+        "deadline_s": args.deadline,
+        "run_deadline_s": args.run_deadline,
+        "max_steps": args.max_steps,
+        "strict_replay": args.strict_replay,
+    }
+
+
+def _make_program(name: str, **params):
+    """Build a Table 1 application or a fault-injection workload."""
+    if name in FAULT_REGISTRY:
+        return FAULT_REGISTRY[name](**params)
+    return make(name, **params)
+
+
 def _telemetry_from(args):
     """Open a JSONL telemetry session when ``--telemetry`` was given."""
     path = getattr(args, "telemetry", None)
@@ -168,7 +243,7 @@ def _parse_input_point(spec: str):
         for item in rest.split(","):
             key, _, raw = item.partition("=")
             if not _ or not key:
-                raise SystemExit(
+                raise CheckerError(
                     f"bad input spec {spec!r}: expected name:key=value,...")
             value: object = raw
             if raw.lower() in ("true", "false"):
@@ -192,35 +267,55 @@ def _cmd_list(args, out) -> int:
     return 0
 
 
+def _outcome_exit_code(outcome: str) -> int:
+    """Session/campaign outcome -> process exit code."""
+    if outcome == OUTCOME_DETERMINISTIC:
+        return EXIT_DETERMINISTIC
+    if outcome in (OUTCOME_INFEASIBLE, OUTCOME_INCOMPLETE):
+        return EXIT_INFRA
+    return EXIT_NONDETERMINISTIC
+
+
 def _cmd_check(args, out) -> int:
-    program = make(args.app)
+    program = _make_program(args.app)
     rounding = ROUNDINGS[args.rounding]()
-    ignores = (tuple(program.SUGGESTED_IGNORES) if args.ignores else ())
+    ignores = (tuple(getattr(program, "SUGGESTED_IGNORES", ()))
+               if args.ignores else ())
     telemetry = _telemetry_from(args)
     try:
         result = check_determinism(
             program, runs=args.runs, base_seed=args.seed, ignores=ignores,
-            telemetry=telemetry,
+            telemetry=telemetry, **_robustness_overrides(args),
             schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding)})
     finally:
         if telemetry is not None:
             telemetry.close()
-    verdict = result.verdicts["s+ignore" if ignores else "s"]
     if args.json:
         print(to_json(result), file=out)
-        return 0 if (verdict.deterministic and result.outputs_match) else 1
+        return _outcome_exit_code(result.outcome)
+    verdict = result.judged
     print(f"{args.app}: scheme={args.scheme} rounding={args.rounding} "
-          f"ignores={bool(ignores)} runs={result.runs}", file=out)
-    print(f"  deterministic : {verdict.deterministic and result.outputs_match}",
-          file=out)
-    print(f"  points        : {verdict.n_det_points} det / "
-          f"{verdict.n_ndet_points} ndet", file=out)
-    print(f"  det at end    : {verdict.det_at_end}", file=out)
-    if verdict.first_ndet_run is not None:
-        print(f"  first NDet run: {verdict.first_ndet_run}", file=out)
-    if args.distributions:
+          f"ignores={bool(ignores)} runs={result.runs}"
+          + (f"/{result.requested_runs} (budget exhausted)"
+             if result.budget_exhausted else ""), file=out)
+    print(f"  outcome       : {result.outcome}", file=out)
+    print(f"  deterministic : {result.deterministic}", file=out)
+    if verdict is not None:
+        print(f"  points        : {verdict.n_det_points} det / "
+              f"{verdict.n_ndet_points} ndet", file=out)
+        print(f"  det at end    : {verdict.det_at_end}", file=out)
+        if verdict.first_ndet_run is not None:
+            print(f"  first NDet run: {verdict.first_ndet_run}", file=out)
+    if result.failures:
+        print(f"  failed runs   : {len(result.failures)} "
+              f"(first: run {result.first_failed_run})", file=out)
+        for failure in result.failures[:5]:
+            print(f"    {failure.summary()}", file=out)
+        if len(result.failures) > 5:
+            print(f"    ... {len(result.failures) - 5} more", file=out)
+    if args.distributions and verdict is not None:
         print(format_groups(verdict.points), file=out)
-    return 0 if verdict.deterministic else 1
+    return _outcome_exit_code(result.outcome)
 
 
 def _cmd_characterize(args, out) -> int:
@@ -246,12 +341,18 @@ def _cmd_campaign(args, out) -> int:
         points = [_parse_input_point(spec) for spec in args.inputs]
     else:
         points = [InputPoint("default", {})]
+    if args.journal and args.resume:
+        raise CheckerError("--journal and --resume are mutually exclusive "
+                           "(--resume already names the journal)")
+    journal_path = args.resume or args.journal
     rounding = ROUNDINGS[args.rounding]()
     telemetry = _telemetry_from(args)
     try:
         result = run_campaign(
-            lambda **params: make(args.app, **params), points,
+            lambda **params: _make_program(args.app, **params), points,
             runs=args.runs, base_seed=args.seed, telemetry=telemetry,
+            journal_path=journal_path, resume=bool(args.resume),
+            **_robustness_overrides(args),
             schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding)})
     finally:
         if telemetry is not None:
@@ -260,7 +361,17 @@ def _cmd_campaign(args, out) -> int:
     if result.internal_only_inputs:
         print(f"  internal-only (end-state masked): "
               f"{', '.join(result.internal_only_inputs)}", file=out)
-    return 0 if result.deterministic_on_all_inputs else 1
+    if result.resumed_inputs:
+        print(f"  resumed from journal: {', '.join(result.resumed_inputs)}",
+              file=out)
+    infeasible = [o.input.name for o in result.outcomes
+                  if o.outcome in (OUTCOME_INFEASIBLE, OUTCOME_INCOMPLETE)]
+    if result.errored_inputs or infeasible:
+        print(f"  infrastructure failures: "
+              f"{', '.join(result.errored_inputs + infeasible)}", file=out)
+        return EXIT_INFRA
+    return (EXIT_DETERMINISTIC if result.deterministic_on_all_inputs
+            else EXIT_NONDETERMINISTIC)
 
 
 def _cmd_stats(args, out) -> int:
@@ -396,10 +507,28 @@ _COMMANDS = {
 
 
 def main(argv=None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    This is the error boundary: a :class:`~repro.errors.ReproError`
+    escaping a command becomes a one-line diagnostic on stderr and exit
+    code 2 (3 for configuration/usage errors) instead of a traceback —
+    so scripts and CI can tell "the program is nondeterministic" (1)
+    from "the checker itself failed" (2) from "you invoked it wrong" (3).
+    """
     out = out if out is not None else sys.stdout
-    args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out)
+    try:
+        args = _build_parser().parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage problems and 0 for --help.
+        return EXIT_USAGE if exc.code else 0
+    try:
+        return _COMMANDS[args.command](args, out)
+    except CheckerError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_INFRA
 
 
 if __name__ == "__main__":

@@ -1,17 +1,28 @@
 """The determinism checker: multi-run comparison, classification,
-distributions, and bug localization (Sections 2, 5, 7)."""
+distributions, bug localization, and fault-tolerant campaign plumbing
+(Sections 2, 5, 7)."""
 
+from repro.core.checker.campaign import (CampaignResult, InputOutcome,
+                                         InputPoint, run_campaign)
 from repro.core.checker.distribution import (PointDistribution,
                                              distribution_of,
                                              format_distribution,
                                              format_groups,
                                              group_distributions,
                                              point_distributions)
+from repro.core.checker.journal import CampaignJournal
 from repro.core.checker.localize import Finding, LocalizeReport, localize
+from repro.core.checker.policies import (NO_RETRY, UNLIMITED, RetryPolicy,
+                                         SessionBudget)
 from repro.core.checker.report import (CLASS_BIT, CLASS_FP, CLASS_NDET,
                                        CLASS_SMALL_STRUCT, Table1Row,
                                        characterize)
-from repro.core.checker.runner import (CheckConfig, DeterminismResult,
+from repro.core.checker.runner import (OUTCOME_CRASH_DIVERGENCE,
+                                       OUTCOME_DETERMINISTIC,
+                                       OUTCOME_INCOMPLETE,
+                                       OUTCOME_INFEASIBLE,
+                                       OUTCOME_NONDETERMINISTIC, CheckConfig,
+                                       DeterminismResult, RunFailure,
                                        VariantVerdict, check_determinism)
 
 __all__ = [
@@ -20,5 +31,9 @@ __all__ = [
     "Finding", "LocalizeReport", "localize", "CLASS_BIT", "CLASS_FP",
     "CLASS_NDET", "CLASS_SMALL_STRUCT", "Table1Row", "characterize",
     "CheckConfig", "DeterminismResult", "VariantVerdict",
-    "check_determinism",
+    "check_determinism", "RunFailure", "RetryPolicy", "SessionBudget",
+    "NO_RETRY", "UNLIMITED", "OUTCOME_DETERMINISTIC",
+    "OUTCOME_NONDETERMINISTIC", "OUTCOME_CRASH_DIVERGENCE",
+    "OUTCOME_INFEASIBLE", "OUTCOME_INCOMPLETE", "CampaignResult",
+    "InputOutcome", "InputPoint", "run_campaign", "CampaignJournal",
 ]

@@ -1,0 +1,101 @@
+"""Append-only JSONL journal for resumable campaigns.
+
+A production-scale campaign (many workloads × inputs × runs) can take
+hours; the journal makes its progress durable.  :func:`run_campaign
+<repro.core.checker.campaign.run_campaign>` appends one record per
+completed input *as it finishes*, so a crash or a kill loses at most
+the input in flight.  On resume the journal is read back and completed
+inputs are restored instead of re-run.
+
+Format: one JSON object per line (the same framing as the telemetry
+sink, so the files survive truncation mid-line — a torn final record is
+skipped, never fatal).  Record types:
+
+* ``campaign_segment`` — written at the start of every invocation:
+  the planned input names and which were already complete.  A resumed
+  campaign therefore shows its full history, one segment per attempt.
+* ``input_outcome`` — one completed input, in the versioned
+  :func:`~repro.core.checker.serialize.input_outcome_to_dict` form.
+
+If the same input name appears more than once (e.g. a re-run after a
+verdict changed), the *last* record wins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.checker.serialize import (SERIALIZE_VERSION,
+                                          input_outcome_from_dict,
+                                          input_outcome_to_dict)
+
+#: Journal schema identifier, versioned alongside the serializers.
+SCHEMA = f"repro.campaign/v{SERIALIZE_VERSION}"
+
+
+class CampaignJournal:
+    """One campaign's durable progress file."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    # -- reading ------------------------------------------------------------------
+
+    def records(self) -> list:
+        """Every parseable record in the journal, in file order.
+
+        A missing file is an empty journal; a torn trailing line (the
+        process died mid-write) is skipped.
+        """
+        if not os.path.exists(self.path):
+            return []
+        out = []
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+        return out
+
+    def load_completed(self) -> dict:
+        """Completed inputs by name: ``{name: InputOutcome}``.
+
+        Error outcomes are *not* treated as complete — a resumed
+        campaign retries them, which is the point of resuming after an
+        infrastructure failure.
+        """
+        completed: dict = {}
+        for record in self.records():
+            if record.get("t") != "input_outcome":
+                continue
+            outcome = input_outcome_from_dict(record)
+            if outcome.outcome == "error":
+                completed.pop(outcome.input.name, None)
+                continue
+            completed[outcome.input.name] = outcome
+        return completed
+
+    # -- writing ------------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def begin_segment(self, inputs: list, resumed: list) -> None:
+        """Mark the start of one campaign invocation."""
+        self._append({"t": "campaign_segment", "schema": SCHEMA,
+                      "v": SERIALIZE_VERSION, "inputs": list(inputs),
+                      "resumed": list(resumed)})
+
+    def append_outcome(self, outcome) -> None:
+        """Durably record one completed input."""
+        record = input_outcome_to_dict(outcome)
+        record["t"] = "input_outcome"
+        self._append(record)

@@ -1,0 +1,136 @@
+"""Retry and budget policies for fault-tolerant checking sessions.
+
+InstantCheck piggybacks on testing loops that run a program tens of
+times per input; at that scale individual runs fail for two very
+different reasons.  *Schedule-dependent* failures (a deadlock that only
+some interleavings reach) are determinism evidence and must be recorded
+as such.  *Transient infrastructure* failures (a replay log that
+diverged because the record run itself was unlucky) are noise and are
+worth retrying under a fresh seed.  This module holds the knobs that
+separate the two:
+
+* :class:`RetryPolicy` — which error classes to retry, how many
+  attempts, how to reseed between attempts, and an optional backoff;
+* :class:`SessionBudget` — a wall-clock deadline for the whole session
+  plus a per-run deadline, both optional, layered on top of the
+  runner's existing ``max_steps`` step budget.
+
+Both are plain data; :func:`repro.core.checker.runner.check_determinism`
+interprets them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import CheckerError, ReplayError
+
+#: Seed stride between retry attempts under the "offset" strategy: a
+#: prime far larger than any plausible ``runs`` count, so retried seeds
+#: never collide with the session's own ``base_seed + i`` sequence.
+RESEED_STRIDE = 104_729
+
+#: Reseed strategies a :class:`RetryPolicy` may name.
+RESEED_STRATEGIES = ("same", "offset")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the checker retries a failed run before recording the failure.
+
+    ``max_attempts`` counts the first try: the default of 1 means no
+    retry at all.  ``retry_on`` lists the exception classes considered
+    transient — by default only :class:`~repro.errors.ReplayError`,
+    because a diverged replay log says nothing about the program, while
+    a deadlock or a livelock is exactly the evidence the checker wants.
+    ``reseed`` picks the seed for attempt *k* (0-based):
+
+    * ``"same"``   — replay the identical schedule (useful to separate
+      flaky infrastructure from schedule-dependent behavior);
+    * ``"offset"`` — ``seed + k * RESEED_STRIDE``, a fresh schedule that
+      cannot collide with the session's other seeds.
+
+    ``backoff_s`` sleeps between attempts (transient failures in real
+    deployments are often load-induced); keep it 0 in tests.
+    """
+
+    max_attempts: int = 1
+    retry_on: tuple = (ReplayError,)
+    reseed: str = "offset"
+    backoff_s: float = 0.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise CheckerError("RetryPolicy.max_attempts must be >= 1")
+        if self.reseed not in RESEED_STRATEGIES:
+            raise CheckerError(
+                f"unknown reseed strategy {self.reseed!r}; "
+                f"expected one of {RESEED_STRATEGIES}")
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """May attempt *attempt* (0-based, just failed) be retried?"""
+        if attempt + 1 >= self.max_attempts:
+            return False
+        return isinstance(error, tuple(self.retry_on))
+
+    def seed_for(self, seed: int, attempt: int) -> int:
+        """The schedule seed to use for attempt *attempt* (0-based)."""
+        if self.reseed == "same":
+            return seed
+        return seed + attempt * RESEED_STRIDE
+
+
+#: Shared no-retry policy (the default).
+NO_RETRY = RetryPolicy()
+
+
+@dataclass
+class SessionBudget:
+    """Wall-clock budgets for one checking session.
+
+    ``deadline_s`` bounds the whole session; when it expires between
+    runs the session stops gracefully and reports a *partial* verdict
+    ("deterministic within N completed runs").  ``run_deadline_s``
+    bounds each individual run; a run that exceeds it is aborted with a
+    :class:`~repro.errors.BudgetError` and recorded as a run failure
+    (a schedule that hangs is determinism evidence too).  ``start()``
+    arms the clock; the checker calls it once at session start.
+    """
+
+    deadline_s: float | None = None
+    run_deadline_s: float | None = None
+    _started_at: float | None = field(default=None, repr=False, compare=False)
+
+    def start(self) -> "SessionBudget":
+        self._started_at = time.monotonic()
+        return self
+
+    @property
+    def session_deadline(self) -> float | None:
+        """Absolute monotonic deadline of the session, or None."""
+        if self.deadline_s is None or self._started_at is None:
+            return None
+        return self._started_at + self.deadline_s
+
+    def expired(self) -> bool:
+        """Has the session deadline passed?"""
+        deadline = self.session_deadline
+        return deadline is not None and time.monotonic() >= deadline
+
+    def run_deadline(self) -> float | None:
+        """Absolute monotonic deadline for a run starting now.
+
+        The tighter of the per-run budget and what is left of the
+        session budget, so one hung run can never blow the session.
+        """
+        candidates = []
+        if self.run_deadline_s is not None:
+            candidates.append(time.monotonic() + self.run_deadline_s)
+        if self.session_deadline is not None:
+            candidates.append(self.session_deadline)
+        return min(candidates) if candidates else None
+
+
+#: Shared unlimited budget (the default).
+UNLIMITED = SessionBudget()

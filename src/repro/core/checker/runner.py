@@ -7,18 +7,31 @@ and compares the hash sequences across runs.  If two runs disagree at a
 point, the program is (externally) nondeterministic at that point; if
 all runs agree everywhere, the program is deterministic *within the
 coverage of the test*, as the paper is careful to phrase it.
+
+Runs that *crash or hang* are evidence too.  A deadlock that only some
+interleavings reach is schedule-dependent behavior — exactly what the
+checker exists to find — so by default a failing run is recorded as a
+structured :class:`RunFailure` and the session continues.  A program
+that crashes on some schedules but completes on others is classified as
+nondeterministic ("crash divergence"); one that crashes on *every*
+schedule is ``infeasible`` (the check could not be performed at all).
+``fail_fast=True`` restores the old re-raising behavior.  Retries for
+transient failures and wall-clock budgets are configured through
+:mod:`repro.core.checker.policies`.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.checker.distribution import (PointDistribution,
                                              group_distributions,
                                              point_distributions)
+from repro.core.checker.policies import NO_RETRY, RetryPolicy, SessionBudget
 from repro.core.control.controller import InstantCheckControl
 from repro.core.schemes.base import SchemeConfig
-from repro.errors import CheckerError
+from repro.errors import BudgetError, CheckerError, ReproError
 from repro.sim.program import Program, Runner
 from repro.sim.scheduler import make_scheduler
 
@@ -29,7 +42,19 @@ class CheckConfig:
 
     ``schemes`` maps variant names to :class:`SchemeConfig`; every variant
     hashes the same runs, so one session can judge a program bit-by-bit
-    and FP-rounded at once.  The first variant is the primary one.
+    and FP-rounded at once.  ``judge_variant`` names the variant whose
+    verdict decides :attr:`DeterminismResult.deterministic` (and the
+    campaign's per-input verdict); the default — None — judges by the
+    *last* configured variant, the most permissive reading (e.g. rounded,
+    or rounded+ignore when ignores are configured).
+
+    Fault tolerance: ``fail_fast`` re-raises the first failing run (the
+    pre-robustness behavior); the default isolates failures per run.
+    ``retry`` retries transient failures; ``deadline_s`` and
+    ``run_deadline_s`` bound the session / each run in wall-clock time,
+    and ``max_steps`` bounds each run in scheduling steps (the livelock
+    guard).  ``strict_replay`` makes record/replay log divergence raise
+    :class:`~repro.errors.ReplayError` instead of falling back.
     """
 
     runs: int = 30
@@ -46,6 +71,22 @@ class CheckConfig:
     compare_output: bool = True
     stop_on_first: bool = False
     migrate_prob: float = 0.0
+    judge_variant: str | None = None
+    fail_fast: bool = False
+    retry: RetryPolicy = NO_RETRY
+    deadline_s: float | None = None
+    run_deadline_s: float | None = None
+    max_steps: int = 20_000_000
+    strict_replay: bool = False
+
+    def variant_names(self) -> tuple:
+        """Every verdict name a session with this config will produce."""
+        names = []
+        for name in self.schemes:
+            names.append(name)
+            if self.ignores:
+                names.append(name + "+ignore")
+        return tuple(names)
 
 
 @dataclass
@@ -67,8 +108,51 @@ class VariantVerdict:
 
 
 @dataclass
+class RunFailure:
+    """One run that raised instead of completing.
+
+    ``run`` is the 1-based index of the scheduled run (the position its
+    record would have held), ``seed`` the schedule seed of the attempt
+    that finally failed, ``attempts`` how many tries the retry policy
+    spent.  ``steps`` and ``checkpoints`` capture how far the run got —
+    partial progress localizes a crash the same way a first divergent
+    checkpoint localizes a hash mismatch.
+    """
+
+    run: int
+    seed: int
+    error: str       # exception class name, e.g. "DeadlockError"
+    message: str
+    steps: int = 0
+    checkpoints: int = 0
+    attempts: int = 1
+
+    def summary(self) -> str:
+        return (f"run {self.run} (seed {self.seed}): {self.error}: "
+                f"{self.message} [after {self.steps} steps, "
+                f"{self.checkpoints} checkpoint(s), "
+                f"{self.attempts} attempt(s)]")
+
+
+#: Session outcomes, from best to worst.
+OUTCOME_DETERMINISTIC = "deterministic"
+OUTCOME_NONDETERMINISTIC = "nondeterministic"
+OUTCOME_CRASH_DIVERGENCE = "crash-divergence"
+OUTCOME_INFEASIBLE = "infeasible"
+OUTCOME_INCOMPLETE = "incomplete"
+
+
+@dataclass
 class DeterminismResult:
-    """Everything one checking session learned."""
+    """Everything one checking session learned.
+
+    ``runs`` counts *completed* runs (``records``); ``requested_runs``
+    is what the config asked for.  ``failures`` lists the runs that
+    crashed or hung; ``budget_exhausted`` is True when the session
+    deadline expired before every requested run was attempted, in which
+    case the verdict is partial — "deterministic within N completed
+    runs", never more.
+    """
 
     program: str
     runs: int
@@ -77,15 +161,76 @@ class DeterminismResult:
     outputs_match: bool
     output_first_ndet_run: int | None
     verdicts: dict  # variant name (or name+"+ignore") -> VariantVerdict
+    failures: list = field(default_factory=list)
+    requested_runs: int = 0
+    budget_exhausted: bool = False
+    judge_variant: str | None = None
 
     def verdict(self, name: str) -> VariantVerdict:
         return self.verdicts[name]
 
     @property
+    def judged(self) -> VariantVerdict | None:
+        """The verdict of the judging variant (None if no run completed).
+
+        ``judge_variant`` is resolved by the session from
+        :attr:`CheckConfig.judge_variant`, defaulting to the last
+        configured variant; this single property is what both
+        :attr:`deterministic` and the campaign judge by.
+        """
+        if not self.verdicts:
+            return None
+        if self.judge_variant is not None:
+            return self.verdicts[self.judge_variant]
+        return list(self.verdicts.values())[-1]
+
+    @property
+    def crash_divergence(self) -> bool:
+        """Did the program crash on some schedules but complete on others?"""
+        return bool(self.failures) and bool(self.records)
+
+    @property
+    def infeasible(self) -> bool:
+        """Did every attempted run crash, leaving nothing to compare?"""
+        return bool(self.failures) and not self.records
+
+    @property
+    def first_failed_run(self) -> int | None:
+        """1-based index of the first crashing run — the crash-divergence
+        analog of a variant's ``first_ndet_run``."""
+        if not self.failures:
+            return None
+        return min(f.run for f in self.failures)
+
+    @property
+    def outcome(self) -> str:
+        """One of the ``OUTCOME_*`` constants.
+
+        ``incomplete`` means the budget expired before two runs
+        completed and nothing crashed: the session proved nothing,
+        in either direction.
+        """
+        if self.infeasible:
+            return OUTCOME_INFEASIBLE
+        if self.crash_divergence:
+            return OUTCOME_CRASH_DIVERGENCE
+        if len(self.records) < 2:
+            return OUTCOME_INCOMPLETE
+        return (OUTCOME_DETERMINISTIC if self.deterministic
+                else OUTCOME_NONDETERMINISTIC)
+
+    @property
     def deterministic(self) -> bool:
-        """Deterministic under the primary variant (and output hash)."""
-        primary = next(iter(self.verdicts.values()))
-        return (primary.deterministic and self.structures_match
+        """Deterministic under the judging variant (and output hash).
+
+        Any run failure vetoes determinism: crashing on one schedule
+        but not another is observable divergence.  Fewer than two
+        completed runs compared nothing, so they prove nothing.
+        """
+        judged = self.judged
+        if judged is None or self.failures or len(self.records) < 2:
+            return False
+        return (judged.deterministic and self.structures_match
                 and self.outputs_match)
 
 
@@ -135,6 +280,11 @@ def check_determinism(program: Program, config: CheckConfig | None = None,
         config = replace(config, **overrides)
     if config.runs < 2:
         raise CheckerError("determinism checking needs at least 2 runs")
+    if (config.judge_variant is not None
+            and config.judge_variant not in config.variant_names()):
+        raise CheckerError(
+            f"judge_variant {config.judge_variant!r} is not produced by "
+            f"this session; configured variants: {config.variant_names()}")
 
     tele = telemetry if (telemetry is not None and telemetry.enabled) else None
     span = (tele.start_span("check_session", program=program.name,
@@ -149,6 +299,44 @@ def check_determinism(program: Program, config: CheckConfig | None = None,
     return result
 
 
+def _attempt_run(runner, budget, retry, config, tele, index: int):
+    """Run one scheduled run, retrying per policy.
+
+    Returns ``(record, failure, session_expired)``: exactly one of
+    *record* / *failure* is set unless the *session* budget expired
+    mid-run, in which case both are None and *session_expired* is True.
+    """
+    base_seed = config.base_seed + index
+    failure = None
+    for attempt in range(retry.max_attempts):
+        seed = retry.seed_for(base_seed, attempt)
+        runner.deadline = budget.run_deadline()
+        try:
+            return runner.run(seed), None, False
+        except ReproError as exc:
+            if config.fail_fast:
+                raise
+            if isinstance(exc, BudgetError) and budget.expired():
+                # The *session* deadline expired mid-run; that is not a
+                # property of this schedule, so don't record a failure.
+                return None, None, True
+            failure = RunFailure(
+                run=index + 1, seed=seed, error=type(exc).__name__,
+                message=str(exc), steps=runner.step_count,
+                checkpoints=len(runner.checkpoints), attempts=attempt + 1)
+            if not retry.should_retry(exc, attempt):
+                return None, failure, False
+            if tele:
+                tele.event("retry", program=runner.program.name,
+                           run=index + 1, attempt=attempt + 1,
+                           error=type(exc).__name__, next_seed=retry.seed_for(
+                               base_seed, attempt + 1))
+                tele.registry.counter("retries").inc()
+            if retry.backoff_s > 0:
+                time.sleep(retry.backoff_s)
+    return None, failure, False
+
+
 def _run_session(program: Program, config: CheckConfig,
                  tele) -> DeterminismResult:
     control = InstantCheckControl(
@@ -156,18 +344,43 @@ def _run_session(program: Program, config: CheckConfig,
         malloc_replay=config.malloc_replay,
         libcall_replay=config.libcall_replay,
         io_hash=config.io_hash,
+        strict_replay=config.strict_replay,
         ignores=config.ignores,
     )
     scheduler = make_scheduler(config.scheduler, config.granularity)
     runner = Runner(program, scheme_factory=dict(config.schemes),
                     control=control, scheduler=scheduler,
                     n_cores=config.n_cores, migrate_prob=config.migrate_prob,
-                    telemetry=tele)
+                    max_steps=config.max_steps, telemetry=tele)
+    budget = SessionBudget(deadline_s=config.deadline_s,
+                           run_deadline_s=config.run_deadline_s).start()
+    retry = config.retry if config.retry is not None else NO_RETRY
 
-    records = []
+    records: list = []
+    failures: list = []
+    budget_exhausted = False
     reference_hashes = None
     for i in range(config.runs):
-        record = runner.run(config.base_seed + i)
+        if budget.expired():
+            budget_exhausted = True
+            break
+        record, failure, session_expired = _attempt_run(
+            runner, budget, retry, config, tele, i)
+        if session_expired:
+            budget_exhausted = True
+            break
+        if failure is not None:
+            failures.append(failure)
+            if tele:
+                tele.event("run_failure", program=program.name,
+                           run=failure.run, seed=failure.seed,
+                           error=failure.error, message=failure.message,
+                           steps=failure.steps,
+                           checkpoints=failure.checkpoints,
+                           attempts=failure.attempts)
+                tele.registry.counter("run_failures",
+                                      error=failure.error).inc()
+            continue
         records.append(record)
         if tele:
             tele.event("progress", kind="run", program=program.name,
@@ -179,6 +392,22 @@ def _run_session(program: Program, config: CheckConfig,
                                     record.output_hashes)
             elif (record.structure, hashes, record.output_hashes) != reference_hashes:
                 break
+    if budget_exhausted and tele:
+        tele.event("budget_exhausted", program=program.name,
+                   completed=len(records), failed=len(failures),
+                   requested=config.runs)
+        tele.registry.counter("budget_exhausted").inc()
+
+    if not records:
+        # Nothing completed: either every schedule crashed (infeasible)
+        # or the budget expired before the first run finished.  There is
+        # nothing to compare, so no verdicts — and never "deterministic".
+        return DeterminismResult(
+            program=program.name, runs=0, records=[],
+            structures_match=False, outputs_match=False,
+            output_first_ndet_run=None, verdicts={}, failures=failures,
+            requested_runs=config.runs, budget_exhausted=budget_exhausted,
+            judge_variant=config.judge_variant)
 
     structures = [r.structure for r in records]
     structures_match = all(s == structures[0] for s in structures)
@@ -216,6 +445,9 @@ def _run_session(program: Program, config: CheckConfig,
         if output_first is not None:
             tele.event("first_divergence", program=program.name,
                        variant="output", run=output_first)
+        if failures:
+            tele.event("first_divergence", program=program.name,
+                       variant="crash", run=min(f.run for f in failures))
 
     return DeterminismResult(
         program=program.name,
@@ -225,4 +457,8 @@ def _run_session(program: Program, config: CheckConfig,
         outputs_match=outputs_match,
         output_first_ndet_run=output_first,
         verdicts=verdicts,
+        failures=failures,
+        requested_runs=config.runs,
+        budget_exhausted=budget_exhausted,
+        judge_variant=config.judge_variant,
     )

@@ -11,12 +11,44 @@ from __future__ import annotations
 
 import json
 
+from repro.core.checker.campaign import CampaignResult, InputOutcome
 from repro.core.checker.report import Table1Row
-from repro.core.checker.runner import DeterminismResult, VariantVerdict
+from repro.core.checker.runner import (DeterminismResult, RunFailure,
+                                       VariantVerdict)
+
+#: Version of the serialized schema.  v1 had no version field; v2 adds
+#: fault-tolerance data (``outcome``, ``failures``, budget flags) and
+#: the campaign/journal converters.  Consumers should treat a missing
+#: ``"v"`` as v1.
+SERIALIZE_VERSION = 2
 
 
 def _hex(value):
     return None if value is None else f"{value:#018x}"
+
+
+def run_failure_to_dict(failure: RunFailure) -> dict:
+    return {
+        "run": failure.run,
+        "seed": failure.seed,
+        "error": failure.error,
+        "message": failure.message,
+        "steps": failure.steps,
+        "checkpoints": failure.checkpoints,
+        "attempts": failure.attempts,
+    }
+
+
+def run_failure_from_dict(payload: dict) -> RunFailure:
+    return RunFailure(
+        run=payload["run"],
+        seed=payload["seed"],
+        error=payload["error"],
+        message=payload["message"],
+        steps=payload.get("steps", 0),
+        checkpoints=payload.get("checkpoints", 0),
+        attempts=payload.get("attempts", 1),
+    )
 
 
 def verdict_to_dict(verdict: VariantVerdict) -> dict:
@@ -42,12 +74,19 @@ def verdict_to_dict(verdict: VariantVerdict) -> dict:
 def result_to_dict(result: DeterminismResult,
                    include_hashes: bool = False) -> dict:
     out = {
+        "v": SERIALIZE_VERSION,
         "program": result.program,
         "runs": result.runs,
+        "requested_runs": result.requested_runs,
         "deterministic": result.deterministic,
+        "outcome": result.outcome,
         "structures_match": result.structures_match,
         "outputs_match": result.outputs_match,
         "output_first_ndet_run": result.output_first_ndet_run,
+        "budget_exhausted": result.budget_exhausted,
+        "judge_variant": result.judge_variant,
+        "first_failed_run": result.first_failed_run,
+        "failures": [run_failure_to_dict(f) for f in result.failures],
         "verdicts": {name: verdict_to_dict(v)
                      for name, v in result.verdicts.items()},
     }
@@ -82,14 +121,81 @@ def table1_row_to_dict(row: Table1Row) -> dict:
     }
 
 
+def input_outcome_to_dict(outcome: InputOutcome,
+                          include_result: bool = False) -> dict:
+    """Flatten one campaign input outcome (JSON-safe).
+
+    The full per-run ``result`` is omitted unless asked for: journal
+    consumers (resume, CI gates, dashboards) need the verdict and the
+    failure data, not every checkpoint hash.
+    """
+    out = {
+        "v": SERIALIZE_VERSION,
+        "input": outcome.input.name,
+        "params": dict(outcome.input.params),
+        "outcome": outcome.outcome,
+        "deterministic": outcome.deterministic,
+        "det_at_end": outcome.det_at_end,
+        "n_ndet_points": outcome.n_ndet_points,
+        "first_ndet_run": outcome.first_ndet_run,
+        "error": outcome.error,
+        "error_message": outcome.error_message,
+        "failures": [run_failure_to_dict(f) for f in outcome.failures],
+    }
+    if include_result and outcome.result is not None:
+        out["result"] = result_to_dict(outcome.result)
+    return out
+
+
+def input_outcome_from_dict(payload: dict) -> InputOutcome:
+    """Rebuild an :class:`InputOutcome` from its journal form.
+
+    The reconstructed outcome carries no ``result`` (the journal does
+    not persist per-checkpoint hashes); everything the campaign's
+    aggregate properties and summary need survives the round trip.
+    """
+    from repro.core.checker.campaign import InputPoint
+
+    return InputOutcome(
+        input=InputPoint(payload["input"], dict(payload.get("params", {}))),
+        deterministic=payload["deterministic"],
+        det_at_end=payload["det_at_end"],
+        n_ndet_points=payload["n_ndet_points"],
+        first_ndet_run=payload["first_ndet_run"],
+        result=None,
+        outcome=payload.get("outcome", ""),
+        error=payload.get("error"),
+        error_message=payload.get("error_message"),
+        failures=[run_failure_from_dict(f)
+                  for f in payload.get("failures", ())],
+    )
+
+
+def campaign_to_dict(result: CampaignResult) -> dict:
+    return {
+        "v": SERIALIZE_VERSION,
+        "program": result.program,
+        "deterministic_on_all_inputs": result.deterministic_on_all_inputs,
+        "flagged_inputs": result.flagged_inputs,
+        "errored_inputs": result.errored_inputs,
+        "outcomes": [input_outcome_to_dict(o) for o in result.outcomes],
+    }
+
+
 def to_json(obj, **kwargs) -> str:
-    """Serialize a checker result/row/verdict to a JSON string."""
+    """Serialize a checker result/row/verdict/campaign to a JSON string."""
     if isinstance(obj, DeterminismResult):
         payload = result_to_dict(obj, **kwargs)
     elif isinstance(obj, Table1Row):
         payload = table1_row_to_dict(obj)
     elif isinstance(obj, VariantVerdict):
         payload = verdict_to_dict(obj)
+    elif isinstance(obj, CampaignResult):
+        payload = campaign_to_dict(obj)
+    elif isinstance(obj, InputOutcome):
+        payload = input_outcome_to_dict(obj, **kwargs)
+    elif isinstance(obj, RunFailure):
+        payload = run_failure_to_dict(obj)
     else:
         raise TypeError(f"cannot serialize {type(obj).__name__}")
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -23,7 +23,7 @@ from repro.core.control.ignore import resolve_ignores
 from repro.core.control.libcalls import LibcallLog
 from repro.core.control.malloc_replay import MallocLog
 from repro.core.iohash import OutputHasher
-from repro.errors import AllocationError
+from repro.errors import AllocationError, ReplayError
 
 
 class InstantCheckControl:
@@ -31,11 +31,19 @@ class InstantCheckControl:
 
     def __init__(self, *, zero_fill: bool = True, malloc_replay: bool = True,
                  libcall_replay: bool = True, io_hash: bool = True,
-                 ignores=()):
+                 strict_replay: bool = False, ignores=()):
         self.zero_fill = zero_fill
         self.malloc_replay = malloc_replay
         self.libcall_replay = libcall_replay
         self.io_hash = io_hash
+        #: In strict mode a replay miss (an allocation or library call
+        #: the recorded run never performed, or one whose size changed)
+        #: raises :class:`~repro.errors.ReplayError` instead of falling
+        #: back to a fresh value.  The default stays lenient — the
+        #: divergence then surfaces as the nondeterminism it is — but
+        #: strict mode turns log divergence into a hard, retryable
+        #: failure, which the checker's retry policies exercise.
+        self.strict_replay = strict_replay
         self.ignores = list(ignores)
         self.malloc_log = MallocLog()
         self.libcall_log = LibcallLog()
@@ -61,7 +69,9 @@ class InstantCheckControl:
             if self._recording:
                 allocator.address_recorder = self.malloc_log.record
             else:
-                allocator.address_policy = self.malloc_log.lookup
+                allocator.address_policy = (self._strict_lookup
+                                            if self.strict_replay
+                                            else self.malloc_log.lookup)
                 # Keep fresh (replay-miss) allocations clear of every
                 # address the replayed run will hand out later.
                 allocator._bump = max(allocator._bump,
@@ -71,6 +81,15 @@ class InstantCheckControl:
         if self._recording:
             self.malloc_log.recorded = True
             self.libcall_log.recorded = True
+
+    def _strict_lookup(self, tid: int, seq: int, nwords: int) -> int:
+        """Replay lookup that treats any miss as log divergence."""
+        base = self.malloc_log.lookup(tid, seq, nwords)
+        if base is None:
+            raise ReplayError(
+                f"malloc log divergence: thread {tid} allocation #{seq} "
+                f"({nwords} words) has no usable recorded address")
+        return base
 
     # -- allocation ----------------------------------------------------------------------
 
@@ -108,6 +127,10 @@ class InstantCheckControl:
             return native_value
         value = self.libcall_log.lookup(kind, tid, seq)
         if value is None:
+            if self.strict_replay:
+                raise ReplayError(
+                    f"libcall log divergence: thread {tid} {kind} call "
+                    f"#{seq} was never recorded")
             value = self.libcall_log.fallback(kind, tid, seq)
         return value
 

@@ -44,6 +44,17 @@ class ReplayError(ReproError):
     """
 
 
+class BudgetError(ReproError):
+    """A wall-clock budget expired before the work completed.
+
+    Raised by the runner when a per-run deadline passes mid-run, and
+    used by the checker to stop a session whose overall deadline has
+    expired.  Distinct from :class:`SchedulerError` (which covers the
+    *step* budget) so callers can tell "the program hung" apart from
+    "we ran out of time".
+    """
+
+
 class CheckerError(ReproError):
     """The determinism checker was configured or driven incorrectly."""
 

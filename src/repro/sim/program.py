@@ -23,7 +23,8 @@ import time
 from dataclasses import dataclass, field
 from types import SimpleNamespace
 
-from repro.errors import DeadlockError, ProgramError, SchedulerError
+from repro.errors import (BudgetError, DeadlockError, ProgramError,
+                          SchedulerError)
 from repro.sim.allocator import Allocator
 from repro.sim.context import Ctx, Op
 from repro.sim.counters import CostModel, Counters
@@ -163,6 +164,11 @@ class NativeServices:
         return {}
 
 
+#: The run deadline is polled every (mask+1) scheduling steps, keeping
+#: the ``time.monotonic()`` cost off the per-step fast path.
+DEADLINE_CHECK_MASK = 0xFF
+
+
 class _Status(enum.Enum):
     READY = "ready"
     PARKED = "parked"
@@ -190,8 +196,8 @@ class Runner:
                  scheduler: Scheduler | None = None, n_cores: int = 8,
                  cost_model: CostModel | None = None, snapshot_at: int | None = None,
                  keep_final_snapshot: bool = False, migrate_prob: float = 0.0,
-                 max_steps: int = 20_000_000, tracer=None,
-                 machine_hook=None, telemetry=None):
+                 max_steps: int = 20_000_000, deadline: float | None = None,
+                 tracer=None, machine_hook=None, telemetry=None):
         self.program = program
         self.scheme_factory = scheme_factory
         self.control = control if control is not None else NativeServices()
@@ -202,6 +208,10 @@ class Runner:
         self.keep_final_snapshot = keep_final_snapshot
         self.migrate_prob = migrate_prob
         self.max_steps = max_steps
+        #: Absolute ``time.monotonic()`` deadline for the current run, or
+        #: None.  Checked every :data:`DEADLINE_CHECK_MASK`+1 steps; the
+        #: checker re-arms it before each run from its session budget.
+        self.deadline = deadline
         #: Optional :class:`~repro.sim.trace.HbTracer`-like observer that
         #: sees every executed op (for HB signatures and race detection).
         self.tracer = tracer
@@ -354,6 +364,12 @@ class Runner:
             if self.step_count > self.max_steps:
                 raise SchedulerError(
                     f"run exceeded {self.max_steps} steps (livelock?)")
+            if (self.deadline is not None
+                    and (self.step_count & DEADLINE_CHECK_MASK) == 0
+                    and time.monotonic() >= self.deadline):
+                raise BudgetError(
+                    f"run exceeded its wall-clock deadline after "
+                    f"{self.step_count} steps")
 
     def _runnable(self, thread: _Thread) -> bool:
         if thread.status is not _Status.READY:

@@ -1,0 +1,253 @@
+"""Integration tests for hardened campaigns: continue-past-failure,
+journaling, and resume.
+
+The acceptance scenario from the robustness issue: a campaign over
+inputs where one input deadlocks on roughly half its schedules must
+complete every input and classify the deadlocking one as crash
+divergence without raising — and after a mid-campaign kill, resuming
+from the journal must re-run only the unfinished inputs.
+"""
+
+import json
+
+import pytest
+
+from repro.core.checker.campaign import (OUTCOME_ERROR, InputPoint,
+                                         run_campaign)
+from repro.core.checker.journal import CampaignJournal
+from repro.core.checker.runner import OUTCOME_CRASH_DIVERGENCE
+from repro.errors import CheckerError
+from repro.sim.faults import DeadlockFault
+from repro.telemetry import MemorySink, Telemetry
+
+from _programs import Fig1Program
+
+RUNS = 8
+
+#: n_workers=1 never deadlocks (one worker takes both locks in order);
+#: n_workers=2 deadlocks on the interleaved schedules.
+SAFE = InputPoint("safe", {"n_workers": 1})
+RACY = InputPoint("racy", {"n_workers": 2})
+
+
+def _deadlock_factory(**params):
+    return DeadlockFault(**params)
+
+
+# -- continue past failing inputs -------------------------------------------------
+
+
+def test_campaign_completes_all_inputs_despite_deadlocks():
+    result = run_campaign(_deadlock_factory,
+                          [SAFE, RACY, InputPoint("safe2", {"n_workers": 1})],
+                          runs=RUNS)
+    assert len(result.outcomes) == 3
+    by_name = {o.input.name: o for o in result.outcomes}
+    assert by_name["safe"].deterministic
+    assert by_name["safe2"].deterministic
+    racy = by_name["racy"]
+    assert racy.outcome == OUTCOME_CRASH_DIVERGENCE
+    assert not racy.deterministic
+    assert racy.failures and racy.failures[0].error == "DeadlockError"
+    assert racy.first_ndet_run is not None
+    assert result.flagged_inputs == ["racy"]
+    assert result.errored_inputs == []
+
+
+def test_campaign_summary_annotates_crash_divergence():
+    result = run_campaign(_deadlock_factory, [SAFE, RACY], runs=RUNS)
+    summary = result.summary()
+    assert "crash-divergence" in summary
+    assert "DeadlockError" in summary
+
+
+def test_broken_input_becomes_error_outcome_and_campaign_continues():
+    def factory(**params):
+        if params.get("broken"):
+            raise CheckerError("factory exploded")
+        return Fig1Program()
+
+    sink = MemorySink()
+    result = run_campaign(factory,
+                          [InputPoint("good", {}),
+                           InputPoint("bad", {"broken": True}),
+                           InputPoint("also-good", {})],
+                          runs=4, telemetry=Telemetry(sink))
+    assert [o.input.name for o in result.outcomes] == ["good", "bad",
+                                                       "also-good"]
+    bad = result.outcomes[1]
+    assert bad.outcome == OUTCOME_ERROR
+    assert bad.error == "CheckerError"
+    assert "exploded" in bad.error_message
+    assert bad.result is None
+    assert result.errored_inputs == ["bad"]
+    assert "ERROR" in result.summary()
+    errors = [e for e in sink.events
+              if e["t"] == "event" and e.get("name") == "input_error"]
+    assert len(errors) == 1 and errors[0]["input"] == "bad"
+
+
+# -- journaling -------------------------------------------------------------------
+
+
+def test_journal_records_every_completed_input(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    run_campaign(_deadlock_factory, [SAFE, RACY], runs=RUNS,
+                 journal_path=path)
+    journal = CampaignJournal(path)
+    records = journal.records()
+    assert records[0]["t"] == "campaign_segment"
+    assert records[0]["inputs"] == ["safe", "racy"]
+    outcomes = [r for r in records if r["t"] == "input_outcome"]
+    assert [r["input"] for r in outcomes] == ["safe", "racy"]
+    assert all(r["v"] == 2 for r in outcomes)
+    racy = outcomes[1]
+    assert racy["outcome"] == OUTCOME_CRASH_DIVERGENCE
+    assert racy["failures"][0]["error"] == "DeadlockError"
+    completed = journal.load_completed()
+    assert set(completed) == {"safe", "racy"}
+    assert completed["safe"].deterministic
+
+
+def test_journal_tolerates_torn_trailing_line(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    run_campaign(_deadlock_factory, [SAFE], runs=RUNS, journal_path=path)
+    with open(path, "a") as handle:
+        handle.write('{"t": "input_outcome", "input": "torn", "det')
+    journal = CampaignJournal(path)
+    assert set(journal.load_completed()) == {"safe"}
+
+
+def test_missing_journal_reads_as_empty(tmp_path):
+    journal = CampaignJournal(str(tmp_path / "nope.jsonl"))
+    assert journal.records() == []
+    assert journal.load_completed() == {}
+
+
+def test_resume_requires_a_journal_path():
+    with pytest.raises(ValueError):
+        run_campaign(_deadlock_factory, [SAFE], runs=RUNS, resume=True)
+
+
+# -- resume after a mid-campaign kill ---------------------------------------------
+
+
+def test_resume_reruns_only_unfinished_inputs(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    inputs = [InputPoint("a", {"n_workers": 1}),
+              InputPoint("b", {"n_workers": 1}),
+              InputPoint("c", {"n_workers": 2})]
+
+    class Killed(Exception):
+        """Not a ReproError: propagates like a real kill."""
+
+    def killer_factory(**params):
+        if killer_factory.calls:
+            raise Killed("simulated mid-campaign kill")
+        killer_factory.calls.append(params)
+        return DeadlockFault(**params)
+
+    killer_factory.calls = []
+    with pytest.raises(Killed):
+        run_campaign(killer_factory, inputs, runs=RUNS, journal_path=path)
+    # Input "a" finished and was journaled before the kill.
+    assert set(CampaignJournal(path).load_completed()) == {"a"}
+
+    built = []
+
+    def counting_factory(**params):
+        built.append(dict(params))
+        return DeadlockFault(**params)
+
+    sink = MemorySink()
+    result = run_campaign(counting_factory, inputs, runs=RUNS,
+                          journal_path=path, resume=True,
+                          telemetry=Telemetry(sink))
+    assert len(built) == 2  # only b and c were re-run
+    assert result.resumed_inputs == ["a"]
+    by_name = {o.input.name: o for o in result.outcomes}
+    assert by_name["a"].result is None  # restored from the journal
+    assert by_name["a"].deterministic
+    assert by_name["b"].deterministic
+    assert by_name["c"].outcome == OUTCOME_CRASH_DIVERGENCE
+    resumed = [e for e in sink.events
+               if e["t"] == "event" and e.get("name") == "input_resumed"]
+    assert len(resumed) == 1 and resumed[0]["input"] == "a"
+    # The journal now shows two segments and the completed set is full.
+    segments = [r for r in CampaignJournal(path).records()
+                if r["t"] == "campaign_segment"]
+    assert len(segments) == 2
+    assert segments[1]["resumed"] == ["a"]
+    assert set(CampaignJournal(path).load_completed()) == {"a", "b", "c"}
+
+
+def test_error_outcomes_are_retried_on_resume(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+
+    def flaky_factory(**params):
+        if params.get("flaky") and not flaky_factory.healed:
+            raise CheckerError("transient misconfiguration")
+        return Fig1Program()
+
+    flaky_factory.healed = False
+    inputs = [InputPoint("ok", {}), InputPoint("flaky", {"flaky": True})]
+    first = run_campaign(flaky_factory, inputs, runs=4, journal_path=path)
+    assert first.errored_inputs == ["flaky"]
+    # The journal does not treat the error outcome as complete...
+    assert set(CampaignJournal(path).load_completed()) == {"ok"}
+    # ...so a resumed campaign retries it (and it now succeeds).
+    flaky_factory.healed = True
+    second = run_campaign(flaky_factory, inputs, runs=4,
+                          journal_path=path, resume=True)
+    assert second.resumed_inputs == ["ok"]
+    assert second.errored_inputs == []
+    assert second.deterministic_on_all_inputs
+
+
+def test_fully_resumed_campaign_runs_nothing(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    run_campaign(_deadlock_factory, [SAFE, RACY], runs=RUNS,
+                 journal_path=path)
+
+    def exploding_factory(**params):
+        raise AssertionError("resume must not rebuild completed inputs")
+
+    result = run_campaign(exploding_factory, [SAFE, RACY], runs=RUNS,
+                          journal_path=path, resume=True)
+    assert result.resumed_inputs == ["safe", "racy"]
+    assert result.flagged_inputs == ["racy"]
+
+
+# -- CLI-level resume -------------------------------------------------------------
+
+
+def run_cli(*argv):
+    import io
+
+    from repro.cli import main
+
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_cli_campaign_journal_and_resume(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    code, text = run_cli("campaign", "deadlock-fault", "--runs", "6",
+                         "--journal", path)
+    assert code == 1  # crash divergence is a nondeterminism verdict
+    assert "crash-divergence" in text
+    with open(path) as handle:
+        assert all(json.loads(line) for line in handle if line.strip())
+    code, text = run_cli("campaign", "deadlock-fault", "--runs", "6",
+                         "--resume", path)
+    assert code == 1
+    assert "resumed from journal: default" in text
+    assert "(resumed)" in text
+
+
+def test_cli_journal_and_resume_are_mutually_exclusive(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    code, _ = run_cli("campaign", "volrend", "--runs", "3",
+                      "--journal", path, "--resume", path)
+    assert code == 3

@@ -1,0 +1,308 @@
+"""End-to-end tests for fault-tolerant checking sessions.
+
+Covers the error paths through ``check_determinism``: per-run isolation
+(the default), ``fail_fast=True`` re-raising, retry policies, wall-clock
+budgets, crash-divergence vs infeasible classification, and the
+``judge_variant`` verdict selection shared with campaigns.
+"""
+
+import pytest
+
+from repro.core.checker.campaign import InputPoint, run_campaign
+from repro.core.checker.policies import (NO_RETRY, RESEED_STRIDE, RetryPolicy,
+                                         SessionBudget)
+from repro.core.checker.runner import (OUTCOME_CRASH_DIVERGENCE,
+                                       OUTCOME_DETERMINISTIC,
+                                       OUTCOME_INCOMPLETE,
+                                       OUTCOME_INFEASIBLE,
+                                       OUTCOME_NONDETERMINISTIC,
+                                       DeterminismResult, check_determinism)
+from repro.core.hashing.rounding import default_policy, no_rounding
+from repro.core.schemes.base import SchemeConfig
+from repro.errors import (BudgetError, CheckerError, DeadlockError,
+                          ReplayError, SchedulerError)
+from repro.sim.faults import (AlwaysCrashFault, DeadlockFault, LivelockFault,
+                              ReplaySplitFault)
+from repro.telemetry import MemorySink, Telemetry
+
+from _programs import Fig1Program
+
+RUNS = 12
+
+
+def _events(sink, name):
+    return [e for e in sink.events
+            if e["t"] == "event" and e.get("name") == name]
+
+
+# -- per-run isolation (the default) ----------------------------------------------
+
+
+def test_deadlock_is_isolated_and_classified_as_crash_divergence():
+    result = check_determinism(DeadlockFault(), runs=RUNS)
+    assert result.failures
+    assert result.records  # some schedules complete
+    assert result.runs + len(result.failures) == RUNS
+    assert result.outcome == OUTCOME_CRASH_DIVERGENCE
+    assert not result.deterministic
+    assert result.first_failed_run == min(f.run for f in result.failures)
+    assert all(f.error == "DeadlockError" for f in result.failures)
+
+
+def test_livelock_is_isolated_as_scheduler_error():
+    result = check_determinism(LivelockFault(), runs=RUNS, max_steps=5000)
+    assert result.outcome == OUTCOME_CRASH_DIVERGENCE
+    assert {f.error for f in result.failures} == {"SchedulerError"}
+
+
+def test_replay_divergence_is_isolated_under_strict_replay():
+    result = check_determinism(ReplaySplitFault(), runs=RUNS,
+                               strict_replay=True)
+    assert result.failures
+    assert {f.error for f in result.failures} == {"ReplayError"}
+    assert not result.deterministic
+
+
+def test_replay_split_without_strict_replay_completes_all_runs():
+    """Lenient replay absorbs the log divergence instead of raising."""
+    result = check_determinism(ReplaySplitFault(), runs=RUNS)
+    assert not result.failures
+    assert result.runs == RUNS
+
+
+def test_failure_records_carry_partial_progress():
+    result = check_determinism(DeadlockFault(), runs=RUNS)
+    failure = result.failures[0]
+    assert failure.steps > 0
+    assert failure.seed == 1000 + (failure.run - 1)
+    assert failure.attempts == 1
+    assert "deadlock" in failure.message.lower()
+    assert str(failure.run) in failure.summary()
+
+
+# -- fail_fast=True restores the pre-robustness behavior --------------------------
+
+
+def test_fail_fast_reraises_deadlock():
+    with pytest.raises(DeadlockError):
+        check_determinism(DeadlockFault(), runs=RUNS, fail_fast=True)
+
+
+def test_fail_fast_reraises_scheduler_error():
+    with pytest.raises(SchedulerError):
+        check_determinism(LivelockFault(), runs=RUNS, max_steps=5000,
+                          fail_fast=True)
+
+
+def test_fail_fast_reraises_replay_error():
+    with pytest.raises(ReplayError):
+        check_determinism(ReplaySplitFault(), runs=RUNS, strict_replay=True,
+                          fail_fast=True)
+
+
+# -- infeasible: every schedule crashes -------------------------------------------
+
+
+def test_always_crashing_program_is_infeasible():
+    result = check_determinism(AlwaysCrashFault(), runs=6)
+    assert result.outcome == OUTCOME_INFEASIBLE
+    assert result.infeasible and not result.crash_divergence
+    assert result.runs == 0 and len(result.failures) == 6
+    assert result.verdicts == {}
+    assert result.judged is None
+    assert not result.deterministic
+
+
+# -- retry policies ---------------------------------------------------------------
+
+
+def test_default_policy_does_not_retry_deadlocks():
+    result = check_determinism(DeadlockFault(), runs=RUNS)
+    assert all(f.attempts == 1 for f in result.failures)
+
+
+def test_same_reseed_retries_exhaust_all_attempts():
+    policy = RetryPolicy(max_attempts=3, retry_on=(DeadlockError,),
+                         reseed="same")
+    result = check_determinism(DeadlockFault(), runs=RUNS, retry=policy)
+    # Replaying the identical schedule fails identically every time.
+    assert result.failures
+    assert all(f.attempts == 3 for f in result.failures)
+    baseline = check_determinism(DeadlockFault(), runs=RUNS)
+    assert len(result.failures) == len(baseline.failures)
+
+
+def test_offset_reseed_can_rescue_schedule_dependent_failures():
+    policy = RetryPolicy(max_attempts=4, retry_on=(DeadlockError,))
+    result = check_determinism(DeadlockFault(), runs=RUNS, retry=policy)
+    baseline = check_determinism(DeadlockFault(), runs=RUNS)
+    assert len(result.failures) < len(baseline.failures)
+    # A failure that survived retries reports the seed that finally failed.
+    for failure in result.failures:
+        base = 1000 + (failure.run - 1)
+        assert failure.seed == base + (failure.attempts - 1) * RESEED_STRIDE
+
+
+def test_retry_policy_should_retry_and_seed_for():
+    policy = RetryPolicy(max_attempts=3)
+    assert policy.should_retry(ReplayError("x"), attempt=0)
+    assert policy.should_retry(ReplayError("x"), attempt=1)
+    assert not policy.should_retry(ReplayError("x"), attempt=2)
+    assert not policy.should_retry(DeadlockError("x"), attempt=0)
+    assert policy.seed_for(7, 0) == 7
+    assert policy.seed_for(7, 2) == 7 + 2 * RESEED_STRIDE
+    assert RetryPolicy(reseed="same", max_attempts=2).seed_for(7, 1) == 7
+
+
+def test_retry_policy_validation():
+    with pytest.raises(CheckerError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(CheckerError):
+        RetryPolicy(reseed="fibonacci")
+    assert NO_RETRY.max_attempts == 1
+
+
+# -- wall-clock budgets -----------------------------------------------------------
+
+
+def test_expired_session_budget_yields_incomplete_outcome():
+    result = check_determinism(Fig1Program(), runs=RUNS, deadline_s=0.0)
+    assert result.budget_exhausted
+    assert result.runs == 0 and not result.failures
+    assert result.requested_runs == RUNS
+    assert result.outcome == OUTCOME_INCOMPLETE
+    assert not result.deterministic
+
+
+def test_run_deadline_converts_hang_into_budget_failure():
+    # Huge max_steps so only the wall-clock deadline can stop the spin.
+    result = check_determinism(LivelockFault(), runs=4, run_deadline_s=0.05,
+                               max_steps=1 << 30)
+    assert result.failures
+    assert "BudgetError" in {f.error for f in result.failures}
+    assert not result.budget_exhausted  # session deadline never expired
+
+
+def test_session_budget_run_deadline_is_capped_by_session_deadline():
+    budget = SessionBudget(deadline_s=100.0, run_deadline_s=5.0).start()
+    assert budget.run_deadline() < budget.session_deadline
+    uncapped = SessionBudget(run_deadline_s=5.0).start()
+    assert uncapped.session_deadline is None
+    assert uncapped.run_deadline() is not None
+    assert not uncapped.expired()
+
+
+def test_budget_error_is_a_repro_error():
+    from repro import errors
+
+    assert issubclass(BudgetError, errors.ReproError)
+    assert not issubclass(BudgetError, SchedulerError)
+
+
+# -- outcome classification table -------------------------------------------------
+
+
+def _result(**kw):
+    base = dict(program="p", runs=0, records=[], structures_match=True,
+                outputs_match=True, output_first_ndet_run=None, verdicts={})
+    base.update(kw)
+    return DeterminismResult(**base)
+
+
+def test_outcome_requires_two_completed_runs():
+    assert _result(records=["r"], runs=1).outcome == OUTCOME_INCOMPLETE
+    assert not _result(records=["r"], runs=1).deterministic
+
+
+def test_outcome_table_for_failures():
+    failure = object()
+    assert _result(failures=[failure]).outcome == OUTCOME_INFEASIBLE
+    assert (_result(failures=[failure], records=["a", "b"]).outcome
+            == OUTCOME_CRASH_DIVERGENCE)
+
+
+# -- judge_variant: the verdict both the result and campaigns use -----------------
+
+
+def _fp_schemes():
+    return {"bitwise": SchemeConfig(kind="hw", rounding=no_rounding()),
+            "rounded": SchemeConfig(kind="hw", rounding=default_policy())}
+
+
+def _fp_program(**_params):
+    return Fig1Program(fp=True, initial=1.1, locals_=(0.7, 0.13))
+
+
+def test_default_judge_is_last_configured_variant():
+    result = check_determinism(_fp_program(), runs=RUNS,
+                               schemes=_fp_schemes())
+    assert result.judged is result.verdict("rounded")
+    assert result.deterministic
+    assert result.outcome == OUTCOME_DETERMINISTIC
+
+
+def test_explicit_judge_variant_changes_the_verdict():
+    result = check_determinism(_fp_program(), runs=RUNS,
+                               schemes=_fp_schemes(),
+                               judge_variant="bitwise")
+    assert result.judged is result.verdict("bitwise")
+    assert not result.deterministic
+    assert result.outcome == OUTCOME_NONDETERMINISTIC
+
+
+def test_unknown_judge_variant_rejected():
+    with pytest.raises(CheckerError):
+        check_determinism(_fp_program(), runs=4, schemes=_fp_schemes(),
+                          judge_variant="median")
+
+
+@pytest.mark.parametrize("judge,expect_det", [(None, True),
+                                              ("bitwise", False)])
+def test_campaign_and_result_agree_on_the_judging_variant(judge, expect_det):
+    """Regression: the campaign used to judge by the *last* variant while
+    ``DeterminismResult.deterministic`` judged by the *first* — the same
+    session could be deterministic in one report and not the other."""
+    campaign = run_campaign(_fp_program, [InputPoint("default", {})],
+                            runs=RUNS, schemes=_fp_schemes(),
+                            judge_variant=judge)
+    outcome = campaign.outcomes[0]
+    assert outcome.deterministic is expect_det
+    assert outcome.result.deterministic is outcome.deterministic
+    assert campaign.deterministic_on_all_inputs is expect_det
+
+
+# -- telemetry events -------------------------------------------------------------
+
+
+def test_run_failures_emit_telemetry():
+    sink = MemorySink()
+    tele = Telemetry(sink)
+    result = check_determinism(DeadlockFault(), runs=RUNS, telemetry=tele)
+    failures = _events(sink, "run_failure")
+    assert len(failures) == len(result.failures)
+    assert failures[0]["error"] == "DeadlockError"
+    crash = [e for e in _events(sink, "first_divergence")
+             if e.get("variant") == "crash"]
+    assert crash and crash[0]["run"] == result.first_failed_run
+
+
+def test_retries_emit_telemetry():
+    sink = MemorySink()
+    tele = Telemetry(sink)
+    policy = RetryPolicy(max_attempts=2, retry_on=(DeadlockError,),
+                         reseed="same")
+    check_determinism(DeadlockFault(), runs=RUNS, retry=policy,
+                      telemetry=tele)
+    retries = _events(sink, "retry")
+    assert retries
+    assert retries[0]["error"] == "DeadlockError"
+    assert retries[0]["next_seed"] == retries[0]["run"] - 1 + 1000
+
+
+def test_budget_exhaustion_emits_telemetry():
+    sink = MemorySink()
+    tele = Telemetry(sink)
+    check_determinism(Fig1Program(), runs=RUNS, deadline_s=0.0,
+                      telemetry=tele)
+    exhausted = _events(sink, "budget_exhausted")
+    assert exhausted and exhausted[0]["requested"] == RUNS

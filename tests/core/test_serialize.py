@@ -4,10 +4,17 @@ import json
 
 import pytest
 
+from repro.core.checker.campaign import InputPoint, run_campaign
 from repro.core.checker.report import characterize
-from repro.core.checker.runner import check_determinism
-from repro.core.checker.serialize import (result_to_dict, table1_row_to_dict,
-                                          to_json, verdict_to_dict)
+from repro.core.checker.runner import RunFailure, check_determinism
+from repro.core.checker.serialize import (SERIALIZE_VERSION,
+                                          input_outcome_from_dict,
+                                          input_outcome_to_dict,
+                                          result_to_dict,
+                                          run_failure_from_dict,
+                                          run_failure_to_dict,
+                                          table1_row_to_dict, to_json,
+                                          verdict_to_dict)
 from _programs import Fig1Program, RacyProgram
 
 
@@ -52,3 +59,65 @@ def test_table1_row_to_dict():
 def test_unknown_type_rejected():
     with pytest.raises(TypeError):
         to_json({"not": "a result"})
+
+
+def test_result_dict_is_versioned_with_outcome_and_failures():
+    result = check_determinism(Fig1Program(), runs=3)
+    payload = result_to_dict(result)
+    assert payload["v"] == SERIALIZE_VERSION
+    assert payload["outcome"] == "deterministic"
+    assert payload["requested_runs"] == 3
+    assert payload["budget_exhausted"] is False
+    assert payload["failures"] == []
+    assert payload["first_failed_run"] is None
+
+
+def test_run_failure_roundtrip():
+    failure = RunFailure(run=3, seed=1002, error="DeadlockError",
+                         message="all runnable threads blocked",
+                         steps=41, checkpoints=1, attempts=2)
+    restored = run_failure_from_dict(
+        json.loads(to_json(failure)))
+    assert restored == failure
+    # Older records without progress fields still load.
+    minimal = run_failure_from_dict({"run": 1, "seed": 7,
+                                     "error": "ReplayError", "message": "x"})
+    assert minimal.steps == 0 and minimal.attempts == 1
+
+
+def test_session_with_failures_serializes_them():
+    from repro.sim.faults import DeadlockFault
+
+    result = check_determinism(DeadlockFault(), runs=8)
+    payload = json.loads(to_json(result))
+    assert payload["outcome"] == "crash-divergence"
+    assert payload["failures"]
+    assert payload["failures"][0]["error"] == "DeadlockError"
+    assert payload["first_failed_run"] == result.first_failed_run
+
+
+def test_input_outcome_roundtrip():
+    from repro.sim.faults import DeadlockFault
+
+    campaign = run_campaign(lambda **p: DeadlockFault(**p),
+                            [InputPoint("racy", {"n_workers": 2})], runs=8)
+    outcome = campaign.outcomes[0]
+    restored = input_outcome_from_dict(input_outcome_to_dict(outcome))
+    assert restored.input == outcome.input
+    assert restored.outcome == outcome.outcome
+    assert restored.deterministic == outcome.deterministic
+    assert restored.failures == outcome.failures
+    assert restored.result is None  # the journal form drops run records
+    # The flattened form omits the nested result unless asked for.
+    assert "result" not in input_outcome_to_dict(outcome)
+    assert "result" in input_outcome_to_dict(outcome, include_result=True)
+
+
+def test_campaign_to_json():
+    campaign = run_campaign(lambda **p: Fig1Program(),
+                            [InputPoint("default", {})], runs=3)
+    payload = json.loads(to_json(campaign))
+    assert payload["v"] == SERIALIZE_VERSION
+    assert payload["deterministic_on_all_inputs"] is True
+    assert payload["errored_inputs"] == []
+    assert payload["outcomes"][0]["input"] == "default"

@@ -1,0 +1,117 @@
+"""Tests for the seeded fault-injection workloads.
+
+Each fault program must trigger exactly its advertised error class, on a
+schedule-dependent subset of seeds (or on every seed for the always-crash
+case), and must be deterministic per seed — the same seed always takes
+the same side of the race.
+"""
+
+import pytest
+
+from repro.errors import (AllocationError, DeadlockError, ReproError,
+                          SchedulerError)
+from repro.sim.faults import (FAULT_REGISTRY, AlwaysCrashFault, DeadlockFault,
+                              HeapHogFault, LivelockFault, ReplaySplitFault,
+                              make_fault)
+from repro.sim.program import Runner
+
+
+def _outcome(runner, seed):
+    """'ok' or the exception class name raised by one run."""
+    try:
+        runner.run(seed)
+        return "ok"
+    except ReproError as exc:
+        return type(exc).__name__
+
+
+def _outcomes(program, seeds=range(20), **runner_kwargs):
+    runner = Runner(program, **runner_kwargs)
+    return [_outcome(runner, seed) for seed in seeds]
+
+
+def test_deadlock_fault_is_schedule_dependent():
+    outcomes = _outcomes(DeadlockFault())
+    assert "ok" in outcomes
+    assert "DeadlockError" in outcomes
+    assert set(outcomes) == {"ok", "DeadlockError"}
+
+
+def test_deadlock_fault_raises_deadlock_error():
+    runner = Runner(DeadlockFault())
+    failing = [s for s in range(20) if _outcome(runner, s) != "ok"]
+    assert failing
+    with pytest.raises(DeadlockError):
+        runner.run(failing[0])
+
+
+def test_fault_outcome_is_deterministic_per_seed():
+    program = DeadlockFault()
+    first = _outcomes(program)
+    second = _outcomes(program)
+    assert first == second
+
+
+def test_heap_hog_fault_exhausts_the_heap():
+    outcomes = _outcomes(HeapHogFault())
+    assert "ok" in outcomes
+    assert "AllocationError" in outcomes
+    runner = Runner(HeapHogFault())
+    failing = [s for s in range(20) if _outcome(runner, s) != "ok"]
+    with pytest.raises(AllocationError):
+        runner.run(failing[0])
+
+
+def test_replay_split_fault_varies_allocation_count():
+    """Without strict replay the fault manifests as a schedule-dependent
+    allocation sequence: both one- and two-allocation runs occur."""
+    program = ReplaySplitFault()
+    runner = Runner(program)
+    took_extra = set()
+    for seed in range(20):
+        runner.run(seed)
+        took_extra.add("fault.c:extra" in runner.allocator.site_stats())
+    assert took_extra == {True, False}
+
+
+def test_livelock_fault_exceeds_step_budget():
+    outcomes = _outcomes(LivelockFault(), max_steps=5000)
+    assert "ok" in outcomes
+    assert "SchedulerError" in outcomes
+    runner = Runner(LivelockFault(), max_steps=5000)
+    failing = [s for s in range(20) if _outcome(runner, s) != "ok"]
+    with pytest.raises(SchedulerError):
+        runner.run(failing[0])
+
+
+def test_always_crash_fault_crashes_every_schedule():
+    outcomes = _outcomes(AlwaysCrashFault())
+    assert set(outcomes) == {"AllocationError"}
+
+
+def test_completed_runs_write_disjoint_done_words():
+    """When a fault program does complete, its end state is deterministic:
+    every worker wrote its own slot."""
+    program = DeadlockFault()
+    runner = Runner(program)
+    ok_seeds = [s for s in range(20) if _outcome(runner, s) == "ok"]
+    for seed in ok_seeds[:3]:
+        runner.run(seed)
+        for wid in range(program.n_workers):
+            assert runner.memory.load(program.done + wid) == wid + 1
+
+
+def test_fault_registry_names_match_classes():
+    for name, cls in FAULT_REGISTRY.items():
+        assert cls.name == name
+        assert isinstance(make_fault(name), cls)
+
+
+def test_make_fault_rejects_unknown_name():
+    with pytest.raises(ValueError):
+        make_fault("segfault-fault")
+
+
+def test_make_fault_forwards_kwargs():
+    fault = make_fault("heap-hog-fault", hog_words=123)
+    assert fault.hog_words == 123

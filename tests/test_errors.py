@@ -8,7 +8,7 @@ from repro import errors
 def test_all_errors_derive_from_repro_error():
     for name in ("MemoryError_", "AllocationError", "SchedulerError",
                  "DeadlockError", "ProgramError", "ReplayError",
-                 "CheckerError", "IsaError"):
+                 "CheckerError", "IsaError", "BudgetError"):
         cls = getattr(errors, name)
         assert issubclass(cls, errors.ReproError)
 
@@ -20,3 +20,9 @@ def test_deadlock_is_scheduler_error():
 def test_catching_the_base_class():
     with pytest.raises(errors.ReproError):
         raise errors.IsaError("boom")
+
+
+def test_budget_error_is_not_a_scheduler_error():
+    """Wall-clock expiry (BudgetError) is distinct from the step-budget
+    SchedulerError so retry policies can tell them apart."""
+    assert not issubclass(errors.BudgetError, errors.SchedulerError)
