@@ -1,0 +1,137 @@
+"""Measure the CI performance baseline: wall-clock and hashing throughput.
+
+For each gated application (fft, lu, radix) this times a full
+determinism-checking session and extracts the scheme's
+``hash_updates`` counter from telemetry, reporting:
+
+* ``wall_s`` — best-of-``repeats`` session wall-clock (min, not mean:
+  the minimum is the least-noise estimator on shared CI runners);
+* ``hash_updates`` — total incremental hash updates across the session
+  (deterministic for a fixed config — a *correctness*-adjacent count);
+* ``hash_updates_per_s`` — the throughput the paper's Section 6
+  hardware would accelerate, our software proxy for it;
+* ``calibration_s`` — wall-clock of a fixed pure-Python spin, used by
+  ``compare_baseline.py`` to normalise across differently-sized
+  machines before applying the regression threshold.
+
+Usage::
+
+    python benchmarks/bench_baseline.py                 # current numbers
+    python benchmarks/bench_baseline.py --out benchmarks/baseline.json
+
+Also collectable with ``pytest benchmarks/`` like the other bench
+modules (a reduced shape-check, not a timing gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: The gated applications and the session shape the gate times.
+APPS = ("fft", "lu", "radix")
+RUNS = 6
+SEED = 1000
+REPEATS = 3
+
+#: Iterations of the calibration spin (fixed forever — changing this
+#: invalidates every committed baseline).
+CALIBRATION_N = 2_000_000
+
+
+def calibration_spin() -> float:
+    """Wall-clock of a fixed CPU-bound pure-Python loop."""
+    start = time.perf_counter()
+    acc = 0
+    for i in range(CALIBRATION_N):
+        acc += i * i
+    assert acc  # keep the loop un-optimizable
+    return time.perf_counter() - start
+
+
+def _hash_updates(telemetry) -> int:
+    counters = telemetry.registry.snapshot()["counters"]
+    return sum(value for key, value in counters.items()
+               if key.startswith("scheme_hash_updates"))
+
+
+def measure_app(app: str, runs: int = RUNS, repeats: int = REPEATS) -> dict:
+    """Best-of-*repeats* timing of one checking session of *app*."""
+    from repro.core.checker.runner import CheckConfig, check_determinism
+    from repro.telemetry import MemorySink, Telemetry
+    from repro.workloads import make
+
+    best = None
+    hash_updates = None
+    outcome = None
+    for _ in range(repeats):
+        telemetry = Telemetry(MemorySink())
+        start = time.perf_counter()
+        result = check_determinism(make(app),
+                                   CheckConfig(runs=runs, base_seed=SEED),
+                                   telemetry=telemetry)
+        elapsed = time.perf_counter() - start
+        updates = _hash_updates(telemetry)
+        if hash_updates is None:
+            hash_updates = updates
+        elif updates != hash_updates:
+            raise AssertionError(
+                f"{app}: hash_updates varied across repeats "
+                f"({hash_updates} vs {updates}) — session not deterministic")
+        outcome = result.outcome
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "wall_s": round(best, 4),
+        "hash_updates": hash_updates,
+        "hash_updates_per_s": round(hash_updates / best, 1),
+        "runs": runs,
+        "outcome": outcome,
+    }
+
+
+def measure(apps=APPS, runs: int = RUNS, repeats: int = REPEATS) -> dict:
+    return {
+        "schema": "repro.bench.baseline/v1",
+        "calibration_s": round(min(calibration_spin() for _ in range(3)), 4),
+        "config": {"runs": runs, "seed": SEED, "repeats": repeats,
+                   "calibration_n": CALIBRATION_N},
+        "apps": {app: measure_app(app, runs, repeats) for app in apps},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=os.path.join(
+        RESULTS_DIR, "baseline_current.json"))
+    parser.add_argument("--runs", type=int, default=RUNS)
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    args = parser.parse_args(argv)
+    payload = measure(runs=args.runs, repeats=args.repeats)
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+def test_baseline_measurement_shape():
+    """Tiny pytest-visible sanity check (1 app, 1 repeat)."""
+    payload = measure(apps=("fft",), runs=4, repeats=1)
+    row = payload["apps"]["fft"]
+    assert row["outcome"] == "deterministic"
+    assert row["hash_updates"] > 0
+    assert row["wall_s"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

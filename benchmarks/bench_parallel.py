@@ -1,0 +1,146 @@
+"""Serial-vs-parallel scaling of the checking session engine.
+
+Times ``check_determinism`` on one application at several worker
+counts, asserts the verdicts are bit-identical across all of them, and
+records wall-clock, speedup, and scaling efficiency into
+``benchmarks/results/parallel.json`` — the artifact the acceptance
+criterion points at (≥2× at 4 workers on a 4-core runner).
+
+Speedup here is bounded below the worker count by design: the record
+run (run 1) is always serial in the parent (the replay logs must exist
+before workers can replay them — Amdahl's serial fraction), and each
+worker re-builds its runner stack per task.
+
+Usage::
+
+    python benchmarks/bench_parallel.py                       # default fft
+    python benchmarks/bench_parallel.py --app lu --runs 16 \
+        --workers 1,2,4 --min-speedup 2.0
+
+``--min-speedup`` makes the script *fail* when the best measured
+speedup falls short — the CI gate on multi-core runners.  It refuses
+to gate on hosts with fewer than 4 CPUs (prints a notice and passes):
+a single-core container cannot demonstrate scaling, only correctness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+DEFAULT_APP = "fft"
+DEFAULT_RUNS = 16
+DEFAULT_WORKERS = (1, 2, 4)
+SEED = 1000
+
+
+def _canonical_verdict(result) -> str:
+    from repro.core.checker.serialize import result_to_dict
+
+    payload = result_to_dict(result, include_hashes=True)
+    payload.pop("workers")
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def measure(app: str = DEFAULT_APP, runs: int = DEFAULT_RUNS,
+            workers_list=DEFAULT_WORKERS, repeats: int = 2) -> dict:
+    """Time one session per worker count; verify verdict identity."""
+    from repro.core.checker.runner import CheckConfig, check_determinism
+    from repro.workloads import make
+
+    rows = {}
+    reference = None
+    serial_wall = None
+    for workers in workers_list:
+        best = None
+        verdict = None
+        for _ in range(repeats):
+            config = CheckConfig(runs=runs, base_seed=SEED, workers=workers)
+            start = time.perf_counter()
+            result = check_determinism(make(app), config)
+            elapsed = time.perf_counter() - start
+            verdict = _canonical_verdict(result)
+            if best is None or elapsed < best:
+                best = elapsed
+        if reference is None:
+            reference = verdict
+        elif verdict != reference:
+            raise AssertionError(
+                f"{app}: verdict at workers={workers} differs from serial — "
+                f"the parallel engine broke bit-identity")
+        if workers == 1:
+            serial_wall = best
+        speedup = (serial_wall / best) if serial_wall else None
+        rows[str(workers)] = {
+            "wall_s": round(best, 4),
+            "speedup": round(speedup, 3) if speedup else None,
+            "efficiency": round(speedup / workers, 3) if speedup else None,
+        }
+    return {
+        "schema": "repro.bench.parallel/v1",
+        "app": app,
+        "runs": runs,
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "verdicts_identical": True,
+        "workers": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--app", default=DEFAULT_APP)
+    parser.add_argument("--runs", type=int, default=DEFAULT_RUNS)
+    parser.add_argument("--workers", default=",".join(
+        str(w) for w in DEFAULT_WORKERS),
+        help="comma-separated worker counts (first should be 1)")
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the best speedup reaches this "
+                        "(ignored on hosts with < 4 CPUs)")
+    parser.add_argument("--out", default=os.path.join(
+        RESULTS_DIR, "parallel.json"))
+    args = parser.parse_args(argv)
+    workers_list = [int(w) for w in args.workers.split(",")]
+    payload = measure(args.app, args.runs, workers_list, args.repeats)
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {args.out}")
+
+    if args.min_speedup is not None:
+        cpus = os.cpu_count() or 1
+        best = max((row["speedup"] or 0.0)
+                   for row in payload["workers"].values())
+        if cpus < 4:
+            print(f"NOTE: only {cpus} CPU(s) — scaling cannot be "
+                  f"demonstrated here; --min-speedup not enforced "
+                  f"(best measured: {best:.2f}x)")
+        elif best < args.min_speedup:
+            print(f"FAIL: best speedup {best:.2f}x < required "
+                  f"{args.min_speedup:.2f}x", file=sys.stderr)
+            return 1
+        else:
+            print(f"OK: best speedup {best:.2f}x >= "
+                  f"{args.min_speedup:.2f}x")
+    return 0
+
+
+def test_parallel_bench_verdict_identity():
+    """Pytest-visible reduced shape check (verdicts must match)."""
+    payload = measure(runs=4, workers_list=(1, 2), repeats=1)
+    assert payload["verdicts_identical"]
+    assert payload["workers"]["2"]["speedup"] is not None
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""CI gate: fail when a benchmark metric regresses beyond the threshold.
+
+Compares a freshly measured ``bench_baseline.py`` payload against the
+committed ``benchmarks/baseline.json``:
+
+* ``wall_s`` may grow at most ``--threshold`` (default 25%) after
+  machine-speed normalisation — both payloads carry a
+  ``calibration_s`` spin time, and wall-clocks are compared in
+  calibration units (``wall_s / calibration_s``) so a slower CI runner
+  does not read as a code regression;
+* ``hash_updates`` must match the baseline almost exactly (0.1%):
+  the update count is a deterministic property of the session, so any
+  drift means checking *work* changed, not just speed — that demands a
+  deliberate baseline refresh, never a silent pass;
+* ``hash_updates_per_s`` may drop at most ``--threshold`` (again in
+  calibration units).
+
+Exit codes: 0 all metrics within bounds, 1 regression detected,
+2 payload mismatch (different apps/config — refresh the baseline).
+
+Usage::
+
+    python benchmarks/bench_baseline.py --out results/baseline_current.json
+    python benchmarks/compare_baseline.py \
+        benchmarks/baseline.json benchmarks/results/baseline_current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_THRESHOLD = 0.25
+#: hash_updates is deterministic; allow only float-formatting dust.
+EXACT_TOLERANCE = 0.001
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _normalised(payload: dict, app: str, metric: str) -> float:
+    """Metric in machine-independent calibration units."""
+    value = payload["apps"][app][metric]
+    calibration = payload["calibration_s"]
+    if metric == "wall_s":
+        return value / calibration           # lower is better
+    if metric == "hash_updates_per_s":
+        return value * calibration           # higher is better
+    return value
+
+
+def compare(baseline: dict, current: dict,
+            threshold: float = DEFAULT_THRESHOLD) -> list:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    problems = []
+    if baseline.get("config") != current.get("config"):
+        return [f"config mismatch: baseline {baseline.get('config')} vs "
+                f"current {current.get('config')} — refresh the baseline"]
+    missing = set(baseline["apps"]) - set(current["apps"])
+    if missing:
+        return [f"apps missing from current payload: {sorted(missing)}"]
+
+    for app in sorted(baseline["apps"]):
+        base_updates = baseline["apps"][app]["hash_updates"]
+        cur_updates = current["apps"][app]["hash_updates"]
+        if abs(cur_updates - base_updates) > EXACT_TOLERANCE * base_updates:
+            problems.append(
+                f"{app}: hash_updates changed {base_updates} -> "
+                f"{cur_updates}; the session does different work now — "
+                f"refresh benchmarks/baseline.json deliberately")
+            continue
+
+        base_wall = _normalised(baseline, app, "wall_s")
+        cur_wall = _normalised(current, app, "wall_s")
+        if cur_wall > base_wall * (1.0 + threshold):
+            problems.append(
+                f"{app}: wall_s regressed {cur_wall / base_wall - 1.0:+.1%} "
+                f"(> {threshold:.0%} over baseline, calibration-adjusted: "
+                f"{baseline['apps'][app]['wall_s']}s @cal="
+                f"{baseline['calibration_s']}s vs "
+                f"{current['apps'][app]['wall_s']}s @cal="
+                f"{current['calibration_s']}s)")
+
+        base_tp = _normalised(baseline, app, "hash_updates_per_s")
+        cur_tp = _normalised(current, app, "hash_updates_per_s")
+        if cur_tp < base_tp * (1.0 - threshold):
+            problems.append(
+                f"{app}: hash_updates_per_s regressed "
+                f"{cur_tp / base_tp - 1.0:+.1%} "
+                f"(> {threshold:.0%} below baseline, calibration-adjusted)")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed benchmarks/baseline.json")
+    parser.add_argument("current", help="freshly measured payload")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed relative regression (default 0.25)")
+    args = parser.parse_args(argv)
+    baseline = _load(args.baseline)
+    current = _load(args.current)
+    problems = compare(baseline, current, args.threshold)
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1 if "config mismatch" not in problems[0] else 2
+    for app in sorted(baseline["apps"]):
+        delta = (_normalised(current, app, "wall_s")
+                 / _normalised(baseline, app, "wall_s") - 1.0)
+        print(f"OK {app}: wall {delta:+.1%} vs baseline "
+              f"(threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

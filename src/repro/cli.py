@@ -202,6 +202,26 @@ def _add_robustness_args(parser) -> None:
     parser.add_argument("--strict-replay", action="store_true",
                         help="treat record/replay log divergence as a hard "
                         "(retryable) ReplayError")
+    parser.add_argument("--workers", type=_parse_workers, default=1,
+                        metavar="N",
+                        help="worker processes for the parallel execution "
+                        "engine: a count or 'auto' (one per CPU); default 1 "
+                        "= serial")
+
+
+def _parse_workers(raw: str):
+    """``--workers`` accepts a positive int or the literal ``auto``."""
+    if raw == "auto":
+        return "auto"
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {raw!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {raw!r}")
+    return value
 
 
 def _robustness_overrides(args) -> dict:
@@ -213,6 +233,7 @@ def _robustness_overrides(args) -> dict:
         "run_deadline_s": args.run_deadline,
         "max_steps": args.max_steps,
         "strict_replay": args.strict_replay,
+        "workers": args.workers,
     }
 
 
@@ -221,6 +242,21 @@ def _make_program(name: str, **params):
     if name in FAULT_REGISTRY:
         return FAULT_REGISTRY[name](**params)
     return make(name, **params)
+
+
+class _AppFactory:
+    """Picklable program factory for campaigns.
+
+    ``run_campaign`` previously took a lambda closing over the app name;
+    with ``--workers`` the factory travels to worker processes, and a
+    lambda cannot be pickled — a module-level class instance can.
+    """
+
+    def __init__(self, app: str):
+        self.app = app
+
+    def __call__(self, **params):
+        return _make_program(self.app, **params)
 
 
 def _telemetry_from(args):
@@ -349,7 +385,7 @@ def _cmd_campaign(args, out) -> int:
     telemetry = _telemetry_from(args)
     try:
         result = run_campaign(
-            lambda **params: _make_program(args.app, **params), points,
+            _AppFactory(args.app), points,
             runs=args.runs, base_seed=args.seed, telemetry=telemetry,
             journal_path=journal_path, resume=bool(args.resume),
             **_robustness_overrides(args),

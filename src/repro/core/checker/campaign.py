@@ -170,7 +170,21 @@ def run_campaign(program_factory, inputs, config: CheckConfig | None = None,
     already holds are restored instead of re-run.  Sessions that raise
     a :class:`~repro.errors.ReproError` (bad config, broken factory)
     become ``error`` outcomes and the campaign continues.
+
+    With ``workers`` > 1 in the (effective) config, *inputs* are fanned
+    out across worker processes — each worker runs one input's full
+    session serially (parallelism is across inputs, never nested) and
+    the parent stays the journal's only writer.  The factory must be
+    picklable (a module-level callable, not a lambda).  With a single
+    pending input the campaign stays serial and lets the session itself
+    parallelize its runs instead.
     """
+    if config is None:
+        config = CheckConfig()
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
     inputs = list(inputs)
     journal = None
     completed: dict = {}
@@ -178,59 +192,80 @@ def run_campaign(program_factory, inputs, config: CheckConfig | None = None,
         from repro.core.checker.journal import CampaignJournal
 
         journal = CampaignJournal(journal_path)
+        journal.acquire()
         if resume:
             completed = journal.load_completed()
     elif resume:
         raise ValueError("resume=True requires a journal_path")
+
+    n_workers = 1
+    if config.workers != 1:
+        from repro.core.checker.parallel import resolve_workers
+
+        n_workers = resolve_workers(config.workers)
 
     tele = telemetry if (telemetry is not None and telemetry.enabled) else None
     span = (tele.start_span("campaign", inputs=len(inputs),
                             resumed=len(completed))
             if tele else None)
     try:
-        outcomes = []
         resumed_inputs = []
         program_name = None
+        by_position: dict = {}
+        pending = []
         if journal is not None:
             journal.begin_segment(inputs=[p.name for p in inputs],
                                   resumed=sorted(completed))
         for index, point in enumerate(inputs):
             if point.name in completed:
-                outcomes.append(completed[point.name])
+                by_position[index] = completed[point.name]
                 resumed_inputs.append(point.name)
                 if tele:
                     tele.event("input_resumed", input=point.name,
                                index=index, total=len(inputs))
-                continue
-            if tele:
-                tele.event("progress", kind="input", program=program_name,
-                           input=point.name, index=index, total=len(inputs))
-            try:
-                program = program_factory(**point.params)
-                program_name = program.name
-                result = check_determinism(program, config,
-                                           telemetry=telemetry, **overrides)
-                outcome = _outcome_from_result(point, result)
-            except ReproError as exc:
-                outcome = InputOutcome(
-                    input=point, deterministic=False, det_at_end=False,
-                    n_ndet_points=0, first_ndet_run=None, result=None,
-                    outcome=OUTCOME_ERROR, error=type(exc).__name__,
-                    error_message=str(exc))
+            else:
+                pending.append((index, point))
+
+        if n_workers > 1 and len(pending) > 1:
+            from repro.core.checker.parallel import run_parallel_campaign
+
+            fanned, program_name = run_parallel_campaign(
+                program_factory, pending, config, tele, journal, n_workers,
+                total=len(inputs))
+            by_position.update(fanned)
+        else:
+            for index, point in pending:
                 if tele:
-                    tele.event("input_error", input=point.name,
-                               error=outcome.error,
-                               message=outcome.error_message)
-            outcomes.append(outcome)
-            if journal is not None:
-                journal.append_outcome(outcome)
-            if tele:
-                tele.event("input_verdict", program=program_name,
-                           input=point.name,
-                           outcome=outcome.outcome,
-                           deterministic=outcome.deterministic,
-                           det_at_end=outcome.det_at_end,
-                           n_ndet_points=outcome.n_ndet_points)
+                    tele.event("progress", kind="input",
+                               program=program_name, input=point.name,
+                               index=index, total=len(inputs))
+                try:
+                    program = program_factory(**point.params)
+                    program_name = program.name
+                    result = check_determinism(program, config,
+                                               telemetry=telemetry)
+                    outcome = _outcome_from_result(point, result)
+                except ReproError as exc:
+                    outcome = InputOutcome(
+                        input=point, deterministic=False, det_at_end=False,
+                        n_ndet_points=0, first_ndet_run=None, result=None,
+                        outcome=OUTCOME_ERROR, error=type(exc).__name__,
+                        error_message=str(exc))
+                    if tele:
+                        tele.event("input_error", input=point.name,
+                                   error=outcome.error,
+                                   message=outcome.error_message)
+                by_position[index] = outcome
+                if journal is not None:
+                    journal.append_outcome(outcome)
+                if tele:
+                    tele.event("input_verdict", program=program_name,
+                               input=point.name,
+                               outcome=outcome.outcome,
+                               deterministic=outcome.deterministic,
+                               det_at_end=outcome.det_at_end,
+                               n_ndet_points=outcome.n_ndet_points)
+        outcomes = [by_position[i] for i in sorted(by_position)]
         if tele and span is not None:
             span.set(program=program_name or "?",
                      flagged=sum(1 for o in outcomes if not o.deterministic),
@@ -239,5 +274,7 @@ def run_campaign(program_factory, inputs, config: CheckConfig | None = None,
         return CampaignResult(program=program_name or "?", outcomes=outcomes,
                               resumed_inputs=resumed_inputs)
     finally:
+        if journal is not None:
+            journal.release()
         if tele:
             tele.end_span(span)

@@ -19,6 +19,19 @@ skipped, never fatal).  Record types:
 
 If the same input name appears more than once (e.g. a re-run after a
 verdict changed), the *last* record wins.
+
+Writer discipline
+-----------------
+The journal is **single-owner**: exactly one process appends at a time.
+This is the precondition the parallel engine relies on — campaign
+workers return outcomes to the parent, and only the parent (holding the
+journal's advisory lock via :meth:`CampaignJournal.acquire`) appends.
+Each append is a *single* ``os.write`` to an ``O_APPEND`` descriptor,
+which POSIX makes atomic with respect to other appenders — so even a
+rogue second writer can interleave whole lines, never tear one.  The
+old buffered ``open(..., "a")`` + ``write`` + ``flush`` path could split
+one record across multiple ``write(2)`` calls once it exceeded the
+stdio buffer, corrupting the line under concurrent appends.
 """
 
 from __future__ import annotations
@@ -29,9 +42,22 @@ import os
 from repro.core.checker.serialize import (SERIALIZE_VERSION,
                                           input_outcome_from_dict,
                                           input_outcome_to_dict)
+from repro.errors import CheckerError
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
 
 #: Journal schema identifier, versioned alongside the serializers.
 SCHEMA = f"repro.campaign/v{SERIALIZE_VERSION}"
+
+#: Descriptors holding journal ownership in *this* process.  ``flock``
+#: ownership rides on the open file description, which forked worker
+#: processes inherit — a worker that kept the fd open would keep the
+#: journal locked after a SIGKILLed parent (orphans can outlive it).
+#: The parallel engine's worker initializer closes these at startup.
+_OWNED_FDS: set = set()
 
 
 class CampaignJournal:
@@ -39,6 +65,41 @@ class CampaignJournal:
 
     def __init__(self, path: str):
         self.path = path
+        self._fd = None
+
+    # -- ownership ----------------------------------------------------------------
+
+    def acquire(self) -> "CampaignJournal":
+        """Claim exclusive write ownership of the journal file.
+
+        Opens the append descriptor used by every subsequent
+        :meth:`_append` and takes a non-blocking advisory ``flock`` on
+        it.  Raises :class:`CheckerError` if another process (or another
+        journal object) already owns the file — two concurrent campaigns
+        writing one journal is always a configuration mistake.
+        Idempotent for the owning object; :meth:`release` undoes it.
+        """
+        if self._fd is not None:
+            return self
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError as exc:
+                os.close(fd)
+                raise CheckerError(
+                    f"campaign journal {self.path!r} is owned by another "
+                    f"process; refusing a second concurrent writer") from exc
+        self._fd = fd
+        _OWNED_FDS.add(fd)
+        return self
+
+    def release(self) -> None:
+        """Drop write ownership (closing the descriptor drops the lock)."""
+        if self._fd is not None:
+            _OWNED_FDS.discard(self._fd)
+            os.close(self._fd)
+            self._fd = None
 
     # -- reading ------------------------------------------------------------------
 
@@ -83,10 +144,26 @@ class CampaignJournal:
     # -- writing ------------------------------------------------------------------
 
     def _append(self, record: dict) -> None:
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        """Durably append one record as a single atomic ``write(2)``.
+
+        The whole line goes down in one ``os.write`` on an ``O_APPEND``
+        descriptor, so concurrent appenders can interleave records but
+        never tear one; ``fsync`` makes it crash-durable before the
+        caller moves on.  Works with or without :meth:`acquire` — an
+        unacquired journal opens a short-lived descriptor per append.
+        """
+        line = (json.dumps(record, sort_keys=True) + "\n").encode()
+        fd = self._fd
+        owned = fd is not None
+        if not owned:
+            fd = os.open(self.path,
+                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line)
+            os.fsync(fd)
+        finally:
+            if not owned:
+                os.close(fd)
 
     def begin_segment(self, inputs: list, resumed: list) -> None:
         """Mark the start of one campaign invocation."""

@@ -55,6 +55,12 @@ class CheckConfig:
     and ``max_steps`` bounds each run in scheduling steps (the livelock
     guard).  ``strict_replay`` makes record/replay log divergence raise
     :class:`~repro.errors.ReplayError` instead of falling back.
+
+    ``workers`` spreads the session's runs across worker processes
+    (see :mod:`repro.core.checker.parallel`): 1 (the default) is the
+    serial path, ``"auto"`` uses one worker per CPU, and any larger
+    integer sets the pool size explicitly.  The verdict is bit-identical
+    to the serial path; only wall-clock time changes.
     """
 
     runs: int = 30
@@ -78,6 +84,7 @@ class CheckConfig:
     run_deadline_s: float | None = None
     max_steps: int = 20_000_000
     strict_replay: bool = False
+    workers: int | str = 1
 
     def variant_names(self) -> tuple:
         """Every verdict name a session with this config will produce."""
@@ -165,6 +172,8 @@ class DeterminismResult:
     requested_runs: int = 0
     budget_exhausted: bool = False
     judge_variant: str | None = None
+    #: Worker-process count the session actually used (1 = serial).
+    workers: int = 1
 
     def verdict(self, name: str) -> VariantVerdict:
         return self.verdicts[name]
@@ -286,13 +295,24 @@ def check_determinism(program: Program, config: CheckConfig | None = None,
             f"judge_variant {config.judge_variant!r} is not produced by "
             f"this session; configured variants: {config.variant_names()}")
 
+    n_workers = 1
+    if config.workers != 1:
+        from repro.core.checker.parallel import resolve_workers
+
+        n_workers = resolve_workers(config.workers)
+
     tele = telemetry if (telemetry is not None and telemetry.enabled) else None
     span = (tele.start_span("check_session", program=program.name,
-                            runs=config.runs,
+                            runs=config.runs, workers=n_workers,
                             schemes=",".join(config.schemes))
             if tele else None)
     try:
-        result = _run_session(program, config, tele)
+        if n_workers > 1:
+            from repro.core.checker.parallel import run_parallel_session
+
+            result = run_parallel_session(program, config, tele, n_workers)
+        else:
+            result = _run_session(program, config, tele)
     finally:
         if tele:
             tele.end_span(span)
@@ -337,9 +357,9 @@ def _attempt_run(runner, budget, retry, config, tele, index: int):
     return None, failure, False
 
 
-def _run_session(program: Program, config: CheckConfig,
-                 tele) -> DeterminismResult:
-    control = InstantCheckControl(
+def _make_control(config: CheckConfig) -> InstantCheckControl:
+    """The session-scoped controller (run 1 records, later runs replay)."""
+    return InstantCheckControl(
         zero_fill=config.zero_fill,
         malloc_replay=config.malloc_replay,
         libcall_replay=config.libcall_replay,
@@ -347,11 +367,33 @@ def _run_session(program: Program, config: CheckConfig,
         strict_replay=config.strict_replay,
         ignores=config.ignores,
     )
+
+
+def _make_runner(program: Program, config: CheckConfig, control,
+                 tele) -> Runner:
+    """A runner wired up the way one checking session needs it."""
     scheduler = make_scheduler(config.scheduler, config.granularity)
-    runner = Runner(program, scheme_factory=dict(config.schemes),
-                    control=control, scheduler=scheduler,
-                    n_cores=config.n_cores, migrate_prob=config.migrate_prob,
-                    max_steps=config.max_steps, telemetry=tele)
+    return Runner(program, scheme_factory=dict(config.schemes),
+                  control=control, scheduler=scheduler,
+                  n_cores=config.n_cores, migrate_prob=config.migrate_prob,
+                  max_steps=config.max_steps, telemetry=tele)
+
+
+def _emit_run_failure(tele, program: Program, failure: RunFailure) -> None:
+    if not tele:
+        return
+    tele.event("run_failure", program=program.name,
+               run=failure.run, seed=failure.seed,
+               error=failure.error, message=failure.message,
+               steps=failure.steps, checkpoints=failure.checkpoints,
+               attempts=failure.attempts)
+    tele.registry.counter("run_failures", error=failure.error).inc()
+
+
+def _run_session(program: Program, config: CheckConfig,
+                 tele) -> DeterminismResult:
+    control = _make_control(config)
+    runner = _make_runner(program, config, control, tele)
     budget = SessionBudget(deadline_s=config.deadline_s,
                            run_deadline_s=config.run_deadline_s).start()
     retry = config.retry if config.retry is not None else NO_RETRY
@@ -371,15 +413,7 @@ def _run_session(program: Program, config: CheckConfig,
             break
         if failure is not None:
             failures.append(failure)
-            if tele:
-                tele.event("run_failure", program=program.name,
-                           run=failure.run, seed=failure.seed,
-                           error=failure.error, message=failure.message,
-                           steps=failure.steps,
-                           checkpoints=failure.checkpoints,
-                           attempts=failure.attempts)
-                tele.registry.counter("run_failures",
-                                      error=failure.error).inc()
+            _emit_run_failure(tele, program, failure)
             continue
         records.append(record)
         if tele:
@@ -392,6 +426,18 @@ def _run_session(program: Program, config: CheckConfig,
                                     record.output_hashes)
             elif (record.structure, hashes, record.output_hashes) != reference_hashes:
                 break
+    return _finalize_session(program, config, records, failures,
+                             budget_exhausted, tele)
+
+
+def _finalize_session(program: Program, config: CheckConfig, records: list,
+                      failures: list, budget_exhausted: bool, tele,
+                      workers: int = 1) -> DeterminismResult:
+    """Judge one session's completed runs into a result.
+
+    Shared by the serial and parallel paths: given the same records and
+    failures (in seed order), both produce bit-identical verdicts.
+    """
     if budget_exhausted and tele:
         tele.event("budget_exhausted", program=program.name,
                    completed=len(records), failed=len(failures),
@@ -407,7 +453,7 @@ def _run_session(program: Program, config: CheckConfig,
             structures_match=False, outputs_match=False,
             output_first_ndet_run=None, verdicts={}, failures=failures,
             requested_runs=config.runs, budget_exhausted=budget_exhausted,
-            judge_variant=config.judge_variant)
+            judge_variant=config.judge_variant, workers=workers)
 
     structures = [r.structure for r in records]
     structures_match = all(s == structures[0] for s in structures)
@@ -461,4 +507,5 @@ def _run_session(program: Program, config: CheckConfig,
         requested_runs=config.runs,
         budget_exhausted=budget_exhausted,
         judge_variant=config.judge_variant,
+        workers=workers,
     )

@@ -85,6 +85,7 @@ def result_to_dict(result: DeterminismResult,
         "output_first_ndet_run": result.output_first_ndet_run,
         "budget_exhausted": result.budget_exhausted,
         "judge_variant": result.judge_variant,
+        "workers": result.workers,
         "first_failed_run": result.first_failed_run,
         "failures": [run_failure_to_dict(f) for f in result.failures],
         "verdicts": {name: verdict_to_dict(v)

@@ -59,5 +59,18 @@ class CheckerError(ReproError):
     """The determinism checker was configured or driven incorrectly."""
 
 
+class WorkerCrashError(ReproError):
+    """A worker process of the parallel execution engine died.
+
+    The process-level analog of a crashing run: the worker executing a
+    run (or a campaign input) exited without reporting a result — a
+    segfault, an ``os._exit``, or an OOM kill.  The parallel engine
+    never re-raises this; it records the affected run as a
+    :class:`~repro.core.checker.runner.RunFailure` (or the input as an
+    ``error`` outcome) carrying this class's name, so a dying worker can
+    never hang or abort a session.
+    """
+
+
 class IsaError(ReproError):
     """Invalid use of the MHM software interface (Figure 4 instructions)."""

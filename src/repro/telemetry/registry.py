@@ -84,6 +84,20 @@ class Histogram:
             "mean": self.mean,
         }
 
+    def merge_summary(self, summary: dict) -> None:
+        """Fold another histogram's :meth:`summary` into this one."""
+        count = summary.get("count") or 0
+        if not count:
+            return
+        self.count += count
+        self.total += summary.get("sum") or 0.0
+        for bound, better in (("min", min), ("max", max)):
+            other = summary.get(bound)
+            if other is None:
+                continue
+            ours = getattr(self, bound)
+            setattr(self, bound, other if ours is None else better(ours, other))
+
 
 class MetricsRegistry:
     """Owns every instrument of one telemetry session."""
@@ -117,3 +131,27 @@ class MetricsRegistry:
             "histograms": {k: h.summary()
                            for k, h in sorted(self._histograms.items())},
         }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, gauges take the merged value (last writer wins,
+        matching :meth:`Gauge.set`), histograms combine summaries.  The
+        parallel engine uses this to aggregate per-worker registries
+        into the session's, keyed by the already-flat metric keys.
+        """
+        for key, value in (snapshot.get("counters") or {}).items():
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = Counter()
+            counter.inc(value)
+        for key, value in (snapshot.get("gauges") or {}).items():
+            gauge = self._gauges.get(key)
+            if gauge is None:
+                gauge = self._gauges[key] = Gauge()
+            gauge.set(value)
+        for key, summary in (snapshot.get("histograms") or {}).items():
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = Histogram()
+            histogram.merge_summary(summary)

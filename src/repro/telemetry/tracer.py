@@ -125,6 +125,18 @@ class Telemetry:
         payload.update(fields)
         self.sink.emit(payload)
 
+    def emit_raw(self, event: dict) -> None:
+        """Forward an already-formed event dict to the sink unchanged.
+
+        Used by the parallel engine to replay a worker's buffered event
+        stream into the session's sink; the caller is responsible for
+        the payload being schema-shaped (worker events are, since a
+        worker-side ``Telemetry`` produced them).
+        """
+        if not self.enabled:
+            return
+        self.sink.emit(event)
+
     def flush(self) -> None:
         """Write the registry's current snapshot as a ``metrics`` event."""
         if not self.enabled:

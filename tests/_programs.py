@@ -90,3 +90,61 @@ class AllocProgram(Program):
         yield from ctx.store(self.ptrs + wid, block.base)
 
 
+class KillOwnProcessProgram(Program):
+    """Deterministic workload that hard-kills any process other than the
+    one that constructed it.
+
+    Built in the checker's parent process, so serial runs pass; when the
+    parallel engine ships it to a worker process, the first step there
+    calls ``os._exit`` — the analog of a segfaulting worker.  Exercises
+    crash containment (``RunFailure`` with ``WorkerCrashError``, never a
+    hung pool).
+    """
+
+    name = "killworker"
+
+    def __init__(self, home_pid: int | None = None):
+        import os
+
+        layout = StaticLayout()
+        self.G = layout.var("G")
+        super().__init__(n_workers=2, static_words=layout.words)
+        self.static_layout = layout
+        self.static_types = layout.types
+        self.home_pid = home_pid if home_pid is not None else os.getpid()
+
+    def worker(self, ctx, st, wid):
+        import os
+
+        if os.getpid() != self.home_pid:
+            os._exit(42)
+        yield from ctx.store(self.G + 0, wid)
+
+
+class SlowProgram(Program):
+    """Deterministic workload that burns real wall-clock time per run.
+
+    Each worker thread sleeps ``delay_s`` once, so a run takes roughly
+    ``delay_s`` regardless of scheduling.  Used to test deadline
+    enforcement and to give the parallel engine something worth
+    overlapping.
+    """
+
+    name = "slow"
+
+    def __init__(self, delay_s: float = 0.2, n_workers: int = 2):
+        import time
+
+        layout = StaticLayout()
+        self.G = layout.var("G")
+        super().__init__(n_workers=n_workers, static_words=layout.words)
+        self.static_layout = layout
+        self.static_types = layout.types
+        self.delay_s = delay_s
+        self._sleep = time.sleep
+
+    def worker(self, ctx, st, wid):
+        self._sleep(self.delay_s)
+        yield from ctx.store(self.G + 0, 1)
+
+

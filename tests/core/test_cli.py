@@ -215,3 +215,41 @@ def test_campaign_bad_input_spec_rejected():
     code, _ = run_cli("campaign", "volrend", "--runs", "3",
                       "--inputs", "bad:novalue")
     assert code == 3
+
+
+def test_check_workers_matches_serial():
+    code_s, text_s = run_cli("check", "fft", "--runs", "4", "--json")
+    code_p, text_p = run_cli("check", "fft", "--runs", "4", "--json",
+                             "--workers", "2")
+    assert code_s == code_p == 0
+    import json
+
+    serial = json.loads(text_s)
+    parallel = json.loads(text_p)
+    assert serial.pop("workers") == 1
+    assert parallel.pop("workers") == 2
+    assert serial == parallel
+
+
+def test_check_workers_rejects_bad_values():
+    for bad in ("0", "-3", "nope"):
+        code, _ = run_cli("check", "fft", "--runs", "4", "--workers", bad)
+        assert code == 3
+
+
+def test_campaign_workers_with_journal(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    code, text = run_cli("campaign", "volrend", "--runs", "3",
+                         "--workers", "2",
+                         "--inputs", "small:image_words=16",
+                         "large:image_words=64",
+                         "--journal", path)
+    assert code == 0
+    assert "campaign over 2 input(s)" in text
+    code, text = run_cli("campaign", "volrend", "--runs", "3",
+                         "--workers", "2",
+                         "--inputs", "small:image_words=16",
+                         "large:image_words=64",
+                         "--resume", path)
+    assert code == 0
+    assert "resumed from journal: small, large" in text

@@ -1,0 +1,93 @@
+"""Regression tests for the journal's write discipline.
+
+PR 3's bugfix: appends must be single-``write(2)`` atomic (the old
+buffered path could tear a record across writes once it outgrew the
+stdio buffer), and the journal must refuse a second concurrent writer
+(single-owner precondition of the parallel campaign engine).
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.checker.campaign import InputOutcome, InputPoint
+from repro.core.checker.journal import CampaignJournal
+from repro.errors import CheckerError
+
+
+def _outcome(name: str, blob: str = "") -> InputOutcome:
+    params = {"blob": blob} if blob else {}
+    return InputOutcome(
+        input=InputPoint(name, params), deterministic=True, det_at_end=True,
+        n_ndet_points=0, first_ndet_run=None, result=None,
+        outcome="deterministic")
+
+
+def _hammer(path: str, writer: int, n_records: int) -> None:
+    journal = CampaignJournal(path)
+    # Deliberately unacquired: raw concurrent appends must still land
+    # as whole lines.  The payload exceeds any stdio buffer so the old
+    # buffered writer would interleave fragments.
+    blob = f"w{writer}-" + "x" * 16384
+    for i in range(n_records):
+        journal.append_outcome(_outcome(f"w{writer}-r{i}", blob))
+
+
+def test_concurrent_appenders_never_tear_lines(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    ctx = multiprocessing.get_context()
+    writers = 2
+    records = 20
+    procs = [ctx.Process(target=_hammer, args=(path, w, records))
+             for w in range(writers)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    with open(path) as handle:
+        lines = [line for line in handle if line.strip()]
+    assert len(lines) == writers * records
+    names = set()
+    for line in lines:
+        record = json.loads(line)  # would raise on a torn line
+        names.add(record["input"])
+    assert len(names) == writers * records
+
+
+def test_acquire_is_exclusive(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    first = CampaignJournal(path).acquire()
+    second = CampaignJournal(path)
+    with pytest.raises(CheckerError, match="owned by another"):
+        second.acquire()
+    first.release()
+    second.acquire()  # ownership transfers once released
+    second.release()
+
+
+def test_acquire_is_idempotent_for_owner(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = CampaignJournal(path)
+    assert journal.acquire() is journal
+    journal.acquire()  # no self-deadlock
+    journal.append_outcome(_outcome("a"))
+    journal.release()
+    journal.release()  # double release is harmless
+    assert [r["input"] for r in journal.records()
+            if r["t"] == "input_outcome"] == ["a"]
+
+
+def test_acquired_appends_parse_and_resume(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = CampaignJournal(path).acquire()
+    try:
+        journal.begin_segment(inputs=["a", "b"], resumed=[])
+        journal.append_outcome(_outcome("a"))
+        journal.append_outcome(_outcome("b"))
+    finally:
+        journal.release()
+    completed = CampaignJournal(path).load_completed()
+    assert sorted(completed) == ["a", "b"]
