@@ -87,6 +87,11 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--scheme", choices=SCHEME_KINDS, default="hw")
     check.add_argument("--rounding", choices=sorted(ROUNDINGS),
                        default="none")
+    check.add_argument("--hash-backend", choices=("auto", "python", "numpy"),
+                       default="auto",
+                       help="batch hash kernel backend (default: auto — "
+                       "honours REPRO_HASH_BACKEND, then picks numpy when "
+                       "installed)")
     check.add_argument("--ignores", action="store_true",
                        help="apply the workload's suggested ignore specs")
     check.add_argument("--seed", type=int, default=1000)
@@ -114,6 +119,9 @@ def _build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--scheme", choices=SCHEME_KINDS, default="hw")
     camp.add_argument("--rounding", choices=sorted(ROUNDINGS),
                       default="none")
+    camp.add_argument("--hash-backend", choices=("auto", "python", "numpy"),
+                      default="auto",
+                      help="batch hash kernel backend (default: auto)")
     camp.add_argument("--seed", type=int, default=1000)
     camp.add_argument(
         "--inputs", nargs="*", metavar="NAME[:K=V,...]", default=None,
@@ -322,7 +330,8 @@ def _cmd_check(args, out) -> int:
         result = check_determinism(
             program, runs=args.runs, base_seed=args.seed, ignores=ignores,
             telemetry=telemetry, **_robustness_overrides(args),
-            schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding)})
+            schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding,
+                                       backend=args.hash_backend)})
     finally:
         if telemetry is not None:
             telemetry.close()
@@ -389,7 +398,8 @@ def _cmd_campaign(args, out) -> int:
             runs=args.runs, base_seed=args.seed, telemetry=telemetry,
             journal_path=journal_path, resume=bool(args.resume),
             **_robustness_overrides(args),
-            schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding)})
+            schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding,
+                                       backend=args.hash_backend)})
     finally:
         if telemetry is not None:
             telemetry.close()

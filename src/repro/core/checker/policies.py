@@ -103,6 +103,13 @@ class SessionBudget:
     _started_at: float | None = field(default=None, repr=False, compare=False)
 
     def start(self) -> "SessionBudget":
+        # With no deadline configured there is nothing to arm, and
+        # skipping the write keeps the shared :data:`UNLIMITED` default
+        # truly stateless — ``SessionBudget`` is a mutable dataclass, so
+        # stamping ``_started_at`` on the module-level instance would
+        # leak one session's clock into every later one.
+        if self.deadline_s is None and self.run_deadline_s is None:
+            return self
         self._started_at = time.monotonic()
         return self
 

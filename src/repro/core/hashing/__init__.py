@@ -7,6 +7,9 @@ traversal-based ground truth (:mod:`state_hash`).
 """
 
 from repro.core.hashing.adhash import AdHash, combine, gadd, gneg, gsub
+from repro.core.hashing.kernels import (HashKernel, available_backends,
+                                        get_kernel, has_numpy,
+                                        resolve_backend)
 from repro.core.hashing.mixers import (Crc64Mixer, DEFAULT_MIXER_NAME, Mixer,
                                        SplitMix64Mixer, available_mixers,
                                        get_mixer)
@@ -19,7 +22,9 @@ from repro.core.hashing.state_hash import (TypeOracle, hash_snapshot,
                                            traverse_state_hash)
 
 __all__ = [
-    "AdHash", "combine", "gadd", "gneg", "gsub", "Crc64Mixer",
+    "AdHash", "combine", "gadd", "gneg", "gsub", "HashKernel",
+    "available_backends", "get_kernel", "has_numpy", "resolve_backend",
+    "Crc64Mixer",
     "DEFAULT_MIXER_NAME", "Mixer", "SplitMix64Mixer", "available_mixers",
     "get_mixer", "RoundingMode", "RoundingPolicy", "decimal_floor",
     "decimal_nearest", "default_policy", "floor_policy", "mantissa_policy",

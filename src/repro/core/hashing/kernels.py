@@ -1,0 +1,311 @@
+"""Backend-selectable batch hash kernels.
+
+Every InstantCheck scheme ultimately evaluates sums of per-location
+terms ``h(a, v)`` in the group (Z_2^64, +): the traversal scheme sweeps
+the whole state, the incremental schemes fold ``h(a, v_new) - h(a,
+v_old)`` per store, and frees subtract the last value of every freed
+word.  Because the group is commutative and associative, any such sum
+may be evaluated over *arrays* in one pass — which is exactly what a
+hardware hash unit does, and what this module does in software.
+
+Two interchangeable backends implement the same four operations:
+
+* :class:`PythonKernel` — the pure-Python reference, defined by the
+  exact same calls the scalar datapath makes (``mixer.location_hash``
+  after ``rounding.apply``).  Always available.
+* :class:`NumpyKernel` — vectorized mod-2^64 arithmetic on ``uint64``
+  arrays (NumPy wraps unsigned overflow, which *is* the group
+  operation).  Available when ``numpy`` is importable (the ``[fast]``
+  optional dependency).
+
+Backend selection: :func:`resolve_backend` honours an explicit name
+first, then the ``REPRO_HASH_BACKEND`` environment variable, then
+auto-detects (``numpy`` when importable, else ``python``).  The
+property-based suite in ``tests/core/test_kernels_properties.py``
+proves the backends bit-identical on adversarial inputs; the
+differential suite proves whole checking sessions agree.
+
+Rounding semantics match the scalar datapath exactly: an ``fp``-flagged
+value is converted to ``float`` and rounded *before* hashing; all other
+values hash their canonical 64-bit pattern (:func:`~repro.sim.values.value_bits`).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sim.values import MASK64, value_bits
+
+try:  # pragma: no cover - trivially covered by whichever env runs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Environment variable overriding the default backend choice.
+ENV_BACKEND = "REPRO_HASH_BACKEND"
+
+#: The pseudo-backend name meaning "pick the fastest available".
+AUTO_BACKEND = "auto"
+
+#: Canonical quiet-NaN pattern, mirroring :func:`repro.sim.values.float_to_bits`.
+_QNAN_BITS = 0x7FF8000000000000
+
+
+def has_numpy() -> bool:
+    """Is the NumPy backend importable in this environment?"""
+    return _np is not None
+
+
+class HashKernel:
+    """Interface: batch evaluation of AdHash sums for one backend.
+
+    All methods take parallel sequences.  ``fp_flags`` marks entries
+    that take the FP round-off datapath (``None`` means no entry does);
+    ``rounding`` may be ``None`` or a disabled policy, both meaning the
+    round-off unit is off.  Results are plain Python ints in
+    ``[0, 2^64)`` — the same values the scalar datapath produces.
+    """
+
+    name = "abstract"
+    #: True when the backend evaluates whole arrays per call (the batch
+    #: fast path is only worth routing through when this is set).
+    vectorized = False
+
+    def location_terms(self, mixer, rounding, addresses, values,
+                       fp_flags=None) -> list:
+        """Normalized per-location terms ``h(a_i, round(v_i))``."""
+        raise NotImplementedError
+
+    def fold_locations(self, mixer, rounding, addresses, values,
+                       fp_flags=None) -> int:
+        """``sum_i h(a_i, round(v_i))`` mod 2^64 (one traversal sweep)."""
+        raise NotImplementedError
+
+    def store_delta(self, mixer, rounding, addresses, old_values,
+                    new_values, fp_flags=None) -> int:
+        """``sum_i (h(a_i, new_i) - h(a_i, old_i))`` mod 2^64.
+
+        The single number a batch of buffered stores adds to a Thread
+        Hash — the vectorized form of ``AdHash.update`` folded over the
+        whole batch.
+        """
+        raise NotImplementedError
+
+    def fold_terms(self, terms) -> int:
+        """Mod-2^64 sum of precomputed 64-bit terms."""
+        raise NotImplementedError
+
+
+def _rounding_on(rounding) -> bool:
+    return rounding is not None and rounding.enabled
+
+
+class PythonKernel(HashKernel):
+    """The scalar reference: loops over the exact scalar datapath."""
+
+    name = "python"
+    vectorized = False
+
+    @staticmethod
+    def _round(rounding, value, is_fp):
+        if is_fp and _rounding_on(rounding):
+            return rounding.apply(value)
+        return value
+
+    def location_terms(self, mixer, rounding, addresses, values,
+                       fp_flags=None) -> list:
+        if fp_flags is None:
+            return [mixer.location_hash(a, v)
+                    for a, v in zip(addresses, values)]
+        return [mixer.location_hash(a, self._round(rounding, v, f))
+                for a, v, f in zip(addresses, values, fp_flags)]
+
+    def fold_locations(self, mixer, rounding, addresses, values,
+                       fp_flags=None) -> int:
+        return sum(self.location_terms(mixer, rounding, addresses, values,
+                                       fp_flags)) & MASK64
+
+    def store_delta(self, mixer, rounding, addresses, old_values,
+                    new_values, fp_flags=None) -> int:
+        if fp_flags is None:
+            fp_flags = (False,) * len(addresses)
+        total = 0
+        for a, old, new, f in zip(addresses, old_values, new_values, fp_flags):
+            total += (mixer.location_hash(a, self._round(rounding, new, f))
+                      - mixer.location_hash(a, self._round(rounding, old, f)))
+        return total & MASK64
+
+    def fold_terms(self, terms) -> int:
+        return sum(terms) & MASK64
+
+
+class NumpyKernel(HashKernel):
+    """Vectorized backend: uint64 wraparound is mod-2^64 arithmetic."""
+
+    name = "numpy"
+    vectorized = True
+
+    def __init__(self):
+        if _np is None:  # pragma: no cover - guarded by the registry
+            raise RuntimeError(
+                "numpy is not installed; install the [fast] extra or "
+                "select the 'python' hash backend")
+
+    # -- canonicalization ---------------------------------------------------
+
+    @staticmethod
+    def _float_bits(arr):
+        """IEEE-754 bit patterns with NaNs canonicalized to quiet NaN."""
+        bits = arr.view(_np.uint64).copy()
+        nan = _np.isnan(arr)
+        if nan.any():
+            bits[nan] = _np.uint64(_QNAN_BITS)
+        return bits
+
+    def _bits(self, rounding, values, fp_flags):
+        """Canonical 64-bit patterns of *values*, rounding fp entries.
+
+        Replicates the scalar datapath per element: fp-flagged entries
+        are converted to float and rounded (when the round-off unit is
+        on), floats hash their IEEE bits (canonical NaN), everything
+        else hashes its two's-complement pattern.
+        """
+        n = len(values)
+        round_on = _rounding_on(rounding) and fp_flags is not None
+        f_idx: list = []
+        f_vals: list = []
+        r_idx: list = []
+        r_vals: list = []
+        i_idx: list = []
+        i_vals: list = []
+        # Bucket by datapath.  Floats deliberately avoid the scalar
+        # value_bits (its per-element struct round-trip dominates); the
+        # whole float bucket converts through one float64 array view.
+        if round_on:
+            for i, v in enumerate(values):
+                if fp_flags[i]:
+                    r_idx.append(i)
+                    r_vals.append(float(v))
+                elif type(v) is float:
+                    f_idx.append(i)
+                    f_vals.append(v)
+                else:
+                    i_idx.append(i)
+                    i_vals.append(value_bits(v))
+        else:
+            for i, v in enumerate(values):
+                if type(v) is float:
+                    f_idx.append(i)
+                    f_vals.append(v)
+                else:
+                    i_idx.append(i)
+                    i_vals.append(value_bits(v))
+        if not i_idx and not r_idx:
+            return self._float_bits(_np.array(f_vals, dtype=_np.float64))
+        if not f_idx and not r_idx:
+            return _np.array(i_vals, dtype=_np.uint64)
+        bits = _np.zeros(n, dtype=_np.uint64)
+        if i_idx:
+            bits[i_idx] = _np.array(i_vals, dtype=_np.uint64)
+        if f_idx:
+            bits[f_idx] = self._float_bits(_np.array(f_vals, dtype=_np.float64))
+        if r_idx:
+            arr = rounding.apply_array(_np.array(r_vals, dtype=_np.float64))
+            bits[r_idx] = self._float_bits(arr)
+        return bits
+
+    @staticmethod
+    def _addr_array(addresses):
+        if isinstance(addresses, _np.ndarray):
+            return addresses
+        return _np.fromiter((a & MASK64 for a in addresses),
+                            dtype=_np.uint64, count=len(addresses))
+
+    # -- kernel operations --------------------------------------------------
+
+    def _term_array(self, mixer, rounding, addresses, values, fp_flags):
+        addr = self._addr_array(addresses)
+        bits = self._bits(rounding, values, fp_flags)
+        return mixer.location_hash_batch(addr, bits)
+
+    def location_terms(self, mixer, rounding, addresses, values,
+                       fp_flags=None) -> list:
+        return [int(t) for t in
+                self._term_array(mixer, rounding, addresses, values, fp_flags)]
+
+    def fold_locations(self, mixer, rounding, addresses, values,
+                       fp_flags=None) -> int:
+        if not len(addresses):
+            return 0
+        terms = self._term_array(mixer, rounding, addresses, values, fp_flags)
+        return int(_np.add.reduce(terms, dtype=_np.uint64))
+
+    def store_delta(self, mixer, rounding, addresses, old_values,
+                    new_values, fp_flags=None) -> int:
+        if not len(addresses):
+            return 0
+        addr = self._addr_array(addresses)
+        delta = mixer.store_delta_batch(
+            addr,
+            self._bits(rounding, old_values, fp_flags),
+            self._bits(rounding, new_values, fp_flags))
+        return int(_np.add.reduce(delta, dtype=_np.uint64))
+
+    def fold_terms(self, terms) -> int:
+        if not len(terms):
+            return 0
+        arr = (terms if isinstance(terms, _np.ndarray)
+               else _np.array([t & MASK64 for t in terms], dtype=_np.uint64))
+        return int(_np.add.reduce(arr, dtype=_np.uint64))
+
+
+_KERNELS: dict = {}
+
+
+def available_backends() -> tuple:
+    """Names of the backends importable right now."""
+    names = [PythonKernel.name]
+    if has_numpy():
+        names.append(NumpyKernel.name)
+    return tuple(sorted(names))
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    Order: an explicit non-auto *backend* wins, then the
+    ``REPRO_HASH_BACKEND`` environment variable, then auto-detection
+    (numpy when importable, else python).
+    """
+    requested = backend
+    if requested in (None, AUTO_BACKEND):
+        requested = os.environ.get(ENV_BACKEND) or AUTO_BACKEND
+    if requested == AUTO_BACKEND:
+        return NumpyKernel.name if has_numpy() else PythonKernel.name
+    if requested == NumpyKernel.name and not has_numpy():
+        raise ValueError(
+            "hash backend 'numpy' requested but numpy is not installed; "
+            "install the [fast] extra (pip install repro[fast]) or use "
+            "backend='python'")
+    if requested not in (PythonKernel.name, NumpyKernel.name):
+        raise ValueError(
+            f"unknown hash backend {requested!r}; choose from "
+            f"{(AUTO_BACKEND,) + available_backends()}")
+    return requested
+
+
+def get_kernel(backend=None) -> HashKernel:
+    """Return the (singleton) kernel for a backend request.
+
+    *backend* may be a name, ``"auto"``, ``None`` (both auto), or an
+    existing :class:`HashKernel` (returned unchanged, so schemes can be
+    handed a kernel directly).
+    """
+    if isinstance(backend, HashKernel):
+        return backend
+    name = resolve_backend(backend)
+    kernel = _KERNELS.get(name)
+    if kernel is None:
+        cls = NumpyKernel if name == NumpyKernel.name else PythonKernel
+        kernel = _KERNELS[name] = cls()
+    return kernel

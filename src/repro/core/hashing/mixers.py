@@ -23,6 +23,11 @@ from __future__ import annotations
 
 from repro.sim.values import MASK64, value_bits
 
+try:  # numpy is optional (the [fast] extra); scalar paths never need it
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 _CRC64_POLY = 0x42F0E1EBA9EA3693  # CRC-64/ECMA-182
 
 
@@ -47,7 +52,12 @@ class Mixer:
 
     Subclasses implement :meth:`raw`; the public :meth:`location_hash`
     applies the ``h(a, 0) == 0`` normalization described above and is
-    what every InstantCheck scheme uses.
+    what every InstantCheck scheme uses.  :meth:`location_hash_batch` is
+    the vectorized counterpart over parallel ``uint64`` arrays of
+    addresses and value bit patterns; the base-class version loops the
+    scalar path, and the built-in mixers override it with genuinely
+    vectorized NumPy implementations (bit-identical — the property suite
+    in ``tests/core/test_kernels_properties.py`` checks every pair).
     """
 
     name = "abstract"
@@ -55,18 +65,46 @@ class Mixer:
     def raw(self, address: int, bits: int) -> int:
         raise NotImplementedError
 
-    def location_hash(self, address: int, value) -> int:
-        """Normalized hash of one memory location: 0 for a zero word."""
-        bits = value_bits(value)
+    def location_hash_bits(self, address: int, bits: int) -> int:
+        """Normalized hash of one location from its canonical bit pattern."""
         if bits == 0:
             return 0
         return (self.raw(address, bits) - self.raw(address, 0)) & MASK64
+
+    def location_hash(self, address: int, value) -> int:
+        """Normalized hash of one memory location: 0 for a zero word."""
+        return self.location_hash_bits(address, value_bits(value))
+
+    def location_hash_batch(self, addresses, bits):
+        """Normalized hashes of many locations at once.
+
+        *addresses* and *bits* are parallel ``numpy.uint64`` arrays;
+        returns a ``numpy.uint64`` array of normalized terms.  This
+        scalar-loop fallback lets any custom mixer participate in the
+        batched datapath without writing array code.
+        """
+        return _np.array(
+            [self.location_hash_bits(int(a), int(b))
+             for a, b in zip(addresses, bits)],
+            dtype=_np.uint64)
+
+    def store_delta_batch(self, addresses, old_bits, new_bits):
+        """Per-location update terms ``h(a, new) - h(a, old)``, batched.
+
+        The ``h(a, 0)`` normalization terms cancel in the difference, so
+        mixers can (and the built-ins do) override this to skip them and
+        share the address-dependent prefix between the two halves.
+        """
+        return (self.location_hash_batch(addresses, new_bits)
+                - self.location_hash_batch(addresses, old_bits))
 
 
 class Crc64Mixer(Mixer):
     """CRC-64/ECMA over the concatenated address and value bit patterns."""
 
     name = "crc64"
+
+    _table_np = None  # lazily-built numpy copy of the byte table
 
     def raw(self, address: int, bits: int) -> int:
         crc = 0
@@ -76,6 +114,59 @@ class Crc64Mixer(Mixer):
             crc = (((crc << 8) & MASK64) ^ table[((crc >> 56) ^ data) & 0xFF])
             data >>= 8
         return crc
+
+    def location_hash_batch(self, addresses, bits):
+        # Vectorized across locations: the 16 table steps stay a Python
+        # loop (CRC is inherently serial per location) but each step
+        # processes the whole batch as one gather + xor.  The 8
+        # address-prefix steps are shared between h(a, v) and the
+        # normalizing h(a, 0), so the zero branch only pays 8 more.
+        table = Crc64Mixer._table_np
+        if table is None:
+            table = Crc64Mixer._table_np = _np.array(_CRC64_TABLE,
+                                                     dtype=_np.uint64)
+        byte = _np.uint64(0xFF)
+        eight = _np.uint64(8)
+        high = _np.uint64(56)
+        crc = _np.zeros(len(addresses), dtype=_np.uint64)
+        data = addresses.copy()
+        for _ in range(8):
+            crc = (crc << eight) ^ table[((crc >> high) ^ (data & byte))]
+            data >>= eight
+        zero_crc = crc.copy()
+        data = bits.copy()
+        for _ in range(8):
+            crc = (crc << eight) ^ table[((crc >> high) ^ (data & byte))]
+            data >>= eight
+        for _ in range(8):
+            zero_crc = (zero_crc << eight) ^ table[zero_crc >> high]
+        # crc == zero_crc wherever bits == 0, so normalization lands the
+        # required h(a, 0) == 0 without an explicit mask.
+        return crc - zero_crc
+
+    def store_delta_batch(self, addresses, old_bits, new_bits):
+        table = Crc64Mixer._table_np
+        if table is None:
+            table = Crc64Mixer._table_np = _np.array(_CRC64_TABLE,
+                                                     dtype=_np.uint64)
+        byte = _np.uint64(0xFF)
+        eight = _np.uint64(8)
+        high = _np.uint64(56)
+        prefix = _np.zeros(len(addresses), dtype=_np.uint64)
+        data = addresses.copy()
+        for _ in range(8):
+            prefix = ((prefix << eight)
+                      ^ table[((prefix >> high) ^ (data & byte))])
+            data >>= eight
+        halves = []
+        for bits in (new_bits, old_bits):
+            crc = prefix
+            data = bits.copy()
+            for _ in range(8):
+                crc = (crc << eight) ^ table[((crc >> high) ^ (data & byte))]
+                data >>= eight
+            halves.append(crc)
+        return halves[0] - halves[1]
 
 
 class SplitMix64Mixer(Mixer):
@@ -104,7 +195,9 @@ class SplitMix64Mixer(Mixer):
         return self._finalize((z + bits) & MASK64)
 
     def location_hash(self, address: int, value) -> int:
-        bits = value_bits(value)
+        return self.location_hash_bits(address, value_bits(value))
+
+    def location_hash_bits(self, address: int, bits: int) -> int:
         if bits == 0:
             return 0
         cached = self._addr_cache.get(address)
@@ -114,6 +207,25 @@ class SplitMix64Mixer(Mixer):
             self._addr_cache[address] = cached
         z, zero_term = cached
         return (self._finalize((z + bits) & MASK64) - zero_term) & MASK64
+
+    @staticmethod
+    def _finalize_np(z):
+        # The scalar _finalize on uint64 arrays: numpy unsigned
+        # arithmetic wraps mod 2^64, standing in for the `& MASK64`s.
+        z = (z ^ (z >> _np.uint64(30))) * _np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> _np.uint64(27))) * _np.uint64(0x94D049BB133111EB)
+        return z ^ (z >> _np.uint64(31))
+
+    def location_hash_batch(self, addresses, bits):
+        z = self._finalize_np(addresses + _np.uint64(self._GOLDEN))
+        zero_terms = self._finalize_np(z)
+        # Wherever bits == 0 the two finalizations coincide and the
+        # difference is the required normalized 0.
+        return self._finalize_np(z + bits) - zero_terms
+
+    def store_delta_batch(self, addresses, old_bits, new_bits):
+        z = self._finalize_np(addresses + _np.uint64(self._GOLDEN))
+        return self._finalize_np(z + new_bits) - self._finalize_np(z + old_bits)
 
 
 _MIXERS = {

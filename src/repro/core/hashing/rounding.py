@@ -30,6 +30,11 @@ from dataclasses import dataclass
 
 from repro.sim.values import MASK64
 
+try:  # numpy is optional (the [fast] extra); apply_array needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 
 class RoundingMode(enum.Enum):
     """Which rounding operation the FP round-off unit performs."""
@@ -82,6 +87,48 @@ class RoundingPolicy:
             return decimal_nearest(value, self.digits)
         raise AssertionError(f"unhandled mode {self.mode}")
 
+    def apply_array(self, values):
+        """Round a ``numpy.float64`` array; the vectorized :meth:`apply`.
+
+        Bit-identical to mapping :meth:`apply` over the elements (the
+        property suite checks this): floors of binary64 values are
+        exactly representable, so ``numpy.floor`` matches ``math.floor``
+        followed by the int-to-float division, and the mantissa mask is
+        the same bit operation through a ``uint64`` view.  Non-finite
+        entries pass through unchanged, as in the scalar path.
+        """
+        if self.mode is RoundingMode.NONE:
+            return values
+        if _np is None:  # pragma: no cover - callers are numpy-gated
+            raise RuntimeError("apply_array requires numpy (the [fast] extra)")
+        values = _np.asarray(values, dtype=_np.float64)
+        finite = _np.isfinite(values)
+        if self.mode is RoundingMode.MANTISSA_ZERO:
+            if self.mantissa_bits == 0:
+                return values
+            mask = _np.uint64(MASK64 ^ ((1 << self.mantissa_bits) - 1))
+            rounded = (values.view(_np.uint64) & mask).view(_np.float64)
+        else:
+            scale = 10.0**self.digits
+            with _np.errstate(invalid="ignore", over="ignore"):
+                scaled = values * scale
+                # Values whose scaled form overflows pass through, like
+                # the scalar path: at that magnitude a 10^-N grid cannot
+                # express any rounding anyway.
+                finite &= _np.isfinite(scaled)
+                if self.mode is RoundingMode.DECIMAL_FLOOR:
+                    rounded = _np.floor(scaled) / scale
+                else:  # DECIMAL_NEAREST: ties away from zero
+                    rounded = _np.where(scaled >= 0,
+                                        _np.floor(scaled + 0.5),
+                                        _np.ceil(scaled - 0.5)) / scale
+                # math.floor/ceil return ints, so the scalar decimal
+                # modes can only produce +0.0; numpy's floor/ceil keep
+                # the sign of zero.  Adding +0.0 maps -0.0 to +0.0 and
+                # is the identity on every other value.
+                rounded = rounded + 0.0
+        return _np.where(finite, rounded, values)
+
 
 def zero_mantissa_bits(value: float, m: int) -> float:
     """Zero the M least-significant mantissa bits of a binary64 value.
@@ -97,9 +144,17 @@ def zero_mantissa_bits(value: float, m: int) -> float:
 
 
 def decimal_floor(value: float, digits: int) -> float:
-    """Floor toward negative infinity at N decimal digits."""
+    """Floor toward negative infinity at N decimal digits.
+
+    Values so large that scaling them overflows pass through unchanged
+    (a 10^-N grid cannot round them); this also keeps ``math.floor``
+    from seeing an infinity.
+    """
     scale = 10.0**digits
-    return math.floor(value * scale) / scale
+    scaled = value * scale
+    if not math.isfinite(scaled):
+        return value
+    return math.floor(scaled) / scale
 
 
 def decimal_nearest(value: float, digits: int) -> float:
@@ -111,6 +166,8 @@ def decimal_nearest(value: float, digits: int) -> float:
     """
     scale = 10.0**digits
     scaled = value * scale
+    if not math.isfinite(scaled):
+        return value
     return math.floor(scaled + 0.5) / scale if scaled >= 0 else math.ceil(scaled - 0.5) / scale
 
 

@@ -9,9 +9,10 @@ test suite uses it as the oracle for the incremental schemes.
 from __future__ import annotations
 
 from repro.core.hashing.adhash import AdHash
+from repro.core.hashing.kernels import get_kernel
 from repro.core.hashing.mixers import DEFAULT_MIXER_NAME, Mixer, get_mixer
 from repro.core.hashing.rounding import RoundingPolicy, no_rounding
-from repro.sim.values import MASK64, TYPE_FLOAT
+from repro.sim.values import TYPE_FLOAT
 
 
 class TypeOracle:
@@ -39,24 +40,34 @@ class TypeOracle:
 
 def traverse_state_hash(memory, mixer: Mixer | str = DEFAULT_MIXER_NAME,
                         rounding: RoundingPolicy | None = None,
-                        type_oracle: TypeOracle | None = None) -> int:
+                        type_oracle: TypeOracle | None = None,
+                        backend=None) -> int:
     """Hash the entire current memory state by traversal.
 
     With rounding enabled, FP-typed words are rounded before hashing so
     the traversal agrees bit-for-bit with an incremental scheme whose FP
     round-off unit uses the same policy.
+
+    The sweep gathers the live words into parallel (address, value,
+    fp-typed) sequences and reduces them through one
+    :mod:`~repro.core.hashing.kernels` call; *backend* selects the
+    kernel (a name, ``"auto"``, a :class:`~repro.core.hashing.kernels.HashKernel`,
+    or ``None`` for the environment default).
     """
     if isinstance(mixer, str):
         mixer = get_mixer(mixer)
     if rounding is None:
         rounding = no_rounding()
-    total = 0
-    round_fp = rounding.enabled and type_oracle is not None
-    for address, value in memory.iter_nonzero():
-        if round_fp and isinstance(value, float) and type_oracle.is_fp(address):
-            value = rounding.apply(value)
-        total = (total + mixer.location_hash(address, value)) & MASK64
-    return total
+    kernel = get_kernel(backend)
+    pairs = list(memory.iter_nonzero())
+    if not pairs:
+        return 0
+    addresses, values = zip(*pairs)
+    fp_flags = None
+    if rounding.enabled and type_oracle is not None:
+        fp_flags = [isinstance(v, float) and type_oracle.is_fp(a)
+                    for a, v in zip(addresses, values)]
+    return kernel.fold_locations(mixer, rounding, addresses, values, fp_flags)
 
 
 def hash_snapshot(snapshot: dict, mixer: Mixer | str = DEFAULT_MIXER_NAME) -> int:

@@ -71,6 +71,29 @@ class Mhm:
         if len(self._buffer) >= self.buffer_capacity:
             self.flush()
 
+    def on_store_batch(self, entries, kernel=None) -> None:
+        """A window of stores retired on this core with constant MHM state.
+
+        *entries* is a list of ``(address, old_value, new_value, is_fp)``
+        tuples.  With a vectorized *kernel* and the immediate-apply
+        design (no internal buffer), the whole window folds into TH
+        through one ``store_delta`` call; otherwise the entries replay
+        through the scalar path (preserving the buffered cluster-drain
+        modeling exactly).
+        """
+        if not self.hashing_enabled:
+            return
+        if (kernel is None or not kernel.vectorized
+                or self.buffer_capacity != 0):
+            for entry in entries:
+                self.on_store(*entry)
+            return
+        rounding = self.rounding if self.fp_rounding_enabled else None
+        self.th.add(kernel.store_delta(
+            self.mixer, rounding,
+            [e[0] for e in entries], [e[1] for e in entries],
+            [e[2] for e in entries], [e[3] for e in entries]))
+
     def _apply(self, address: int, old_value, new_value, is_fp: bool) -> None:
         self.th.sub(self.location_term(address, old_value, is_fp))
         self.th.add(self.location_term(address, new_value, is_fp))
@@ -107,6 +130,22 @@ class Mhm:
         """``minus_hash addr``: subtract the hash of the current value."""
         self.flush()
         self.th.sub(self.location_term(address, current_value, is_fp))
+
+    def minus_hash_batch(self, addresses, current_values, fp_flags,
+                         kernel=None) -> None:
+        """Subtract many locations at once (block deallocation).
+
+        Equivalent to ``minus_hash`` per word; with a vectorized
+        *kernel* the whole block folds through one call.
+        """
+        self.flush()
+        rounding = self.rounding if self.fp_rounding_enabled else None
+        if kernel is not None:
+            self.th.sub(kernel.fold_locations(
+                self.mixer, rounding, addresses, current_values, fp_flags))
+            return
+        for address, value, is_fp in zip(addresses, current_values, fp_flags):
+            self.th.sub(self.location_term(address, value, is_fp))
 
     def plus_hash(self, address: int, value, is_fp: bool = False) -> None:
         """``plus_hash addr val``: add the hash of *val* at *addr*."""

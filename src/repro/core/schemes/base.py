@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.hashing.kernels import get_kernel
 from repro.core.hashing.mixers import DEFAULT_MIXER_NAME, get_mixer
 from repro.core.hashing.rounding import RoundingPolicy, no_rounding
 from repro.errors import IsaError
@@ -31,16 +32,44 @@ class Scheme(WriteObserver):
     name = "abstract"
 
     def __init__(self, machine, allocator, mixer=DEFAULT_MIXER_NAME,
-                 rounding: RoundingPolicy | None = None):
+                 rounding: RoundingPolicy | None = None,
+                 backend=None, batch_stores: bool | None = None):
         self.machine = machine
         self.allocator = allocator
         self.mixer = get_mixer(mixer) if isinstance(mixer, str) else mixer
         self.rounding = rounding if rounding is not None else no_rounding()
+        #: The batch hash kernel evaluating this scheme's AdHash sums;
+        #: *backend* is a kernel name, ``"auto"``, ``None`` (environment
+        #: default), or a kernel instance.
+        self.kernel = get_kernel(backend)
+        # ``batch_stores=None`` means "batch iff the kernel is
+        # vectorized" — batching only pays when a window folds through
+        # one array call.  The scalar per-store path stays the default
+        # (and the reference) otherwise.
+        if batch_stores is None:
+            batch_stores = self.kernel.vectorized
+        #: Instance override of the WriteObserver class attribute: the
+        #: machine checks this flag to decide delivery style.
+        self.batch_stores = batch_stores
         #: Hash-unit invocations this run (per-store updates for the
         #: incremental schemes, per-word sweep work for traversal) —
         #: the per-scheme cost signal telemetry reports, mirroring the
         #: Figure 6 categories.
         self.hash_updates = 0
+
+    def _sync_stores(self) -> None:
+        """Close the machine's buffered store window before a read.
+
+        Every externally observable read of hash state (checkpoints,
+        per-thread inspection, ISA operations) funnels through this so
+        batched and unbatched runs are indistinguishable.
+        """
+        self.machine.flush_stores()
+
+    def _enable_store_batching(self) -> None:
+        """Turn on machine-level buffering if this scheme batches."""
+        if self.batch_stores:
+            self.machine.store_batching = True
 
     def state_hash(self) -> int:
         """The 64-bit State Hash of the current memory state."""
@@ -75,6 +104,13 @@ class SchemeConfig:
     selects SW-InstantCheck_Inc's instrumentation atomicity (Section 4.1);
     ``n_clusters``/``drain_policy`` pick the MHM implementation point of
     Section 3.2.
+
+    ``backend`` selects the batch hash kernel (``"auto"``, ``"python"``,
+    or ``"numpy"`` — see :mod:`repro.core.hashing.kernels`); ``"auto"``
+    honours the ``REPRO_HASH_BACKEND`` environment variable and falls
+    back to auto-detection.  ``batch_stores`` controls the machine-level
+    batched store delivery: ``None`` (the default) batches exactly when
+    the resolved kernel is vectorized, ``True``/``False`` force it.
     """
 
     kind: str = "hw"
@@ -84,6 +120,8 @@ class SchemeConfig:
     n_clusters: int = 1
     drain_policy: str = "fifo"
     drain_seed: int = 0
+    backend: str = "auto"
+    batch_stores: bool | None = None
 
     def __post_init__(self):
         if self.kind not in SCHEME_KINDS:
@@ -101,15 +139,19 @@ class SchemeConfig:
                                  mixer=self.mixer, rounding=self.rounding,
                                  n_clusters=self.n_clusters,
                                  drain_policy=self.drain_policy,
-                                 drain_seed=self.drain_seed)
+                                 drain_seed=self.drain_seed,
+                                 backend=self.backend,
+                                 batch_stores=self.batch_stores)
         elif self.kind == "sw_inc":
             scheme = SwIncScheme(runner.machine, runner.allocator,
                                  mixer=self.mixer, rounding=self.rounding,
-                                 atomic=self.atomic)
+                                 atomic=self.atomic, backend=self.backend,
+                                 batch_stores=self.batch_stores)
         else:
             scheme = SwTrScheme(runner.machine, runner.allocator,
                                 mixer=self.mixer, rounding=self.rounding,
                                 static_types=getattr(runner.program,
-                                                     "static_types", None))
+                                                     "static_types", None),
+                                backend=self.backend)
         scheme.attach()
         return scheme

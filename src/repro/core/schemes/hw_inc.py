@@ -34,8 +34,10 @@ class HwIncScheme(Scheme):
 
     def __init__(self, machine, allocator, mixer=DEFAULT_MIXER_NAME,
                  rounding: RoundingPolicy | None = None, n_clusters: int = 1,
-                 drain_policy: str = "fifo", drain_seed: int = 0):
-        super().__init__(machine, allocator, mixer, rounding)
+                 drain_policy: str = "fifo", drain_seed: int = 0,
+                 backend=None, batch_stores: bool | None = None):
+        super().__init__(machine, allocator, mixer, rounding,
+                         backend=backend, batch_stores=batch_stores)
         self.mhms = [
             Mhm(core.core_id, mixer=self.mixer, rounding=self.rounding,
                 n_clusters=n_clusters, drain_policy=drain_policy,
@@ -48,6 +50,7 @@ class HwIncScheme(Scheme):
 
     def attach(self) -> None:
         self.machine.add_observer(self)
+        self._enable_store_batching()
 
     # -- write-path events ------------------------------------------------------------
 
@@ -57,12 +60,30 @@ class HwIncScheme(Scheme):
         self.hash_updates += 1
         self.mhms[core].on_store(address, old_value, new_value, is_fp)
 
+    def on_store_batch(self, events):
+        # One buffered window; the machine guarantees no context switch
+        # or ISA operation happened inside it, so each MHM's
+        # enabled/rounding state is constant across the window and the
+        # per-core runs can fold through one kernel call each.
+        per_core: dict = {}
+        for core, tid, address, old_value, new_value, is_fp, hashed in events:
+            if not hashed:
+                continue
+            self.hash_updates += 1
+            per_core.setdefault(core, []).append(
+                (address, old_value, new_value, is_fp))
+        for core, entries in per_core.items():
+            self.mhms[core].on_store_batch(entries, kernel=self.kernel)
+
     def on_free(self, core, tid, block, old_values):
         mhm = self.mhms[core]
         self.hash_updates += len(old_values)
-        for offset, value in enumerate(old_values):
-            mhm.minus_hash(block.base + offset, value,
-                           is_fp=self._block_word_is_fp(block, offset))
+        mhm.minus_hash_batch(
+            [block.base + offset for offset in range(len(old_values))],
+            old_values,
+            [self._block_word_is_fp(block, offset)
+             for offset in range(len(old_values))],
+            kernel=self.kernel)
 
     # -- context switching --------------------------------------------------------------
 
@@ -77,6 +98,7 @@ class HwIncScheme(Scheme):
 
     def state_hash(self) -> int:
         """SH = ⊕ of all TH registers (resident cores + saved slots)."""
+        self._sync_stores()
         total = 0
         for mhm in self.mhms:
             total = (total + mhm.read_th()) & MASK64
@@ -86,6 +108,7 @@ class HwIncScheme(Scheme):
 
     def thread_hashes(self) -> dict:
         """Per-thread TH values (for Figure 2-style inspection)."""
+        self._sync_stores()
         result = dict(self._saved)
         for core, mhm in zip(self.machine.cores, self.mhms):
             if core.current_tid is not None:
@@ -95,5 +118,9 @@ class HwIncScheme(Scheme):
     # -- MHM ISA --------------------------------------------------------------------------
 
     def isa_exec(self, instruction: str, core: int, *args):
+        # ISA operations read or retarget MHM state (start/stop toggles,
+        # save/restore, plus/minus): the buffered window must be applied
+        # under the *pre-instruction* state first.
+        self._sync_stores()
         return mhm_isa.execute(instruction, self.mhms[core],
                                self.machine.memory, *args)

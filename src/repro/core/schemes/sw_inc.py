@@ -30,8 +30,10 @@ class SwIncScheme(Scheme):
     name = "sw_inc"
 
     def __init__(self, machine, allocator, mixer=DEFAULT_MIXER_NAME,
-                 rounding: RoundingPolicy | None = None, atomic: bool = True):
-        super().__init__(machine, allocator, mixer, rounding)
+                 rounding: RoundingPolicy | None = None, atomic: bool = True,
+                 backend=None, batch_stores: bool | None = None):
+        super().__init__(machine, allocator, mixer, rounding,
+                         backend=backend, batch_stores=batch_stores)
         self.atomic = atomic
         #: Per-thread software hash accumulators (thread-local variables
         #: of the instrumented program; no synchronization needed).
@@ -41,6 +43,7 @@ class SwIncScheme(Scheme):
         self.machine.add_observer(self)
         # Non-atomic instrumentation: the old-value read is its own step.
         self.machine.store_split = not self.atomic
+        self._enable_store_batching()
 
     def _round(self, value, is_fp: bool):
         if is_fp and self.rounding.enabled:
@@ -64,21 +67,53 @@ class SwIncScheme(Scheme):
         self._thread_hash[tid] = th
         self.machine.counters.note("sw_inc_instrumented_stores")
 
+    def on_store_batch(self, events):
+        # A buffered window: group the hashed events by thread and fold
+        # each thread's run of stores through one kernel call.  The
+        # accounting (hash_updates, the instrumented-store note) totals
+        # exactly what the per-store path would have accumulated.
+        per_tid: dict = {}
+        n_hashed = 0
+        for core, tid, address, old_value, new_value, is_fp, hashed in events:
+            if not hashed:
+                continue
+            n_hashed += 1
+            per_tid.setdefault(tid, []).append(
+                (address, old_value, new_value, is_fp))
+        if not n_hashed:
+            return
+        self.hash_updates += n_hashed
+        rounding = self.rounding if self.rounding.enabled else None
+        for tid, entries in per_tid.items():
+            delta = self.kernel.store_delta(
+                self.mixer, rounding,
+                [e[0] for e in entries], [e[1] for e in entries],
+                [e[2] for e in entries], [e[3] for e in entries])
+            self._thread_hash[tid] = (
+                self._thread_hash.get(tid, 0) + delta) & MASK64
+        self.machine.counters.note("sw_inc_instrumented_stores", n_hashed)
+
     def on_free(self, core, tid, block, old_values):
         self.hash_updates += len(old_values)
-        th = self._thread_hash.get(tid, 0)
-        for offset, value in enumerate(old_values):
-            th = (th - self._term(block.base + offset, value,
-                                  self._block_word_is_fp(block, offset))) & MASK64
-        self._thread_hash[tid] = th
+        rounding = self.rounding if self.rounding.enabled else None
+        total = self.kernel.fold_locations(
+            self.mixer, rounding,
+            [block.base + offset for offset in range(len(old_values))],
+            old_values,
+            [self._block_word_is_fp(block, offset)
+             for offset in range(len(old_values))])
+        self._thread_hash[tid] = (
+            self._thread_hash.get(tid, 0) - total) & MASK64
 
     # -- State Hash ----------------------------------------------------------------------
 
     def state_hash(self) -> int:
+        self._sync_stores()
         total = 0
         for th in self._thread_hash.values():
             total = (total + th) & MASK64
         return total
 
     def thread_hashes(self) -> dict:
+        self._sync_stores()
         return dict(self._thread_hash)

@@ -28,8 +28,9 @@ class SwTrScheme(Scheme):
 
     def __init__(self, machine, allocator, mixer=DEFAULT_MIXER_NAME,
                  rounding: RoundingPolicy | None = None,
-                 static_types: dict | None = None):
-        super().__init__(machine, allocator, mixer, rounding)
+                 static_types: dict | None = None, backend=None):
+        super().__init__(machine, allocator, mixer, rounding,
+                         backend=backend, batch_stores=False)
         # The table of allocated blocks with type information that the
         # paper's prototype maintains is exactly the allocator's live
         # table; the *maintenance* cost still belongs to this scheme and
@@ -54,4 +55,5 @@ class SwTrScheme(Scheme):
         self.machine.counters.note("traversal_words", state_words)
         return traverse_state_hash(self.machine.memory, mixer=self.mixer,
                                    rounding=self.rounding,
-                                   type_oracle=self.type_oracle)
+                                   type_oracle=self.type_oracle,
+                                   backend=self.kernel)

@@ -31,9 +31,34 @@ from repro.sim.memory import Memory
 class WriteObserver:
     """Interface for schemes observing the machine."""
 
+    #: Observers that set this True opt in to *batched* store delivery:
+    #: when the machine's ``store_batching`` flag is on, their store
+    #: events are buffered and delivered through :meth:`on_store_batch`
+    #: at the next flush point instead of one :meth:`on_store` call per
+    #: store.  Order-sensitive observers (e.g. the L1 cache model, whose
+    #: accesses must interleave with loads) leave this False and always
+    #: receive synchronous :meth:`on_store` calls.  Deferral is sound for
+    #: hash schemes because the AdHash sum is commutative — only
+    #: *inclusion before a read* matters, which the flush points
+    #: guarantee.
+    batch_stores = False
+
     def on_store(self, core: int, tid: int, address: int, old_value, new_value,
                  is_fp: bool, hashed: bool) -> None:
         """A store retired and updated the L1/memory."""
+
+    def on_store_batch(self, events) -> None:
+        """A buffered window of store events, in retirement order.
+
+        *events* is a list of ``(core, tid, address, old_value,
+        new_value, is_fp, hashed)`` tuples — exactly the arguments the
+        equivalent sequence of :meth:`on_store` calls would have
+        received.  The default replays them one by one, so opting in is
+        never observable; overrides fold the whole window through one
+        vectorized kernel call.
+        """
+        for event in events:
+            self.on_store(*event)
 
     def on_free(self, core: int, tid: int, block, old_values: list) -> None:
         """A heap block was freed; its words leave the hashable state."""
@@ -69,16 +94,57 @@ class Machine:
         #: When True the context layer splits instrumented stores into a
         #: separate old-value read step (SW-InstantCheck_Inc, non-atomic).
         self.store_split = False
+        #: When True, store events for opted-in observers (those with
+        #: ``batch_stores``) are buffered and delivered in windows via
+        #: ``on_store_batch`` at flush points; schemes with a vectorized
+        #: hash kernel turn this on when they attach.
+        self.store_batching = False
+        #: Buffered windows flush at this many events even without a
+        #: sync point, bounding memory and keeping kernel calls sized
+        #: for good vectorization.
+        self.store_batch_capacity = 4096
+        self._store_batch: list = []
+        # Cached split of the observer list by delivery style, refreshed
+        # on attach/detach so the store fast path avoids re-checking.
+        self._sync_store_observers: list = []
+        self._any_batch_observers = False
 
     @property
     def n_cores(self) -> int:
         return len(self.cores)
 
+    def _refresh_observer_split(self) -> None:
+        self._sync_store_observers = [
+            obs for obs in self.observers
+            if not getattr(obs, "batch_stores", False)]
+        self._any_batch_observers = (
+            len(self._sync_store_observers) != len(self.observers))
+
     def add_observer(self, observer: WriteObserver) -> None:
+        # A newly attached observer must not receive events from before
+        # its attachment, so close the current window first.
+        self.flush_stores()
         self.observers.append(observer)
+        self._refresh_observer_split()
 
     def remove_observer(self, observer: WriteObserver) -> None:
+        self.flush_stores()
         self.observers.remove(observer)
+        self._refresh_observer_split()
+
+    def flush_stores(self) -> None:
+        """Deliver the buffered store window to batch-capable observers.
+
+        Called at every sync point that makes buffered state observable:
+        context-switch events, frees, checkpoints (via the schemes), MHM
+        ISA operations, and observer attach/detach.
+        """
+        if not self._store_batch:
+            return
+        events, self._store_batch = self._store_batch, []
+        for obs in self.observers:
+            if getattr(obs, "batch_stores", False):
+                obs.on_store_batch(events)
 
     # -- thread placement ---------------------------------------------------------
 
@@ -105,6 +171,9 @@ class Machine:
         if previous is not None and previous != core_id:
             # Migration: the OS saves the thread's state — including its
             # TH register — off the old core before it runs elsewhere.
+            # Buffered stores must land in the outgoing thread's TH
+            # before it is saved, so the window closes here.
+            self.flush_stores()
             old_core = self.cores[previous]
             if old_core.current_tid == tid:
                 for obs in self.observers:
@@ -112,6 +181,7 @@ class Machine:
                 old_core.current_tid = None
         core = self.cores[core_id]
         if core.current_tid != tid:
+            self.flush_stores()
             if core.current_tid is not None:
                 for obs in self.observers:
                     obs.on_switch_out(core_id, core.current_tid)
@@ -147,11 +217,23 @@ class Machine:
         if charge:
             self.counters.charge("store")
         old_for_hash = captured_old if captured_old is not None else old
+        if self.store_batching and self._any_batch_observers:
+            event = (core, tid, address, old_for_hash, value, is_fp, hashed)
+            for obs in self._sync_store_observers:
+                obs.on_store(*event)
+            self._store_batch.append(event)
+            if len(self._store_batch) >= self.store_batch_capacity:
+                self.flush_stores()
+            return
         for obs in self.observers:
             obs.on_store(core, tid, address, old_for_hash, value, is_fp, hashed)
 
     def free_block(self, tid: int, block, old_values: list) -> None:
         """Notify observers that a block's words left the state."""
+        # The freed words' subtraction terms and any buffered stores to
+        # them commute, but delivering in program order keeps every
+        # observer's view identical to the unbatched machine.
+        self.flush_stores()
         core = self.core_of(tid)
         for obs in self.observers:
             obs.on_free(core, tid, block, old_values)

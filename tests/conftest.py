@@ -1,9 +1,23 @@
-"""Shared fixtures exposing the example programs in _programs.py."""
+"""Shared fixtures exposing the example programs in _programs.py.
+
+Also registers the hypothesis test profiles: ``dev`` (the default) keeps
+property suites fast for local iteration; ``ci`` raises the example
+counts so the kernel-equivalence algebra is exercised on >= 200 inputs
+per property.  Select with the ``HYPOTHESIS_PROFILE`` environment
+variable (the CI workflow exports ``HYPOTHESIS_PROFILE=ci``).  Tests
+that pin an explicit ``@settings(max_examples=...)`` keep their own
+counts regardless of the profile.
+"""
 
 import os
 import sys
 
 import pytest
+from hypothesis import settings
+
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.register_profile("ci", max_examples=200, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 sys.path.insert(0, os.path.dirname(__file__))
 

@@ -38,6 +38,17 @@ def test_check_with_rounding_and_ignores():
     assert code == 0
 
 
+def test_check_hash_backend_flag():
+    code, _ = run_cli("check", "volrend", "--runs", "4",
+                      "--hash-backend", "python")
+    assert code == 0
+    from repro.core.hashing.kernels import has_numpy
+    if has_numpy():
+        code, _ = run_cli("check", "volrend", "--runs", "4",
+                          "--hash-backend", "numpy")
+        assert code == 0
+
+
 def test_check_distributions_flag():
     code, text = run_cli("check", "volrend", "--runs", "4",
                          "--distributions")

@@ -192,6 +192,21 @@ def test_session_budget_run_deadline_is_capped_by_session_deadline():
     assert not uncapped.expired()
 
 
+def test_unlimited_budget_sentinel_is_never_mutated():
+    """Regression: ``UNLIMITED`` is a shared module-level instance of a
+    *mutable* dataclass; ``start()`` must not stamp a clock onto it, or
+    one session's state would leak into every later one."""
+    from repro.core.checker import UNLIMITED
+
+    assert UNLIMITED.start() is UNLIMITED
+    assert UNLIMITED._started_at is None
+    assert UNLIMITED.session_deadline is None
+    assert not UNLIMITED.expired()
+    # A budget with a real deadline still arms normally.
+    armed = SessionBudget(deadline_s=10.0).start()
+    assert armed._started_at is not None
+
+
 def test_budget_error_is_a_repro_error():
     from repro import errors
 

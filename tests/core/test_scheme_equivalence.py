@@ -13,15 +13,19 @@ and under forced thread migration (TH save/restore on every switch).
 
 import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.checker.runner import CheckConfig, check_determinism
 from repro.core.control.controller import InstantCheckControl
+from repro.core.hashing.kernels import available_backends
 from repro.core.hashing.rounding import default_policy, no_rounding
 from repro.core.schemes.base import SchemeConfig
 from repro.sim.layout import StaticLayout
 from repro.sim.program import Program, Runner
 from repro.sim.scheduler import RandomScheduler
 from repro.sim.sync import Barrier
+from repro.telemetry import MemorySink, Telemetry
 
 
 class ScriptProgram(Program):
@@ -179,3 +183,106 @@ def test_free_removes_words_from_all_schemes():
     reference = run_all_schemes(KeepOnly(), seed=0)
     # Freed-and-written state hashes like never-written state.
     assert record.hashes() == reference.hashes()
+
+
+# -- backend differential fuzz ---------------------------------------------------------
+#
+# The batched kernel datapath must be *observably absent*: whole checking
+# sessions under every backend, batched or unbatched, serial or parallel,
+# produce bit-identical checkpoint hash sequences, identical verdicts,
+# and identical hash-unit accounting.
+
+BACKENDS = available_backends()
+
+
+def run_session(program, backend, workers=1, batch_stores=None, runs=3,
+                rounding=None):
+    """One full checking session with all three schemes on *backend*."""
+    rounding = rounding if rounding is not None else no_rounding()
+    telemetry = Telemetry(MemorySink())
+    config = CheckConfig(
+        runs=runs, base_seed=77, workers=workers,
+        schemes={kind: SchemeConfig(kind=kind, rounding=rounding,
+                                    backend=backend,
+                                    batch_stores=batch_stores)
+                 for kind in ("hw", "sw_inc", "sw_tr")})
+    result = check_determinism(program, config, telemetry=telemetry)
+    return result, telemetry
+
+
+def session_fingerprint(result):
+    """Everything a session reports that the backend must not change."""
+    return (
+        result.outcome,
+        tuple(record.hashes() for record in result.records),
+        {name: (verdict.deterministic, verdict.first_ndet_run,
+                verdict.n_det_points, verdict.n_ndet_points)
+         for name, verdict in result.verdicts.items()},
+    )
+
+
+def hash_update_counts(telemetry):
+    """The ``scheme_hash_updates`` telemetry counters, by variant."""
+    counters = telemetry.registry.snapshot()["counters"]
+    return {key: count for key, count in counters.items()
+            if key.startswith("scheme_hash_updates")}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workers", [1, 2])
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(0, 10_000), fp=st.booleans())
+def test_sessions_identical_across_backends_and_workers(backend, workers,
+                                                        seed, fp):
+    """Randomized programs: every backend x worker-count combination
+    reports the same hashes, verdicts, and hash_updates as the serial
+    pure-Python reference."""
+    rounding = default_policy() if fp else no_rounding()
+    reference, ref_tele = run_session(
+        ScriptProgram(seed, fp=fp), backend="python", workers=1,
+        batch_stores=False, rounding=rounding)
+    variant, var_tele = run_session(
+        ScriptProgram(seed, fp=fp), backend=backend, workers=workers,
+        rounding=rounding)
+    assert session_fingerprint(variant) == session_fingerprint(reference)
+    assert hash_update_counts(var_tele) == hash_update_counts(ref_tele)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_racy_program_verdict_identical_across_backends(backend):
+    """A genuinely nondeterministic program is flagged identically —
+    same first divergent run — whichever backend hashes it."""
+
+    class RacyScript(ScriptProgram):
+        # No barriers: store interleavings across the shared static
+        # array differ between schedule seeds.
+        def worker(self, ctx, st_, wid):
+            for i in range(8):
+                old = yield from ctx.load(self.static_data + (i % 4))
+                yield from ctx.store(self.static_data + (i % 4),
+                                     old + wid + 1)
+
+    reference, _ = run_session(RacyScript(3), backend="python",
+                               batch_stores=False, runs=6)
+    variant, _ = run_session(RacyScript(3), backend=backend, runs=6)
+    assert session_fingerprint(variant) == session_fingerprint(reference)
+
+
+def test_hash_updates_parity_batched_vs_unbatched():
+    """Figure-6 accounting parity: forcing the batched store path must
+    leave every telemetry counter — the per-scheme hash_updates *and*
+    the instruction categories — exactly as the per-store path reports
+    them (regression for the batched-window accounting)."""
+    program_seed = 11
+
+    def counters_for(batch_stores, backend):
+        _, telemetry = run_session(ScriptProgram(program_seed, fp=True),
+                                   backend=backend, batch_stores=batch_stores,
+                                   rounding=default_policy())
+        snapshot = telemetry.registry.snapshot()["counters"]
+        return {key: count for key, count in snapshot.items()
+                if key.startswith(("scheme_hash_updates", "instructions"))}
+
+    unbatched = counters_for(batch_stores=False, backend="python")
+    for backend in BACKENDS:
+        assert counters_for(batch_stores=True, backend=backend) == unbatched

@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.core.checker.runner import check_determinism
+from repro.core.checker.runner import (OUTCOME_NONDETERMINISTIC,
+                                       check_determinism)
+from repro.core.hashing.kernels import has_numpy
 from repro.core.hashing.rounding import default_policy
 from repro.core.schemes.base import SchemeConfig
 from repro.workloads import (Radix, WaterNS, WaterSP, seeded_program,
@@ -24,6 +26,30 @@ def test_seeded_bug_detected(app):
     verdict = check_rounded(seeded_program(app))
     assert not verdict.deterministic
     assert verdict.first_ndet_run is not None
+
+
+@pytest.mark.skipif(not has_numpy(), reason="numpy backend not installed")
+@pytest.mark.parametrize("app,bug", SEEDED_BUGS)
+def test_seeded_bug_detected_under_numpy_batched_path(app, bug):
+    """Catch-rate meta-test: the vectorized kernel + batched store
+    window must flag every Table 2 bug with the same verdict class (a
+    nondeterministic session, not a crash) as the scalar datapath."""
+    result = check_determinism(
+        seeded_program(app), runs=12,
+        schemes={"r": SchemeConfig(kind="hw", rounding=default_policy(),
+                                   backend="numpy", batch_stores=True)})
+    assert result.outcome == OUTCOME_NONDETERMINISTIC, (app, bug)
+    verdict = result.verdict("r")
+    assert not verdict.deterministic
+    assert verdict.first_ndet_run is not None
+    # Same detection point as the scalar reference session.
+    scalar = check_determinism(
+        seeded_program(app), runs=12,
+        schemes={"r": SchemeConfig(kind="hw", rounding=default_policy(),
+                                   backend="python", batch_stores=False)})
+    assert verdict.first_ndet_run == scalar.verdict("r").first_ndet_run
+    assert (verdict.n_det_points, verdict.n_ndet_points) == (
+        scalar.verdict("r").n_det_points, scalar.verdict("r").n_ndet_points)
 
 
 def test_unseeded_hosts_are_deterministic():
