@@ -94,6 +94,70 @@ def measure(app: str = DEFAULT_APP, runs: int = DEFAULT_RUNS,
     }
 
 
+#: Early-exit measurement defaults: a nondeterministic application that
+#: diverges within the first few runs, and enough requested runs that
+#: skipping the rest is visible on the wall clock.
+EARLY_EXIT_APP = "canneal"
+EARLY_EXIT_RUNS = 24
+EARLY_EXIT_WORKERS = 4
+
+
+def measure_early_exit(app: str = EARLY_EXIT_APP, runs: int = EARLY_EXIT_RUNS,
+                       n_workers: int = EARLY_EXIT_WORKERS,
+                       repeats: int = 2) -> dict:
+    """Time ``stop_on_first`` against the no-early-exit session.
+
+    On a nondeterministic program the judge cancels every outstanding
+    run the moment the first divergence folds, so the stop session must
+    beat the full session's wall clock — that is what makes
+    ``stop_on_first`` a real early exit on the pool backend rather than
+    post-merge truncation.  Also asserts the cancel is *observable*: the
+    session emits ``session_cancelled`` and the verdict still says
+    nondeterministic.
+    """
+    from repro.core.checker.runner import CheckConfig, check_determinism
+    from repro.telemetry import MemorySink, Telemetry
+    from repro.workloads import make
+
+    walls = {}
+    cancelled = None
+    for stop in (True, False):
+        best = None
+        for _ in range(repeats):
+            tele = Telemetry(MemorySink()) if stop else None
+            config = CheckConfig(runs=runs, base_seed=SEED,
+                                 workers=n_workers, stop_on_first=stop)
+            start = time.perf_counter()
+            result = check_determinism(make(app), config, telemetry=tele)
+            elapsed = time.perf_counter() - start
+            if result.deterministic:
+                raise AssertionError(
+                    f"{app}: expected a nondeterministic verdict; the "
+                    f"early-exit benchmark needs a divergence to stop on")
+            if stop:
+                events = [e for e in tele.sink.events
+                          if e.get("t") == "event"
+                          and e["name"] == "session_cancelled"]
+                if not events:
+                    raise AssertionError(
+                        f"{app}: stop_on_first session finished without a "
+                        f"session_cancelled event — the judge never "
+                        f"cancelled the pool")
+                cancelled = events[-1]["cancelled"]
+            if best is None or elapsed < best:
+                best = elapsed
+        walls["stop" if stop else "full"] = best
+    return {
+        "app": app,
+        "runs": runs,
+        "workers": n_workers,
+        "stop_wall_s": round(walls["stop"], 4),
+        "full_wall_s": round(walls["full"], 4),
+        "speedup": round(walls["full"] / walls["stop"], 3),
+        "cancelled_runs": cancelled,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--app", default=DEFAULT_APP)
@@ -105,11 +169,18 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail unless the best speedup reaches this "
                         "(ignored on hosts with < 4 CPUs)")
+    parser.add_argument("--gate-early-exit", action="store_true",
+                        help="also measure stop_on_first vs the full "
+                        "session on a nondeterministic app and fail "
+                        "unless the early exit is strictly faster "
+                        "(enforced only on hosts with >= 4 CPUs)")
     parser.add_argument("--out", default=os.path.join(
         RESULTS_DIR, "parallel.json"))
     args = parser.parse_args(argv)
     workers_list = [int(w) for w in args.workers.split(",")]
     payload = measure(args.app, args.runs, workers_list, args.repeats)
+    if args.gate_early_exit:
+        payload["early_exit"] = measure_early_exit()
     os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -132,6 +203,24 @@ def main(argv=None) -> int:
         else:
             print(f"OK: best speedup {best:.2f}x >= "
                   f"{args.min_speedup:.2f}x")
+
+    if args.gate_early_exit:
+        cpus = os.cpu_count() or 1
+        early = payload["early_exit"]
+        if cpus < 4:
+            print(f"NOTE: only {cpus} CPU(s) — early-exit timing not "
+                  f"enforced (stop {early['stop_wall_s']}s vs full "
+                  f"{early['full_wall_s']}s)")
+        elif early["stop_wall_s"] >= early["full_wall_s"]:
+            print(f"FAIL: stop_on_first ({early['stop_wall_s']}s) was not "
+                  f"faster than the full session "
+                  f"({early['full_wall_s']}s) — early exit is not early",
+                  file=sys.stderr)
+            return 1
+        else:
+            print(f"OK: stop_on_first {early['speedup']}x faster "
+                  f"({early['stop_wall_s']}s vs {early['full_wall_s']}s, "
+                  f"{early['cancelled_runs']} runs cancelled)")
     return 0
 
 
@@ -140,6 +229,13 @@ def test_parallel_bench_verdict_identity():
     payload = measure(runs=4, workers_list=(1, 2), repeats=1)
     assert payload["verdicts_identical"]
     assert payload["workers"]["2"]["speedup"] is not None
+
+
+def test_early_exit_cancels_and_stays_nondeterministic():
+    """Pytest-visible reduced shape check for the early-exit path."""
+    payload = measure_early_exit(runs=10, n_workers=2, repeats=1)
+    assert payload["cancelled_runs"] is not None
+    assert payload["stop_wall_s"] > 0 and payload["full_wall_s"] > 0
 
 
 if __name__ == "__main__":

@@ -47,20 +47,14 @@ from repro.core.checker.runner import (OUTCOME_DETERMINISTIC,
                                        OUTCOME_INFEASIBLE,
                                        check_determinism)
 from repro.core.checker.serialize import to_json
-from repro.core.hashing.rounding import (default_policy, floor_policy,
-                                         mantissa_policy, no_rounding)
+from repro.core.hashing.rounding import (ROUNDINGS, default_policy,
+                                         no_rounding)
+from repro.core.registry import all_registries, self_check
 from repro.core.schemes.base import SCHEME_KINDS, SchemeConfig
 from repro.errors import CheckerError, ReproError
 from repro.sim.faults import FAULT_REGISTRY
 from repro.workloads import REGISTRY, make, seeded_program
-from repro.workloads.seeded_bugs import SEEDED_BUGS
-
-ROUNDINGS = {
-    "none": no_rounding,
-    "default": default_policy,
-    "mantissa": mantissa_policy,
-    "floor": floor_policy,
-}
+from repro.workloads.seeded_bugs import SEEDED, SEEDED_BUGS
 
 #: Uniform process exit codes (satellite of the robustness work).
 EXIT_DETERMINISTIC = 0
@@ -68,9 +62,14 @@ EXIT_NONDETERMINISTIC = 1
 EXIT_INFRA = 2
 EXIT_USAGE = 3
 
-#: Names accepted by ``check``/``campaign``: the Table 1 applications
-#: plus the fault-injection probes.
-CHECKABLE = sorted(REGISTRY) + sorted(FAULT_REGISTRY)
+#: Names accepted by ``check``/``campaign``: the Table 1 applications,
+#: the fault-injection probes, and the Table 2 seeded-bug variants.
+CHECKABLE = sorted(REGISTRY) + sorted(FAULT_REGISTRY) + sorted(SEEDED)
+
+#: Names accepted by ``localize``: real applications only (no fault
+#: probes — they diverge by crashing, not by hash), but including the
+#: seeded bugs, which are exactly what localize exists to pin down.
+LOCALIZABLE = sorted(REGISTRY) + sorted(SEEDED)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -79,7 +78,12 @@ def _build_parser() -> argparse.ArgumentParser:
         description="InstantCheck (MICRO 2010) reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the 17 applications")
+    list_cmd = sub.add_parser(
+        "list", help="list the 17 applications (or every registry)")
+    list_cmd.add_argument("--registries", action="store_true",
+                          help="print every component registry (schedulers, "
+                          "hash backends, scheme kinds, workloads, ...) "
+                          "after self-checking that each name resolves")
 
     check = sub.add_parser("check", help="determinism-check one application")
     check.add_argument("app", choices=CHECKABLE)
@@ -168,7 +172,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     loc = sub.add_parser("localize",
                          help="diff two runs at a checkpoint (Section 2.3)")
-    loc.add_argument("app", choices=sorted(REGISTRY))
+    loc.add_argument("app", choices=LOCALIZABLE)
     loc.add_argument("--checkpoint", type=int, required=True)
     loc.add_argument("--seed-a", type=int, default=1000)
     loc.add_argument("--seed-b", type=int, default=1001)
@@ -246,9 +250,11 @@ def _robustness_overrides(args) -> dict:
 
 
 def _make_program(name: str, **params):
-    """Build a Table 1 application or a fault-injection workload."""
+    """Build a Table 1 application, fault probe, or seeded-bug variant."""
     if name in FAULT_REGISTRY:
         return FAULT_REGISTRY[name](**params)
+    if name in SEEDED:
+        return SEEDED[name](**params)
     return make(name, **params)
 
 
@@ -304,10 +310,31 @@ def _parse_input_point(spec: str):
 
 
 def _cmd_list(args, out) -> int:
+    if getattr(args, "registries", False):
+        return _list_registries(out)
     print(f"{'application':14s} {'source':9s} {'FP':3s} class", file=out)
     for name, cls in REGISTRY.items():
         print(f"{name:14s} {cls.SOURCE:9s} {'Y' if cls.HAS_FP else 'N':3s} "
               f"{cls.EXPECTED_CLASS}", file=out)
+    return 0
+
+
+def _list_registries(out) -> int:
+    """Print the component catalog after resolving every name.
+
+    Doubles as the CI self-check: a registration that went stale (a name
+    that no longer resolves) fails with :data:`EXIT_INFRA` instead of
+    printing a catalog that lies.
+    """
+    try:
+        resolved = self_check()
+    except Exception as exc:  # noqa: BLE001 - report any stale entry
+        print(f"registry self-check failed: {exc}", file=sys.stderr)
+        return EXIT_INFRA
+    for kind, registry in all_registries().items():
+        names = ", ".join(registry.names())
+        print(f"{kind:14s} {names}", file=out)
+    print(f"self-check: {len(resolved)} names resolved", file=out)
     return 0
 
 
@@ -477,7 +504,8 @@ def _cmd_verify_golden(args, out) -> int:
 
 
 def _cmd_localize(args, out) -> int:
-    report = localize(make(args.app), checkpoint_index=args.checkpoint,
+    report = localize(_make_program(args.app),
+                      checkpoint_index=args.checkpoint,
                       seed_a=args.seed_a, seed_b=args.seed_b)
     print(report.summary(), file=out)
     return 0 if report.n_differences == 0 else 1

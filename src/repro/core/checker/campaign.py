@@ -1,4 +1,4 @@
-"""Multi-input testing campaigns.
+"""Multi-input testing campaigns — facade.
 
 InstantCheck checks determinism *per input*: every verdict is "within
 the coverage of the test".  Inputs therefore matter twice — the paper's
@@ -9,149 +9,28 @@ results "can be varied in tests, to increase coverage" (Section 5).
 :func:`run_campaign` drives one determinism-checking session per input
 point and aggregates the verdicts, reporting which inputs exposed
 nondeterminism and where (internal barriers vs the final state).
-
-Campaigns are the long-running workhorse, so they are hardened: a
-session that fails outright (a config error, a factory that raises)
-records an ``error`` outcome for that input and the campaign *continues*
-— hours of completed inputs are never discarded because one input is
-broken.  With a journal path every completed input is appended to a
-JSONL file as it finishes (see :mod:`repro.core.checker.journal`), and
-``resume=True`` skips inputs the journal already holds, so an
-interrupted campaign picks up from the last completed input.
+Campaigns are hardened: a failing input records an ``error`` outcome
+and the campaign continues; a journal path appends every completed
+input as it finishes, and ``resume=True`` skips inputs the journal
+already holds.  The execution machinery — serial loop, process-pool
+fan-out, journal/telemetry merge — lives in :mod:`repro.core.engine`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.core.engine.model import (OUTCOME_ERROR, CampaignResult,
+                                     InputOutcome, InputPoint)
+from repro.core.engine.model import outcome_from_result as _outcome_from_result
+from repro.core.engine.session import execute_campaign
+from repro.core.checker.runner import CheckConfig
 
-from repro.core.checker.runner import CheckConfig, check_determinism
-from repro.errors import ReproError
+__all__ = [
+    "OUTCOME_ERROR", "CampaignResult", "InputOutcome", "InputPoint",
+    "run_campaign",
+]
 
-#: Campaign-level outcome for an input whose session raised outright.
-OUTCOME_ERROR = "error"
-
-
-@dataclass(frozen=True)
-class InputPoint:
-    """One input configuration: constructor kwargs for the program."""
-
-    name: str
-    params: dict = field(default_factory=dict)
-
-
-@dataclass
-class InputOutcome:
-    """What one input's checking session found.
-
-    ``outcome`` is one of the session ``OUTCOME_*`` constants or
-    :data:`OUTCOME_ERROR`; ``error``/``error_message`` name the failure
-    for error and infeasible inputs; ``failures`` carries the session's
-    per-run crash records.  ``result`` is None for inputs restored from
-    a resume journal and for inputs whose session raised.
-    """
-
-    input: InputPoint
-    deterministic: bool
-    det_at_end: bool
-    n_ndet_points: int
-    first_ndet_run: int | None
-    result: object  # the full DeterminismResult (None if unavailable)
-    outcome: str = ""
-    error: str | None = None
-    error_message: str | None = None
-    failures: list = field(default_factory=list)
-
-
-@dataclass
-class CampaignResult:
-    """Aggregate over every input point."""
-
-    program: str
-    outcomes: list
-    #: Input names restored from a resume journal (not re-run).
-    resumed_inputs: list = field(default_factory=list)
-
-    @property
-    def deterministic_on_all_inputs(self) -> bool:
-        return all(o.deterministic for o in self.outcomes)
-
-    @property
-    def flagged_inputs(self) -> list:
-        return [o.input.name for o in self.outcomes if not o.deterministic]
-
-    @property
-    def errored_inputs(self) -> list:
-        """Inputs whose session failed outright (infrastructure, not a
-        determinism verdict)."""
-        return [o.input.name for o in self.outcomes
-                if o.outcome == OUTCOME_ERROR]
-
-    @property
-    def end_visible_inputs(self) -> list:
-        """Inputs on which nondeterminism reaches the final state —
-        the ones end-to-end output comparison alone would catch."""
-        return [o.input.name for o in self.outcomes if not o.det_at_end]
-
-    @property
-    def internal_only_inputs(self) -> list:
-        """Inputs where only internal checkpoints expose the problem
-        (the streamcluster-medium pattern)."""
-        return [o.input.name for o in self.outcomes
-                if not o.deterministic and o.det_at_end]
-
-    def summary(self) -> str:
-        lines = [f"campaign over {len(self.outcomes)} input(s) of "
-                 f"{self.program}:"]
-        for o in self.outcomes:
-            if o.outcome == OUTCOME_ERROR:
-                status = f"ERROR ({o.error}: {o.error_message})"
-            elif o.deterministic:
-                status = "deterministic"
-            else:
-                status = (f"NONDETERMINISTIC ({o.n_ndet_points} points, "
-                          f"end {'clean' if o.det_at_end else 'corrupted'}, "
-                          f"first run {o.first_ndet_run})")
-                if o.failures:
-                    status += (f" [{o.outcome}: {len(o.failures)} "
-                               f"failed run(s), first: {o.failures[0].error}]")
-            resumed = " (resumed)" if o.input.name in self.resumed_inputs else ""
-            lines.append(f"  {o.input.name:12s} {status}{resumed}")
-        return "\n".join(lines)
-
-
-def _outcome_from_result(point: InputPoint, result) -> InputOutcome:
-    """Judge one session result into an :class:`InputOutcome`.
-
-    The judging variant is the one :attr:`CheckConfig.judge_variant`
-    selected (default: last configured) — the same variant
-    ``result.deterministic`` uses, so the campaign and the session can
-    never disagree about an input.
-    """
-    verdict = result.judged
-    first_ndet = verdict.first_ndet_run if verdict is not None else None
-    if result.first_failed_run is not None:
-        # Crash divergence carries its own first-divergent-run.
-        candidates = [r for r in (first_ndet, result.first_failed_run)
-                      if r is not None]
-        first_ndet = min(candidates)
-    error = error_message = None
-    if result.failures and verdict is None:
-        # Infeasible: surface what every schedule died of.
-        error = result.failures[0].error
-        error_message = result.failures[0].message
-    return InputOutcome(
-        input=point,
-        deterministic=result.deterministic,
-        det_at_end=(verdict is not None and verdict.det_at_end
-                    and result.outputs_match and not result.failures),
-        n_ndet_points=(verdict.n_ndet_points if verdict is not None else 0),
-        first_ndet_run=first_ndet,
-        result=result,
-        outcome=result.outcome,
-        error=error,
-        error_message=error_message,
-        failures=list(result.failures),
-    )
+# Backwards-compatible private alias (pre-engine callers import this).
+_outcome_from_result = _outcome_from_result
 
 
 def run_campaign(program_factory, inputs, config: CheckConfig | None = None,
@@ -185,96 +64,6 @@ def run_campaign(program_factory, inputs, config: CheckConfig | None = None,
         from dataclasses import replace
 
         config = replace(config, **overrides)
-    inputs = list(inputs)
-    journal = None
-    completed: dict = {}
-    if journal_path is not None:
-        from repro.core.checker.journal import CampaignJournal
-
-        journal = CampaignJournal(journal_path)
-        journal.acquire()
-        if resume:
-            completed = journal.load_completed()
-    elif resume:
-        raise ValueError("resume=True requires a journal_path")
-
-    n_workers = 1
-    if config.workers != 1:
-        from repro.core.checker.parallel import resolve_workers
-
-        n_workers = resolve_workers(config.workers)
-
-    tele = telemetry if (telemetry is not None and telemetry.enabled) else None
-    span = (tele.start_span("campaign", inputs=len(inputs),
-                            resumed=len(completed))
-            if tele else None)
-    try:
-        resumed_inputs = []
-        program_name = None
-        by_position: dict = {}
-        pending = []
-        if journal is not None:
-            journal.begin_segment(inputs=[p.name for p in inputs],
-                                  resumed=sorted(completed))
-        for index, point in enumerate(inputs):
-            if point.name in completed:
-                by_position[index] = completed[point.name]
-                resumed_inputs.append(point.name)
-                if tele:
-                    tele.event("input_resumed", input=point.name,
-                               index=index, total=len(inputs))
-            else:
-                pending.append((index, point))
-
-        if n_workers > 1 and len(pending) > 1:
-            from repro.core.checker.parallel import run_parallel_campaign
-
-            fanned, program_name = run_parallel_campaign(
-                program_factory, pending, config, tele, journal, n_workers,
-                total=len(inputs))
-            by_position.update(fanned)
-        else:
-            for index, point in pending:
-                if tele:
-                    tele.event("progress", kind="input",
-                               program=program_name, input=point.name,
-                               index=index, total=len(inputs))
-                try:
-                    program = program_factory(**point.params)
-                    program_name = program.name
-                    result = check_determinism(program, config,
-                                               telemetry=telemetry)
-                    outcome = _outcome_from_result(point, result)
-                except ReproError as exc:
-                    outcome = InputOutcome(
-                        input=point, deterministic=False, det_at_end=False,
-                        n_ndet_points=0, first_ndet_run=None, result=None,
-                        outcome=OUTCOME_ERROR, error=type(exc).__name__,
-                        error_message=str(exc))
-                    if tele:
-                        tele.event("input_error", input=point.name,
-                                   error=outcome.error,
-                                   message=outcome.error_message)
-                by_position[index] = outcome
-                if journal is not None:
-                    journal.append_outcome(outcome)
-                if tele:
-                    tele.event("input_verdict", program=program_name,
-                               input=point.name,
-                               outcome=outcome.outcome,
-                               deterministic=outcome.deterministic,
-                               det_at_end=outcome.det_at_end,
-                               n_ndet_points=outcome.n_ndet_points)
-        outcomes = [by_position[i] for i in sorted(by_position)]
-        if tele and span is not None:
-            span.set(program=program_name or "?",
-                     flagged=sum(1 for o in outcomes if not o.deterministic),
-                     errors=sum(1 for o in outcomes
-                                if o.outcome == OUTCOME_ERROR))
-        return CampaignResult(program=program_name or "?", outcomes=outcomes,
-                              resumed_inputs=resumed_inputs)
-    finally:
-        if journal is not None:
-            journal.release()
-        if tele:
-            tele.end_span(span)
+    return execute_campaign(program_factory, inputs, config,
+                            telemetry=telemetry, journal_path=journal_path,
+                            resume=resume)

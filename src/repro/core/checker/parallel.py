@@ -1,516 +1,56 @@
-"""Process-pool parallel execution of checking sessions and campaigns.
+"""Process-pool parallel execution of sessions and campaigns — facade.
 
 InstantCheck's workload is embarrassingly parallel: a checking session
 runs the *same input* N times under different schedule seeds, and a
-campaign runs one session per input point.  Multi-core scaling of
-exactly this kind of state-space exploration is the point of shared
-hash-table reachability (Laarman et al.) and parallel stateless model
-checking (Abdulla et al.); this module brings it to the checker while
-keeping every verdict **bit-identical** to the serial path:
+campaign runs one session per input point.  The actual machinery lives
+in :mod:`repro.core.engine` — the :class:`~repro.core.engine.executors.
+ProcessPoolRunExecutor` backend streams completions into the same
+incremental judge the serial backend uses, keeping every verdict
+bit-identical to the serial path (the record run stays serial in the
+parent; recorded replay logs ship to workers; results merge by run
+index).  With ``stop_on_first`` the judge cancels outstanding runs the
+moment a divergence arrives, instead of truncating a fully-executed
+stream.  See docs/architecture.md and docs/parallel.md.
 
-* **The record run stays serial.**  The session controller records the
-  malloc/libcall logs on the first *completed* run and replays them on
-  every later run (Section 5).  The parent therefore executes runs
-  serially until one completes, then ships the recorded logs to every
-  worker — replay lookups never mutate the logs, so a replayed run
-  hashes identically no matter which process executes it.
-* **Deterministic merge.**  Workers may finish in any order; the parent
-  keys every result by run index (= seed order) and merges records,
-  failures, and ``stop_on_first`` truncation exactly as the serial loop
-  would have produced them, so verdicts, first-divergence attribution,
-  and distribution histograms do not depend on completion order.
-* **PR 2 machinery is respected.**  :class:`RetryPolicy` retries happen
-  *inside* the worker (same seeds, same backoff); the session deadline
-  is enforced twice — every worker polls its own wall-clock deadline,
-  and the parent stops waiting and cancels unstarted futures once the
-  deadline passes; a worker process that dies (segfault analog, OOM
-  kill, ``os._exit``) surfaces as a :class:`RunFailure` carrying
-  ``WorkerCrashError`` — never a hung pool.  Campaign journals stay
-  single-writer: workers return outcomes to the parent, and only the
-  parent (the journal's lock owner) appends, so ``--resume`` works
-  after a mid-campaign kill under any worker count.
-* **Telemetry merges into one profile.**  Each worker buffers its spans
-  and metrics in memory and returns them with its result; the parent
-  re-emits the events tagged with the worker's pid (``worker_spawn`` on
-  first sight, ``worker_merge`` after folding each task) and merges the
-  metric snapshots into the session registry, so ``repro stats`` sees
-  one coherent profile.  Worker span ids and timestamps are relative to
-  the worker's own session — the ``worker`` tag disambiguates.
-
-Workers are forked where the platform allows (the program and config
-must be picklable either way, because task submission pickles them);
-:func:`resolve_workers` maps the ``CheckConfig.workers`` knob — an int
-or ``"auto"`` — to a pool size.
+This module keeps the historical entry points importable:
+:func:`resolve_workers`, :func:`run_parallel_session`, and
+:func:`run_parallel_campaign` (both called under an already-open
+session/campaign span by their facades).
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import pickle
-import time
-from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
-                                ProcessPoolExecutor)
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from concurrent.futures import wait
-from dataclasses import replace
+from repro.core.engine.executors import (  # noqa: F401  (re-exports)
+    require_picklable as _require_picklable,
+    resolve_workers,
+    session_run_worker as _session_worker,
+    campaign_input_worker as _campaign_worker,
+)
+from repro.core.engine.plan import SessionPlan
+from repro.core.engine.session import fan_out_campaign, pool_session
 
-from repro.core.checker.policies import NO_RETRY, SessionBudget
-from repro.core.checker.runner import (RunFailure, _attempt_run,
-                                       _emit_run_failure, _finalize_session,
-                                       _make_control, _make_runner,
-                                       check_determinism)
-from repro.errors import CheckerError, ReproError, WorkerCrashError
-
-#: Sentinel results of :func:`_fan_out`: the worker process died / the
-#: session deadline expired before the task could be salvaged.
-_CRASHED = object()
-_EXPIRED = object()
-
-
-def resolve_workers(workers) -> int:
-    """Map the ``workers`` config knob to a concrete pool size.
-
-    ``"auto"`` means one worker per CPU; an int is used as-is.  1 is the
-    serial path (no pool at all).
-    """
-    if workers == "auto":
-        return max(1, os.cpu_count() or 1)
-    if isinstance(workers, bool) or not isinstance(workers, int):
-        raise CheckerError(
-            f"workers must be a positive int or 'auto', got {workers!r}")
-    if workers < 1:
-        raise CheckerError(f"workers must be >= 1, got {workers}")
-    return workers
-
-
-def _mp_context():
-    """Fork where available: cheapest start, and child processes inherit
-    imported test modules, so locally-importable programs stay usable."""
-    methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods:
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
-
-
-def _require_picklable(**objects) -> None:
-    """Task submission pickles its arguments; fail with a diagnosis
-    instead of a pool traceback when one of them can't travel."""
-    for what, obj in objects.items():
-        try:
-            pickle.dumps(obj)
-        except Exception as exc:
-            raise CheckerError(
-                f"workers > 1 requires a picklable {what} "
-                f"(module-level classes, no lambdas/closures): {exc}"
-            ) from exc
-
-
-def _worker_init() -> None:
-    """Per-worker startup: drop inherited fds the worker must not hold.
-
-    Forked workers inherit the parent's open files, including the
-    campaign journal's lock descriptor — and ``flock`` ownership rides
-    on the open file description, so an orphaned worker outliving a
-    SIGKILLed parent would keep the journal locked and block
-    ``--resume``.  Closing the inherited fds here confines ownership to
-    the parent.  Under a spawn start method nothing is inherited and
-    the registry is empty — a no-op.
-    """
-    from repro.core.checker import journal
-
-    for fd in list(journal._OWNED_FDS):
-        try:
-            os.close(fd)
-        except OSError:
-            pass
-    journal._OWNED_FDS.clear()
-
-
-# -- generic pool driver ------------------------------------------------------------
-
-
-def _run_isolated(worker_fn, args, ctx, deadline):
-    """Re-run one task alone in a fresh single-worker pool.
-
-    Used after a pool break: the parent cannot tell *which* worker died
-    (every in-flight future raises ``BrokenProcessPool``), so each
-    unresolved task is retried in isolation — the crasher reveals itself
-    by breaking its private pool, everything else completes normally.
-    """
-    executor = ProcessPoolExecutor(max_workers=1, mp_context=ctx,
-                                   initializer=_worker_init)
-    value = _EXPIRED
-    try:
-        future = executor.submit(worker_fn, *args)
-        timeout = None
-        if deadline is not None:
-            timeout = max(0.0, deadline - time.monotonic())
-        try:
-            value = future.result(timeout=timeout)
-        except BrokenExecutor:
-            value = _CRASHED
-        except (FuturesTimeoutError, TimeoutError):
-            value = _EXPIRED
-        return value
-    finally:
-        # Reap the worker unless it is stuck past the deadline — forked
-        # workers inherit parent fds (e.g. the journal's lock), so a
-        # lingering idle worker must not outlive this call.
-        executor.shutdown(wait=value is not _EXPIRED, cancel_futures=True)
-
-
-def _fan_out(worker_fn, payloads: dict, n_workers: int, deadline,
-             on_result=None):
-    """Run ``worker_fn(*payloads[idx])`` for every index across a pool.
-
-    Returns ``(results, expired)``: *results* maps each resolved index
-    to the worker's return value or :data:`_CRASHED`; indexes missing
-    from it were never attempted because *deadline* (an absolute
-    ``time.monotonic()`` value, or None) expired first, in which case
-    *expired* is True and all unstarted futures were cancelled.
-    *on_result* is invoked as ``on_result(idx, value)`` in completion
-    order — the parent's merge hook (journal appends, telemetry).
-    """
-    results: dict = {}
-    expired = False
-    indexes = sorted(payloads)
-    if not indexes:
-        return results, expired
-    ctx = _mp_context()
-    executor = ProcessPoolExecutor(
-        max_workers=max(1, min(n_workers, len(indexes))), mp_context=ctx,
-        initializer=_worker_init)
-    pending: dict = {}
-
-    def resolve(idx, value):
-        results[idx] = value
-        if on_result is not None:
-            on_result(idx, value)
-
-    try:
-        for idx in indexes:
-            pending[executor.submit(worker_fn, *payloads[idx])] = idx
-        while pending:
-            timeout = None
-            if deadline is not None:
-                timeout = max(0.0, deadline - time.monotonic())
-            done, _ = wait(set(pending), timeout=timeout,
-                           return_when=FIRST_COMPLETED)
-            if not done:
-                # Session deadline: stop waiting, cancel what never
-                # started; running workers hit their own deadline poll.
-                expired = True
-                break
-            unresolved = []
-            for future in done:
-                idx = pending.pop(future)
-                try:
-                    resolve(idx, future.result())
-                except BrokenExecutor:
-                    unresolved.append(idx)
-            if unresolved:
-                # The pool is dead and every in-flight future is doomed
-                # with it; salvage each unresolved task in isolation.
-                unresolved.extend(pending.values())
-                pending.clear()
-                executor.shutdown(wait=False, cancel_futures=True)
-                for idx in sorted(unresolved):
-                    if deadline is not None and time.monotonic() >= deadline:
-                        expired = True
-                        break
-                    value = _run_isolated(worker_fn, payloads[idx], ctx,
-                                          deadline)
-                    if value is _EXPIRED:
-                        expired = True
-                        break
-                    resolve(idx, value)
-                break
-    finally:
-        # Same fd-inheritance concern as in _run_isolated: on a normal
-        # finish, wait for workers to exit; only an expired deadline
-        # justifies abandoning a possibly-stuck worker.
-        executor.shutdown(wait=not expired, cancel_futures=True)
-    return results, expired
-
-
-# -- worker-side telemetry ----------------------------------------------------------
-
-
-def _worker_telemetry(enabled: bool):
-    """A buffering telemetry session for one worker task (or None)."""
-    if not enabled:
-        return None
-    from repro.telemetry import MemorySink, Telemetry
-
-    return Telemetry(MemorySink())
-
-
-def _telemetry_payload(tele) -> dict:
-    if tele is None:
-        return {"events": [], "metrics": None}
-    return {"events": list(tele.sink.events),
-            "metrics": tele.registry.snapshot()}
-
-
-def _merge_worker_telemetry(tele, res: dict, seen_pids: set) -> None:
-    """Fold one worker task's buffered telemetry into the session's.
-
-    Worker events keep their own (worker-relative) timestamps and span
-    ids; the added ``worker`` field disambiguates them in the stream.
-    """
-    if tele is None:
-        return
-    pid = res.get("pid")
-    if pid not in seen_pids:
-        seen_pids.add(pid)
-        tele.event("worker_spawn", worker=pid)
-        tele.registry.counter("workers_spawned").inc()
-    merged = 0
-    for event in res.get("events", ()):
-        if event.get("t") == "meta":
-            continue
-        event = dict(event)
-        event["worker"] = pid
-        tele.emit_raw(event)
-        merged += 1
-    if res.get("metrics"):
-        tele.registry.merge_snapshot(res["metrics"])
-    tele.event("worker_merge", worker=pid, merged_events=merged)
-
-
-# -- parallel checking sessions ------------------------------------------------------
-
-
-def _session_worker(program, config, index: int, session_deadline,
-                    malloc_log, libcall_log, telemetry_on: bool) -> dict:
-    """Execute one scheduled run in a worker process.
-
-    The worker rebuilds the whole stack — controller (pre-seeded with
-    the parent's recorded logs, so it replays), scheduler, runner — and
-    applies the retry policy locally, exactly as the serial loop does
-    for runs after the first.  *session_deadline* is an absolute
-    ``time.monotonic()`` value (comparable across processes on the
-    platforms that fork), re-armed here as this worker's budget.
-    """
-    tele = _worker_telemetry(telemetry_on)
-    control = _make_control(config)
-    control.malloc_log = malloc_log
-    control.libcall_log = libcall_log
-    runner = _make_runner(program, config, control, tele)
-    deadline_s = None
-    if session_deadline is not None:
-        deadline_s = max(0.0, session_deadline - time.monotonic())
-    budget = SessionBudget(deadline_s=deadline_s,
-                           run_deadline_s=config.run_deadline_s).start()
-    retry = config.retry if config.retry is not None else NO_RETRY
-    record, failure, session_expired = _attempt_run(
-        runner, budget, retry, config, tele, index)
-    out = {"index": index, "pid": os.getpid(), "record": record,
-           "failure": failure, "expired": session_expired}
-    out.update(_telemetry_payload(tele))
-    return out
-
-
-def _crash_failure(config, index: int, what: str) -> RunFailure:
-    return RunFailure(
-        run=index + 1, seed=config.base_seed + index,
-        error=WorkerCrashError.__name__,
-        message=f"worker process executing {what} died unexpectedly")
+__all__ = ["resolve_workers", "run_parallel_session", "run_parallel_campaign"]
 
 
 def run_parallel_session(program, config, tele, n_workers: int):
-    """The parallel twin of the serial ``_run_session``.
+    """Run one session's runs across *n_workers* worker processes.
 
-    Phase 1 runs serially in the parent until one run completes and the
-    replay logs are recorded (crashing leading runs are consumed here
-    one at a time, as serial would).  Phase 2 fans the remaining run
-    indexes across the pool.  The merge is by run index, so the
-    resulting records/failures lists — and everything judged from them —
-    are identical to the serial session's.
+    The parallel twin of the serial session loop: phase 1 records the
+    replay logs serially in the parent, phase 2 fans the remaining run
+    indexes across the pool.  *tele* is an already-filtered telemetry
+    session (or None); the caller owns the ``check_session`` span.
     """
-    _require_picklable(program=program, config=config)
-    control = _make_control(config)
-    runner = _make_runner(program, config, control, tele)
-    budget = SessionBudget(deadline_s=config.deadline_s,
-                           run_deadline_s=config.run_deadline_s).start()
-    retry = config.retry if config.retry is not None else NO_RETRY
-
-    completed: dict = {}
-    failed: dict = {}
-    budget_exhausted = False
-
-    # Phase 1 — the record run (serial, in the parent).
-    index = 0
-    while index < config.runs and not control.malloc_log.recorded:
-        if budget.expired():
-            budget_exhausted = True
-            break
-        record, failure, session_expired = _attempt_run(
-            runner, budget, retry, config, tele, index)
-        if session_expired:
-            budget_exhausted = True
-            break
-        if failure is not None:
-            failed[index] = failure
-            _emit_run_failure(tele, program, failure)
-        else:
-            completed[index] = record
-            if tele:
-                tele.event("progress", kind="run", program=program.name,
-                           run=index + 1, total=config.runs)
-        index += 1
-
-    # Phase 2 — replayed runs, fanned out across the pool.
-    remaining = [] if budget_exhausted else list(range(index, config.runs))
-    if remaining:
-        telemetry_on = tele is not None
-        payloads = {
-            i: (program, config, i, budget.session_deadline,
-                control.malloc_log, control.libcall_log, telemetry_on)
-            for i in remaining
-        }
-        seen_pids: set = set()
-
-        def merge(idx, res):
-            nonlocal budget_exhausted
-            if res is _CRASHED:
-                failure = _crash_failure(config, idx, f"run {idx + 1}")
-                failed[idx] = failure
-                _emit_run_failure(tele, program, failure)
-                return
-            _merge_worker_telemetry(tele, res, seen_pids)
-            if res["expired"]:
-                budget_exhausted = True
-            elif res["failure"] is not None:
-                failed[idx] = res["failure"]
-                _emit_run_failure(tele, program, res["failure"])
-            else:
-                completed[idx] = res["record"]
-                if tele:
-                    tele.event("progress", kind="run", program=program.name,
-                               run=idx + 1, total=config.runs)
-
-        try:
-            _, expired = _fan_out(_session_worker, payloads, n_workers,
-                                  budget.session_deadline, on_result=merge)
-        except ReproError:
-            # fail_fast: a worker re-raised its first failing run; the
-            # pool is already shut down — propagate like the serial path.
-            raise
-        if expired:
-            budget_exhausted = True
-
-    # stop_on_first: emulate the serial early exit by truncating the
-    # merged stream after the first record that diverges from run 1.
-    if config.stop_on_first and completed:
-        reference = None
-        cutoff = None
-        for idx in sorted(completed):
-            record = completed[idx]
-            key = (record.structure, record.hashes(), record.output_hashes)
-            if reference is None:
-                reference = key
-            elif key != reference:
-                cutoff = idx
-                break
-        if cutoff is not None:
-            completed = {i: r for i, r in completed.items() if i <= cutoff}
-            failed = {i: f for i, f in failed.items() if i < cutoff}
-
-    records = [completed[i] for i in sorted(completed)]
-    failures = [failed[i] for i in sorted(failed)]
-    return _finalize_session(program, config, records, failures,
-                             budget_exhausted, tele, workers=n_workers)
-
-
-# -- parallel campaigns --------------------------------------------------------------
-
-
-def _campaign_worker(program_factory, point, config, telemetry_on: bool) -> dict:
-    """Check one campaign input in a worker process.
-
-    Runs the full serial session (``workers`` was already forced to 1 by
-    the parent — campaign parallelism is across inputs, never nested).
-    A session that raises becomes an ``error`` outcome here, exactly as
-    the serial campaign loop classifies it.
-    """
-    from repro.core.checker.campaign import (OUTCOME_ERROR, InputOutcome,
-                                             _outcome_from_result)
-
-    tele = _worker_telemetry(telemetry_on)
-    program_name = None
-    try:
-        program = program_factory(**point.params)
-        program_name = program.name
-        result = check_determinism(program, config, telemetry=tele)
-        outcome = _outcome_from_result(point, result)
-    except ReproError as exc:
-        outcome = InputOutcome(
-            input=point, deterministic=False, det_at_end=False,
-            n_ndet_points=0, first_ndet_run=None, result=None,
-            outcome=OUTCOME_ERROR, error=type(exc).__name__,
-            error_message=str(exc))
-    out = {"pid": os.getpid(), "outcome": outcome, "program": program_name}
-    out.update(_telemetry_payload(tele))
-    return out
+    plan = SessionPlan.from_config(program, config, n_workers=n_workers)
+    return pool_session(plan, tele)
 
 
 def run_parallel_campaign(program_factory, points: list, config, tele,
                           journal, n_workers: int, total=None):
     """Fan campaign inputs across worker processes.
 
-    *points* is ``[(position, InputPoint), ...]`` — the inputs still to
-    run, keyed by their position in the campaign's input list so the
-    merged outcomes keep input order.  The parent is the journal's only
-    writer: workers return outcomes, the parent appends each one as it
-    arrives (completion order — the journal is keyed by input name, so
-    order does not matter for resume).  Returns ``(outcomes, name)``
-    with *outcomes* mapping position -> :class:`InputOutcome`.
+    *points* is ``[(position, InputPoint), ...]``; the parent is the
+    journal's only writer.  Returns ``(outcomes, program_name)`` with
+    *outcomes* mapping position -> ``InputOutcome``.
     """
-    from repro.core.checker.campaign import OUTCOME_ERROR, InputOutcome
-
-    _require_picklable(program_factory=program_factory, config=config)
-    worker_config = replace(config, workers=1)
-    telemetry_on = tele is not None
-    by_position = dict(points)
-    payloads = {pos: (program_factory, point, worker_config, telemetry_on)
-                for pos, point in points}
-    if tele:
-        for pos, point in points:
-            tele.event("progress", kind="input", input=point.name,
-                       index=pos, total=total)
-
-    outcomes: dict = {}
-    seen_pids: set = set()
-    state = {"program": None}
-
-    def merge(pos, res):
-        point = by_position[pos]
-        if res is _CRASHED:
-            outcome = InputOutcome(
-                input=point, deterministic=False, det_at_end=False,
-                n_ndet_points=0, first_ndet_run=None, result=None,
-                outcome=OUTCOME_ERROR, error=WorkerCrashError.__name__,
-                error_message=(f"worker process checking input "
-                               f"{point.name!r} died unexpectedly"))
-        else:
-            _merge_worker_telemetry(tele, res, seen_pids)
-            outcome = res["outcome"]
-            if res.get("program"):
-                state["program"] = res["program"]
-        if tele and outcome.outcome == OUTCOME_ERROR:
-            tele.event("input_error", input=point.name, error=outcome.error,
-                       message=outcome.error_message)
-        outcomes[pos] = outcome
-        if journal is not None:
-            journal.append_outcome(outcome)
-        if tele:
-            tele.event("input_verdict", program=state["program"],
-                       input=point.name, outcome=outcome.outcome,
-                       deterministic=outcome.deterministic,
-                       det_at_end=outcome.det_at_end,
-                       n_ndet_points=outcome.n_ndet_points)
-
-    _fan_out(_campaign_worker, payloads, n_workers, None, on_result=merge)
-    return outcomes, state["program"]
+    return fan_out_campaign(program_factory, points, config, tele, journal,
+                            n_workers, total=total)

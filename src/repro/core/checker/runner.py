@@ -1,4 +1,4 @@
-"""The multi-run determinism checker (Sections 2 and 7).
+"""The multi-run determinism checker (Sections 2 and 7) — facade.
 
 ``check_determinism`` runs one program many times with the same input
 under different schedules — piggybacking on the kind of testing loop
@@ -8,267 +8,37 @@ point, the program is (externally) nondeterministic at that point; if
 all runs agree everywhere, the program is deterministic *within the
 coverage of the test*, as the paper is careful to phrase it.
 
-Runs that *crash or hang* are evidence too.  A deadlock that only some
-interleavings reach is schedule-dependent behavior — exactly what the
-checker exists to find — so by default a failing run is recorded as a
-structured :class:`RunFailure` and the session continues.  A program
-that crashes on some schedules but completes on others is classified as
-nondeterministic ("crash divergence"); one that crashes on *every*
-schedule is ``infeasible`` (the check could not be performed at all).
-``fail_fast=True`` restores the old re-raising behavior.  Retries for
-transient failures and wall-clock budgets are configured through
-:mod:`repro.core.checker.policies`.
+The execution machinery lives in :mod:`repro.core.engine` (one
+plan → execute → judge pipeline shared with campaigns and the parallel
+backend; see docs/architecture.md); this module is the stable public
+surface, re-exporting the data model and wiring keyword overrides into
+:func:`~repro.core.engine.session.execute_session`.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from repro.core.engine.judge import first_divergent_run as _first_divergent_run
+from repro.core.engine.judge import make_verdict as _make_verdict
+from repro.core.engine.model import (OUTCOME_CRASH_DIVERGENCE,
+                                     OUTCOME_DETERMINISTIC,
+                                     OUTCOME_INCOMPLETE, OUTCOME_INFEASIBLE,
+                                     OUTCOME_NONDETERMINISTIC, CheckConfig,
+                                     DeterminismResult, FrozenDict,
+                                     RunFailure, VariantVerdict,
+                                     classify_outcome)
+from repro.core.engine.session import execute_session
+from repro.sim.program import Program
 
-from repro.core.checker.distribution import (PointDistribution,
-                                             group_distributions,
-                                             point_distributions)
-from repro.core.checker.policies import NO_RETRY, RetryPolicy, SessionBudget
-from repro.core.control.controller import InstantCheckControl
-from repro.core.schemes.base import SchemeConfig
-from repro.errors import BudgetError, CheckerError, ReproError
-from repro.sim.program import Program, Runner
-from repro.sim.scheduler import make_scheduler
+__all__ = [
+    "CheckConfig", "DeterminismResult", "VariantVerdict", "RunFailure",
+    "FrozenDict", "classify_outcome", "check_determinism",
+    "OUTCOME_DETERMINISTIC", "OUTCOME_NONDETERMINISTIC",
+    "OUTCOME_CRASH_DIVERGENCE", "OUTCOME_INFEASIBLE", "OUTCOME_INCOMPLETE",
+]
 
-
-@dataclass(frozen=True)
-class CheckConfig:
-    """Configuration of one determinism-checking session.
-
-    ``schemes`` maps variant names to :class:`SchemeConfig`; every variant
-    hashes the same runs, so one session can judge a program bit-by-bit
-    and FP-rounded at once.  ``judge_variant`` names the variant whose
-    verdict decides :attr:`DeterminismResult.deterministic` (and the
-    campaign's per-input verdict); the default — None — judges by the
-    *last* configured variant, the most permissive reading (e.g. rounded,
-    or rounded+ignore when ignores are configured).
-
-    Fault tolerance: ``fail_fast`` re-raises the first failing run (the
-    pre-robustness behavior); the default isolates failures per run.
-    ``retry`` retries transient failures; ``deadline_s`` and
-    ``run_deadline_s`` bound the session / each run in wall-clock time,
-    and ``max_steps`` bounds each run in scheduling steps (the livelock
-    guard).  ``strict_replay`` makes record/replay log divergence raise
-    :class:`~repro.errors.ReplayError` instead of falling back.
-
-    ``workers`` spreads the session's runs across worker processes
-    (see :mod:`repro.core.checker.parallel`): 1 (the default) is the
-    serial path, ``"auto"`` uses one worker per CPU, and any larger
-    integer sets the pool size explicitly.  The verdict is bit-identical
-    to the serial path; only wall-clock time changes.
-    """
-
-    runs: int = 30
-    schemes: dict = field(default_factory=lambda: {"main": SchemeConfig()})
-    scheduler: str = "random"
-    granularity: str = "sync"
-    n_cores: int = 8
-    base_seed: int = 1000
-    ignores: tuple = ()
-    zero_fill: bool = True
-    malloc_replay: bool = True
-    libcall_replay: bool = True
-    io_hash: bool = True
-    compare_output: bool = True
-    stop_on_first: bool = False
-    migrate_prob: float = 0.0
-    judge_variant: str | None = None
-    fail_fast: bool = False
-    retry: RetryPolicy = NO_RETRY
-    deadline_s: float | None = None
-    run_deadline_s: float | None = None
-    max_steps: int = 20_000_000
-    strict_replay: bool = False
-    workers: int | str = 1
-
-    def variant_names(self) -> tuple:
-        """Every verdict name a session with this config will produce."""
-        names = []
-        for name in self.schemes:
-            names.append(name)
-            if self.ignores:
-                names.append(name + "+ignore")
-        return tuple(names)
-
-
-@dataclass
-class VariantVerdict:
-    """Determinism verdict for one scheme variant of a session."""
-
-    name: str
-    adjusted: bool  # True when ignore-deletion was applied
-    points: list    # list[PointDistribution]
-    deterministic: bool
-    first_ndet_run: int | None  # 1-based, as Table 1 reports it
-    n_det_points: int
-    n_ndet_points: int
-    det_at_end: bool
-
-    @property
-    def distribution_groups(self) -> dict:
-        return group_distributions(self.points)
-
-
-@dataclass
-class RunFailure:
-    """One run that raised instead of completing.
-
-    ``run`` is the 1-based index of the scheduled run (the position its
-    record would have held), ``seed`` the schedule seed of the attempt
-    that finally failed, ``attempts`` how many tries the retry policy
-    spent.  ``steps`` and ``checkpoints`` capture how far the run got —
-    partial progress localizes a crash the same way a first divergent
-    checkpoint localizes a hash mismatch.
-    """
-
-    run: int
-    seed: int
-    error: str       # exception class name, e.g. "DeadlockError"
-    message: str
-    steps: int = 0
-    checkpoints: int = 0
-    attempts: int = 1
-
-    def summary(self) -> str:
-        return (f"run {self.run} (seed {self.seed}): {self.error}: "
-                f"{self.message} [after {self.steps} steps, "
-                f"{self.checkpoints} checkpoint(s), "
-                f"{self.attempts} attempt(s)]")
-
-
-#: Session outcomes, from best to worst.
-OUTCOME_DETERMINISTIC = "deterministic"
-OUTCOME_NONDETERMINISTIC = "nondeterministic"
-OUTCOME_CRASH_DIVERGENCE = "crash-divergence"
-OUTCOME_INFEASIBLE = "infeasible"
-OUTCOME_INCOMPLETE = "incomplete"
-
-
-@dataclass
-class DeterminismResult:
-    """Everything one checking session learned.
-
-    ``runs`` counts *completed* runs (``records``); ``requested_runs``
-    is what the config asked for.  ``failures`` lists the runs that
-    crashed or hung; ``budget_exhausted`` is True when the session
-    deadline expired before every requested run was attempted, in which
-    case the verdict is partial — "deterministic within N completed
-    runs", never more.
-    """
-
-    program: str
-    runs: int
-    records: list
-    structures_match: bool
-    outputs_match: bool
-    output_first_ndet_run: int | None
-    verdicts: dict  # variant name (or name+"+ignore") -> VariantVerdict
-    failures: list = field(default_factory=list)
-    requested_runs: int = 0
-    budget_exhausted: bool = False
-    judge_variant: str | None = None
-    #: Worker-process count the session actually used (1 = serial).
-    workers: int = 1
-
-    def verdict(self, name: str) -> VariantVerdict:
-        return self.verdicts[name]
-
-    @property
-    def judged(self) -> VariantVerdict | None:
-        """The verdict of the judging variant (None if no run completed).
-
-        ``judge_variant`` is resolved by the session from
-        :attr:`CheckConfig.judge_variant`, defaulting to the last
-        configured variant; this single property is what both
-        :attr:`deterministic` and the campaign judge by.
-        """
-        if not self.verdicts:
-            return None
-        if self.judge_variant is not None:
-            return self.verdicts[self.judge_variant]
-        return list(self.verdicts.values())[-1]
-
-    @property
-    def crash_divergence(self) -> bool:
-        """Did the program crash on some schedules but complete on others?"""
-        return bool(self.failures) and bool(self.records)
-
-    @property
-    def infeasible(self) -> bool:
-        """Did every attempted run crash, leaving nothing to compare?"""
-        return bool(self.failures) and not self.records
-
-    @property
-    def first_failed_run(self) -> int | None:
-        """1-based index of the first crashing run — the crash-divergence
-        analog of a variant's ``first_ndet_run``."""
-        if not self.failures:
-            return None
-        return min(f.run for f in self.failures)
-
-    @property
-    def outcome(self) -> str:
-        """One of the ``OUTCOME_*`` constants.
-
-        ``incomplete`` means the budget expired before two runs
-        completed and nothing crashed: the session proved nothing,
-        in either direction.
-        """
-        if self.infeasible:
-            return OUTCOME_INFEASIBLE
-        if self.crash_divergence:
-            return OUTCOME_CRASH_DIVERGENCE
-        if len(self.records) < 2:
-            return OUTCOME_INCOMPLETE
-        return (OUTCOME_DETERMINISTIC if self.deterministic
-                else OUTCOME_NONDETERMINISTIC)
-
-    @property
-    def deterministic(self) -> bool:
-        """Deterministic under the judging variant (and output hash).
-
-        Any run failure vetoes determinism: crashing on one schedule
-        but not another is observable divergence.  Fewer than two
-        completed runs compared nothing, so they prove nothing.
-        """
-        judged = self.judged
-        if judged is None or self.failures or len(self.records) < 2:
-            return False
-        return (judged.deterministic and self.structures_match
-                and self.outputs_match)
-
-
-def _first_divergent_run(per_run_values) -> int | None:
-    """1-based index of the first run that differs from run 1, or None."""
-    reference = per_run_values[0]
-    for r, values in enumerate(per_run_values[1:], start=2):
-        if values != reference:
-            return r
-    return None
-
-
-def _make_verdict(name, adjusted, labels, per_run_hashes, runs) -> VariantVerdict:
-    points = point_distributions(labels, per_run_hashes)
-    n_det = sum(1 for p in points if p.deterministic)
-    # A session with zero comparable checkpoints proved nothing: refuse
-    # to call it deterministic (every healthy run has at least the "end"
-    # checkpoint, so an empty point list means the runs could not even
-    # be aligned).
-    return VariantVerdict(
-        name=name,
-        adjusted=adjusted,
-        points=points,
-        deterministic=bool(points) and n_det == len(points),
-        first_ndet_run=_first_divergent_run(per_run_hashes),
-        n_det_points=n_det,
-        n_ndet_points=len(points) - n_det,
-        det_at_end=points[-1].deterministic if points else False,
-    )
+# Backwards-compatible private aliases (pre-engine callers import these).
+_first_divergent_run = _first_divergent_run
+_make_verdict = _make_verdict
 
 
 def check_determinism(program: Program, config: CheckConfig | None = None,
@@ -287,225 +57,4 @@ def check_determinism(program: Program, config: CheckConfig | None = None,
         from dataclasses import replace
 
         config = replace(config, **overrides)
-    if config.runs < 2:
-        raise CheckerError("determinism checking needs at least 2 runs")
-    if (config.judge_variant is not None
-            and config.judge_variant not in config.variant_names()):
-        raise CheckerError(
-            f"judge_variant {config.judge_variant!r} is not produced by "
-            f"this session; configured variants: {config.variant_names()}")
-
-    n_workers = 1
-    if config.workers != 1:
-        from repro.core.checker.parallel import resolve_workers
-
-        n_workers = resolve_workers(config.workers)
-
-    tele = telemetry if (telemetry is not None and telemetry.enabled) else None
-    span = (tele.start_span("check_session", program=program.name,
-                            runs=config.runs, workers=n_workers,
-                            schemes=",".join(config.schemes))
-            if tele else None)
-    try:
-        if n_workers > 1:
-            from repro.core.checker.parallel import run_parallel_session
-
-            result = run_parallel_session(program, config, tele, n_workers)
-        else:
-            result = _run_session(program, config, tele)
-    finally:
-        if tele:
-            tele.end_span(span)
-    return result
-
-
-def _attempt_run(runner, budget, retry, config, tele, index: int):
-    """Run one scheduled run, retrying per policy.
-
-    Returns ``(record, failure, session_expired)``: exactly one of
-    *record* / *failure* is set unless the *session* budget expired
-    mid-run, in which case both are None and *session_expired* is True.
-    """
-    base_seed = config.base_seed + index
-    failure = None
-    for attempt in range(retry.max_attempts):
-        seed = retry.seed_for(base_seed, attempt)
-        runner.deadline = budget.run_deadline()
-        try:
-            return runner.run(seed), None, False
-        except ReproError as exc:
-            if config.fail_fast:
-                raise
-            if isinstance(exc, BudgetError) and budget.expired():
-                # The *session* deadline expired mid-run; that is not a
-                # property of this schedule, so don't record a failure.
-                return None, None, True
-            failure = RunFailure(
-                run=index + 1, seed=seed, error=type(exc).__name__,
-                message=str(exc), steps=runner.step_count,
-                checkpoints=len(runner.checkpoints), attempts=attempt + 1)
-            if not retry.should_retry(exc, attempt):
-                return None, failure, False
-            if tele:
-                tele.event("retry", program=runner.program.name,
-                           run=index + 1, attempt=attempt + 1,
-                           error=type(exc).__name__, next_seed=retry.seed_for(
-                               base_seed, attempt + 1))
-                tele.registry.counter("retries").inc()
-            if retry.backoff_s > 0:
-                time.sleep(retry.backoff_s)
-    return None, failure, False
-
-
-def _make_control(config: CheckConfig) -> InstantCheckControl:
-    """The session-scoped controller (run 1 records, later runs replay)."""
-    return InstantCheckControl(
-        zero_fill=config.zero_fill,
-        malloc_replay=config.malloc_replay,
-        libcall_replay=config.libcall_replay,
-        io_hash=config.io_hash,
-        strict_replay=config.strict_replay,
-        ignores=config.ignores,
-    )
-
-
-def _make_runner(program: Program, config: CheckConfig, control,
-                 tele) -> Runner:
-    """A runner wired up the way one checking session needs it."""
-    scheduler = make_scheduler(config.scheduler, config.granularity)
-    return Runner(program, scheme_factory=dict(config.schemes),
-                  control=control, scheduler=scheduler,
-                  n_cores=config.n_cores, migrate_prob=config.migrate_prob,
-                  max_steps=config.max_steps, telemetry=tele)
-
-
-def _emit_run_failure(tele, program: Program, failure: RunFailure) -> None:
-    if not tele:
-        return
-    tele.event("run_failure", program=program.name,
-               run=failure.run, seed=failure.seed,
-               error=failure.error, message=failure.message,
-               steps=failure.steps, checkpoints=failure.checkpoints,
-               attempts=failure.attempts)
-    tele.registry.counter("run_failures", error=failure.error).inc()
-
-
-def _run_session(program: Program, config: CheckConfig,
-                 tele) -> DeterminismResult:
-    control = _make_control(config)
-    runner = _make_runner(program, config, control, tele)
-    budget = SessionBudget(deadline_s=config.deadline_s,
-                           run_deadline_s=config.run_deadline_s).start()
-    retry = config.retry if config.retry is not None else NO_RETRY
-
-    records: list = []
-    failures: list = []
-    budget_exhausted = False
-    reference_hashes = None
-    for i in range(config.runs):
-        if budget.expired():
-            budget_exhausted = True
-            break
-        record, failure, session_expired = _attempt_run(
-            runner, budget, retry, config, tele, i)
-        if session_expired:
-            budget_exhausted = True
-            break
-        if failure is not None:
-            failures.append(failure)
-            _emit_run_failure(tele, program, failure)
-            continue
-        records.append(record)
-        if tele:
-            tele.event("progress", kind="run", program=program.name,
-                       run=i + 1, total=config.runs)
-        if config.stop_on_first:
-            hashes = record.hashes()
-            if reference_hashes is None:
-                reference_hashes = (record.structure, hashes,
-                                    record.output_hashes)
-            elif (record.structure, hashes, record.output_hashes) != reference_hashes:
-                break
-    return _finalize_session(program, config, records, failures,
-                             budget_exhausted, tele)
-
-
-def _finalize_session(program: Program, config: CheckConfig, records: list,
-                      failures: list, budget_exhausted: bool, tele,
-                      workers: int = 1) -> DeterminismResult:
-    """Judge one session's completed runs into a result.
-
-    Shared by the serial and parallel paths: given the same records and
-    failures (in seed order), both produce bit-identical verdicts.
-    """
-    if budget_exhausted and tele:
-        tele.event("budget_exhausted", program=program.name,
-                   completed=len(records), failed=len(failures),
-                   requested=config.runs)
-        tele.registry.counter("budget_exhausted").inc()
-
-    if not records:
-        # Nothing completed: either every schedule crashed (infeasible)
-        # or the budget expired before the first run finished.  There is
-        # nothing to compare, so no verdicts — and never "deterministic".
-        return DeterminismResult(
-            program=program.name, runs=0, records=[],
-            structures_match=False, outputs_match=False,
-            output_first_ndet_run=None, verdicts={}, failures=failures,
-            requested_runs=config.runs, budget_exhausted=budget_exhausted,
-            judge_variant=config.judge_variant, workers=workers)
-
-    structures = [r.structure for r in records]
-    structures_match = all(s == structures[0] for s in structures)
-    # On structural divergence, compare the common prefix so the verdicts
-    # still localize where runs first disagree.
-    common = min(len(s) for s in structures)
-    if structures_match:
-        labels = list(structures[0])
-    else:
-        labels = [structures[0][i] if all(s[i] == structures[0][i] for s in structures)
-                  else f"<divergent#{i}>" for i in range(common)]
-
-    verdicts: dict = {}
-    for name in config.schemes:
-        for adjusted, suffix in ((False, ""), (True, "+ignore")):
-            if adjusted and not config.ignores:
-                continue
-            per_run = [r.variant_hashes(name, adjusted=adjusted)[:common]
-                       for r in records]
-            verdicts[name + suffix] = _make_verdict(
-                name + suffix, adjusted, labels, per_run, config.runs)
-
-    outputs = [tuple(sorted(r.output_hashes.items())) for r in records]
-    outputs_match = all(o == outputs[0] for o in outputs)
-    output_first = _first_divergent_run(outputs) if not outputs_match else None
-    if not config.compare_output:
-        outputs_match = True
-        output_first = None
-
-    if tele:
-        for name, verdict in verdicts.items():
-            if verdict.first_ndet_run is not None:
-                tele.event("first_divergence", program=program.name,
-                           variant=name, run=verdict.first_ndet_run)
-        if output_first is not None:
-            tele.event("first_divergence", program=program.name,
-                       variant="output", run=output_first)
-        if failures:
-            tele.event("first_divergence", program=program.name,
-                       variant="crash", run=min(f.run for f in failures))
-
-    return DeterminismResult(
-        program=program.name,
-        runs=len(records),
-        records=records,
-        structures_match=structures_match,
-        outputs_match=outputs_match,
-        output_first_ndet_run=output_first,
-        verdicts=verdicts,
-        failures=failures,
-        requested_runs=config.runs,
-        budget_exhausted=budget_exhausted,
-        judge_variant=config.judge_variant,
-        workers=workers,
-    )
+    return execute_session(program, config, telemetry=telemetry)

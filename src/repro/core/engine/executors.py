@@ -1,0 +1,429 @@
+"""Run executors: the two backends behind one streaming interface.
+
+A :class:`RunExecutor` takes an index-keyed mapping of tasks and yields
+``(index, value)`` pairs in *completion* order.  The engine folds each
+value into the :class:`~repro.core.engine.judge.Judge` and may call
+:meth:`RunExecutor.cancel` mid-stream — the judge's early-exit signal.
+
+* :class:`SerialExecutor` runs tasks inline, in index order; cancel
+  simply stops before the next task.
+* :class:`ProcessPoolRunExecutor` fans tasks across a process pool.
+  Tasks are submitted in index order (FIFO start order is what makes
+  early cancellation bit-identical — see :mod:`repro.core.engine.judge`);
+  ``cancel()`` revokes futures that have not started and *drains* the
+  in-flight ones, so every run with an index below a folded divergence
+  still completes.  A session deadline is different: expiry abandons
+  in-flight work (``shutdown(wait=False)``) because a stuck worker must
+  not hold the parent hostage.  A worker process that dies (segfault
+  analog, OOM kill, ``os._exit``) breaks the pool; each unresolved task
+  is then retried in an isolated single-worker pool, so the crasher
+  reveals itself and every innocent task still completes — never a hung
+  pool.
+
+The worker-side task functions (one scheduled run; one campaign input)
+and the worker-telemetry merge protocol live here too: the parent
+re-emits each worker's buffered events tagged with the worker's pid
+(``worker_spawn`` on first sight, ``worker_merge`` after folding each
+task) and merges metric snapshots into the session registry.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures import wait
+
+from repro.core.checker.policies import SessionBudget
+from repro.errors import BudgetError, CheckerError, ReproError, WorkerCrashError
+
+#: Sentinel results: the worker process died / the session deadline
+#: expired before the task could be salvaged.
+CRASHED = object()
+_EXPIRED = object()
+
+
+def resolve_workers(workers) -> int:
+    """Map the ``workers`` config knob to a concrete pool size.
+
+    ``"auto"`` means one worker per CPU; an int is used as-is.  1 is the
+    serial path (no pool at all).
+    """
+    if workers == "auto":
+        return max(1, os.cpu_count() or 1)
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise CheckerError(
+            f"workers must be a positive int or 'auto', got {workers!r}")
+    if workers < 1:
+        raise CheckerError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _mp_context():
+    """Fork where available: cheapest start, and child processes inherit
+    imported test modules, so locally-importable programs stay usable."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def require_picklable(**objects) -> None:
+    """Task submission pickles its arguments; fail with a diagnosis
+    instead of a pool traceback when one of them can't travel."""
+    for what, obj in objects.items():
+        try:
+            pickle.dumps(obj)
+        except Exception as exc:
+            raise CheckerError(
+                f"workers > 1 requires a picklable {what} "
+                f"(module-level classes, no lambdas/closures): {exc}"
+            ) from exc
+
+
+def _worker_init() -> None:
+    """Per-worker startup: drop inherited fds the worker must not hold.
+
+    Forked workers inherit the parent's open files, including the
+    campaign journal's lock descriptor — and ``flock`` ownership rides
+    on the open file description, so an orphaned worker outliving a
+    SIGKILLed parent would keep the journal locked and block
+    ``--resume``.  Closing the inherited fds here confines ownership to
+    the parent.  Under a spawn start method nothing is inherited and
+    the registry is empty — a no-op.
+    """
+    from repro.core.checker import journal
+
+    for fd in list(journal._OWNED_FDS):
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    journal._OWNED_FDS.clear()
+
+
+def _run_isolated(worker_fn, args, ctx, deadline):
+    """Re-run one task alone in a fresh single-worker pool.
+
+    Used after a pool break: the parent cannot tell *which* worker died
+    (every in-flight future raises ``BrokenProcessPool``), so each
+    unresolved task is retried in isolation — the crasher reveals itself
+    by breaking its private pool, everything else completes normally.
+    """
+    executor = ProcessPoolExecutor(max_workers=1, mp_context=ctx,
+                                   initializer=_worker_init)
+    value = _EXPIRED
+    try:
+        future = executor.submit(worker_fn, *args)
+        timeout = None
+        if deadline is not None:
+            timeout = max(0.0, deadline - time.monotonic())
+        try:
+            value = future.result(timeout=timeout)
+        except BrokenExecutor:
+            value = CRASHED
+        except (FuturesTimeoutError, TimeoutError):
+            value = _EXPIRED
+        return value
+    finally:
+        # Reap the worker unless it is stuck past the deadline — forked
+        # workers inherit parent fds (e.g. the journal's lock), so a
+        # lingering idle worker must not outlive this call.
+        executor.shutdown(wait=value is not _EXPIRED, cancel_futures=True)
+
+
+class RunExecutor:
+    """Backend interface: stream task results, accept a cancel signal."""
+
+    name = "abstract"
+
+    def __init__(self):
+        self.cancelled = False   # cancel() was issued mid-stream
+        self.cancelled_count = 0  # tasks revoked before they started
+        self.expired = False     # the session deadline cut the stream short
+
+    def stream(self, tasks: dict):
+        """Yield ``(index, value)`` in completion order.
+
+        *tasks* maps run index to a backend-specific task description.
+        The generator honours :meth:`cancel` between yields.
+        """
+        raise NotImplementedError
+
+    def cancel(self) -> None:
+        """Stop issuing new work; already-running work is drained."""
+        self.cancelled = True
+
+
+class SerialExecutor(RunExecutor):
+    """Run tasks inline, one at a time, in index order.
+
+    A task is a zero-argument callable; cancellation takes effect
+    before the next task starts (the current one already returned —
+    the engine folds, then decides).
+    """
+
+    name = "serial"
+
+    def stream(self, tasks: dict):
+        for index in sorted(tasks):
+            if self.cancelled:
+                self.cancelled_count += 1
+                continue
+            yield index, tasks[index]()
+
+
+class ProcessPoolRunExecutor(RunExecutor):
+    """Fan tasks across a process pool, streaming completions.
+
+    A task is a ``(worker_fn, args)`` tuple; everything in *args* must
+    be picklable.  *deadline* is an absolute ``time.monotonic()`` value
+    (or None): on expiry the stream ends with :attr:`expired` set and
+    in-flight work is abandoned.  :meth:`cancel` is gentler — unstarted
+    futures are revoked, running ones are drained and still yielded.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, n_workers: int, deadline=None):
+        super().__init__()
+        self.n_workers = n_workers
+        self.deadline = deadline
+        self._pending: dict = {}  # future -> run index
+
+    def cancel(self) -> None:
+        super().cancel()
+        for future in list(self._pending):
+            if future.cancel():
+                self.cancelled_count += 1
+                del self._pending[future]
+
+    def stream(self, tasks: dict):
+        indexes = sorted(tasks)
+        if not indexes:
+            return
+        ctx = _mp_context()
+        executor = ProcessPoolExecutor(
+            max_workers=max(1, min(self.n_workers, len(indexes))),
+            mp_context=ctx, initializer=_worker_init)
+        pending = self._pending
+        try:
+            # Submission order == index order: the pool starts tasks
+            # FIFO, the invariant early cancellation relies on.
+            for index in indexes:
+                worker_fn, args = tasks[index]
+                pending[executor.submit(worker_fn, *args)] = index
+            while pending:
+                timeout = None
+                if self.deadline is not None:
+                    timeout = max(0.0, self.deadline - time.monotonic())
+                done, _ = wait(set(pending), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    # Session deadline: stop waiting; running workers
+                    # hit their own deadline poll.
+                    self.expired = True
+                    break
+                unresolved = []
+                for future in done:
+                    index = pending.pop(future, None)
+                    if index is None or future.cancelled():
+                        continue
+                    try:
+                        value = future.result()
+                    except BrokenExecutor:
+                        unresolved.append(index)
+                        continue
+                    yield index, value
+                if unresolved:
+                    # The pool is dead and every in-flight future is
+                    # doomed with it; salvage each unresolved task in
+                    # isolation.  Cancellation is ignored here on
+                    # purpose: runs below a folded divergence must
+                    # complete for the truncated verdict to stay
+                    # bit-identical to the serial path.
+                    unresolved.extend(pending.values())
+                    pending.clear()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    for index in sorted(unresolved):
+                        if (self.deadline is not None
+                                and time.monotonic() >= self.deadline):
+                            self.expired = True
+                            break
+                        worker_fn, args = tasks[index]
+                        value = _run_isolated(worker_fn, args, ctx,
+                                              self.deadline)
+                        if value is _EXPIRED:
+                            self.expired = True
+                            break
+                        yield index, value
+                    break
+        finally:
+            # On a normal finish, wait for workers to exit (forked
+            # workers inherit parent fds — see _worker_init); only an
+            # expired deadline justifies abandoning a possibly-stuck
+            # worker.
+            executor.shutdown(wait=not self.expired, cancel_futures=True)
+
+
+# -- run attempts (shared by the serial loop and the pool workers) -----------
+
+
+def attempt_run(runner, budget, retry, config, tele, index: int):
+    """Run one scheduled run, retrying per policy.
+
+    Returns ``(record, failure, session_expired)``: exactly one of
+    *record* / *failure* is set unless the *session* budget expired
+    mid-run, in which case both are None and *session_expired* is True.
+    """
+    from repro.core.engine.model import RunFailure
+
+    base_seed = config.base_seed + index
+    failure = None
+    for attempt in range(retry.max_attempts):
+        seed = retry.seed_for(base_seed, attempt)
+        runner.deadline = budget.run_deadline()
+        try:
+            return runner.run(seed), None, False
+        except ReproError as exc:
+            if config.fail_fast:
+                raise
+            if isinstance(exc, BudgetError) and budget.expired():
+                # The *session* deadline expired mid-run; that is not a
+                # property of this schedule, so don't record a failure.
+                return None, None, True
+            failure = RunFailure(
+                run=index + 1, seed=seed, error=type(exc).__name__,
+                message=str(exc), steps=runner.step_count,
+                checkpoints=len(runner.checkpoints), attempts=attempt + 1)
+            if not retry.should_retry(exc, attempt):
+                return None, failure, False
+            if tele:
+                tele.event("retry", program=runner.program.name,
+                           run=index + 1, attempt=attempt + 1,
+                           error=type(exc).__name__,
+                           next_seed=retry.seed_for(base_seed, attempt + 1))
+                tele.registry.counter("retries").inc()
+            if retry.backoff_s > 0:
+                time.sleep(retry.backoff_s)
+    return None, failure, False
+
+
+def crash_failure(config, index: int, what: str):
+    """The :class:`RunFailure` recorded for a worker process that died."""
+    from repro.core.engine.model import RunFailure
+
+    return RunFailure(
+        run=index + 1, seed=config.base_seed + index,
+        error=WorkerCrashError.__name__,
+        message=f"worker process executing {what} died unexpectedly")
+
+
+# -- worker-side telemetry ---------------------------------------------------
+
+
+def worker_telemetry(enabled: bool):
+    """A buffering telemetry session for one worker task (or None)."""
+    if not enabled:
+        return None
+    from repro.telemetry import MemorySink, Telemetry
+
+    return Telemetry(MemorySink())
+
+
+def telemetry_payload(tele) -> dict:
+    if tele is None:
+        return {"events": [], "metrics": None}
+    return {"events": list(tele.sink.events),
+            "metrics": tele.registry.snapshot()}
+
+
+def merge_worker_telemetry(tele, res: dict, seen_pids: set) -> None:
+    """Fold one worker task's buffered telemetry into the session's.
+
+    Worker events keep their own (worker-relative) timestamps and span
+    ids; the added ``worker`` field disambiguates them in the stream.
+    """
+    if tele is None:
+        return
+    pid = res.get("pid")
+    if pid not in seen_pids:
+        seen_pids.add(pid)
+        tele.event("worker_spawn", worker=pid)
+        tele.registry.counter("workers_spawned").inc()
+    merged = 0
+    for event in res.get("events", ()):
+        if event.get("t") == "meta":
+            continue
+        event = dict(event)
+        event["worker"] = pid
+        tele.emit_raw(event)
+        merged += 1
+    if res.get("metrics"):
+        tele.registry.merge_snapshot(res["metrics"])
+    tele.event("worker_merge", worker=pid, merged_events=merged)
+
+
+# -- worker task functions ---------------------------------------------------
+
+
+def session_run_worker(program, config, index: int, session_deadline,
+                       malloc_log, libcall_log, telemetry_on: bool) -> dict:
+    """Execute one scheduled run in a worker process.
+
+    The worker rebuilds the whole stack — controller (pre-seeded with
+    the parent's recorded logs, so it replays), scheduler, runner — and
+    applies the retry policy locally, exactly as the serial loop does
+    for runs after the first.  *session_deadline* is an absolute
+    ``time.monotonic()`` value (comparable across processes on the
+    platforms that fork), re-armed here as this worker's budget.
+    """
+    from repro.core.engine.plan import SessionPlan
+
+    tele = worker_telemetry(telemetry_on)
+    plan = SessionPlan.from_config(program, config, n_workers=1)
+    control = plan.make_control()
+    control.malloc_log = malloc_log
+    control.libcall_log = libcall_log
+    runner = plan.make_runner(control, tele)
+    deadline_s = None
+    if session_deadline is not None:
+        deadline_s = max(0.0, session_deadline - time.monotonic())
+    budget = SessionBudget(deadline_s=deadline_s,
+                           run_deadline_s=config.run_deadline_s).start()
+    record, failure, session_expired = attempt_run(
+        runner, budget, plan.retry, config, tele, index)
+    out = {"index": index, "pid": os.getpid(), "record": record,
+           "failure": failure, "expired": session_expired}
+    out.update(telemetry_payload(tele))
+    return out
+
+
+def campaign_input_worker(program_factory, point, config,
+                          telemetry_on: bool) -> dict:
+    """Check one campaign input in a worker process.
+
+    Runs the full serial session (``workers`` was already forced to 1 by
+    the parent — campaign parallelism is across inputs, never nested).
+    A session that raises becomes an ``error`` outcome here, exactly as
+    the serial campaign loop classifies it.
+    """
+    from repro.core.engine.model import error_outcome, outcome_from_result
+    from repro.core.engine.session import execute_session
+
+    tele = worker_telemetry(telemetry_on)
+    program_name = None
+    try:
+        program = program_factory(**point.params)
+        program_name = program.name
+        result = execute_session(program, config, telemetry=tele)
+        outcome = outcome_from_result(point, result)
+    except ReproError as exc:
+        outcome = error_outcome(point, type(exc).__name__, str(exc))
+    out = {"pid": os.getpid(), "outcome": outcome, "program": program_name}
+    out.update(telemetry_payload(tele))
+    return out

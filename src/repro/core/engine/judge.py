@@ -1,0 +1,246 @@
+"""The incremental judge: fold run results into a verdict as they land.
+
+InstantCheck's hashes are designed to be compared *on the fly* — a
+divergence is known the moment the second hash sequence arrives, not
+after every run finished.  The :class:`Judge` is that comparison made
+incremental: executors stream completed runs (in any completion order)
+into :meth:`fold_record` / :meth:`fold_failure`, and the judge both
+accumulates the session state and answers :meth:`should_cancel` — the
+signal that lets ``stop_on_first`` cancel outstanding runs on the
+process-pool backend instead of merely truncating a fully-executed
+stream.
+
+Cancellation preserves bit-identity with the serial path because run
+tasks start in index (= submission) order: when the run at index *d* is
+the first divergence folded, every run with a smaller index has already
+started and is drained to completion before the verdict, so
+:meth:`finalize`'s truncation at the minimum divergent index sees
+exactly the records and failures the serial loop would have produced.
+"""
+
+from __future__ import annotations
+
+from repro.core.checker.distribution import point_distributions
+from repro.core.engine.model import DeterminismResult, VariantVerdict
+
+
+def first_divergent_run(per_run_values) -> int | None:
+    """1-based index of the first run that differs from run 1, or None."""
+    reference = per_run_values[0]
+    for r, values in enumerate(per_run_values[1:], start=2):
+        if values != reference:
+            return r
+    return None
+
+
+def make_verdict(name, adjusted, labels, per_run_hashes,
+                 runs=0) -> VariantVerdict:
+    """Judge one variant's per-run hash sequences into a verdict."""
+    points = point_distributions(labels, per_run_hashes)
+    n_det = sum(1 for p in points if p.deterministic)
+    # A session with zero comparable checkpoints proved nothing: refuse
+    # to call it deterministic (every healthy run has at least the "end"
+    # checkpoint, so an empty point list means the runs could not even
+    # be aligned).
+    return VariantVerdict(
+        name=name,
+        adjusted=adjusted,
+        points=points,
+        deterministic=bool(points) and n_det == len(points),
+        first_ndet_run=first_divergent_run(per_run_hashes),
+        n_det_points=n_det,
+        n_ndet_points=len(points) - n_det,
+        det_at_end=points[-1].deterministic if points else False,
+    )
+
+
+def record_key(record) -> tuple:
+    """The comparison key of one run: structure, hashes, output hashes.
+
+    Two runs with equal keys are indistinguishable to every variant of
+    the verdict — the ``stop_on_first`` divergence test.
+    """
+    return (record.structure, record.hashes(), record.output_hashes)
+
+
+class Judge:
+    """Incremental verdict state for one session execution.
+
+    One instance per session execution; both executor backends fold
+    into it, so classification, telemetry emission, and verdict
+    assembly exist exactly once.
+    """
+
+    def __init__(self, plan, tele):
+        self.plan = plan
+        self.tele = tele
+        self.completed: dict = {}   # run index -> RunRecord
+        self.failed: dict = {}      # run index -> RunFailure
+        self.budget_exhausted = False
+        self._keys: dict = {}       # run index -> record_key
+        self._ref_index: int | None = None
+        self._diverged = False
+
+    # -- folding ------------------------------------------------------------
+
+    def fold_record(self, index: int, record) -> None:
+        """Fold one completed run, updating the divergence state."""
+        self.completed[index] = record
+        key = self._keys[index] = record_key(record)
+        if self._ref_index is None or index < self._ref_index:
+            # New reference (lowest-index record wins); re-judge the
+            # others against it.  Out-of-order arrival below the
+            # reference only happens in synthetic folds — executors
+            # always deliver the lowest index first — but correctness
+            # must not depend on that.
+            self._ref_index = index
+            ref = self._keys[index]
+            self._diverged = any(self._keys[i] != ref
+                                 for i in self.completed if i != index)
+        else:
+            self._diverged = (self._diverged
+                              or key != self._keys[self._ref_index])
+        if self.tele:
+            self.tele.event("progress", kind="run",
+                            program=self.plan.program.name,
+                            run=index + 1, total=self.plan.config.runs)
+
+    def fold_failure(self, index: int, failure) -> None:
+        """Fold one crashed/hung run."""
+        self.failed[index] = failure
+        if self.tele:
+            self.tele.event("run_failure", program=self.plan.program.name,
+                            run=failure.run, seed=failure.seed,
+                            error=failure.error, message=failure.message,
+                            steps=failure.steps,
+                            checkpoints=failure.checkpoints,
+                            attempts=failure.attempts)
+            self.tele.registry.counter("run_failures",
+                                       error=failure.error).inc()
+
+    def fold_expired(self) -> None:
+        """Record that the session budget expired before completion."""
+        self.budget_exhausted = True
+
+    # -- the cancel signal --------------------------------------------------
+
+    @property
+    def diverged(self) -> bool:
+        """Has any folded record diverged from the reference run?"""
+        return self._diverged
+
+    def should_cancel(self) -> bool:
+        """Should the executor cancel outstanding runs right now?
+
+        True once a ``stop_on_first`` session has seen a divergence —
+        further runs cannot change the verdict, only refine the
+        distributions the caller said it does not want.
+        """
+        return self.plan.config.stop_on_first and self._diverged
+
+    # -- verdict assembly ---------------------------------------------------
+
+    def finalize(self, workers: int = 1) -> DeterminismResult:
+        """Assemble the final result from everything folded so far.
+
+        Shared by both backends: given the same records and failures
+        (in seed order), both produce bit-identical verdicts.
+        """
+        program, config, tele = self.plan.program, self.plan.config, self.tele
+        completed, failed = self.completed, self.failed
+
+        # stop_on_first: truncate the merged stream after the first
+        # record that diverges from the reference, exactly as the
+        # serial loop's early exit would have left it.
+        if config.stop_on_first and completed:
+            reference = None
+            cutoff = None
+            for idx in sorted(completed):
+                key = self._keys[idx]
+                if reference is None:
+                    reference = key
+                elif key != reference:
+                    cutoff = idx
+                    break
+            if cutoff is not None:
+                completed = {i: r for i, r in completed.items() if i <= cutoff}
+                failed = {i: f for i, f in failed.items() if i < cutoff}
+
+        records = [completed[i] for i in sorted(completed)]
+        failures = [failed[i] for i in sorted(failed)]
+
+        if self.budget_exhausted and tele:
+            tele.event("budget_exhausted", program=program.name,
+                       completed=len(records), failed=len(failures),
+                       requested=config.runs)
+            tele.registry.counter("budget_exhausted").inc()
+
+        if not records:
+            # Nothing completed: either every schedule crashed
+            # (infeasible) or the budget expired before the first run
+            # finished.  There is nothing to compare, so no verdicts —
+            # and never "deterministic".
+            return DeterminismResult(
+                program=program.name, runs=0, records=[],
+                structures_match=False, outputs_match=False,
+                output_first_ndet_run=None, verdicts={}, failures=failures,
+                requested_runs=config.runs,
+                budget_exhausted=self.budget_exhausted,
+                judge_variant=config.judge_variant, workers=workers)
+
+        structures = [r.structure for r in records]
+        structures_match = all(s == structures[0] for s in structures)
+        # On structural divergence, compare the common prefix so the
+        # verdicts still localize where runs first disagree.
+        common = min(len(s) for s in structures)
+        if structures_match:
+            labels = list(structures[0])
+        else:
+            labels = [structures[0][i]
+                      if all(s[i] == structures[0][i] for s in structures)
+                      else f"<divergent#{i}>" for i in range(common)]
+
+        verdicts: dict = {}
+        for name in config.schemes:
+            for adjusted, suffix in ((False, ""), (True, "+ignore")):
+                if adjusted and not config.ignores:
+                    continue
+                per_run = [r.variant_hashes(name, adjusted=adjusted)[:common]
+                           for r in records]
+                verdicts[name + suffix] = make_verdict(
+                    name + suffix, adjusted, labels, per_run, config.runs)
+
+        outputs = [tuple(sorted(r.output_hashes.items())) for r in records]
+        outputs_match = all(o == outputs[0] for o in outputs)
+        output_first = (first_divergent_run(outputs)
+                        if not outputs_match else None)
+        if not config.compare_output:
+            outputs_match = True
+            output_first = None
+
+        if tele:
+            for name, verdict in verdicts.items():
+                if verdict.first_ndet_run is not None:
+                    tele.event("first_divergence", program=program.name,
+                               variant=name, run=verdict.first_ndet_run)
+            if output_first is not None:
+                tele.event("first_divergence", program=program.name,
+                           variant="output", run=output_first)
+            if failures:
+                tele.event("first_divergence", program=program.name,
+                           variant="crash", run=min(f.run for f in failures))
+
+        return DeterminismResult(
+            program=program.name,
+            runs=len(records),
+            records=records,
+            structures_match=structures_match,
+            outputs_match=outputs_match,
+            output_first_ndet_run=output_first,
+            verdicts=verdicts,
+            failures=failures,
+            requested_runs=config.runs,
+            budget_exhausted=self.budget_exhausted,
+            judge_variant=config.judge_variant,
+            workers=workers,
+        )

@@ -1,0 +1,335 @@
+"""Session and campaign orchestration: plan → execute → judge.
+
+:func:`execute_session` is the engine's front door for one
+determinism-checking session: it expands the config into a
+:class:`~repro.core.engine.plan.SessionPlan`, picks the executor
+backend from the resolved worker topology, streams completed runs into
+an incremental :class:`~repro.core.engine.judge.Judge`, and lets the
+judge cancel outstanding work (``stop_on_first``) or react to budget
+exhaustion — one control flow for both backends.  A judge-driven
+cancellation is observable as a ``session_cancelled`` telemetry event
+(and the ``sessions_cancelled`` counter).
+
+:func:`execute_campaign` drives one session per input point with the
+same machinery: pending inputs become executor tasks (serial loop or
+process-pool fan-out across inputs), and every outcome funnels through
+one merge hook — journal append + ``input_verdict`` event — regardless
+of backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.engine.executors import (CRASHED, ProcessPoolRunExecutor,
+                                         SerialExecutor, attempt_run,
+                                         campaign_input_worker, crash_failure,
+                                         merge_worker_telemetry,
+                                         require_picklable, resolve_workers,
+                                         session_run_worker)
+from repro.core.engine.judge import Judge
+from repro.core.engine.model import (OUTCOME_ERROR, CampaignResult,
+                                     error_outcome, outcome_from_result)
+from repro.core.engine.plan import SessionPlan
+from repro.errors import ReproError, WorkerCrashError
+
+
+def execute_session(program, config, telemetry=None):
+    """Run a full determinism-checking session over *program*.
+
+    The session is one ``check_session`` telemetry span; the backend is
+    chosen from the plan's resolved worker topology.
+    """
+    plan = SessionPlan.from_config(program, config)
+    tele = telemetry if (telemetry is not None and telemetry.enabled) else None
+    span = (tele.start_span("check_session", program=program.name,
+                            runs=config.runs, workers=plan.n_workers,
+                            schemes=",".join(config.schemes))
+            if tele else None)
+    try:
+        if plan.n_workers > 1:
+            return pool_session(plan, tele)
+        return serial_session(plan, tele)
+    finally:
+        if tele:
+            tele.end_span(span)
+
+
+def _fold_value(plan, judge, tele, index, value, seen_pids=None) -> None:
+    """Fold one executor result — run record, failure, crash, or
+    budget-expiry marker — into the judge."""
+    if value is CRASHED:
+        judge.fold_failure(index,
+                           crash_failure(plan.config, index,
+                                         f"run {index + 1}"))
+        return
+    if seen_pids is not None:
+        merge_worker_telemetry(tele, value, seen_pids)
+    if value["expired"]:
+        judge.fold_expired()
+    elif value["failure"] is not None:
+        judge.fold_failure(index, value["failure"])
+    else:
+        judge.fold_record(index, value["record"])
+
+
+def _drive(plan, judge, executor, tasks, tele, seen_pids=None) -> None:
+    """The engine loop: stream, fold, and let the judge steer.
+
+    The judge's cancel signal (``stop_on_first`` divergence) revokes
+    unstarted work and drains what is in flight; budget exhaustion
+    cancels too (every later run would only expire against the same
+    deadline).  Only the judge-driven cancel is announced — that is the
+    early exit a user asked for, not an error path.
+    """
+    stop_cancelled = False
+    for index, value in executor.stream(tasks):
+        _fold_value(plan, judge, tele, index, value, seen_pids)
+        if not executor.cancelled:
+            if judge.should_cancel():
+                executor.cancel()
+                stop_cancelled = True
+            elif judge.budget_exhausted:
+                executor.cancel()
+    if stop_cancelled and tele:
+        tele.event("session_cancelled", program=plan.program.name,
+                   backend=executor.name,
+                   completed=len(judge.completed),
+                   failed=len(judge.failed),
+                   cancelled=executor.cancelled_count)
+        tele.registry.counter("sessions_cancelled").inc()
+
+
+def serial_session(plan: SessionPlan, tele):
+    """Execute every scheduled run inline, in index order."""
+    config = plan.config
+    control = plan.make_control()
+    runner = plan.make_runner(control, tele)
+    budget = plan.new_budget()
+    judge = Judge(plan, tele)
+
+    def task_for(spec):
+        def task():
+            if budget.expired():
+                return {"record": None, "failure": None, "expired": True}
+            record, failure, session_expired = attempt_run(
+                runner, budget, plan.retry, config, tele, spec.index)
+            return {"record": record, "failure": failure,
+                    "expired": session_expired}
+        return task
+
+    tasks = {spec.index: task_for(spec) for spec in plan.specs}
+    _drive(plan, judge, SerialExecutor(), tasks, tele)
+    return judge.finalize(workers=1)
+
+
+def pool_session(plan: SessionPlan, tele):
+    """Execute the session across a process pool.
+
+    Phase 1 runs serially in the parent until one run completes and the
+    replay logs are recorded (crashing leading runs are consumed here
+    one at a time, as serial would).  Phase 2 fans the remaining run
+    indexes across the pool; results merge by run index, so the
+    records/failures — and everything judged from them — are identical
+    to the serial session's.
+    """
+    require_picklable(program=plan.program, config=plan.config)
+    config = plan.config
+    control = plan.make_control()
+    runner = plan.make_runner(control, tele)
+    budget = plan.new_budget()
+    judge = Judge(plan, tele)
+
+    # Phase 1 — the record run (serial, in the parent).  It also pins
+    # the judge's reference: the lowest-index record always folds first.
+    index = 0
+    while index < config.runs and not control.malloc_log.recorded:
+        if budget.expired():
+            judge.fold_expired()
+            break
+        record, failure, session_expired = attempt_run(
+            runner, budget, plan.retry, config, tele, index)
+        if session_expired:
+            judge.fold_expired()
+            break
+        if failure is not None:
+            judge.fold_failure(index, failure)
+        else:
+            judge.fold_record(index, record)
+        index += 1
+
+    # Phase 2 — replayed runs, fanned out across the pool.
+    remaining = [] if judge.budget_exhausted else range(index, config.runs)
+    if remaining:
+        telemetry_on = tele is not None
+        tasks = {
+            i: (session_run_worker,
+                (plan.program, config, i, budget.session_deadline,
+                 control.malloc_log, control.libcall_log, telemetry_on))
+            for i in remaining
+        }
+        executor = ProcessPoolRunExecutor(plan.n_workers,
+                                          deadline=budget.session_deadline)
+        _drive(plan, judge, executor, tasks, tele, seen_pids=set())
+        if executor.expired:
+            judge.fold_expired()
+    return judge.finalize(workers=plan.n_workers)
+
+
+# -- campaigns ----------------------------------------------------------------
+
+
+def record_input_outcome(outcome, point, journal, tele, program_name) -> None:
+    """The single merge hook every completed input passes through.
+
+    The parent is the journal's only writer (workers return outcomes;
+    only the lock owner appends), and the ``input_verdict`` event is
+    emitted from exactly one place for both backends.
+    """
+    if journal is not None:
+        journal.append_outcome(outcome)
+    if tele:
+        tele.event("input_verdict", program=program_name,
+                   input=point.name, outcome=outcome.outcome,
+                   deterministic=outcome.deterministic,
+                   det_at_end=outcome.det_at_end,
+                   n_ndet_points=outcome.n_ndet_points)
+
+
+def fan_out_campaign(program_factory, points, config, tele, journal,
+                     n_workers: int, total=None):
+    """Fan campaign inputs across worker processes.
+
+    *points* is ``[(position, InputPoint), ...]`` — the inputs still to
+    run, keyed by their position in the campaign's input list so the
+    merged outcomes keep input order.  Returns ``(outcomes, name)``
+    with *outcomes* mapping position -> ``InputOutcome``.
+    """
+    require_picklable(program_factory=program_factory, config=config)
+    worker_config = replace(config, workers=1)
+    telemetry_on = tele is not None
+    by_position = dict(points)
+    tasks = {pos: (campaign_input_worker,
+                   (program_factory, point, worker_config, telemetry_on))
+             for pos, point in points}
+    if tele:
+        for pos, point in points:
+            tele.event("progress", kind="input", input=point.name,
+                       index=pos, total=total)
+
+    outcomes: dict = {}
+    seen_pids: set = set()
+    program_name = None
+    executor = ProcessPoolRunExecutor(n_workers, deadline=None)
+    for pos, value in executor.stream(tasks):
+        point = by_position[pos]
+        if value is CRASHED:
+            outcome = error_outcome(
+                point, WorkerCrashError.__name__,
+                f"worker process checking input {point.name!r} "
+                f"died unexpectedly")
+        else:
+            merge_worker_telemetry(tele, value, seen_pids)
+            outcome = value["outcome"]
+            if value.get("program"):
+                program_name = value["program"]
+        if tele and outcome.outcome == OUTCOME_ERROR:
+            tele.event("input_error", input=point.name, error=outcome.error,
+                       message=outcome.error_message)
+        outcomes[pos] = outcome
+        record_input_outcome(outcome, point, journal, tele, program_name)
+    return outcomes, program_name
+
+
+def execute_campaign(program_factory, inputs, config, telemetry=None,
+                     journal_path=None, resume: bool = False):
+    """Check determinism across several input points.
+
+    One ``campaign`` telemetry span; pending inputs run serially or fan
+    out across a process pool (``config.workers``, with more than one
+    pending input).  A session that raises a
+    :class:`~repro.errors.ReproError` becomes an ``error`` outcome and
+    the campaign continues.  With *journal_path*, every completed input
+    is appended as it finishes; *resume* restores inputs the journal
+    already holds instead of re-running them.
+    """
+    inputs = list(inputs)
+    journal = None
+    completed: dict = {}
+    if journal_path is not None:
+        from repro.core.checker.journal import CampaignJournal
+
+        journal = CampaignJournal(journal_path)
+        journal.acquire()
+        if resume:
+            completed = journal.load_completed()
+    elif resume:
+        raise ValueError("resume=True requires a journal_path")
+
+    n_workers = (resolve_workers(config.workers)
+                 if config.workers != 1 else 1)
+    tele = telemetry if (telemetry is not None and telemetry.enabled) else None
+    span = (tele.start_span("campaign", inputs=len(inputs),
+                            resumed=len(completed))
+            if tele else None)
+    try:
+        resumed_inputs = []
+        program_name = None
+        by_position: dict = {}
+        pending = []
+        if journal is not None:
+            journal.begin_segment(inputs=[p.name for p in inputs],
+                                  resumed=sorted(completed))
+        for index, point in enumerate(inputs):
+            if point.name in completed:
+                by_position[index] = completed[point.name]
+                resumed_inputs.append(point.name)
+                if tele:
+                    tele.event("input_resumed", input=point.name,
+                               index=index, total=len(inputs))
+            else:
+                pending.append((index, point))
+
+        if n_workers > 1 and len(pending) > 1:
+            fanned, program_name = fan_out_campaign(
+                program_factory, pending, config, tele, journal, n_workers,
+                total=len(inputs))
+            by_position.update(fanned)
+        else:
+            # Serial loop.  With a single pending input the campaign
+            # stays serial and lets the session itself parallelize.
+            for index, point in pending:
+                if tele:
+                    tele.event("progress", kind="input",
+                               program=program_name, input=point.name,
+                               index=index, total=len(inputs))
+                try:
+                    program = program_factory(**point.params)
+                    program_name = program.name
+                    result = execute_session(program, config,
+                                             telemetry=telemetry)
+                    outcome = outcome_from_result(point, result)
+                except ReproError as exc:
+                    outcome = error_outcome(point, type(exc).__name__,
+                                            str(exc))
+                    if tele:
+                        tele.event("input_error", input=point.name,
+                                   error=outcome.error,
+                                   message=outcome.error_message)
+                by_position[index] = outcome
+                record_input_outcome(outcome, point, journal, tele,
+                                     program_name)
+        outcomes = [by_position[i] for i in sorted(by_position)]
+        if tele and span is not None:
+            span.set(program=program_name or "?",
+                     flagged=sum(1 for o in outcomes if not o.deterministic),
+                     errors=sum(1 for o in outcomes
+                                if o.outcome == OUTCOME_ERROR))
+        return CampaignResult(program=program_name or "?",
+                              outcomes=outcomes,
+                              resumed_inputs=resumed_inputs)
+    finally:
+        if journal is not None:
+            journal.release()
+        if tele:
+            tele.end_span(span)

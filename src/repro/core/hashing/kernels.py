@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 
+from repro.core.registry import Registry
 from repro.sim.values import MASK64, value_bits
 
 try:  # pragma: no cover - trivially covered by whichever env runs
@@ -49,6 +50,12 @@ AUTO_BACKEND = "auto"
 
 #: Canonical quiet-NaN pattern, mirroring :func:`repro.sim.values.float_to_bits`.
 _QNAN_BITS = 0x7FF8000000000000
+
+#: Kernel classes by backend name.  Registration is unconditional —
+#: :func:`resolve_backend` decides availability (numpy may be registered
+#: yet unimportable), so error messages can distinguish "no such
+#: backend" from "backend not installed".
+HASH_BACKENDS = Registry("hash-backends", what="hash backend")
 
 
 def has_numpy() -> bool:
@@ -100,6 +107,7 @@ def _rounding_on(rounding) -> bool:
     return rounding is not None and rounding.enabled
 
 
+@HASH_BACKENDS.register("python")
 class PythonKernel(HashKernel):
     """The scalar reference: loops over the exact scalar datapath."""
 
@@ -139,6 +147,7 @@ class PythonKernel(HashKernel):
         return sum(terms) & MASK64
 
 
+@HASH_BACKENDS.register("numpy")
 class NumpyKernel(HashKernel):
     """Vectorized backend: uint64 wraparound is mod-2^64 arithmetic."""
 
@@ -287,7 +296,7 @@ def resolve_backend(backend: str | None = None) -> str:
             "hash backend 'numpy' requested but numpy is not installed; "
             "install the [fast] extra (pip install repro[fast]) or use "
             "backend='python'")
-    if requested not in (PythonKernel.name, NumpyKernel.name):
+    if requested not in HASH_BACKENDS:
         raise ValueError(
             f"unknown hash backend {requested!r}; choose from "
             f"{(AUTO_BACKEND,) + available_backends()}")
@@ -306,6 +315,5 @@ def get_kernel(backend=None) -> HashKernel:
     name = resolve_backend(backend)
     kernel = _KERNELS.get(name)
     if kernel is None:
-        cls = NumpyKernel if name == NumpyKernel.name else PythonKernel
-        kernel = _KERNELS[name] = cls()
+        kernel = _KERNELS[name] = HASH_BACKENDS.get(name)()
     return kernel

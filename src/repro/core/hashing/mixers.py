@@ -21,6 +21,7 @@ the value's raw hash.
 
 from __future__ import annotations
 
+from repro.core.registry import Registry
 from repro.sim.values import MASK64, value_bits
 
 try:  # numpy is optional (the [fast] extra); scalar paths never need it
@@ -228,24 +229,21 @@ class SplitMix64Mixer(Mixer):
         return self._finalize_np(z + new_bits) - self._finalize_np(z + old_bits)
 
 
-_MIXERS = {
-    Crc64Mixer.name: Crc64Mixer,
-    SplitMix64Mixer.name: SplitMix64Mixer,
-}
+MIXERS = Registry("mixers")
+MIXERS.register(Crc64Mixer.name, Crc64Mixer)
+MIXERS.register(SplitMix64Mixer.name, SplitMix64Mixer)
+
+#: Backwards-compatible alias (pre-registry callers import this).
+_MIXERS = MIXERS
 
 DEFAULT_MIXER_NAME = SplitMix64Mixer.name
 
 
 def get_mixer(name: str = DEFAULT_MIXER_NAME) -> Mixer:
     """Return a mixer instance by name (``"crc64"`` or ``"splitmix64"``)."""
-    try:
-        return _MIXERS[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown mixer {name!r}; choose from {sorted(_MIXERS)}"
-        ) from None
+    return MIXERS.get(name)()
 
 
 def available_mixers() -> tuple:
     """Names of all registered mixers."""
-    return tuple(sorted(_MIXERS))
+    return tuple(sorted(MIXERS))

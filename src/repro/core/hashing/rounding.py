@@ -28,6 +28,7 @@ import math
 import struct
 from dataclasses import dataclass
 
+from repro.core.registry import Registry
 from repro.sim.values import MASK64
 
 try:  # numpy is optional (the [fast] extra); apply_array needs it
@@ -171,21 +172,29 @@ def decimal_nearest(value: float, digits: int) -> float:
     return math.floor(scaled + 0.5) / scale if scaled >= 0 else math.ceil(scaled - 0.5) / scale
 
 
+#: Policy factories by CLI name (``--rounding``).
+ROUNDINGS = Registry("roundings", what="rounding policy")
+
+
+@ROUNDINGS.register("none")
 def no_rounding() -> RoundingPolicy:
     """Bit-by-bit comparison: the round-off unit is disabled."""
     return RoundingPolicy(mode=RoundingMode.NONE)
 
 
+@ROUNDINGS.register("default")
 def default_policy() -> RoundingPolicy:
     """The paper's default: round to the closest 0.001."""
     return RoundingPolicy(mode=RoundingMode.DECIMAL_NEAREST, digits=3)
 
 
+@ROUNDINGS.register("mantissa")
 def mantissa_policy(bits: int = 20) -> RoundingPolicy:
     """Discard small relative differences: zero M mantissa bits."""
     return RoundingPolicy(mode=RoundingMode.MANTISSA_ZERO, mantissa_bits=bits)
 
 
+@ROUNDINGS.register("floor")
 def floor_policy(digits: int = 3) -> RoundingPolicy:
     """Discard small absolute differences: floor at N decimal digits."""
     return RoundingPolicy(mode=RoundingMode.DECIMAL_FLOOR, digits=digits)

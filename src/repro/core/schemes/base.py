@@ -19,11 +19,52 @@ from dataclasses import dataclass, field
 from repro.core.hashing.kernels import get_kernel
 from repro.core.hashing.mixers import DEFAULT_MIXER_NAME, get_mixer
 from repro.core.hashing.rounding import RoundingPolicy, no_rounding
+from repro.core.registry import Registry
 from repro.errors import IsaError
 from repro.sim.machine import WriteObserver
 from repro.sim.values import TYPE_FLOAT
 
-SCHEME_KINDS = ("hw", "sw_inc", "sw_tr")
+#: Builders ``(config, runner) -> Scheme`` by kind name.  The scheme
+#: classes themselves live in submodules that import this one, so the
+#: builders import them lazily.
+SCHEME_BUILDERS = Registry("scheme-kinds", what="scheme kind")
+
+
+@SCHEME_BUILDERS.register("hw")
+def _build_hw(config, runner):
+    from repro.core.schemes.hw_inc import HwIncScheme
+
+    return HwIncScheme(runner.machine, runner.allocator,
+                       mixer=config.mixer, rounding=config.rounding,
+                       n_clusters=config.n_clusters,
+                       drain_policy=config.drain_policy,
+                       drain_seed=config.drain_seed,
+                       backend=config.backend,
+                       batch_stores=config.batch_stores)
+
+
+@SCHEME_BUILDERS.register("sw_inc")
+def _build_sw_inc(config, runner):
+    from repro.core.schemes.sw_inc import SwIncScheme
+
+    return SwIncScheme(runner.machine, runner.allocator,
+                       mixer=config.mixer, rounding=config.rounding,
+                       atomic=config.atomic, backend=config.backend,
+                       batch_stores=config.batch_stores)
+
+
+@SCHEME_BUILDERS.register("sw_tr")
+def _build_sw_tr(config, runner):
+    from repro.core.schemes.sw_tr import SwTrScheme
+
+    return SwTrScheme(runner.machine, runner.allocator,
+                      mixer=config.mixer, rounding=config.rounding,
+                      static_types=getattr(runner.program,
+                                           "static_types", None),
+                      backend=config.backend)
+
+
+SCHEME_KINDS = SCHEME_BUILDERS.names()
 
 
 class Scheme(WriteObserver):
@@ -124,34 +165,12 @@ class SchemeConfig:
     batch_stores: bool | None = None
 
     def __post_init__(self):
-        if self.kind not in SCHEME_KINDS:
+        if self.kind not in SCHEME_BUILDERS:
             raise ValueError(
                 f"unknown scheme kind {self.kind!r}; choose from {SCHEME_KINDS}")
 
     def __call__(self, runner) -> Scheme:
         """Build the scheme for one run and attach it to the machine."""
-        from repro.core.schemes.hw_inc import HwIncScheme
-        from repro.core.schemes.sw_inc import SwIncScheme
-        from repro.core.schemes.sw_tr import SwTrScheme
-
-        if self.kind == "hw":
-            scheme = HwIncScheme(runner.machine, runner.allocator,
-                                 mixer=self.mixer, rounding=self.rounding,
-                                 n_clusters=self.n_clusters,
-                                 drain_policy=self.drain_policy,
-                                 drain_seed=self.drain_seed,
-                                 backend=self.backend,
-                                 batch_stores=self.batch_stores)
-        elif self.kind == "sw_inc":
-            scheme = SwIncScheme(runner.machine, runner.allocator,
-                                 mixer=self.mixer, rounding=self.rounding,
-                                 atomic=self.atomic, backend=self.backend,
-                                 batch_stores=self.batch_stores)
-        else:
-            scheme = SwTrScheme(runner.machine, runner.allocator,
-                                mixer=self.mixer, rounding=self.rounding,
-                                static_types=getattr(runner.program,
-                                                     "static_types", None),
-                                backend=self.backend)
+        scheme = SCHEME_BUILDERS.get(self.kind)(self, runner)
         scheme.attach()
         return scheme

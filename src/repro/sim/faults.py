@@ -31,6 +31,7 @@ the CLI (``repro check deadlock-fault``, ``repro campaign ...``).
 
 from __future__ import annotations
 
+from repro.core.registry import Registry
 from repro.sim.layout import StaticLayout
 from repro.sim.program import Program
 from repro.sim.sync import Lock
@@ -188,21 +189,13 @@ class AlwaysCrashFault(FaultProgram):
 #: Fault workloads by CLI name.  Kept separate from the Table 1
 #: :data:`repro.workloads.REGISTRY` — these are checker-infrastructure
 #: probes, not paper applications.
-FAULT_REGISTRY: dict = {
-    DeadlockFault.name: DeadlockFault,
-    HeapHogFault.name: HeapHogFault,
-    ReplaySplitFault.name: ReplaySplitFault,
-    LivelockFault.name: LivelockFault,
-    AlwaysCrashFault.name: AlwaysCrashFault,
-}
+FAULT_REGISTRY = Registry("faults", what="fault workload")
+for _cls in (DeadlockFault, HeapHogFault, ReplaySplitFault, LivelockFault,
+             AlwaysCrashFault):
+    FAULT_REGISTRY.register(_cls.name, _cls)
+del _cls
 
 
 def make_fault(name: str, n_workers: int = 2, **kwargs) -> FaultProgram:
     """Instantiate a fault-injection workload by registry name."""
-    try:
-        cls = FAULT_REGISTRY[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown fault workload {name!r}; available: "
-            f"{sorted(FAULT_REGISTRY)}") from None
-    return cls(n_workers=n_workers, **kwargs)
+    return FAULT_REGISTRY.get(name)(n_workers=n_workers, **kwargs)

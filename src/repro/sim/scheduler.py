@@ -24,9 +24,15 @@ from __future__ import annotations
 
 import random
 
+from repro.core.registry import Registry
 from repro.errors import SchedulerError
 
 GRANULARITIES = ("sync", "access")
+
+#: Schedulers by configuration name (``CheckConfig.scheduler``).
+#: Lookups raise :class:`~repro.errors.SchedulerError`, which retry
+#: policies already classify as a scheduling failure.
+SCHEDULERS = Registry("schedulers", error=SchedulerError)
 
 
 class Scheduler:
@@ -64,6 +70,7 @@ class Scheduler:
         raise NotImplementedError
 
 
+@SCHEDULERS.register("random")
 class RandomScheduler(Scheduler):
     """Uniform random choice at every switch point (the paper's setup)."""
 
@@ -78,6 +85,7 @@ class RandomScheduler(Scheduler):
         return runnable[self._rng.randrange(len(runnable))]
 
 
+@SCHEDULERS.register("round_robin")
 class RoundRobinScheduler(Scheduler):
     """Cycle through runnable threads in tid order; seed-independent."""
 
@@ -97,6 +105,7 @@ class RoundRobinScheduler(Scheduler):
         return self._last
 
 
+@SCHEDULERS.register("pct")
 class PctScheduler(Scheduler):
     """PCT-style scheduling: random priorities plus d-1 change points.
 
@@ -203,10 +212,4 @@ class GuidedScheduler(Scheduler):
 
 def make_scheduler(name: str = "random", granularity: str = "sync", **kwargs) -> Scheduler:
     """Factory used by the checker configuration."""
-    if name == "random":
-        return RandomScheduler(granularity)
-    if name == "round_robin":
-        return RoundRobinScheduler(granularity)
-    if name == "pct":
-        return PctScheduler(granularity, **kwargs)
-    raise SchedulerError(f"unknown scheduler {name!r}")
+    return SCHEDULERS.get(name)(granularity, **kwargs)

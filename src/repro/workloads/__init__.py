@@ -8,6 +8,7 @@ Table 1 order; :func:`make` builds one by name with default parameters.
 
 from __future__ import annotations
 
+from repro.core.registry import Registry
 from repro.workloads.barnes import Barnes
 from repro.workloads.blackscholes import Blackscholes
 from repro.workloads.canneal import Canneal
@@ -30,36 +31,35 @@ from repro.workloads.volrend import Volrend
 from repro.workloads.water import WaterNS, WaterSP
 
 #: The 17 applications in Table 1 order (grouped by determinism class).
-REGISTRY: dict = {
-    "blackscholes": Blackscholes,
-    "fft": Fft,
-    "lu": Lu,
-    "radix": Radix,
-    "streamcluster": Streamcluster,
-    "swaptions": Swaptions,
-    "volrend": Volrend,
-    "fluidanimate": Fluidanimate,
-    "ocean": Ocean,
-    "waterNS": WaterNS,
-    "waterSP": WaterSP,
-    "cholesky": Cholesky,
-    "pbzip2": Pbzip2,
-    "sphinx3": Sphinx3,
-    "barnes": Barnes,
-    "canneal": Canneal,
-    "radiosity": Radiosity,
-}
+#: A :class:`~repro.core.registry.Registry`, so registration order *is*
+#: Table 1 order and unknown names raise the canonical ValueError.
+REGISTRY = Registry("workloads")
+for _name, _cls in (
+    ("blackscholes", Blackscholes),
+    ("fft", Fft),
+    ("lu", Lu),
+    ("radix", Radix),
+    ("streamcluster", Streamcluster),
+    ("swaptions", Swaptions),
+    ("volrend", Volrend),
+    ("fluidanimate", Fluidanimate),
+    ("ocean", Ocean),
+    ("waterNS", WaterNS),
+    ("waterSP", WaterSP),
+    ("cholesky", Cholesky),
+    ("pbzip2", Pbzip2),
+    ("sphinx3", Sphinx3),
+    ("barnes", Barnes),
+    ("canneal", Canneal),
+    ("radiosity", Radiosity),
+):
+    REGISTRY.register(_name, _cls)
+del _name, _cls
 
 
 def make(name: str, n_workers: int = 8, **kwargs) -> Workload:
     """Instantiate a Table 1 application analog by name."""
-    try:
-        cls = REGISTRY[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown workload {name!r}; available: {sorted(REGISTRY)}"
-        ) from None
-    return cls(n_workers=n_workers, **kwargs)
+    return REGISTRY.get(name)(n_workers=n_workers, **kwargs)
 
 
 def all_names() -> tuple:

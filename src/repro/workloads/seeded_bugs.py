@@ -14,6 +14,7 @@ by the benchmarks.
 
 from __future__ import annotations
 
+from repro.core.registry import Registry
 from repro.workloads.radix import Radix
 from repro.workloads.water import WaterNS, WaterSP
 
@@ -24,17 +25,25 @@ SEEDED_BUGS = (
     ("radix", "order violation"),
 )
 
+#: Seeded-bug factories by CLI name (``repro check seeded-radix``,
+#: ``repro localize seeded-radix``) — the Table 2 variants as
+#: first-class checkable programs.
+SEEDED = Registry("seeded-bugs", what="seeded bug")
 
+
+@SEEDED.register("seeded-waterNS")
 def seeded_waterNS(n_workers: int = 8, **kwargs) -> WaterNS:
     """waterNS with the Figure 7(a) semantic bug in thread 3."""
     return WaterNS(n_workers=n_workers, bug="semantic", **kwargs)
 
 
+@SEEDED.register("seeded-waterSP")
 def seeded_waterSP(n_workers: int = 8, **kwargs) -> WaterSP:
     """waterSP with the Figure 7(b) atomicity violation in thread 3."""
     return WaterSP(n_workers=n_workers, bug="atomicity", **kwargs)
 
 
+@SEEDED.register("seeded-radix")
 def seeded_radix(n_workers: int = 8, **kwargs) -> Radix:
     """radix with the Figure 7(c) order violation (one occurrence)."""
     return Radix(n_workers=n_workers, bug=True, **kwargs)
@@ -42,15 +51,10 @@ def seeded_radix(n_workers: int = 8, **kwargs) -> Radix:
 
 def seeded_program(application: str, n_workers: int = 8, **kwargs):
     """Build the seeded variant of a Table 2 application by name."""
-    factories = {
-        "waterNS": seeded_waterNS,
-        "waterSP": seeded_waterSP,
-        "radix": seeded_radix,
-    }
-    try:
-        factory = factories[application]
-    except KeyError:
+    factory = SEEDED.get(f"seeded-{application}",
+                         SEEDED.get(application, None))
+    if factory is None:
         raise ValueError(
             f"no seeded bug for {application!r}; Table 2 covers "
-            f"{sorted(factories)}") from None
+            f"{sorted(app for app, _ in SEEDED_BUGS)}")
     return factory(n_workers=n_workers, **kwargs)

@@ -1,0 +1,83 @@
+"""End-to-end CLI test: a seeded order violation is localized to its
+allocation site and offsets (Section 2.3), under both hash backends.
+
+``seeded-radix`` plants the Figure 7(c) order violation: worker 3 reads
+its scatter offsets before worker 0's prefix sum produced them, so the
+pass-1 scatter lands in the wrong slots of the key array.  ``repro
+localize`` must map the first divergent checkpoint back to the
+``radix.c:keys`` allocation — and the answer must not depend on which
+batch hash kernel computed the divergence.
+"""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.core.checker.runner import check_determinism
+from repro.core.hashing.kernels import ENV_BACKEND, has_numpy
+from repro.workloads.seeded_bugs import seeded_radix
+
+BACKENDS = ["python"] + (["numpy"] if has_numpy() else [])
+
+BASE_SEED = 1000
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def _find_divergence(runs=16):
+    """Discover a divergent (seed_a, seed_b, checkpoint) dynamically.
+
+    The order violation only fires on schedules that interleave worker 3
+    past worker 0's prefix sum, so the divergent pair is found by
+    checking, exactly as a user would."""
+    result = check_determinism(seeded_radix(), runs=runs,
+                               base_seed=BASE_SEED)
+    assert not result.deterministic, "seeded bug did not fire; raise runs"
+    hashes = [r.hashes() for r in result.records]
+    for i, h in enumerate(hashes[1:], start=1):
+        if h != hashes[0]:
+            for cp, (a, b) in enumerate(zip(hashes[0], h)):
+                if a != b:
+                    return BASE_SEED, BASE_SEED + i, cp
+    raise AssertionError("hash sequences diverge but no pair found")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_localize_cli_maps_seeded_radix_to_site(backend, monkeypatch):
+    monkeypatch.setenv(ENV_BACKEND, backend)
+    seed_a, seed_b, checkpoint = _find_divergence()
+    code, text = run_cli("localize", "seeded-radix",
+                         "--checkpoint", str(checkpoint),
+                         "--seed-a", str(seed_a), "--seed-b", str(seed_b))
+    assert code == 1  # differences found
+    # The buggy scatter writes into the key array: the report must name
+    # the allocation site, not a raw address.
+    assert "radix.c:keys" in text
+    assert "differing words" in text
+
+
+def test_localize_cli_backends_agree(monkeypatch):
+    """The localization answer is a property of the program, not of the
+    kernel that hashed it: both backends must print the same report."""
+    if not has_numpy():
+        pytest.skip("numpy backend not installed")
+    seed_a, seed_b, checkpoint = _find_divergence()
+    reports = {}
+    for backend in ("python", "numpy"):
+        monkeypatch.setenv(ENV_BACKEND, backend)
+        code, text = run_cli("localize", "seeded-radix",
+                             "--checkpoint", str(checkpoint),
+                             "--seed-a", str(seed_a), "--seed-b", str(seed_b))
+        assert code == 1
+        reports[backend] = text
+    assert reports["python"] == reports["numpy"]
+
+
+def test_localize_cli_rejects_unknown_app():
+    code, _ = run_cli("localize", "not-an-app", "--checkpoint", "0")
+    assert code == 3  # usage error, not a crash
