@@ -13,7 +13,12 @@ Commands
 
 ``check``, ``characterize``, and ``campaign`` accept ``--telemetry
 PATH`` to stream structured spans/metrics/events to a JSONL file (see
-docs/telemetry.md).
+docs/telemetry.md).  ``check`` and ``campaign`` additionally take
+``--progress`` (live in-place console on stderr) and ``--metrics-port
+N`` (Prometheus ``/metrics`` + ``/healthz`` endpoint for the duration
+of the command); ``stats`` can export the recorded stream as Chrome/
+Perfetto trace JSON via ``--export chrome-trace``.  See
+docs/observability.md for the live plane.
 
 Exit codes (see docs/robustness.md) are uniform across commands:
 
@@ -105,6 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="emit the full result as JSON")
     check.add_argument("--telemetry", metavar="PATH",
                        help="write telemetry events (JSONL) to PATH")
+    _add_observability_args(check)
     _add_robustness_args(check)
 
     char = sub.add_parser("characterize",
@@ -138,11 +144,19 @@ def _build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--resume", metavar="PATH",
                       help="resume from (and keep appending to) the journal "
                       "at PATH, skipping inputs it already holds")
+    _add_observability_args(camp)
     _add_robustness_args(camp)
 
     stats = sub.add_parser(
         "stats", help="render a profile summary from a telemetry JSONL file")
     stats.add_argument("file", help="JSONL file written by --telemetry")
+    stats.add_argument("--export", choices=("chrome-trace",), default=None,
+                       help="instead of the text summary, export the stream "
+                       "in another format (chrome-trace: Chrome/Perfetto "
+                       "trace_event JSON)")
+    stats.add_argument("--out", metavar="PATH", default=None,
+                       help="write the --export artifact to PATH instead of "
+                       "stdout")
 
     races = sub.add_parser(
         "races", help="detect data races and classify them benign/harmful "
@@ -221,6 +235,20 @@ def _add_robustness_args(parser) -> None:
                         "= serial")
 
 
+def _add_observability_args(parser) -> None:
+    """Live-plane knobs shared by ``check`` and ``campaign``."""
+    parser.add_argument("--progress", action="store_true",
+                        help="render a live progress view on stderr "
+                        "(in-place when stderr is a TTY, plain lines "
+                        "otherwise)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="N",
+                        help="serve Prometheus /metrics and /healthz on "
+                        "127.0.0.1:N for the duration of the command "
+                        "(0 picks a free port; the bound port is printed "
+                        "to stderr)")
+
+
 def _parse_workers(raw: str):
     """``--workers`` accepts a positive int or the literal ``auto``."""
     if raw == "auto":
@@ -273,14 +301,26 @@ class _AppFactory:
         return _make_program(self.app, **params)
 
 
-def _telemetry_from(args):
-    """Open a JSONL telemetry session when ``--telemetry`` was given."""
-    path = getattr(args, "telemetry", None)
-    if not path:
-        return None
-    from repro.telemetry import Telemetry
+def _open_plane(args):
+    """Assemble the observability plane the flags ask for.
 
-    return Telemetry.to_jsonl(path)
+    Covers ``--telemetry`` (JSONL recording), ``--progress`` (live
+    console), and ``--metrics-port`` (Prometheus endpoint); commands
+    that only define a subset of those flags work unchanged via the
+    getattr defaults.  Returns an
+    :class:`~repro.telemetry.plane.ObservabilityPlane` whose
+    ``telemetry`` attribute is None when no flag was given.
+    """
+    from repro.telemetry import ObservabilityPlane
+
+    plane = ObservabilityPlane.open(
+        jsonl_path=getattr(args, "telemetry", None),
+        progress=bool(getattr(args, "progress", False)),
+        metrics_port=getattr(args, "metrics_port", None))
+    if plane.server is not None:
+        print(f"metrics: http://127.0.0.1:{plane.server.port}/metrics",
+              file=sys.stderr)
+    return plane
 
 
 def _parse_input_point(spec: str):
@@ -352,16 +392,15 @@ def _cmd_check(args, out) -> int:
     rounding = ROUNDINGS[args.rounding]()
     ignores = (tuple(getattr(program, "SUGGESTED_IGNORES", ()))
                if args.ignores else ())
-    telemetry = _telemetry_from(args)
+    plane = _open_plane(args)
     try:
         result = check_determinism(
             program, runs=args.runs, base_seed=args.seed, ignores=ignores,
-            telemetry=telemetry, **_robustness_overrides(args),
+            telemetry=plane.telemetry, **_robustness_overrides(args),
             schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding,
                                        backend=args.hash_backend)})
     finally:
-        if telemetry is not None:
-            telemetry.close()
+        plane.close()
     if args.json:
         print(to_json(result), file=out)
         return _outcome_exit_code(result.outcome)
@@ -391,13 +430,12 @@ def _cmd_check(args, out) -> int:
 
 
 def _cmd_characterize(args, out) -> int:
-    telemetry = _telemetry_from(args)
+    plane = _open_plane(args)
     try:
         row = characterize(make(args.app), runs=args.runs,
-                           telemetry=telemetry)
+                           telemetry=plane.telemetry)
     finally:
-        if telemetry is not None:
-            telemetry.close()
+        plane.close()
     if args.json:
         print(to_json(row), file=out)
         return 0
@@ -418,18 +456,17 @@ def _cmd_campaign(args, out) -> int:
                            "(--resume already names the journal)")
     journal_path = args.resume or args.journal
     rounding = ROUNDINGS[args.rounding]()
-    telemetry = _telemetry_from(args)
+    plane = _open_plane(args)
     try:
         result = run_campaign(
             _AppFactory(args.app), points,
-            runs=args.runs, base_seed=args.seed, telemetry=telemetry,
+            runs=args.runs, base_seed=args.seed, telemetry=plane.telemetry,
             journal_path=journal_path, resume=bool(args.resume),
             **_robustness_overrides(args),
             schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding,
                                        backend=args.hash_backend)})
     finally:
-        if telemetry is not None:
-            telemetry.close()
+        plane.close()
     print(result.summary(), file=out)
     if result.internal_only_inputs:
         print(f"  internal-only (end-state masked): "
@@ -448,9 +485,38 @@ def _cmd_campaign(args, out) -> int:
 
 
 def _cmd_stats(args, out) -> int:
-    from repro.telemetry import render_stats_file
+    import json
 
-    print(render_stats_file(args.file), file=out)
+    from repro.telemetry import (chrome_trace, load_events_tolerant,
+                                 render_stats)
+
+    try:
+        events, skipped = load_events_tolerant(args.file)
+    except OSError as exc:
+        print(f"stats: cannot read {args.file}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return EXIT_INFRA
+    if not events:
+        detail = (f"every line unparseable ({skipped} skipped)"
+                  if skipped else "no events")
+        print(f"stats: {args.file}: {detail} — not a telemetry file?",
+              file=sys.stderr)
+        return EXIT_INFRA
+    if skipped:
+        print(f"stats: warning: skipped {skipped} unparseable line(s) in "
+              f"{args.file} (mid-write or truncated file?)", file=sys.stderr)
+    if args.export == "chrome-trace":
+        trace = chrome_trace(events)
+        document = json.dumps(trace, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(document + "\n")
+            print(f"wrote {len(trace['traceEvents'])} trace events -> "
+                  f"{args.out}", file=sys.stderr)
+        else:
+            print(document, file=out)
+        return 0
+    print(render_stats(events, skipped=skipped), file=out)
     return 0
 
 

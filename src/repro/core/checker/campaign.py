@@ -14,6 +14,12 @@ and the campaign continues; a journal path appends every completed
 input as it finishes, and ``resume=True`` skips inputs the journal
 already holds.  The execution machinery — serial loop, process-pool
 fan-out, journal/telemetry merge — lives in :mod:`repro.core.engine`.
+
+Campaigns are observable while they run: the ``telemetry=`` session
+emits per-input progress and verdict events, and the live plane
+(``--progress`` console, ``--metrics-port`` Prometheus endpoint, worker
+heartbeats with stall detection) consumes the same stream — see
+docs/observability.md.
 """
 
 from __future__ import annotations

@@ -13,6 +13,12 @@ plan → execute → judge pipeline shared with campaigns and the parallel
 backend; see docs/architecture.md); this module is the stable public
 surface, re-exporting the data model and wiring keyword overrides into
 :func:`~repro.core.engine.session.execute_session`.
+
+Pass ``telemetry=`` to watch a session: a plain JSONL-backed
+:class:`~repro.telemetry.Telemetry` records it, and one opened through
+:class:`~repro.telemetry.ObservabilityPlane` additionally streams the
+same events to a live console and a Prometheus ``/metrics`` endpoint
+without changing any verdict bit (see docs/observability.md).
 """
 
 from __future__ import annotations

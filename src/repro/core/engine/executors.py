@@ -25,6 +25,20 @@ and the worker-telemetry merge protocol live here too: the parent
 re-emits each worker's buffered events tagged with the worker's pid
 (``worker_spawn`` on first sight, ``worker_merge`` after folding each
 task) and merges metric snapshots into the session registry.
+
+Worker heartbeats (the live health plane, see docs/observability.md):
+when the parent session has telemetry enabled, each pool worker starts
+a daemon beat thread that pushes a small liveness record — pid, runs
+completed, checkpoints, last-progress timestamp — through a bounded
+``multiprocessing`` queue every :data:`HEARTBEAT_INTERVAL_S` seconds.
+The parent's :class:`HeartbeatMonitor` thread drains the queue, emits
+``worker_heartbeat`` events (with a derived checkpoints/s rate),
+maintains the per-worker ``worker_staleness_seconds`` gauge, and emits
+one ``worker_stalled`` event (+ ``workers_stalled`` counter) when a
+worker goes silent past :data:`WORKER_STALL_S` — a SIGSTOPped or
+livelocked worker becomes visible *during* the run without perturbing
+the verdict.  Beats are fire-and-forget on a bounded queue: a slow or
+absent monitor never blocks a worker.
 """
 
 from __future__ import annotations
@@ -32,6 +46,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import queue as queue_mod
+import threading
 import time
 from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
                                 ProcessPoolExecutor)
@@ -40,6 +56,26 @@ from concurrent.futures import wait
 
 from repro.core.checker.policies import SessionBudget
 from repro.errors import BudgetError, CheckerError, ReproError, WorkerCrashError
+
+
+def _env_float(name: str, default: float) -> float:
+    """A float knob from the environment, falling back on bad values."""
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+#: Seconds between worker heartbeats (env: REPRO_HEARTBEAT_INTERVAL_S).
+HEARTBEAT_INTERVAL_S = _env_float("REPRO_HEARTBEAT_INTERVAL_S", 0.5)
+#: Silence (seconds) after which a worker is reported stalled
+#: (env: REPRO_WORKER_STALL_S).
+WORKER_STALL_S = _env_float("REPRO_WORKER_STALL_S", 5.0)
+#: Bound on the in-flight heartbeat queue; overflowing beats are shed.
+_HEARTBEAT_QUEUE_SIZE = 1024
 
 #: Sentinel results: the worker process died / the session deadline
 #: expired before the task could be salvaged.
@@ -85,7 +121,42 @@ def require_picklable(**objects) -> None:
             ) from exc
 
 
-def _worker_init() -> None:
+#: Worker-local progress state read by the beat thread.  Plain dict
+#: mutations are atomic under the GIL; the beat thread only reads.
+_HB_STATE = {"runs": 0, "checkpoints": 0, "last_progress": None}
+
+
+def note_worker_progress(runs: int = 0, checkpoints: int = 0) -> None:
+    """Advance this worker's progress counters (beat-thread visible)."""
+    _HB_STATE["runs"] += runs
+    _HB_STATE["checkpoints"] += checkpoints
+    _HB_STATE["last_progress"] = time.monotonic()
+
+
+def _beat_loop(beat_queue, interval_s: float) -> None:
+    """Push one liveness record per interval; never block, never raise.
+
+    Runs as a daemon thread in the worker: a SIGSTOPped or wedged
+    worker stops beating (the thread freezes with the process), which
+    is exactly the signal the parent's monitor turns into
+    ``worker_stalled``.
+    """
+    pid = os.getpid()
+    while True:
+        beat = {"pid": pid, "runs": _HB_STATE["runs"],
+                "checkpoints": _HB_STATE["checkpoints"],
+                "last_progress": _HB_STATE["last_progress"],
+                "mono": time.monotonic()}
+        try:
+            beat_queue.put_nowait(beat)
+        except Exception:
+            # Full queue (monitor behind) or torn-down parent: shed the
+            # beat — liveness reporting must never stall the worker.
+            pass
+        time.sleep(interval_s)
+
+
+def _worker_init(heartbeat=None) -> None:
     """Per-worker startup: drop inherited fds the worker must not hold.
 
     Forked workers inherit the parent's open files, including the
@@ -95,6 +166,10 @@ def _worker_init() -> None:
     ``--resume``.  Closing the inherited fds here confines ownership to
     the parent.  Under a spawn start method nothing is inherited and
     the registry is empty — a no-op.
+
+    *heartbeat* is an optional ``(queue, interval_s)`` pair from the
+    parent; when present, the worker resets its progress counters and
+    starts the beat thread (see :func:`_beat_loop`).
     """
     from repro.core.checker import journal
 
@@ -104,6 +179,125 @@ def _worker_init() -> None:
         except OSError:
             pass
     journal._OWNED_FDS.clear()
+    if heartbeat is not None:
+        beat_queue, interval_s = heartbeat
+        _HB_STATE.update(runs=0, checkpoints=0,
+                         last_progress=time.monotonic())
+        threading.Thread(target=_beat_loop, args=(beat_queue, interval_s),
+                         name="repro-heartbeat", daemon=True).start()
+
+
+class HeartbeatMonitor:
+    """Parent-side consumer of the worker heartbeat queue.
+
+    Drains beats into telemetry (``worker_heartbeat`` events, the
+    per-worker ``worker_staleness_seconds`` gauge, a derived
+    checkpoints/s rate) and watches for silence: a worker whose last
+    beat is older than *stall_after_s* gets exactly one
+    ``worker_stalled`` event per stall episode (cleared when it beats
+    again).  Staleness is measured on the *parent's* clock from the
+    moment a beat is drained, so a frozen worker cannot fake liveness.
+
+    The monitor owns no verdict-relevant state; it can be driven
+    directly (``observe_beat`` / ``check_stalls`` with an injected
+    clock) for deterministic tests, or via :meth:`start` for real pools.
+    """
+
+    def __init__(self, tele, beat_queue, stall_after_s: float | None = None,
+                 poll_s: float | None = None, clock=time.monotonic):
+        self.tele = tele
+        self.queue = beat_queue
+        self.stall_after_s = (stall_after_s if stall_after_s is not None
+                              else WORKER_STALL_S)
+        self.poll_s = (poll_s if poll_s is not None
+                       else max(0.05, HEARTBEAT_INTERVAL_S / 2))
+        self.clock = clock
+        self.workers: dict = {}  # pid -> state dict
+        self.stalls = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- pure state transitions (unit-testable with a fake clock) ------------------
+
+    def observe_beat(self, beat: dict, now: float | None = None) -> None:
+        now = self.clock() if now is None else now
+        pid = beat.get("pid")
+        state = self.workers.get(pid)
+        rate = 0.0
+        if state is not None:
+            dt = (beat.get("mono") or 0.0) - state["mono"]
+            if dt > 0:
+                rate = max(0.0, (beat.get("checkpoints", 0)
+                                 - state["checkpoints"]) / dt)
+        recovered = state is not None and state.get("stalled")
+        self.workers[pid] = {
+            "seen": now,
+            "mono": beat.get("mono") or 0.0,
+            "runs": beat.get("runs", 0),
+            "checkpoints": beat.get("checkpoints", 0),
+            "last_progress": beat.get("last_progress"),
+            "rate": rate,
+            "stalled": False,
+        }
+        reg = self.tele.registry
+        reg.counter("worker_heartbeats", worker=pid).inc()
+        reg.gauge("worker_staleness_seconds", worker=pid).set(0.0)
+        reg.gauge("worker_checkpoints_per_s", worker=pid).set(rate)
+        self.tele.event("worker_heartbeat", worker=pid,
+                        runs_completed=beat.get("runs", 0),
+                        checkpoints=beat.get("checkpoints", 0),
+                        checkpoints_per_s=rate,
+                        last_progress=beat.get("last_progress"),
+                        staleness_s=0.0, recovered=recovered)
+
+    def check_stalls(self, now: float | None = None) -> None:
+        now = self.clock() if now is None else now
+        for pid, state in self.workers.items():
+            staleness = max(0.0, now - state["seen"])
+            self.tele.registry.gauge("worker_staleness_seconds",
+                                     worker=pid).set(staleness)
+            if staleness >= self.stall_after_s and not state["stalled"]:
+                state["stalled"] = True
+                self.stalls += 1
+                self.tele.registry.counter("workers_stalled").inc()
+                self.tele.event("worker_stalled", worker=pid,
+                                staleness_s=staleness,
+                                runs_completed=state["runs"],
+                                last_progress=state["last_progress"])
+
+    # -- the monitor thread --------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                beat = self.queue.get(timeout=self.poll_s)
+            except queue_mod.Empty:
+                pass
+            except (OSError, EOFError, ValueError):
+                return  # queue torn down underneath us: monitoring over
+            else:
+                self.observe_beat(beat)
+            self.check_stalls()
+
+    def start(self) -> "HeartbeatMonitor":
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._loop,
+                                            name="repro-heartbeat-monitor",
+                                            daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        try:
+            # Reader-side teardown; workers shed beats once it is gone.
+            self.queue.close()
+            self.queue.cancel_join_thread()
+        except (AttributeError, OSError):
+            pass
 
 
 def _run_isolated(worker_fn, args, ctx, deadline):
@@ -189,11 +383,33 @@ class ProcessPoolRunExecutor(RunExecutor):
 
     name = "process-pool"
 
-    def __init__(self, n_workers: int, deadline=None):
+    def __init__(self, n_workers: int, deadline=None, telemetry=None,
+                 heartbeat_interval_s: float | None = None,
+                 stall_after_s: float | None = None):
         super().__init__()
         self.n_workers = n_workers
         self.deadline = deadline
+        # Heartbeats ride on telemetry: without an enabled session there
+        # is nowhere to report liveness, so no queue/monitor is set up.
+        self.telemetry = (telemetry
+                          if telemetry is not None and telemetry.enabled
+                          else None)
+        self.heartbeat_interval_s = (heartbeat_interval_s
+                                     if heartbeat_interval_s is not None
+                                     else HEARTBEAT_INTERVAL_S)
+        self.stall_after_s = stall_after_s
+        self.monitor: HeartbeatMonitor | None = None
         self._pending: dict = {}  # future -> run index
+
+    def _start_heartbeats(self, ctx) -> tuple:
+        """Arm the heartbeat channel; returns the worker initargs."""
+        if self.telemetry is None:
+            return ()
+        beat_queue = ctx.Queue(maxsize=_HEARTBEAT_QUEUE_SIZE)
+        self.monitor = HeartbeatMonitor(self.telemetry, beat_queue,
+                                        stall_after_s=self.stall_after_s)
+        self.monitor.start()
+        return ((beat_queue, self.heartbeat_interval_s),)
 
     def cancel(self) -> None:
         super().cancel()
@@ -207,9 +423,10 @@ class ProcessPoolRunExecutor(RunExecutor):
         if not indexes:
             return
         ctx = _mp_context()
+        initargs = self._start_heartbeats(ctx)
         executor = ProcessPoolExecutor(
             max_workers=max(1, min(self.n_workers, len(indexes))),
-            mp_context=ctx, initializer=_worker_init)
+            mp_context=ctx, initializer=_worker_init, initargs=initargs)
         pending = self._pending
         try:
             # Submission order == index order: the pool starts tasks
@@ -268,6 +485,9 @@ class ProcessPoolRunExecutor(RunExecutor):
             # expired deadline justifies abandoning a possibly-stuck
             # worker.
             executor.shutdown(wait=not self.expired, cancel_futures=True)
+            if self.monitor is not None:
+                self.monitor.stop()
+                self.monitor = None
 
 
 # -- run attempts (shared by the serial loop and the pool workers) -----------
@@ -397,6 +617,9 @@ def session_run_worker(program, config, index: int, session_deadline,
                            run_deadline_s=config.run_deadline_s).start()
     record, failure, session_expired = attempt_run(
         runner, budget, plan.retry, config, tele, index)
+    checkpoints = (len(record.checkpoints) if record is not None
+                   else failure.checkpoints if failure is not None else 0)
+    note_worker_progress(runs=1, checkpoints=checkpoints)
     out = {"index": index, "pid": os.getpid(), "record": record,
            "failure": failure, "expired": session_expired}
     out.update(telemetry_payload(tele))
@@ -422,8 +645,12 @@ def campaign_input_worker(program_factory, point, config,
         program_name = program.name
         result = execute_session(program, config, telemetry=tele)
         outcome = outcome_from_result(point, result)
+        note_worker_progress(runs=result.runs,
+                             checkpoints=sum(len(r.checkpoints)
+                                             for r in result.records))
     except ReproError as exc:
         outcome = error_outcome(point, type(exc).__name__, str(exc))
+        note_worker_progress()  # the attempt itself is progress
     out = {"pid": os.getpid(), "outcome": outcome, "program": program_name}
     out.update(telemetry_payload(tele))
     return out

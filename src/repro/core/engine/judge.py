@@ -104,6 +104,11 @@ class Judge:
             self.tele.event("progress", kind="run",
                             program=self.plan.program.name,
                             run=index + 1, total=self.plan.config.runs)
+            # The live plane's headline counter: folded in the parent
+            # the moment a run lands (exported as
+            # repro_runs_completed_total), so a mid-run /metrics scrape
+            # sees progress without waiting for worker merges.
+            self.tele.registry.counter("runs_completed").inc()
 
     def fold_failure(self, index: int, failure) -> None:
         """Fold one crashed/hung run."""

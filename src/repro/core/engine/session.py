@@ -169,7 +169,8 @@ def pool_session(plan: SessionPlan, tele):
             for i in remaining
         }
         executor = ProcessPoolRunExecutor(plan.n_workers,
-                                          deadline=budget.session_deadline)
+                                          deadline=budget.session_deadline,
+                                          telemetry=tele)
         _drive(plan, judge, executor, tasks, tele, seen_pids=set())
         if executor.expired:
             judge.fold_expired()
@@ -220,7 +221,8 @@ def fan_out_campaign(program_factory, points, config, tele, journal,
     outcomes: dict = {}
     seen_pids: set = set()
     program_name = None
-    executor = ProcessPoolRunExecutor(n_workers, deadline=None)
+    executor = ProcessPoolRunExecutor(n_workers, deadline=None,
+                                      telemetry=tele)
     for pos, value in executor.stream(tasks):
         point = by_position[pos]
         if value is CRASHED:

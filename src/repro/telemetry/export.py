@@ -1,0 +1,198 @@
+"""Exporters: Prometheus text format and Chrome ``trace_event`` JSON.
+
+Both exporters derive from the same data ``repro stats`` renders — the
+:class:`~repro.telemetry.registry.MetricsRegistry` snapshot and the
+recorded span/event stream — so the numbers on a dashboard, in a
+Perfetto trace, and in the terminal profile always agree.
+
+* :func:`render_prometheus` turns one registry snapshot into the
+  Prometheus text exposition format (`counter` families suffixed
+  ``_total``, histogram summaries as ``_count``/``_sum`` plus
+  ``_min``/``_max`` gauges, every metric prefixed ``repro_``).  It is
+  what the :mod:`repro.telemetry.http` server serves on ``/metrics``
+  and what ``--metrics-port`` snapshots are made of.
+* :func:`chrome_trace` turns a recorded event stream (the JSONL file a
+  session wrote) into the Chrome ``trace_event`` format — an object
+  with a ``traceEvents`` array of complete (``ph: "X"``) spans and
+  instant (``ph: "i"``) events — loadable in Perfetto / chrome://tracing
+  via ``repro stats FILE --export chrome-trace``.
+
+Worker-tagged events (the parallel engine re-emits worker streams with
+a ``worker: <pid>`` field and *worker-relative* timestamps) are placed
+on their own process track, so cross-process clocks are never mixed on
+one timeline.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.stats import _parse_key
+
+#: Prefix every exported metric family, Prometheus-style namespacing.
+PROMETHEUS_PREFIX = "repro"
+
+#: The parent session's synthetic pid on the trace timeline (workers
+#: use their real pid).
+TRACE_SESSION_PID = 0
+
+
+def _escape_label(value) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _label_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+
+
+def _format_value(value) -> str | None:
+    """Prometheus sample value; None for unexportable values."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(float(value)) if isinstance(value, float) else str(value)
+    return None
+
+
+def render_prometheus(snapshot: dict, extra_counters: dict | None = None) -> str:
+    """Render one registry snapshot as Prometheus text format.
+
+    *snapshot* is :meth:`MetricsRegistry.snapshot`'s dict; *extra_counters*
+    lets the caller append counters tracked outside the registry (the
+    bus's ``events_dropped``, for instance) without routing them through
+    an instrument first.
+    """
+    families: dict = {}  # family name -> (type, help, [(labels, value)])
+
+    def add(name: str, kind: str, labels: dict, value, help_text: str) -> None:
+        formatted = _format_value(value)
+        if formatted is None:
+            return
+        family = families.setdefault(
+            name, (kind, help_text, []))
+        family[2].append((_label_str(labels), formatted))
+
+    counters = dict(snapshot.get("counters") or {})
+    for key, value in (extra_counters or {}).items():
+        counters[key] = counters.get(key, 0) + value
+    for key, value in counters.items():
+        name, labels = _parse_key(key)
+        base = f"{PROMETHEUS_PREFIX}_{_sanitize(name)}"
+        if not base.endswith("_total"):
+            base += "_total"
+        add(base, "counter", labels, value,
+            f"repro counter {name!r}")
+    for key, value in (snapshot.get("gauges") or {}).items():
+        name, labels = _parse_key(key)
+        add(f"{PROMETHEUS_PREFIX}_{_sanitize(name)}", "gauge", labels, value,
+            f"repro gauge {name!r}")
+    for key, summary in (snapshot.get("histograms") or {}).items():
+        name, labels = _parse_key(key)
+        base = f"{PROMETHEUS_PREFIX}_{_sanitize(name)}"
+        add(base + "_count", "counter", labels, summary.get("count"),
+            f"observations of {name!r}")
+        add(base + "_sum", "counter", labels, summary.get("sum"),
+            f"sum of {name!r}")
+        add(base + "_min", "gauge", labels, summary.get("min"),
+            f"minimum observed {name!r}")
+        add(base + "_max", "gauge", labels, summary.get("max"),
+            f"maximum observed {name!r}")
+
+    lines = []
+    for family in sorted(families):
+        kind, help_text, samples = families[family]
+        lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {kind}")
+        for labels, value in sorted(samples):
+            lines.append(f"{family}{labels} {value}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse Prometheus text format back into ``{sample_key: float}``.
+
+    A deliberately strict reader used by tests and the CI scrape smoke:
+    every non-comment line must be ``name[{labels}] value``.
+    """
+    samples: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        if not key:
+            raise ValueError(f"malformed sample line: {line!r}")
+        samples[key] = float(value)
+    return samples
+
+
+# -- Chrome trace_event export ------------------------------------------------
+
+
+def _track(event: dict) -> tuple[int, int]:
+    """(pid, tid) for one recorded event: workers get their own track."""
+    worker = event.get("worker")
+    if worker is None:
+        return TRACE_SESSION_PID, 0
+    return int(worker), 0
+
+
+def chrome_trace(events: list) -> dict:
+    """Convert a recorded telemetry stream to Chrome ``trace_event`` JSON.
+
+    Spans become complete events (``ph: "X"``, microsecond start +
+    duration); point events become instants (``ph: "i"``); metadata
+    events name the session and worker tracks.  The result serializes
+    with ``json.dumps`` and loads directly in Perfetto.
+    """
+    trace: list = []
+    tracks: dict = {}
+
+    def note_track(pid: int) -> None:
+        if pid not in tracks:
+            name = ("repro session" if pid == TRACE_SESSION_PID
+                    else f"worker {pid}")
+            tracks[pid] = name
+
+    for event in events:
+        kind = event.get("t")
+        pid, tid = _track(event)
+        if kind == "span_end":
+            dur_s = event.get("dur_s") or 0.0
+            end_s = event.get("ts") or 0.0
+            note_track(pid)
+            trace.append({
+                "name": event.get("name", "?"),
+                "ph": "X",
+                "ts": max(0.0, (end_s - dur_s)) * 1e6,
+                "dur": dur_s * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(event.get("attrs") or {}),
+            })
+        elif kind == "event":
+            note_track(pid)
+            args = {k: v for k, v in event.items()
+                    if k not in ("t", "v", "ts", "name")}
+            trace.append({
+                "name": event.get("name", "?"),
+                "ph": "i",
+                "ts": (event.get("ts") or 0.0) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "s": "p",  # process-scoped instant
+                "args": args,
+            })
+    for pid, name in sorted(tracks.items()):
+        trace.append({"name": "process_name", "ph": "M", "pid": pid,
+                      "tid": 0, "args": {"name": name}})
+    trace.sort(key=lambda e: (e["ph"] == "M", e.get("ts", 0.0)))
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}

@@ -124,13 +124,32 @@ class MetricsRegistry:
         return self._get(self._histograms, Histogram, name, labels)
 
     def snapshot(self) -> dict:
-        """Flat, JSON-safe view of every instrument's current value."""
-        return {
-            "counters": {k: c.value for k, c in sorted(self._counters.items())},
-            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
-            "histograms": {k: h.summary()
-                           for k, h in sorted(self._histograms.items())},
-        }
+        """Flat, JSON-safe view of every instrument's current value.
+
+        Safe to call from observer threads (the /metrics server, the
+        live console) while the session mutates instruments: the only
+        structural hazard is a table being resized mid-iteration, which
+        CPython surfaces as ``RuntimeError`` — retried here rather than
+        taxing every hot-path increment with a lock.  Individual values
+        may be mid-update (a torn histogram sum); that is monitoring
+        noise, not corruption, and the *final* snapshot (taken after
+        the session quiesces) is exact.
+        """
+        for _ in range(8):
+            try:
+                return {
+                    "counters": {k: c.value
+                                 for k, c in sorted(self._counters.items())},
+                    "gauges": {k: g.value
+                               for k, g in sorted(self._gauges.items())},
+                    "histograms": {k: h.summary()
+                                   for k, h in sorted(
+                                       self._histograms.items())},
+                }
+            except RuntimeError:
+                continue  # a table grew underneath us; take a fresh view
+        raise RuntimeError("registry snapshot kept racing instrument "
+                           "creation after 8 attempts")
 
     def merge_snapshot(self, snapshot: dict) -> None:
         """Fold another registry's :meth:`snapshot` into this one.

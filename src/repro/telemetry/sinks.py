@@ -14,7 +14,12 @@ from __future__ import annotations
 import json
 
 #: Version stamped on every event line; bump on breaking schema changes.
-SCHEMA_VERSION = 1
+#: v2 added the live-observability events (``worker_heartbeat``,
+#: ``worker_stalled``, ``events_dropped``) and the ``runs_completed``
+#: counter; readers accept every version in SUPPORTED_SCHEMA_VERSIONS.
+SCHEMA_VERSION = 2
+#: Schema versions ``aggregate``/``render_stats`` know how to read.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 #: Schema identifier written by the session-opening ``meta`` event.
 SCHEMA_NAME = "repro.telemetry"
 
@@ -68,7 +73,12 @@ class JsonlSink(Sink):
 
 
 def load_events(path: str) -> list[dict]:
-    """Read a JSONL telemetry file back into a list of event dicts."""
+    """Read a JSONL telemetry file back into a list of event dicts.
+
+    Strict: any malformed line raises.  Readers that must survive
+    mid-write files (``repro stats`` over a live or killed session's
+    telemetry) use :func:`load_events_tolerant` instead.
+    """
     events = []
     with open(path) as handle:
         for line in handle:
@@ -76,3 +86,30 @@ def load_events(path: str) -> list[dict]:
             if line:
                 events.append(json.loads(line))
     return events
+
+
+def load_events_tolerant(path: str) -> tuple[list[dict], int]:
+    """Read a JSONL telemetry file, skipping unparseable lines.
+
+    Returns ``(events, skipped)``.  A file being scraped mid-write (or
+    truncated by a kill) legitimately ends in a torn line; that line —
+    and any other garbage — is counted, not fatal.  Lines that parse
+    but are not JSON objects count as skipped too.
+    """
+    events: list[dict] = []
+    skipped = 0
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+            else:
+                skipped += 1
+    return events, skipped

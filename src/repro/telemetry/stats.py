@@ -11,7 +11,8 @@ SW-Inc vs SW-Tr trade-off).
 from __future__ import annotations
 
 from repro.telemetry.registry import metric_key  # noqa: F401  (re-export)
-from repro.telemetry.sinks import load_events
+from repro.telemetry.sinks import (SUPPORTED_SCHEMA_VERSIONS,
+                                   load_events_tolerant)
 
 
 def _parse_key(key: str) -> tuple[str, dict]:
@@ -24,7 +25,15 @@ def _parse_key(key: str) -> tuple[str, dict]:
 
 
 def aggregate(events: list) -> dict:
-    """Collapse an event stream into one profile dict."""
+    """Collapse an event stream into one profile dict.
+
+    Reads every schema version in
+    :data:`~repro.telemetry.sinks.SUPPORTED_SCHEMA_VERSIONS`: v1 files
+    simply never contain the v2 observability events
+    (``worker_heartbeat`` / ``worker_stalled`` / ``events_dropped``),
+    so their sections stay empty.  Event versions outside the supported
+    set are counted in ``foreign_versions`` rather than rejected.
+    """
     profile = {
         "schema": None,
         "n_events": len(events),
@@ -33,8 +42,15 @@ def aggregate(events: list) -> dict:
         "progress": 0,
         "divergences": [],
         "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        "workers": {},         # pid -> last worker_heartbeat payload
+        "stalled_workers": [],
+        "events_dropped": 0,
+        "foreign_versions": 0,
     }
     for event in events:
+        version = event.get("v")
+        if version is not None and version not in SUPPORTED_SCHEMA_VERSIONS:
+            profile["foreign_versions"] += 1
         kind = event.get("t")
         if kind == "meta":
             profile["schema"] = event.get("schema")
@@ -47,10 +63,24 @@ def aggregate(events: list) -> dict:
             else:
                 profile["sessions"].append(record)
         elif kind == "event":
-            if event.get("name") == "progress":
+            name = event.get("name")
+            if name == "progress":
                 profile["progress"] += 1
-            elif event.get("name") == "first_divergence":
+            elif name == "first_divergence":
                 profile["divergences"].append(event)
+            elif name == "worker_heartbeat":
+                profile["workers"][event.get("worker")] = {
+                    "runs_completed": event.get("runs_completed", 0),
+                    "checkpoints": event.get("checkpoints", 0),
+                    "checkpoints_per_s": event.get("checkpoints_per_s", 0.0),
+                }
+            elif name == "worker_stalled":
+                pid = event.get("worker")
+                if pid not in profile["stalled_workers"]:
+                    profile["stalled_workers"].append(pid)
+            elif name == "events_dropped":
+                profile["events_dropped"] = max(profile["events_dropped"],
+                                                event.get("dropped") or 0)
         elif kind == "metrics":
             # Snapshots are cumulative; the last one wins.
             profile["metrics"] = event.get("metrics", profile["metrics"])
@@ -67,11 +97,22 @@ def _fmt_seconds(seconds) -> str:
     return f"{seconds:8.3f}s "
 
 
-def render_stats(events: list) -> str:
-    """Human-readable profile summary of one telemetry stream."""
+def render_stats(events: list, skipped: int = 0) -> str:
+    """Human-readable profile summary of one telemetry stream.
+
+    *skipped* is the unparseable-line count from
+    :func:`~repro.telemetry.sinks.load_events_tolerant`; a nonzero
+    count is reported in the header instead of aborting aggregation.
+    """
     profile = aggregate(events)
-    lines = [f"telemetry profile ({profile['schema'] or 'unversioned'}, "
-             f"{profile['n_events']} events)"]
+    header = (f"telemetry profile ({profile['schema'] or 'unversioned'}, "
+              f"{profile['n_events']} events)")
+    if skipped:
+        header += f" [warning: skipped {skipped} unparseable line(s)]"
+    lines = [header]
+    if profile["foreign_versions"]:
+        lines.append(f"  warning: {profile['foreign_versions']} event(s) "
+                     f"from an unsupported schema version")
 
     for session in profile["sessions"]:
         attrs = session["attrs"]
@@ -141,6 +182,18 @@ def render_stats(events: list) -> str:
         for key, value in sorted(sched.items()):
             lines.append(f"  {key:16s} {value:>12,d}")
 
+    if profile["workers"]:
+        lines.append("\nworker health (last heartbeat):")
+        for pid in sorted(profile["workers"], key=str):
+            w = profile["workers"][pid]
+            stalled = " STALLED" if pid in profile["stalled_workers"] else ""
+            lines.append(f"  worker {pid}: runs={w['runs_completed']} "
+                         f"checkpoints={w['checkpoints']} "
+                         f"rate={w['checkpoints_per_s']:.1f}/s{stalled}")
+    if profile["events_dropped"]:
+        lines.append(f"\nevents dropped under backpressure: "
+                     f"{profile['events_dropped']}")
+
     lines.append(f"\nprogress events: {profile['progress']}")
     if profile["divergences"]:
         lines.append("first divergences:")
@@ -154,4 +207,5 @@ def render_stats(events: list) -> str:
 
 
 def render_stats_file(path: str) -> str:
-    return render_stats(load_events(path))
+    events, skipped = load_events_tolerant(path)
+    return render_stats(events, skipped=skipped)

@@ -146,6 +146,16 @@ class Telemetry:
                         "metrics": self.registry.snapshot()})
 
     def close(self) -> None:
+        # A lossy recording must be visibly lossy: when the sink is an
+        # EventBus that shed events under backpressure, the loss is
+        # stamped into the stream (event + counter) before the final
+        # metrics flush.  Drops that happen during close itself can at
+        # worst under-count — never silently vanish from the registry
+        # of the *next* flush, since the bus keeps its own tally.
+        dropped = getattr(self.sink, "events_dropped", 0)
+        if self.enabled and dropped:
+            self.registry.counter("events_dropped").inc(dropped)
+            self.event("events_dropped", dropped=dropped)
         self.flush()
         self.sink.close()
 

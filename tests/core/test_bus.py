@@ -1,0 +1,203 @@
+"""Tests for the streaming telemetry EventBus (pub/sub, backpressure)."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import (EventBus, JsonlSink, MemorySink, Telemetry,
+                             load_events)
+from repro.telemetry.sinks import Sink
+
+
+class ExplodingSink(Sink):
+    """Fails after accepting *survive* events."""
+
+    def __init__(self, survive: int = 0):
+        self.survive = survive
+        self.events = []
+
+    def emit(self, event):
+        if len(self.events) >= self.survive:
+            raise RuntimeError("subscriber broke")
+        self.events.append(event)
+
+
+class TestFanOut:
+    def test_every_subscriber_sees_every_event_in_order(self):
+        bus = EventBus()
+        a, b = MemorySink(), MemorySink()
+        bus.subscribe(a)
+        bus.subscribe(b)
+        for i in range(100):
+            bus.emit({"i": i})
+        bus.close()
+        assert [e["i"] for e in a.events] == list(range(100))
+        assert [e["i"] for e in b.events] == list(range(100))
+        assert bus.events_published == 100
+        assert bus.events_dropped == 0
+
+    def test_pull_subscriber_drains_backlog(self):
+        bus = EventBus()
+        sub = bus.subscribe()  # no sink: pull mode
+        bus.emit({"i": 0})
+        bus.emit({"i": 1})
+        assert [e["i"] for e in sub.drain()] == [0, 1]
+        assert sub.drain() == []
+        assert sub.delivered == 2
+        bus.close()
+
+    def test_bus_is_a_sink_for_telemetry(self):
+        bus = EventBus()
+        mem = MemorySink()
+        bus.subscribe(mem)
+        tele = Telemetry(bus)
+        tele.event("progress", run=1)
+        tele.close()
+        kinds = [e["t"] for e in mem.events]
+        assert kinds[0] == "meta"
+        assert "event" in kinds
+
+    def test_jsonl_through_bus_matches_direct_wiring(self, tmp_path):
+        direct, bused = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+
+        def record(sink_factory):
+            tele = Telemetry(sink_factory())
+            with tele.span("run", seed=1):
+                tele.event("progress", run=1)
+            tele.registry.counter("runs").inc()
+            tele.close()
+
+        record(lambda: JsonlSink(direct))
+
+        def bus_sink():
+            bus = EventBus()
+            bus.subscribe(JsonlSink(bused), close_with_bus=True)
+            return bus
+
+        record(bus_sink)
+
+        def strip_ts(events):
+            return [{k: v for k, v in e.items() if k not in ("ts", "dur_s")}
+                    for e in events]
+
+        assert strip_ts(load_events(direct)) == strip_ts(load_events(bused))
+
+
+class TestBackpressure:
+    def test_full_queue_drops_and_counts(self):
+        bus = EventBus()
+        sub = bus.subscribe(maxlen=3)  # pull mode: nothing drains it
+        for i in range(10):
+            bus.emit({"i": i})
+        assert sub.pending == 3
+        assert sub.dropped == 7
+        assert bus.events_dropped == 7
+        # The oldest events win (FIFO admission, drop-newest).
+        assert [e["i"] for e in sub.drain()] == [0, 1, 2]
+        bus.close()
+
+    def test_slow_subscriber_does_not_block_others(self):
+        bus = EventBus()
+        slow = bus.subscribe(maxlen=1)
+        fast = MemorySink()
+        bus.subscribe(fast)
+        for i in range(50):
+            bus.emit({"i": i})
+        bus.close()
+        assert len(fast.events) == 50
+        assert slow.dropped == 49
+
+    def test_emit_never_blocks_under_many_publishers(self):
+        bus = EventBus()
+        sub = bus.subscribe(maxlen=8)
+        threads = [threading.Thread(
+            target=lambda: [bus.emit({"x": 1}) for _ in range(200)])
+            for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+        assert sub.pending + sub.dropped == 800
+        bus.close()
+
+    def test_broken_subscriber_counts_losses_and_spares_the_rest(self):
+        bus = EventBus()
+        broken = ExplodingSink(survive=2)
+        broken_sub = bus.subscribe(broken)
+        healthy = MemorySink()
+        bus.subscribe(healthy)
+        for i in range(10):
+            bus.emit({"i": i})
+        bus.close()
+        assert len(healthy.events) == 10
+        assert len(broken.events) == 2
+        assert broken_sub.delivered == 2
+        assert broken_sub.dropped == 8
+
+    def test_telemetry_close_stamps_drop_count(self):
+        bus = EventBus()
+        mem = MemorySink()
+        bus.subscribe(mem)
+        bus.subscribe(maxlen=1)  # starving pull subscriber forces drops
+        tele = Telemetry(bus)
+        for i in range(20):
+            tele.event("progress", run=i)
+        tele.close()
+        dropped = [e for e in mem.events
+                   if e.get("t") == "event" and e.get("name") == "events_dropped"]
+        assert dropped and dropped[0]["dropped"] > 0
+        final_metrics = [e for e in mem.events if e["t"] == "metrics"][-1]
+        assert final_metrics["metrics"]["counters"]["events_dropped"] > 0
+
+
+class TestLifecycle:
+    def test_close_is_a_delivery_barrier(self):
+        bus = EventBus()
+        mem = MemorySink()
+        bus.subscribe(mem)
+        for i in range(1000):
+            bus.emit({"i": i})
+        bus.close()  # must not lose queued-but-undelivered events
+        assert len(mem.events) == 1000
+
+    def test_emit_after_close_is_ignored(self):
+        bus = EventBus()
+        mem = MemorySink()
+        bus.subscribe(mem)
+        bus.close()
+        bus.emit({"i": 1})  # no exception, no delivery
+        assert mem.events == []
+
+    def test_subscribe_after_close_raises(self):
+        bus = EventBus()
+        bus.close()
+        with pytest.raises(RuntimeError):
+            bus.subscribe(MemorySink())
+
+    def test_close_closes_owned_sinks_only(self, tmp_path):
+        bus = EventBus()
+        owned = JsonlSink(str(tmp_path / "owned.jsonl"))
+        loose = JsonlSink(str(tmp_path / "loose.jsonl"))
+        bus.subscribe(owned, close_with_bus=True)
+        bus.subscribe(loose)
+        bus.emit({"v": 1, "t": "event", "name": "x", "ts": 0.0})
+        bus.close()
+        assert owned._handle.closed
+        assert not loose._handle.closed
+        loose.close()
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        mem = MemorySink()
+        sub = bus.subscribe(mem)
+        bus.emit({"i": 0})
+        bus.flush()
+        bus.unsubscribe(sub)
+        bus.emit({"i": 1})
+        bus.close()
+        assert [e["i"] for e in mem.events] == [0]
+
+    def test_bad_maxlen_rejected(self):
+        with pytest.raises(ValueError):
+            EventBus().subscribe(maxlen=0)

@@ -264,3 +264,92 @@ def test_campaign_workers_with_journal(tmp_path):
                          "--resume", path)
     assert code == 0
     assert "resumed from journal: small, large" in text
+
+
+# -- observability plane (ISSUE 6) -------------------------------------------------
+
+
+def test_stats_missing_file_exits_infra(capsys):
+    code, text = run_cli("stats", "/nonexistent/telemetry.jsonl")
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1  # exactly one diagnostic line
+    assert "cannot read" in err
+
+
+def test_stats_empty_file_exits_infra(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    code, _ = run_cli("stats", str(path))
+    assert code == 2
+    assert "no events" in capsys.readouterr().err
+
+
+def test_stats_all_garbage_exits_infra(tmp_path, capsys):
+    path = tmp_path / "garbage.jsonl"
+    path.write_text("not json\nstill not json\n")
+    code, _ = run_cli("stats", str(path))
+    assert code == 2
+    assert "every line unparseable" in capsys.readouterr().err
+
+
+def test_stats_torn_tail_warns_but_renders(tmp_path, capsys):
+    jsonl = str(tmp_path / "t.jsonl")
+    run_cli("check", "volrend", "--runs", "3", "--telemetry", jsonl)
+    with open(jsonl, "a") as handle:
+        handle.write('{"v": 2, "t": "ev')  # simulate a mid-write kill
+    code, text = run_cli("stats", jsonl)
+    assert code == 0
+    assert "runs recorded: 3" in text
+    assert "skipped 1 unparseable line(s)" in text
+    assert "skipped 1 unparseable line" in capsys.readouterr().err
+
+
+def test_stats_export_chrome_trace(tmp_path):
+    import json
+
+    jsonl = str(tmp_path / "t.jsonl")
+    run_cli("check", "volrend", "--runs", "3", "--telemetry", jsonl)
+    code, text = run_cli("stats", jsonl, "--export", "chrome-trace")
+    assert code == 0
+    doc = json.loads(text)
+    assert {e["name"] for e in doc["traceEvents"]} >= {"run", "check_session"}
+
+    out = str(tmp_path / "trace.json")
+    code, _ = run_cli("stats", jsonl, "--export", "chrome-trace",
+                      "--out", out)
+    assert code == 0
+    with open(out) as handle:
+        assert json.load(handle)["displayTimeUnit"] == "ms"
+
+
+def test_check_progress_flag_renders_to_stderr(capsys):
+    code, text = run_cli("check", "volrend", "--runs", "3", "--progress")
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "repro live" in err
+    assert "runs 3/3" in err
+    assert "volrend" in err
+    # The stdout report is untouched by the console.
+    assert "deterministic : True" in text
+    assert "repro live" not in text
+
+
+def test_check_metrics_port_zero_binds_ephemeral(capsys):
+    code, _ = run_cli("check", "volrend", "--runs", "3",
+                      "--metrics-port", "0")
+    assert code == 0
+    assert "metrics: http://127.0.0.1:" in capsys.readouterr().err
+
+
+def test_campaign_accepts_observability_flags(tmp_path, capsys):
+    jsonl = str(tmp_path / "t.jsonl")
+    code, _ = run_cli("campaign", "volrend", "--runs", "3",
+                      "--progress", "--metrics-port", "0",
+                      "--telemetry", jsonl)
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "metrics: http://127.0.0.1:" in err
+    assert "repro live" in err
+    from repro.telemetry import load_events
+    assert load_events(jsonl)[0]["t"] == "meta"

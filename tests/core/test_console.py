@@ -1,0 +1,150 @@
+"""Tests for the live session console (--progress)."""
+
+import io
+
+from repro.core.checker.runner import check_determinism
+from repro.telemetry import EventBus, SessionConsole, Telemetry
+
+from _programs import Fig1Program
+
+
+class FakeTty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+def _feed(console, *events):
+    for event in events:
+        console.emit(event)
+
+
+def _session_start(program="fig1", runs=4):
+    return {"v": 2, "t": "span_start", "ts": 0.0, "span": 0, "parent": None,
+            "name": "check_session",
+            "attrs": {"program": program, "runs": runs}}
+
+
+def _run_progress(run, total=4):
+    return {"v": 2, "t": "event", "ts": 0.1, "name": "progress",
+            "kind": "run", "run": run, "total": total}
+
+
+class TestStateTracking:
+    def test_runs_counted(self):
+        console = SessionConsole(stream=io.StringIO())
+        _feed(console, _session_start(runs=4),
+              _run_progress(1), _run_progress(2))
+        assert console.program == "fig1"
+        assert console.runs_total == 4
+        assert console.runs_done == 2
+
+    def test_campaign_inputs_and_flags(self):
+        console = SessionConsole(stream=io.StringIO())
+        _feed(console,
+              {"v": 2, "t": "span_start", "ts": 0.0, "span": 0,
+               "parent": None, "name": "campaign",
+               "attrs": {"inputs": 3, "resumed": ["a"]}},
+              {"v": 2, "t": "event", "ts": 0.1, "name": "input_verdict",
+               "input": "b", "deterministic": False})
+        assert console.inputs_total == 3
+        assert console.inputs_done == 2  # one resumed + one judged
+        assert console.inputs_flagged == 1
+
+    def test_notices_and_worker_health(self):
+        console = SessionConsole(stream=io.StringIO())
+        _feed(console,
+              {"v": 2, "t": "event", "ts": 0.1, "name": "first_divergence",
+               "variant": "s", "run": 3},
+              {"v": 2, "t": "event", "ts": 0.1, "name": "session_cancelled"},
+              {"v": 2, "t": "event", "ts": 0.2, "name": "worker_heartbeat",
+               "worker": 7, "runs_completed": 2, "checkpoints_per_s": 10.0,
+               "staleness_s": 0.0},
+              {"v": 2, "t": "event", "ts": 0.3, "name": "worker_stalled",
+               "worker": 8, "staleness_s": 9.0},
+              {"v": 2, "t": "event", "ts": 0.4, "name": "events_dropped",
+               "dropped": 5})
+        assert console.divergences == [("s", 3)]
+        assert console.cancelled
+        assert console.workers[7]["stalled"] is False
+        assert console.workers[8]["stalled"] is True
+        assert console.dropped == 5
+        text = "\n".join(console._snapshot_lines())
+        assert "first divergence: s at run 3" in text
+        assert "session cancelled" in text
+        assert "8:STALLED" in text
+        assert "dropped 5" in text
+
+
+class TestRendering:
+    def test_non_tty_emits_plain_lines_only_on_change(self):
+        stream = io.StringIO()
+        console = SessionConsole(stream=stream)
+        _feed(console, _session_start())
+        console._render()
+        console._render()  # unchanged: no second line
+        _feed(console, _run_progress(1))
+        console._render()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "\x1b[" not in stream.getvalue()
+        assert "runs 0/4" in lines[0]
+        assert "runs 1/4" in lines[1]
+
+    def test_tty_redraws_in_place(self):
+        stream = FakeTty()
+        console = SessionConsole(stream=stream)
+        _feed(console, _session_start())
+        console._render()
+        _feed(console, _run_progress(1))
+        console._render()
+        text = stream.getvalue()
+        assert "\x1b[1A\x1b[0J" in text  # cursor-up + clear-to-end redraw
+
+    def test_closed_stream_never_raises(self):
+        stream = io.StringIO()
+        console = SessionConsole(stream=stream)
+        _feed(console, _session_start())
+        stream.close()
+        console._render()  # swallowed ValueError
+        console.close()
+
+    def test_final_render_on_close(self):
+        stream = io.StringIO()
+        console = SessionConsole(stream=stream)
+        _feed(console, _session_start(), _run_progress(1), _run_progress(2),
+              _run_progress(3), _run_progress(4))
+        console.close()
+        assert "runs 4/4" in stream.getvalue()
+
+
+class TestLiveIntegration:
+    def test_console_on_bus_observes_a_real_session(self):
+        stream = io.StringIO()
+        console = SessionConsole(stream=stream, interval_s=0.01)
+        bus = EventBus()
+        bus.subscribe(console)
+        tele = Telemetry(bus)
+        console.bind(tele)
+        console.start()
+        check_determinism(Fig1Program(), runs=4, telemetry=tele)
+        tele.close()
+        console.close()
+        assert console.runs_done == 4
+        assert console.runs_total == 4
+        assert "runs 4/4" in stream.getvalue()
+
+    def test_scheme_rates_derive_from_registry_deltas(self):
+        fake_now = [0.0]
+        console = SessionConsole(stream=io.StringIO(),
+                                 clock=lambda: fake_now[0])
+        tele = Telemetry(EventBus())
+        console.bind(tele)
+        hist = tele.registry.histogram("state_hash_seconds",
+                                       scheme="hw", variant="s")
+        console._scheme_rates()  # establish the basis at t=0
+        for _ in range(10):
+            hist.observe(0.001)
+        fake_now[0] = 2.0
+        rates = console._scheme_rates()
+        assert rates["hw"] == 5.0  # 10 checkpoints over 2 seconds
+        tele.close()

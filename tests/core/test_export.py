@@ -1,0 +1,137 @@
+"""Tests for the Prometheus and Chrome trace_event exporters."""
+
+import json
+
+import pytest
+
+from repro.core.checker.runner import check_determinism
+from repro.telemetry import (MemorySink, MetricsRegistry, Telemetry,
+                             chrome_trace, parse_prometheus,
+                             render_prometheus)
+
+from _programs import Fig1Program
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("runs").inc(5)
+    reg.counter("scheme_hash_updates", scheme="hw", variant="s").inc(100)
+    reg.gauge("runs_configured").set(5)
+    h = reg.histogram("state_hash_seconds", scheme="hw", variant="s")
+    for v in (0.001, 0.003, 0.002):
+        h.observe(v)
+    return reg
+
+
+class TestPrometheus:
+    def test_counter_families_get_total_suffix(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        samples = parse_prometheus(text)
+        assert samples["repro_runs_total"] == 5
+        key = 'repro_scheme_hash_updates_total{scheme="hw",variant="s"}'
+        assert samples[key] == 100
+
+    def test_gauges_and_histogram_summaries(self):
+        samples = parse_prometheus(
+            render_prometheus(_sample_registry().snapshot()))
+        assert samples["repro_runs_configured"] == 5
+        base = "repro_state_hash_seconds"
+        labels = '{scheme="hw",variant="s"}'
+        assert samples[f"{base}_count{labels}"] == 3
+        assert samples[f"{base}_sum{labels}"] == pytest.approx(0.006)
+        assert samples[f"{base}_min{labels}"] == pytest.approx(0.001)
+        assert samples[f"{base}_max{labels}"] == pytest.approx(0.003)
+
+    def test_help_and_type_lines_per_family(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        for line in text.splitlines():
+            assert line  # no blank lines inside the exposition
+        assert "# TYPE repro_runs_total counter" in text
+        assert "# TYPE repro_runs_configured gauge" in text
+        assert "# TYPE repro_state_hash_seconds_min gauge" in text
+
+    def test_extra_counters_are_appended(self):
+        samples = parse_prometheus(render_prometheus(
+            {"counters": {}}, extra_counters={"events_dropped": 7}))
+        assert samples["repro_events_dropped_total"] == 7
+
+    def test_none_gauge_values_are_skipped(self):
+        reg = MetricsRegistry()
+        reg.gauge("unset")
+        text = render_prometheus(reg.snapshot())
+        assert "repro_unset" not in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", label='has"quote').inc()
+        text = render_prometheus(reg.snapshot())
+        assert 'label="has\\"quote"' in text
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("justonetoken\n")
+
+
+class TestChromeTrace:
+    def _recorded_events(self, runs=3):
+        sink = MemorySink()
+        tele = Telemetry(sink)
+        check_determinism(Fig1Program(), runs=runs, telemetry=tele)
+        tele.close()
+        return sink.events
+
+    def test_schema_shape(self):
+        doc = chrome_trace(self._recorded_events())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        for entry in doc["traceEvents"]:
+            assert entry["ph"] in ("X", "i", "M")
+            assert isinstance(entry["pid"], int)
+            assert isinstance(entry["tid"], int)
+            if entry["ph"] == "X":
+                assert entry["ts"] >= 0
+                assert entry["dur"] >= 0
+            if entry["ph"] == "i":
+                assert entry["s"] == "p"
+        # Round-trips through JSON (what Perfetto loads).
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_spans_become_complete_events(self):
+        doc = chrome_trace(self._recorded_events(runs=3))
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = [e["name"] for e in spans]
+        assert names.count("run") == 3
+        assert "check_session" in names
+        run = next(e for e in spans if e["name"] == "run")
+        assert "seed" in run["args"]
+
+    def test_instants_carry_payload_args(self):
+        doc = chrome_trace(self._recorded_events())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        progress = [e for e in instants if e["name"] == "progress"]
+        assert progress
+        assert progress[0]["args"].get("run") == 1
+
+    def test_worker_events_get_their_own_track(self):
+        events = [
+            {"v": 2, "t": "span_end", "ts": 1.0, "dur_s": 0.5,
+             "name": "run", "attrs": {}},
+            {"v": 2, "t": "span_end", "ts": 0.8, "dur_s": 0.3,
+             "name": "run", "attrs": {}, "worker": 4242},
+            {"v": 2, "t": "event", "ts": 0.9, "name": "progress",
+             "worker": 4242},
+        ]
+        doc = chrome_trace(events)
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] != "M"}
+        assert pids == {0, 4242}
+        meta = {e["pid"]: e["args"]["name"]
+                for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert meta[0] == "repro session"
+        assert meta[4242] == "worker 4242"
+
+    def test_sorted_by_timestamp_with_metadata_last(self):
+        doc = chrome_trace(self._recorded_events())
+        kinds = [e["ph"] for e in doc["traceEvents"]]
+        first_meta = kinds.index("M")
+        assert all(k == "M" for k in kinds[first_meta:])
+        ts = [e["ts"] for e in doc["traceEvents"][:first_meta]]
+        assert ts == sorted(ts)

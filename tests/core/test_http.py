@@ -1,0 +1,120 @@
+"""Tests for the /metrics + /healthz endpoint and snapshot writer."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry import (EventBus, MemorySink, MetricsServer, Telemetry,
+                             health_document, parse_prometheus,
+                             write_prometheus_snapshot)
+
+
+@pytest.fixture
+def tele():
+    t = Telemetry(MemorySink())
+    t.registry.counter("runs_completed").inc(3)
+    t.registry.gauge("runs_configured").set(8)
+    yield t
+    t.close()
+
+
+@pytest.fixture
+def server(tele):
+    srv = MetricsServer(tele, port=0)  # ephemeral port
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.read().decode()
+
+
+class TestMetricsServer:
+    def test_metrics_endpoint_serves_prometheus_text(self, server):
+        status, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        samples = parse_prometheus(body)  # strict: validates the format
+        assert samples["repro_runs_completed_total"] == 3
+        assert samples["repro_runs_configured"] == 8
+
+    def test_metrics_reflect_live_mutations(self, server, tele):
+        tele.registry.counter("runs_completed").inc(5)
+        _, body = _get(f"{server.url}/metrics")
+        assert parse_prometheus(body)["repro_runs_completed_total"] == 8
+
+    def test_healthz_ok(self, server):
+        status, body = _get(f"{server.url}/healthz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        assert doc["runs_completed"] == 3
+        assert doc["uptime_s"] >= 0
+        assert doc["stalled_workers"] == []
+
+    def test_healthz_503_when_a_worker_is_stalled(self, tele):
+        tele.registry.gauge("worker_staleness_seconds", worker=111).set(99.0)
+        srv = MetricsServer(tele, port=0, stall_after_s=5.0)
+        srv.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{srv.url}/healthz")
+            assert excinfo.value.code == 503
+            doc = json.loads(excinfo.value.read().decode())
+            assert doc["status"] == "stalled"
+            assert doc["stalled_workers"] == ["111"]
+        finally:
+            srv.stop()
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_ephemeral_port_is_bound(self, server):
+        assert server.port > 0
+
+    def test_stop_frees_the_port(self, tele):
+        srv = MetricsServer(tele, port=0)
+        port = srv.start()
+        srv.stop()
+        srv2 = MetricsServer(tele, port=port)
+        assert srv2.start() == port
+        srv2.stop()
+
+    def test_bus_drop_counter_is_exported(self):
+        bus = EventBus()
+        bus.subscribe(maxlen=1)  # starving pull subscriber
+        tele = Telemetry(bus)
+        for i in range(10):
+            tele.event("x", i=i)
+        srv = MetricsServer(tele, port=0)
+        srv.start()
+        try:
+            _, body = _get(f"{srv.url}/metrics")
+            assert parse_prometheus(body)["repro_events_dropped_total"] > 0
+        finally:
+            srv.stop()
+            tele.close()
+
+
+class TestHealthDocument:
+    def test_stall_threshold_boundary(self, tele):
+        tele.registry.gauge("worker_staleness_seconds", worker=1).set(4.9)
+        tele.registry.gauge("worker_staleness_seconds", worker=2).set(5.0)
+        doc = health_document(tele, started_monotonic=0.0, stall_after_s=5.0)
+        assert doc["status"] == "stalled"
+        assert doc["stalled_workers"] == ["2"]
+        assert set(doc["workers"]) == {"1", "2"}
+
+
+class TestSnapshotFile:
+    def test_write_prometheus_snapshot(self, tele, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        write_prometheus_snapshot(tele, path)
+        with open(path) as handle:
+            samples = parse_prometheus(handle.read())
+        assert samples["repro_runs_completed_total"] == 3

@@ -1,0 +1,95 @@
+"""The observability plane must never perturb a verdict.
+
+The ISSUE-6 guard: enabling any combination of the live plane —
+JSONL-over-bus recording, the metrics endpoint, the progress console,
+worker heartbeats — changes no verdict, no hash, and no bit of the
+serialized report, serial or pooled, including the ``stop_on_first``
+cancellation path.  Everything here compares ``to_json`` output (minus
+wall-clock fields stripped by the serializer's stable form) against a
+bare baseline run.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.core.checker.runner import check_determinism
+from repro.core.checker.serialize import to_json
+from repro.telemetry import ObservabilityPlane
+
+from _programs import Fig1Program, RacyProgram
+
+
+def _strip_timing(document: str):
+    """Drop wall-clock-dependent fields so comparisons are bit-stable."""
+    def scrub(node):
+        if isinstance(node, dict):
+            return {k: scrub(v) for k, v in node.items()
+                    if "duration" not in k and "seconds" not in k
+                    and k != "elapsed_s"}
+        if isinstance(node, list):
+            return [scrub(v) for v in node]
+        return node
+    return scrub(json.loads(document))
+
+
+def _check(program_cls, telemetry=None, **overrides):
+    return check_determinism(program_cls(), runs=6, telemetry=telemetry,
+                             **overrides)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+@pytest.mark.parametrize("program_cls", [Fig1Program, RacyProgram])
+def test_full_plane_changes_no_report_bit(tmp_path, workers, program_cls,
+                                          monkeypatch):
+    # Fast heartbeats so the pooled variant actually exercises them.
+    monkeypatch.setattr("repro.core.engine.executors.HEARTBEAT_INTERVAL_S",
+                        0.05)
+    baseline = _check(program_cls, workers=workers)
+    plane = ObservabilityPlane.open(
+        jsonl_path=str(tmp_path / "t.jsonl"), progress=True,
+        progress_stream=io.StringIO(), metrics_port=0)
+    try:
+        observed = _check(program_cls, telemetry=plane.telemetry,
+                          workers=workers)
+    finally:
+        plane.close()
+    assert _strip_timing(to_json(observed)) == _strip_timing(to_json(baseline))
+    assert ([r.hashes() for r in observed.records]
+            == [r.hashes() for r in baseline.records])
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_stop_on_first_cancellation_is_identical_under_the_plane(
+        tmp_path, workers):
+    baseline = _check(RacyProgram, workers=workers, stop_on_first=True)
+    plane = ObservabilityPlane.open(
+        jsonl_path=str(tmp_path / "t.jsonl"), progress=True,
+        progress_stream=io.StringIO(), metrics_port=0)
+    try:
+        observed = _check(RacyProgram, telemetry=plane.telemetry,
+                          workers=workers, stop_on_first=True)
+    finally:
+        plane.close()
+    assert _strip_timing(to_json(observed)) == _strip_timing(to_json(baseline))
+    assert observed.runs == baseline.runs
+
+
+def test_metrics_scrape_mid_session_does_not_perturb(tmp_path):
+    import urllib.request
+
+    baseline = _check(Fig1Program)
+    plane = ObservabilityPlane.open(metrics_port=0)
+    try:
+        # Interleave scrapes with the session by scraping from the
+        # progress events' side effects: simplest reliable interleave is
+        # one scrape before, one after — the server thread also races
+        # snapshot() against live increments throughout.
+        url = f"http://127.0.0.1:{plane.server.port}/metrics"
+        urllib.request.urlopen(url, timeout=5).read()
+        observed = _check(Fig1Program, telemetry=plane.telemetry)
+        urllib.request.urlopen(url, timeout=5).read()
+    finally:
+        plane.close()
+    assert _strip_timing(to_json(observed)) == _strip_timing(to_json(baseline))

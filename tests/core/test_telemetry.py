@@ -7,9 +7,11 @@ import pytest
 from repro.core.checker.campaign import InputPoint, run_campaign
 from repro.core.checker.runner import check_determinism
 from repro.core.schemes.base import SchemeConfig
-from repro.telemetry import (SCHEMA_VERSION, JsonlSink, MemorySink,
+from repro.telemetry import (SCHEMA_VERSION, SUPPORTED_SCHEMA_VERSIONS,
+                             Histogram, JsonlSink, MemorySink,
                              MetricsRegistry, NullSink, Telemetry, aggregate,
-                             load_events, metric_key, render_stats)
+                             load_events, load_events_tolerant, metric_key,
+                             render_stats)
 
 from _programs import Fig1Program, RacyProgram
 
@@ -249,3 +251,212 @@ class TestStats:
         assert "simulated instructions by category" in text
         assert "sched_picks" in text
         assert "progress events: 3" in text
+
+
+# -- snapshot / summary merging (parallel-engine aggregation) ----------------------
+
+
+class TestMergeSnapshot:
+    def test_counters_add_and_labels_never_collide_across_names(self):
+        reg = MetricsRegistry()
+        reg.counter("updates", scheme="hw").inc(5)
+        other = MetricsRegistry()
+        other.counter("updates", scheme="hw").inc(3)
+        other.counter("updates", scheme="sw_tr").inc(7)
+        reg.merge_snapshot(other.snapshot())
+        snap = reg.snapshot()["counters"]
+        assert snap["updates{scheme=hw}"] == 8
+        assert snap["updates{scheme=sw_tr}"] == 7
+
+    def test_same_label_values_under_different_names_stay_apart(self):
+        # A collision-shaped case: identical label dicts on two metric
+        # names must land on two instruments, not one.
+        reg = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.counter("hits", scheme="hw").inc(1)
+        worker.counter("misses", scheme="hw").inc(2)
+        reg.merge_snapshot(worker.snapshot())
+        snap = reg.snapshot()["counters"]
+        assert snap == {"hits{scheme=hw}": 1, "misses{scheme=hw}": 2}
+
+    def test_empty_snapshot_is_a_no_op(self):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc(4)
+        before = reg.snapshot()
+        reg.merge_snapshot({})
+        reg.merge_snapshot({"counters": {}, "gauges": {},
+                            "histograms": {}})
+        reg.merge_snapshot({"counters": None, "gauges": None,
+                            "histograms": None})
+        assert reg.snapshot() == before
+
+    def test_merge_into_empty_registry_copies_everything(self):
+        worker = MetricsRegistry()
+        worker.counter("runs").inc(2)
+        worker.gauge("depth").set(7)
+        worker.histogram("lat").observe(1.5)
+        reg = MetricsRegistry()
+        reg.merge_snapshot(worker.snapshot())
+        assert reg.snapshot() == worker.snapshot()
+
+    def test_merge_order_independence_for_counters_and_histograms(self):
+        def worker(seed):
+            w = MetricsRegistry()
+            w.counter("runs").inc(seed)
+            h = w.histogram("lat", scheme="hw")
+            for v in (seed * 0.5, seed * 1.5):
+                h.observe(v)
+            return w.snapshot()
+
+        snaps = [worker(s) for s in (1, 2, 3)]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in snaps:
+            forward.merge_snapshot(snap)
+        for snap in reversed(snaps):
+            backward.merge_snapshot(snap)
+        f, b = forward.snapshot(), backward.snapshot()
+        assert f["counters"] == b["counters"]
+        assert f["histograms"] == b["histograms"]
+        # Gauges are last-writer-wins by contract, so they may differ.
+
+    def test_gauge_merge_is_last_writer_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(1)
+        other = MetricsRegistry()
+        other.gauge("depth").set(9)
+        reg.merge_snapshot(other.snapshot())
+        assert reg.snapshot()["gauges"]["depth"] == 9
+
+
+class TestMergeSummary:
+    def test_empty_summary_is_a_no_op(self):
+        h = Histogram()
+        h.observe(2.0)
+        h.merge_summary({"count": 0, "sum": 0.0, "min": None, "max": None})
+        h.merge_summary({})
+        assert h.summary()["count"] == 1
+        assert h.summary()["min"] == 2.0
+
+    def test_merge_into_empty_histogram(self):
+        h = Histogram()
+        h.merge_summary({"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0})
+        assert h.summary() == {"count": 3, "sum": 6.0, "min": 1.0,
+                               "max": 3.0, "mean": 2.0}
+
+    def test_missing_bounds_leave_ours_untouched(self):
+        h = Histogram()
+        h.observe(5.0)
+        h.merge_summary({"count": 2, "sum": 4.0, "min": None, "max": None})
+        assert h.summary()["min"] == 5.0
+        assert h.summary()["max"] == 5.0
+        assert h.summary()["count"] == 3
+
+    def test_bounds_tighten_correctly(self):
+        h = Histogram()
+        h.observe(5.0)
+        h.merge_summary({"count": 1, "sum": 1.0, "min": 1.0, "max": 1.0})
+        h.merge_summary({"count": 1, "sum": 9.0, "min": 9.0, "max": 9.0})
+        assert h.summary()["min"] == 1.0
+        assert h.summary()["max"] == 9.0
+
+    def test_merge_equals_direct_observation(self):
+        values = [0.5, 2.5, 1.0, 4.0, 3.5]
+        direct = Histogram()
+        for v in values:
+            direct.observe(v)
+        split_a, split_b = Histogram(), Histogram()
+        for v in values[:2]:
+            split_a.observe(v)
+        for v in values[2:]:
+            split_b.observe(v)
+        merged = Histogram()
+        merged.merge_summary(split_a.summary())
+        merged.merge_summary(split_b.summary())
+        assert merged.summary() == direct.summary()
+
+
+# -- schema-version compatibility (v1 fixture) -------------------------------------
+
+
+V1_FIXTURE = __file__.rsplit("/", 2)[0] + "/fixtures/telemetry_v1.jsonl"
+
+
+class TestSchemaCompat:
+    def test_current_version_is_supported(self):
+        assert SCHEMA_VERSION in SUPPORTED_SCHEMA_VERSIONS
+        assert 1 in SUPPORTED_SCHEMA_VERSIONS
+
+    def test_v1_fixture_aggregates_cleanly(self):
+        events = load_events(V1_FIXTURE)
+        profile = aggregate(events)
+        assert profile["schema"] == "repro.telemetry/v1"
+        assert profile["foreign_versions"] == 0
+        assert len(profile["runs"]) == 2
+        assert profile["progress"] == 2
+        assert profile["metrics"]["counters"]["runs"] == 2
+        # v1 predates the live-observability events: sections stay empty.
+        assert profile["workers"] == {}
+        assert profile["stalled_workers"] == []
+        assert profile["events_dropped"] == 0
+
+    def test_v1_fixture_renders_without_warnings(self):
+        text = render_stats(load_events(V1_FIXTURE))
+        assert "repro.telemetry/v1" in text
+        assert "runs recorded: 2" in text
+        assert "warning" not in text
+
+    def test_v2_events_aggregate_into_worker_sections(self):
+        events = load_events(V1_FIXTURE) + [
+            {"v": 2, "t": "event", "ts": 0.03, "name": "worker_heartbeat",
+             "worker": 42, "runs_completed": 2, "checkpoints": 8,
+             "checkpoints_per_s": 12.5},
+            {"v": 2, "t": "event", "ts": 0.04, "name": "worker_stalled",
+             "worker": 42, "staleness_s": 6.0},
+            {"v": 2, "t": "event", "ts": 0.05, "name": "events_dropped",
+             "dropped": 3},
+        ]
+        profile = aggregate(events)
+        assert profile["workers"][42]["checkpoints_per_s"] == 12.5
+        assert profile["stalled_workers"] == [42]
+        assert profile["events_dropped"] == 3
+        text = render_stats(events)
+        assert "worker 42" in text
+        assert "STALLED" in text
+        assert "events dropped under backpressure: 3" in text
+
+    def test_unknown_future_version_counts_as_foreign(self):
+        events = load_events(V1_FIXTURE) + [
+            {"v": 99, "t": "event", "ts": 0.9, "name": "mystery"}]
+        profile = aggregate(events)
+        assert profile["foreign_versions"] == 1
+        assert "unsupported schema version" in render_stats(events)
+
+
+# -- tolerant loading --------------------------------------------------------------
+
+
+class TestTolerantLoading:
+    def test_torn_trailing_line_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        good = json.dumps({"v": 2, "t": "meta",
+                           "schema": "repro.telemetry/v2", "ts": 0.0})
+        path.write_text(good + "\n" + '{"v": 2, "t": "ev')
+        events, skipped = load_events_tolerant(str(path))
+        assert len(events) == 1
+        assert skipped == 1
+        with pytest.raises(json.JSONDecodeError):
+            load_events(str(path))  # the strict reader still refuses
+
+    def test_non_object_lines_count_as_skipped(self, tmp_path):
+        path = tmp_path / "odd.jsonl"
+        path.write_text('{"v": 2, "t": "meta", "ts": 0.0}\n[1, 2]\n42\n')
+        events, skipped = load_events_tolerant(str(path))
+        assert len(events) == 1
+        assert skipped == 2
+
+    def test_skipped_count_reaches_the_rendered_header(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"v": 2, "t": "meta", "ts": 0.0}\ngarbage\n')
+        events, skipped = load_events_tolerant(str(path))
+        assert "skipped 1 unparseable line(s)" in render_stats(
+            events, skipped=skipped)
