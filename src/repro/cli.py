@@ -8,6 +8,10 @@ Commands
 * ``campaign APP`` — multi-input determinism campaign.
 * ``localize APP`` — diff two runs at a checkpoint (the §2.3 tool).
 * ``stats FILE`` — profile summary of a ``--telemetry`` JSONL file.
+* ``golden verify|update`` — the checker's self-determinism gate: a
+  committed fixture of (workload, seed, scheme) → report digests.
+* ``chaos`` — seeded fault-injection schedules (``REPRO_FAILPOINTS``)
+  driven against this CLI, asserting the degradation contract.
 * ``table1`` / ``table2`` / ``fig5`` / ``fig6`` / ``fig8`` — regenerate
   one evaluation artifact (also available via the benchmark harness).
 
@@ -29,6 +33,11 @@ Exit codes (see docs/robustness.md) are uniform across commands:
 * 3 — usage error (unknown app, malformed ``--inputs`` spec, bad
   checker configuration).
 
+SIGINT/SIGTERM during ``check``/``campaign`` shut down gracefully: the
+journal is finalized (parseable and ``--resume``-able), the telemetry
+plane flushes a ``session_cancelled`` event and closes, one line goes
+to stderr, and the exit code is 2 — never a raw traceback.
+
 ``check`` and ``campaign`` also accept the fault-injection workloads of
 :mod:`repro.sim.faults` (``deadlock-fault``, ``livelock-fault``, ...),
 which exist to exercise exactly those failure paths.
@@ -37,6 +46,8 @@ which exist to exercise exactly those failure paths.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 
 from repro.analysis.figures import render_figure5, render_figure6
@@ -56,7 +67,7 @@ from repro.core.hashing.rounding import (ROUNDINGS, default_policy,
                                          no_rounding)
 from repro.core.registry import all_registries, self_check
 from repro.core.schemes.base import SCHEME_KINDS, SchemeConfig
-from repro.errors import CheckerError, ReproError
+from repro.errors import CheckerError, ReproError, SessionInterrupted
 from repro.sim.faults import FAULT_REGISTRY
 from repro.workloads import REGISTRY, make, seeded_program
 from repro.workloads.seeded_bugs import SEEDED, SEEDED_BUGS
@@ -183,6 +194,29 @@ def _build_parser() -> argparse.ArgumentParser:
     vg.add_argument("--baseline", required=True,
                     help="baseline JSON file to read")
     vg.add_argument("--input-name", default="default")
+
+    gold = sub.add_parser(
+        "golden", help="golden-digest self-determinism gate for the checker")
+    gold.add_argument("mode", choices=("verify", "update"),
+                      help="verify: recompute the fixture suite and diff "
+                      "against the committed digests; update: re-record them")
+    gold.add_argument("--fixtures", metavar="PATH", default=None,
+                      help="fixture file (default: "
+                      "tests/fixtures/golden/checker_digests.json)")
+
+    chaos = sub.add_parser(
+        "chaos", help="run seeded fault-injection schedules against the CLI "
+        "and assert the degradation contract")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed for the probabilistic failpoint triggers "
+                       "(schedules are deterministic per seed)")
+    chaos.add_argument("--schedules", nargs="*", metavar="NAME", default=None,
+                       help="run only these schedules (default: all)")
+    chaos.add_argument("--list", action="store_true",
+                       help="list the schedules and exit")
+    chaos.add_argument("--timeout", type=float, default=120.0, metavar="SEC",
+                       help="watchdog per CLI invocation; exceeding it is a "
+                       "hang and fails the run")
 
     loc = sub.add_parser("localize",
                          help="diff two runs at a checkpoint (Section 2.3)")
@@ -323,6 +357,50 @@ def _open_plane(args):
     return plane
 
 
+@contextlib.contextmanager
+def _graceful_signals():
+    """Turn SIGINT/SIGTERM into :class:`SessionInterrupted` for the
+    duration of a session or campaign.
+
+    The exception unwinds through the command's ``finally`` blocks —
+    journal lock release, telemetry flush, plane close — so an
+    interrupted run leaves a parseable, resumable journal and a
+    complete event stream instead of a ``KeyboardInterrupt`` traceback
+    mid-write.  Installed only in the main thread (the only place
+    Python delivers signals); original handlers are restored on exit.
+    """
+
+    def _handler(signum, frame):
+        raise SessionInterrupted(signal.Signals(signum).name)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except (ValueError, OSError):  # non-main thread / exotic platform
+            pass
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+
+def _note_interrupt(plane, exc: SessionInterrupted, **fields) -> int:
+    """One stderr line + a ``session_cancelled`` event; exit code 2.
+
+    Called before the plane closes, so the cancellation event reaches
+    the telemetry file / live console along with everything else.
+    """
+    tele = plane.telemetry
+    if tele is not None and tele.enabled:
+        tele.event("session_cancelled", reason=exc.signal_name, **fields)
+        tele.registry.counter("sessions_cancelled").inc()
+    print(f"repro: interrupted by {exc.signal_name}; shut down cleanly "
+          f"(journal and telemetry finalized)", file=sys.stderr)
+    return EXIT_INFRA
+
+
 def _parse_input_point(spec: str):
     """Parse ``name[:key=value,...]`` into an InputPoint."""
     from repro.core.checker.campaign import InputPoint
@@ -394,11 +472,14 @@ def _cmd_check(args, out) -> int:
                if args.ignores else ())
     plane = _open_plane(args)
     try:
-        result = check_determinism(
-            program, runs=args.runs, base_seed=args.seed, ignores=ignores,
-            telemetry=plane.telemetry, **_robustness_overrides(args),
-            schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding,
-                                       backend=args.hash_backend)})
+        with _graceful_signals():
+            result = check_determinism(
+                program, runs=args.runs, base_seed=args.seed, ignores=ignores,
+                telemetry=plane.telemetry, **_robustness_overrides(args),
+                schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding,
+                                           backend=args.hash_backend)})
+    except SessionInterrupted as exc:
+        return _note_interrupt(plane, exc, program=args.app)
     finally:
         plane.close()
     if args.json:
@@ -458,13 +539,19 @@ def _cmd_campaign(args, out) -> int:
     rounding = ROUNDINGS[args.rounding]()
     plane = _open_plane(args)
     try:
-        result = run_campaign(
-            _AppFactory(args.app), points,
-            runs=args.runs, base_seed=args.seed, telemetry=plane.telemetry,
-            journal_path=journal_path, resume=bool(args.resume),
-            **_robustness_overrides(args),
-            schemes={"s": SchemeConfig(kind=args.scheme, rounding=rounding,
-                                       backend=args.hash_backend)})
+        with _graceful_signals():
+            result = run_campaign(
+                _AppFactory(args.app), points,
+                runs=args.runs, base_seed=args.seed,
+                telemetry=plane.telemetry,
+                journal_path=journal_path, resume=bool(args.resume),
+                **_robustness_overrides(args),
+                schemes={"s": SchemeConfig(kind=args.scheme,
+                                           rounding=rounding,
+                                           backend=args.hash_backend)})
+    except SessionInterrupted as exc:
+        return _note_interrupt(plane, exc, program=args.app,
+                               journal=journal_path)
     finally:
         plane.close()
     print(result.summary(), file=out)
@@ -569,6 +656,53 @@ def _cmd_verify_golden(args, out) -> int:
     return 0 if verdict.matches else 1
 
 
+def _cmd_golden(args, out) -> int:
+    from repro.core.checker import golden
+
+    path = args.fixtures or golden.DEFAULT_FIXTURE_PATH
+
+    def progress(case):
+        print(f"golden: running {case.name} ({case.kind}, {case.app})",
+              file=sys.stderr)
+
+    if args.mode == "update":
+        entries = golden.compute_suite(progress=progress)
+        golden.write_fixture(path, entries)
+        print(f"recorded {len(entries)} golden case(s) -> {path}", file=out)
+        return 0
+    fixture = golden.load_fixture(path)
+    problems = golden.verify_suite(fixture, progress=progress)
+    if not problems:
+        print(f"golden: {len(fixture.get('cases', {}))} case(s) verified "
+              f"against {path} — checker output is bit-stable", file=out)
+        return 0
+    print(f"golden: DRIFT against {path}:", file=out)
+    for line in problems:
+        print(f"  {line}", file=out)
+    print("golden: if the change is intentional, re-record with "
+          "'repro golden update'", file=out)
+    return EXIT_NONDETERMINISTIC
+
+
+def _cmd_chaos(args, out) -> int:
+    from repro.core import chaos
+
+    if args.list:
+        for schedule in chaos.SCHEDULES:
+            print(f"{schedule.name:24s} [{schedule.layer}] "
+                  f"{schedule.description}", file=out)
+        return 0
+    try:
+        results = chaos.run_schedules(seed=args.seed, names=args.schedules,
+                                      timeout=args.timeout,
+                                      log=lambda msg: print(msg,
+                                                            file=sys.stderr))
+    except KeyError as exc:
+        raise CheckerError(str(exc)) from None
+    print(chaos.render_report(results), file=out)
+    return 0 if all(r.ok for r in results) else EXIT_NONDETERMINISTIC
+
+
 def _cmd_localize(args, out) -> int:
     report = localize(_make_program(args.app),
                       checkpoint_index=args.checkpoint,
@@ -638,6 +772,8 @@ _COMMANDS = {
     "light64": _cmd_light64,
     "bless": _cmd_bless,
     "verify-golden": _cmd_verify_golden,
+    "golden": _cmd_golden,
+    "chaos": _cmd_chaos,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "fig5": _cmd_fig5,

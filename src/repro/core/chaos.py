@@ -1,0 +1,521 @@
+"""The chaos harness: seeded fault schedules driven against the CLI.
+
+Each :class:`ChaosSchedule` runs one real ``repro`` CLI invocation in a
+subprocess with a :mod:`repro.core.failpoints` plan armed through
+``REPRO_FAILPOINTS`` (inherited by forked pool workers), then asserts
+the **degradation contract** of docs/robustness.md:
+
+* **no hang** — the invocation finishes within the watchdog timeout;
+* **exit codes honored** — the status is one the schedule allows
+  (0 deterministic / 1 nondeterministic / 2 infrastructure);
+* **no raw tracebacks** — faults surface as diagnostics, not crashes;
+* **journals stay parseable and resumable** — after a journal fault or
+  an interrupt, a fault-free ``--resume`` completes the campaign and
+  the final outcomes equal the fault-free baseline's;
+* **verdicts never silently wrong** — a session report is either
+  bit-identical to the fault-free baseline (its normalized digest
+  matches) or *explicitly* degraded: outcome ``incomplete`` /
+  ``infeasible`` / ``error``, or ``crash-divergence`` where every
+  failure is attributed to ``WorkerCrashError``;
+* **faults actually fired** — ``REPRO_FAILPOINTS_LOG`` evidence on
+  stderr, so a schedule can never green-wash by not exercising its
+  fault.
+
+Schedules are randomized-but-seeded: probabilistic triggers
+(``@prob:P#seed``) draw from a deterministic per-site RNG, and the
+driver threads ``--seed`` into every ``{seed}`` placeholder — the same
+seed replays the same faults.
+
+Baselines are fault-free runs of the same command, computed once per
+distinct command and shared across schedules.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from repro.core.checker.golden import canonical_json, digest_payload
+from repro.core.failpoints import LOG_ENV_VAR
+
+#: Stderr marker printed by ``failpoints.fire`` under REPRO_FAILPOINTS_LOG.
+FIRE_MARKER = "repro: failpoint fired:"
+#: Outcomes that are allowed to differ from the baseline because they
+#: *explicitly* report degradation instead of a verdict.
+EXPLICIT_DEGRADED = ("incomplete", "infeasible", "error")
+
+
+def _src_root() -> str:
+    """The directory to put on PYTHONPATH so subprocesses import us."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+@dataclass
+class CliRun:
+    """One finished (or killed) CLI subprocess."""
+
+    argv: list
+    exit_code: int | None
+    stdout: str
+    stderr: str
+    duration_s: float
+    timed_out: bool = False
+
+    @property
+    def fired(self) -> int:
+        return self.stderr.count(FIRE_MARKER)
+
+
+def run_cli(argv, failpoints: str | None = None, timeout: float = 120.0,
+            signal_after: float | None = None,
+            signal_to_send: int = signal.SIGTERM) -> CliRun:
+    """Run ``repro <argv...>`` in a subprocess, optionally under faults.
+
+    *failpoints* lands in ``REPRO_FAILPOINTS`` (with fire logging on);
+    *signal_after* sends *signal_to_send* that many seconds in.  On
+    watchdog expiry the process is killed and the run is marked
+    ``timed_out`` — the caller treats that as a contract violation, so
+    a hang can never hang the harness itself.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _src_root() + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAILPOINTS", None)
+    env.pop(LOG_ENV_VAR, None)
+    if failpoints:
+        env["REPRO_FAILPOINTS"] = failpoints
+        env[LOG_ENV_VAR] = "1"
+    full_argv = [sys.executable, "-m", "repro"] + list(argv)
+    started = time.monotonic()
+    proc = subprocess.Popen(full_argv, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True, env=env)
+    try:
+        if signal_after is not None:
+            time.sleep(signal_after)
+            if proc.poll() is None:
+                proc.send_signal(signal_to_send)
+        stdout, stderr = proc.communicate(timeout=timeout)
+        return CliRun(full_argv, proc.returncode, stdout, stderr,
+                      time.monotonic() - started)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        stdout, stderr = proc.communicate()
+        return CliRun(full_argv, None, stdout, stderr,
+                      time.monotonic() - started, timed_out=True)
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """One named fault schedule: a command, a fault plan, a contract.
+
+    ``command`` may contain ``{tmp}`` (a per-run scratch directory) and
+    ``{seed}`` placeholders; ``failpoints`` may contain ``{seed}``.
+    ``compare`` picks the verdict invariant: ``"json"`` parses the
+    command's ``--json`` report and requires baseline-digest equality
+    or explicit degradation; ``"journal"`` compares final per-input
+    journal outcomes (after an optional fault-free ``--resume``) with
+    the baseline journal's; ``"none"`` checks only the process-level
+    contract.
+    """
+
+    name: str
+    layer: str  # journal | pool | telemetry | clock | signal
+    description: str
+    command: tuple
+    failpoints: str | None = None
+    allowed_exits: tuple = (0,)
+    compare: str = "json"
+    #: Re-run the campaign fault-free with --resume and compare final
+    #: journal outcomes against the baseline journal.
+    resume: bool = False
+    #: Require the failpoint-fired stderr marker (fault evidence).
+    expect_fire: bool = True
+    #: Require this substring on stderr (degrade warnings, interrupt note).
+    expect_stderr: str | None = None
+    #: Require this event type in the --telemetry file (recovery evidence).
+    expect_event: str | None = None
+    #: Send SIGTERM this many seconds into the run.
+    signal_after: float | None = None
+
+
+@dataclass
+class ScheduleResult:
+    """What one schedule did and every invariant it violated."""
+
+    schedule: ChaosSchedule
+    violations: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _normalize_report(payload: dict) -> dict:
+    """Strip the only environment-dependent field before digesting."""
+    payload = dict(payload)
+    payload.pop("workers", None)
+    return payload
+
+
+def _journal_outcomes(path: str) -> dict:
+    """Final per-input outcome dicts from a journal, last record wins.
+
+    Parses tolerantly — skipping torn or garbage lines is itself part
+    of the contract under test.
+    """
+    outcomes: dict = {}
+    if not os.path.exists(path):
+        return outcomes
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and record.get("t") == "input_outcome":
+                outcomes[record.get("input")] = record
+    return outcomes
+
+
+# -- the committed schedule suite ---------------------------------------------
+
+_CAMPAIGN = ("campaign", "fft", "--runs", "3",
+             "--inputs", "small:log2_n=5", "mid:log2_n=6", "large:log2_n=7",
+             "--journal", "{tmp}/journal.jsonl")
+
+SCHEDULES = (
+    ChaosSchedule(
+        "journal-fsync-enospc", "journal",
+        "journal fsync hits ENOSPC on the 2nd append: degrade to memory, "
+        "finish, resume from what reached the file",
+        _CAMPAIGN, "journal.append.fsync=enospc@at:2",
+        compare="journal", resume=True,
+        expect_stderr="write failed"),
+    ChaosSchedule(
+        "journal-write-torn", "journal",
+        "3rd journal record torn 20 bytes in (mid-write crash analog): "
+        "readers skip the torn line, resume completes the campaign",
+        _CAMPAIGN, "journal.append.write=torn:20@at:3",
+        compare="journal", resume=True,
+        expect_stderr="write failed"),
+    ChaosSchedule(
+        "journal-write-eio", "journal",
+        "every journal write fails with EIO: the campaign still finishes "
+        "on in-memory tracking and a fault-free resume re-runs everything",
+        _CAMPAIGN, "journal.append.write=raise@always",
+        compare="journal", resume=True,
+        expect_stderr="write failed"),
+    ChaosSchedule(
+        "pool-kill-run", "pool",
+        "each pool worker is SIGKILLed (os._exit) at its 2nd run: the pool "
+        "is rebuilt once, stragglers salvage in isolation, and the verdict "
+        "is bit-identical to the fault-free run",
+        ("check", "fft", "--runs", "6", "--workers", "2", "--json",
+         "--telemetry", "{tmp}/telemetry.jsonl"),
+        "worker.run.before=kill@at:2",
+        expect_event="pool_rebuilt"),
+    ChaosSchedule(
+        "pool-kill-input", "pool",
+        "each campaign worker dies at its 2nd input: rebuild + requeue "
+        "recovers every input with the fault-free verdicts",
+        _CAMPAIGN + ("--workers", "2"),
+        "worker.input.before=kill@at:2",
+        compare="journal"),
+    ChaosSchedule(
+        "pool-slow-worker", "pool",
+        "every other run on a worker stalls briefly: slower, verdict "
+        "bit-identical",
+        ("check", "fft", "--runs", "6", "--workers", "2", "--json"),
+        # every:2 (not prob:) so at least one fire is guaranteed: with 5
+        # pooled runs over 2 workers some worker serves >= 2.
+        "worker.run.before=sleep:0.02@every:2"),
+    ChaosSchedule(
+        "telemetry-sink-fail", "telemetry",
+        "the JSONL telemetry sink starts raising on its 5th write: the "
+        "bus counts the loss, the verdict is unaffected",
+        ("check", "fft", "--runs", "3", "--json",
+         "--telemetry", "{tmp}/telemetry.jsonl"),
+        "telemetry.sink.emit=raise@at:5"),
+    ChaosSchedule(
+        "telemetry-bus-drop", "telemetry",
+        "the event bus drops half of all publishes (seeded): lossy "
+        "recording, identical verdict",
+        ("check", "fft", "--runs", "3", "--json",
+         "--telemetry", "{tmp}/telemetry.jsonl"),
+        "telemetry.bus.publish=drop@prob:0.5#{seed}"),
+    ChaosSchedule(
+        "clock-skew-deadline", "clock",
+        "the budget clock jumps 1h forward (NTP step / VM resume): the "
+        "session reports an explicit partial 'incomplete' verdict, exit 2",
+        ("check", "fft", "--runs", "5", "--deadline", "30", "--json"),
+        "clock.budget=skew:3600@always",
+        allowed_exits=(2,)),
+    ChaosSchedule(
+        "sigterm-mid-campaign", "signal",
+        "SIGTERM lands mid-campaign: one stderr line, exit 2, a "
+        "finalized journal that a fault-free --resume completes",
+        ("campaign", "fft", "--runs", "40",
+         "--inputs", "a:log2_n=6", "b:log2_n=6", "c:log2_n=6",
+         "--journal", "{tmp}/journal.jsonl"),
+        None, allowed_exits=(0, 2), compare="journal", resume=True,
+        expect_fire=False, expect_stderr=None, signal_after=1.0),
+)
+
+
+def _schedule_seed(base_seed: int, name: str) -> int:
+    """Per-schedule seed: stable under subsetting and reordering."""
+    return (base_seed ^ zlib.crc32(name.encode())) & 0x7FFFFFFF
+
+
+def _substitute(value: str, tmp: str, seed: int) -> str:
+    return value.replace("{tmp}", tmp).replace("{seed}", str(seed))
+
+
+def _check_json_verdict(result: ScheduleResult, run: CliRun,
+                        baseline_digest: str) -> None:
+    """The session-report invariant: identical or explicitly degraded."""
+    try:
+        payload = json.loads(run.stdout)
+    except json.JSONDecodeError:
+        result.violations.append(
+            f"stdout is not the expected --json report "
+            f"(exit {run.exit_code}): {run.stdout[:200]!r}")
+        return
+    report = _normalize_report(payload)
+    if digest_payload(report) == baseline_digest:
+        result.notes.append("verdict bit-identical to fault-free baseline")
+        return
+    outcome = report.get("outcome")
+    if outcome in EXPLICIT_DEGRADED:
+        result.notes.append(f"explicitly degraded: outcome={outcome}")
+        return
+    failures = report.get("failures") or []
+    if (outcome == "crash-divergence" and failures and
+            all(f.get("error") == "WorkerCrashError" for f in failures)):
+        result.notes.append(
+            "crash-divergence fully attributed to WorkerCrashError")
+        return
+    result.violations.append(
+        f"verdict drifted from the fault-free baseline without explicit "
+        f"degradation (outcome={outcome!r})")
+
+
+def _check_journal_verdict(result: ScheduleResult, schedule: ChaosSchedule,
+                           argv: list, journal: str, baseline: dict,
+                           timeout: float) -> None:
+    """The journal invariant: parseable, resumable, outcomes identical.
+
+    *argv* is the schedule's substituted command; *baseline* maps input
+    name -> outcome record from the fault-free baseline's journal.
+    """
+    if schedule.resume:
+        resume_argv = []
+        skip_next = False
+        for arg in argv:
+            if skip_next:
+                skip_next = False
+                continue
+            if arg == "--journal":
+                skip_next = True
+                continue
+            resume_argv.append(arg)
+        resume_argv += ["--resume", journal]
+        run = run_cli(resume_argv, failpoints=None, timeout=timeout)
+        if run.timed_out:
+            result.violations.append("fault-free --resume hung")
+            return
+        if run.exit_code != 0:
+            result.violations.append(
+                f"fault-free --resume exited {run.exit_code}: "
+                f"{run.stderr[-300:]!r}")
+            return
+        result.notes.append("fault-free --resume completed")
+    ours = _journal_outcomes(journal)
+    if ours == baseline:
+        result.notes.append(
+            f"final journal outcomes bit-identical for "
+            f"{len(baseline)} input(s)")
+        return
+    missing = sorted(set(baseline) - set(ours))
+    if missing:
+        result.violations.append(
+            f"journal is missing input(s) {missing} after "
+            f"{'resume' if schedule.resume else 'the faulted run'}")
+    for name in sorted(set(ours) & set(baseline)):
+        if ours[name] != baseline[name]:
+            result.violations.append(
+                f"journal outcome for input {name!r} differs from the "
+                f"fault-free baseline: {canonical_json(ours[name])[:160]} "
+                f"vs {canonical_json(baseline[name])[:160]}")
+
+
+def _telemetry_has_event(path: str, event_type: str) -> bool:
+    if not os.path.exists(path):
+        return False
+    with open(path) as handle:
+        for line in handle:
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (isinstance(event, dict) and event.get("t") == "event"
+                    and event.get("name") == event_type):
+                return True
+    return False
+
+
+def run_schedule(schedule: ChaosSchedule, seed: int = 0,
+                 timeout: float = 120.0,
+                 baselines: dict | None = None) -> ScheduleResult:
+    """Run one schedule end to end and evaluate every invariant.
+
+    *baselines* caches fault-free runs across schedules, keyed by the
+    (placeholder-free) command; pass one dict for a whole suite.
+    """
+    result = ScheduleResult(schedule)
+    started = time.monotonic()
+    baselines = baselines if baselines is not None else {}
+    schedule_seed = _schedule_seed(seed, schedule.name)
+    with tempfile.TemporaryDirectory() as tmp:
+        argv = [_substitute(a, tmp, schedule_seed) for a in schedule.command]
+        failpoints = (_substitute(schedule.failpoints, tmp, schedule_seed)
+                      if schedule.failpoints else None)
+
+        # Fault-free baseline (shared across schedules per command).
+        baseline_key = tuple(schedule.command)
+        if baseline_key not in baselines:
+            with tempfile.TemporaryDirectory() as base_tmp:
+                base_argv = [_substitute(a, base_tmp, schedule_seed)
+                             for a in schedule.command]
+                base = run_cli(base_argv, failpoints=None, timeout=timeout)
+                entry = {"exit": base.exit_code, "timed_out": base.timed_out}
+                if base.timed_out:
+                    entry["error"] = "baseline hung"
+                elif schedule.compare == "json":
+                    try:
+                        entry["digest"] = digest_payload(
+                            _normalize_report(json.loads(base.stdout)))
+                    except json.JSONDecodeError:
+                        entry["error"] = (f"baseline stdout not JSON: "
+                                          f"{base.stdout[:200]!r}")
+                elif schedule.compare == "journal":
+                    entry["journal"] = _journal_outcomes(
+                        os.path.join(base_tmp, "journal.jsonl"))
+                baselines[baseline_key] = entry
+        baseline = baselines[baseline_key]
+        if baseline.get("error"):
+            result.violations.append(
+                f"fault-free baseline failed: {baseline['error']}")
+            result.duration_s = time.monotonic() - started
+            return result
+
+        run = run_cli(argv, failpoints=failpoints, timeout=timeout,
+                      signal_after=schedule.signal_after)
+
+        # Process-level contract.
+        if run.timed_out:
+            result.violations.append(
+                f"hang: still running after {timeout:g}s (watchdog killed "
+                f"it)")
+            result.duration_s = time.monotonic() - started
+            return result
+        if run.exit_code not in schedule.allowed_exits:
+            result.violations.append(
+                f"exit code {run.exit_code} not in allowed "
+                f"{schedule.allowed_exits}; stderr tail: "
+                f"{run.stderr[-300:]!r}")
+        if "Traceback (most recent call last)" in run.stderr:
+            result.violations.append(
+                f"raw traceback on stderr: {run.stderr[-400:]!r}")
+        if schedule.expect_fire and run.fired == 0:
+            result.violations.append(
+                "the failpoint never fired — the schedule exercised "
+                "nothing")
+        elif run.fired:
+            result.notes.append(f"failpoint fired {run.fired} time(s)")
+        if (schedule.expect_stderr is not None
+                and schedule.expect_stderr not in run.stderr):
+            result.violations.append(
+                f"expected {schedule.expect_stderr!r} on stderr; tail: "
+                f"{run.stderr[-300:]!r}")
+        if schedule.expect_event is not None:
+            telemetry_path = os.path.join(tmp, "telemetry.jsonl")
+            if _telemetry_has_event(telemetry_path, schedule.expect_event):
+                result.notes.append(
+                    f"telemetry recorded {schedule.expect_event!r}")
+            else:
+                result.violations.append(
+                    f"expected telemetry event {schedule.expect_event!r} "
+                    f"was not recorded")
+
+        # Verdict contract.
+        if schedule.compare == "json" and run.exit_code is not None:
+            _check_json_verdict(result, run, baseline["digest"])
+        elif schedule.compare == "journal":
+            journal = os.path.join(tmp, "journal.jsonl")
+            _check_journal_verdict(result, schedule, argv, journal,
+                                   baseline["journal"], timeout)
+    result.duration_s = time.monotonic() - started
+    return result
+
+
+def run_schedules(seed: int = 0, names=None, timeout: float = 120.0,
+                  log=None) -> list:
+    """Run the suite (or the *names* subset); returns ScheduleResults."""
+    by_name = {s.name: s for s in SCHEDULES}
+    if names:
+        unknown = sorted(set(names) - set(by_name))
+        if unknown:
+            raise KeyError(f"unknown chaos schedule(s) {unknown}; "
+                           f"known: {sorted(by_name)}")
+        selected = [by_name[n] for n in names]
+    else:
+        selected = list(SCHEDULES)
+    baselines: dict = {}
+    results = []
+    for schedule in selected:
+        if log is not None:
+            log(f"chaos: running {schedule.name} [{schedule.layer}] "
+                f"(seed {_schedule_seed(seed, schedule.name)})")
+        result = run_schedule(schedule, seed=seed, timeout=timeout,
+                              baselines=baselines)
+        if log is not None:
+            status = "ok" if result.ok else "FAIL"
+            log(f"chaos: {schedule.name}: {status} "
+                f"({result.duration_s:.1f}s)")
+        results.append(result)
+    return results
+
+
+def render_report(results) -> str:
+    lines = []
+    failed = [r for r in results if not r.ok]
+    for result in results:
+        status = "ok  " if result.ok else "FAIL"
+        lines.append(f"{status} {result.schedule.name:24s} "
+                     f"[{result.schedule.layer}] "
+                     f"{result.duration_s:5.1f}s")
+        for note in result.notes:
+            lines.append(f"       - {note}")
+        for violation in result.violations:
+            lines.append(f"       ! {violation}")
+    lines.append("")
+    lines.append(f"chaos: {len(results) - len(failed)}/{len(results)} "
+                 f"schedule(s) honored the degradation contract")
+    if failed:
+        lines.append(f"chaos: FAILED: "
+                     f"{', '.join(r.schedule.name for r in failed)}")
+    return "\n".join(lines)

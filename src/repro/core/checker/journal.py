@@ -36,9 +36,12 @@ stdio buffer, corrupting the line under concurrent appends.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
+import sys
 
+from repro.core import failpoints
 from repro.core.checker.serialize import (SERIALIZE_VERSION,
                                           input_outcome_from_dict,
                                           input_outcome_to_dict)
@@ -61,10 +64,28 @@ _OWNED_FDS: set = set()
 
 
 class CampaignJournal:
-    """One campaign's durable progress file."""
+    """One campaign's durable progress file.
 
-    def __init__(self, path: str):
+    Write failures **degrade, never abort**: a campaign that has done
+    hours of checking must not die because the journal disk filled up.
+    The first failed append flips the journal into degraded mode — a
+    one-line stderr warning, a ``journal_write_failed`` telemetry event
+    and ``journal_write_failures`` counter (when *telemetry* is set),
+    and every subsequent record tracked in :attr:`memory_records`
+    instead of on disk.  The campaign's verdicts are unaffected; only
+    resumability of the not-yet-written inputs is lost, which the
+    warning says out loud.
+    """
+
+    def __init__(self, path: str, telemetry=None):
         self.path = path
+        self.telemetry = telemetry
+        #: True once a write failed and the journal went in-memory.
+        self.degraded = False
+        #: The OSError that triggered degradation (None while healthy).
+        self.write_error: OSError | None = None
+        #: Records accepted after degradation (in-memory audit trail).
+        self.memory_records: list = []
         self._fd = None
 
     # -- ownership ----------------------------------------------------------------
@@ -159,20 +180,62 @@ class CampaignJournal:
             fd = os.open(self.path,
                          os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
+            if failpoints.ENABLED:
+                # May raise (OSError/ENOSPC); "torn" writes a prefix of
+                # the record then raises — the mid-write crash analog
+                # the tolerant readers must skip.
+                point = failpoints.fire("journal.append.write")
+                if point is not None and point.action == "torn":
+                    os.write(fd, line[:max(0, int(point.param or 0))])
+                    raise OSError(errno.EIO,
+                                  "failpoint journal.append.write: "
+                                  "record torn mid-write")
             os.write(fd, line)
+            if failpoints.ENABLED:
+                failpoints.fire("journal.append.fsync")
             os.fsync(fd)
         finally:
             if not owned:
                 os.close(fd)
 
+    def _record(self, record: dict) -> bool:
+        """Append one record, degrading to memory on a write failure.
+
+        Returns True when the record reached disk.  The first failure
+        flips :attr:`degraded`; later records skip the disk entirely
+        (the descriptor that just failed will keep failing — retrying
+        per record would turn one bad disk into thousands of syscalls).
+        """
+        if not self.degraded:
+            try:
+                self._append(record)
+                return True
+            except OSError as exc:
+                self._degrade(exc)
+        self.memory_records.append(record)
+        return False
+
+    def _degrade(self, exc: OSError) -> None:
+        self.degraded = True
+        self.write_error = exc
+        print(f"warning: campaign journal {self.path!r} write failed "
+              f"({exc.strerror or exc}); continuing with in-memory outcome "
+              f"tracking — inputs completed from here on will not be "
+              f"resumable", file=sys.stderr)
+        tele = self.telemetry
+        if tele is not None and getattr(tele, "enabled", False):
+            tele.event("journal_write_failed", path=self.path,
+                       error=type(exc).__name__, message=str(exc))
+            tele.registry.counter("journal_write_failures").inc()
+
     def begin_segment(self, inputs: list, resumed: list) -> None:
         """Mark the start of one campaign invocation."""
-        self._append({"t": "campaign_segment", "schema": SCHEMA,
+        self._record({"t": "campaign_segment", "schema": SCHEMA,
                       "v": SERIALIZE_VERSION, "inputs": list(inputs),
                       "resumed": list(resumed)})
 
     def append_outcome(self, outcome) -> None:
-        """Durably record one completed input."""
+        """Durably record one completed input (in-memory when degraded)."""
         record = input_outcome_to_dict(outcome)
         record["t"] = "input_outcome"
-        self._append(record)
+        self._record(record)

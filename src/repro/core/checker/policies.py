@@ -24,7 +24,25 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.core import failpoints
 from repro.errors import CheckerError, ReplayError
+
+
+def _monotonic() -> float:
+    """The budget clock: ``time.monotonic`` plus any chaos skew.
+
+    The ``clock.budget`` failpoint shifts only the *reads* in
+    :meth:`SessionBudget.expired` and :meth:`SessionBudget.run_deadline`
+    — never :meth:`SessionBudget.start` — so a skew schedule behaves
+    like a clock that jumped forward mid-session (NTP step, VM resume)
+    rather than a uniformly faster clock that would cancel itself out.
+    """
+    now = time.monotonic()
+    if failpoints.ENABLED:
+        point = failpoints.fire("clock.budget")
+        if point is not None:
+            now += float(point.param or 0.0)
+    return now
 
 #: Seed stride between retry attempts under the "offset" strategy: a
 #: prime far larger than any plausible ``runs`` count, so retried seeds
@@ -123,7 +141,7 @@ class SessionBudget:
     def expired(self) -> bool:
         """Has the session deadline passed?"""
         deadline = self.session_deadline
-        return deadline is not None and time.monotonic() >= deadline
+        return deadline is not None and _monotonic() >= deadline
 
     def run_deadline(self) -> float | None:
         """Absolute monotonic deadline for a run starting now.
@@ -133,7 +151,7 @@ class SessionBudget:
         """
         candidates = []
         if self.run_deadline_s is not None:
-            candidates.append(time.monotonic() + self.run_deadline_s)
+            candidates.append(_monotonic() + self.run_deadline_s)
         if self.session_deadline is not None:
             candidates.append(self.session_deadline)
         return min(candidates) if candidates else None

@@ -54,8 +54,10 @@ from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures import wait
 
+from repro.core import failpoints
 from repro.core.checker.policies import SessionBudget
-from repro.errors import BudgetError, CheckerError, ReproError, WorkerCrashError
+from repro.errors import (BudgetError, CheckerError, ReproError,
+                          SessionInterrupted, WorkerCrashError)
 
 
 def _env_float(name: str, default: float) -> float:
@@ -171,7 +173,20 @@ def _worker_init(heartbeat=None) -> None:
     parent; when present, the worker resets its progress counters and
     starts the beat thread (see :func:`_beat_loop`).
     """
+    import signal as signal_mod
+
     from repro.core.checker import journal
+
+    # Forked workers inherit the CLI's graceful SIGINT/SIGTERM handlers,
+    # which raise SessionInterrupted — in a worker that surfaces as a
+    # traceback when the pool manager terminates it (e.g. cleaning up a
+    # broken pool).  Workers take the default disposition: the parent
+    # owns graceful shutdown.
+    try:
+        signal_mod.signal(signal_mod.SIGTERM, signal_mod.SIG_DFL)
+        signal_mod.signal(signal_mod.SIGINT, signal_mod.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platform
+        pass
 
     for fd in list(journal._OWNED_FDS):
         try:
@@ -383,12 +398,21 @@ class ProcessPoolRunExecutor(RunExecutor):
 
     name = "process-pool"
 
+    #: How many times a broken pool is rebuilt (workers respawned and
+    #: unresolved tasks requeued) before falling back to one-task
+    #: isolation pools.  One rebuild recovers the common case — a
+    #: single OOM-killed or segfaulted worker — at full parallelism; a
+    #: pool that breaks twice has a systematic crasher among its tasks,
+    #: and isolation is what attributes it.
+    max_pool_rebuilds = 1
+
     def __init__(self, n_workers: int, deadline=None, telemetry=None,
                  heartbeat_interval_s: float | None = None,
                  stall_after_s: float | None = None):
         super().__init__()
         self.n_workers = n_workers
         self.deadline = deadline
+        self.pool_rebuilds = 0  # broken-pool recoveries this stream
         # Heartbeats ride on telemetry: without an enabled session there
         # is nowhere to report liveness, so no queue/monitor is set up.
         self.telemetry = (telemetry
@@ -418,16 +442,20 @@ class ProcessPoolRunExecutor(RunExecutor):
                 self.cancelled_count += 1
                 del self._pending[future]
 
+    def _make_pool(self, ctx, n_tasks: int, initargs) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=max(1, min(self.n_workers, n_tasks)),
+            mp_context=ctx, initializer=_worker_init, initargs=initargs)
+
     def stream(self, tasks: dict):
         indexes = sorted(tasks)
         if not indexes:
             return
         ctx = _mp_context()
         initargs = self._start_heartbeats(ctx)
-        executor = ProcessPoolExecutor(
-            max_workers=max(1, min(self.n_workers, len(indexes))),
-            mp_context=ctx, initializer=_worker_init, initargs=initargs)
+        executor = self._make_pool(ctx, len(indexes), initargs)
         pending = self._pending
+        rebuilds_left = self.max_pool_rebuilds
         try:
             # Submission order == index order: the pool starts tasks
             # FIFO, the invariant early cancellation relies on.
@@ -456,34 +484,63 @@ class ProcessPoolRunExecutor(RunExecutor):
                         unresolved.append(index)
                         continue
                     yield index, value
-                if unresolved:
-                    # The pool is dead and every in-flight future is
-                    # doomed with it; salvage each unresolved task in
-                    # isolation.  Cancellation is ignored here on
-                    # purpose: runs below a folded divergence must
-                    # complete for the truncated verdict to stay
-                    # bit-identical to the serial path.
-                    unresolved.extend(pending.values())
-                    pending.clear()
-                    executor.shutdown(wait=False, cancel_futures=True)
+                if not unresolved:
+                    continue
+                # The pool is dead and every in-flight future is doomed
+                # with it.  Cancellation is ignored from here on
+                # purpose: runs below a folded divergence must complete
+                # for the truncated verdict to stay bit-identical to
+                # the serial path.
+                unresolved.extend(pending.values())
+                pending.clear()
+                executor.shutdown(wait=False, cancel_futures=True)
+                if rebuilds_left > 0:
+                    # First recovery tier: respawn the workers once and
+                    # requeue every unresolved task at full
+                    # parallelism.  One dead worker (OOM kill, segfault)
+                    # costs one rebuild, not a serial crawl through
+                    # isolation pools.
+                    rebuilds_left -= 1
+                    self.pool_rebuilds += 1
+                    if self.telemetry is not None:
+                        self.telemetry.event("pool_rebuilt",
+                                             requeued=len(unresolved),
+                                             rebuilds_left=rebuilds_left)
+                        self.telemetry.registry.counter("pool_rebuilds").inc()
+                    executor = self._make_pool(ctx, len(unresolved), initargs)
                     for index in sorted(unresolved):
-                        if (self.deadline is not None
-                                and time.monotonic() >= self.deadline):
-                            self.expired = True
-                            break
                         worker_fn, args = tasks[index]
-                        value = _run_isolated(worker_fn, args, ctx,
-                                              self.deadline)
-                        if value is _EXPIRED:
-                            self.expired = True
-                            break
-                        yield index, value
-                    break
+                        pending[executor.submit(worker_fn, *args)] = index
+                    continue
+                # Second tier: the rebuilt pool broke too — one of the
+                # remaining tasks kills any worker it touches.  Salvage
+                # each one in isolation: the crasher reveals itself by
+                # breaking its private pool, the innocents complete.
+                for index in sorted(unresolved):
+                    if (self.deadline is not None
+                            and time.monotonic() >= self.deadline):
+                        self.expired = True
+                        break
+                    worker_fn, args = tasks[index]
+                    value = _run_isolated(worker_fn, args, ctx,
+                                          self.deadline)
+                    if value is _EXPIRED:
+                        self.expired = True
+                        break
+                    yield index, value
+                break
+        except BaseException:
+            # Abnormal exit — a signal raised in this frame, the
+            # consumer throwing into the generator, GeneratorExit on an
+            # abandoned stream.  Never hang the teardown waiting on a
+            # possibly-stuck worker the caller is trying to escape.
+            self.expired = True
+            raise
         finally:
             # On a normal finish, wait for workers to exit (forked
             # workers inherit parent fds — see _worker_init); only an
-            # expired deadline justifies abandoning a possibly-stuck
-            # worker.
+            # expired deadline / abnormal exit justifies abandoning a
+            # possibly-stuck worker.
             executor.shutdown(wait=not self.expired, cancel_futures=True)
             if self.monitor is not None:
                 self.monitor.stop()
@@ -510,6 +567,11 @@ def attempt_run(runner, budget, retry, config, tele, index: int):
         try:
             return runner.run(seed), None, False
         except ReproError as exc:
+            if isinstance(exc, SessionInterrupted):
+                # A shutdown signal is not a property of this schedule;
+                # recording it as a run failure would turn an interrupt
+                # into a (wrong) nondeterminism verdict.  Unwind.
+                raise
             if config.fail_fast:
                 raise
             if isinstance(exc, BudgetError) and budget.expired():
@@ -604,6 +666,8 @@ def session_run_worker(program, config, index: int, session_deadline,
     """
     from repro.core.engine.plan import SessionPlan
 
+    if failpoints.ENABLED:
+        failpoints.fire("worker.run.before")
     tele = worker_telemetry(telemetry_on)
     plan = SessionPlan.from_config(program, config, n_workers=1)
     control = plan.make_control()
@@ -620,6 +684,8 @@ def session_run_worker(program, config, index: int, session_deadline,
     checkpoints = (len(record.checkpoints) if record is not None
                    else failure.checkpoints if failure is not None else 0)
     note_worker_progress(runs=1, checkpoints=checkpoints)
+    if failpoints.ENABLED:
+        failpoints.fire("worker.run.after")
     out = {"index": index, "pid": os.getpid(), "record": record,
            "failure": failure, "expired": session_expired}
     out.update(telemetry_payload(tele))
@@ -638,6 +704,8 @@ def campaign_input_worker(program_factory, point, config,
     from repro.core.engine.model import error_outcome, outcome_from_result
     from repro.core.engine.session import execute_session
 
+    if failpoints.ENABLED:
+        failpoints.fire("worker.input.before")
     tele = worker_telemetry(telemetry_on)
     program_name = None
     try:
@@ -648,9 +716,13 @@ def campaign_input_worker(program_factory, point, config,
         note_worker_progress(runs=result.runs,
                              checkpoints=sum(len(r.checkpoints)
                                              for r in result.records))
+    except SessionInterrupted:
+        raise  # shutdown is the parent's call, never an input verdict
     except ReproError as exc:
         outcome = error_outcome(point, type(exc).__name__, str(exc))
         note_worker_progress()  # the attempt itself is progress
+    if failpoints.ENABLED:
+        failpoints.fire("worker.input.after")
     out = {"pid": os.getpid(), "outcome": outcome, "program": program_name}
     out.update(telemetry_payload(tele))
     return out

@@ -31,7 +31,7 @@ from repro.core.engine.judge import Judge
 from repro.core.engine.model import (OUTCOME_ERROR, CampaignResult,
                                      error_outcome, outcome_from_result)
 from repro.core.engine.plan import SessionPlan
-from repro.errors import ReproError, WorkerCrashError
+from repro.errors import ReproError, SessionInterrupted, WorkerCrashError
 
 
 def execute_session(program, config, telemetry=None):
@@ -256,12 +256,13 @@ def execute_campaign(program_factory, inputs, config, telemetry=None,
     already holds instead of re-running them.
     """
     inputs = list(inputs)
+    tele = telemetry if (telemetry is not None and telemetry.enabled) else None
     journal = None
     completed: dict = {}
     if journal_path is not None:
         from repro.core.checker.journal import CampaignJournal
 
-        journal = CampaignJournal(journal_path)
+        journal = CampaignJournal(journal_path, telemetry=tele)
         journal.acquire()
         if resume:
             completed = journal.load_completed()
@@ -270,7 +271,6 @@ def execute_campaign(program_factory, inputs, config, telemetry=None,
 
     n_workers = (resolve_workers(config.workers)
                  if config.workers != 1 else 1)
-    tele = telemetry if (telemetry is not None and telemetry.enabled) else None
     span = (tele.start_span("campaign", inputs=len(inputs),
                             resumed=len(completed))
             if tele else None)
@@ -311,6 +311,11 @@ def execute_campaign(program_factory, inputs, config, telemetry=None,
                     result = execute_session(program, config,
                                              telemetry=telemetry)
                     outcome = outcome_from_result(point, result)
+                except SessionInterrupted:
+                    # A shutdown signal stops the whole campaign; the
+                    # journal (released in the finally below) keeps the
+                    # inputs completed so far for --resume.
+                    raise
                 except ReproError as exc:
                     outcome = error_outcome(point, type(exc).__name__,
                                             str(exc))

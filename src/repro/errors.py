@@ -74,3 +74,19 @@ class WorkerCrashError(ReproError):
 
 class IsaError(ReproError):
     """Invalid use of the MHM software interface (Figure 4 instructions)."""
+
+
+class SessionInterrupted(ReproError):
+    """The user (or the platform) asked the session to stop.
+
+    Raised from the CLI's SIGINT/SIGTERM handlers so an interrupt
+    unwinds through the same ``finally`` blocks as any other error —
+    the journal lock is released, the telemetry plane flushes and
+    closes — instead of dying mid-write with a ``KeyboardInterrupt``
+    traceback.  The CLI reports it as one stderr line and exit code 2
+    (infrastructure: the verdict is simply not available).
+    """
+
+    def __init__(self, signal_name: str):
+        super().__init__(f"interrupted by {signal_name}")
+        self.signal_name = signal_name

@@ -40,6 +40,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 
+from repro.core import failpoints
 from repro.telemetry.sinks import Sink
 
 #: Default per-subscriber queue bound.  Generous: a whole 30-run check
@@ -150,6 +151,14 @@ class EventBus(Sink):
             if self._closed:
                 return
             self._published += 1
+            if failpoints.ENABLED and failpoints.fire(
+                    "telemetry.bus.publish") is not None:
+                # Chaos drop: the event vanishes at the bus exactly as a
+                # saturated queue would lose it — counted per subscriber
+                # so the lossy recording stays visibly lossy.
+                for sub in self._subs:
+                    sub.dropped += 1
+                return
             for sub in self._subs:
                 sub._offer(event)
         self._wake.set()

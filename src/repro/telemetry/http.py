@@ -29,6 +29,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.core import failpoints
 from repro.telemetry.export import render_prometheus
 
 #: Staleness (seconds) past which /healthz reports a worker as stalled.
@@ -44,6 +45,8 @@ def _extra_counters(telemetry) -> dict:
 
 def render_metrics(telemetry) -> str:
     """The live Prometheus payload for one telemetry session."""
+    if failpoints.ENABLED:
+        failpoints.fire("telemetry.metrics.render")
     return render_prometheus(telemetry.registry.snapshot(),
                              extra_counters=_extra_counters(telemetry))
 
@@ -114,19 +117,29 @@ class MetricsServer:
 
             def do_GET(self):  # noqa: N802 - BaseHTTP API
                 path = self.path.split("?", 1)[0]
-                if path == "/metrics":
-                    self._respond(200, "text/plain; version=0.0.4",
-                                  render_metrics(server.telemetry))
-                elif path == "/healthz":
-                    doc = health_document(server.telemetry, server._started,
-                                          server.stall_after_s)
-                    self._respond(200 if doc["status"] == "ok" else 503,
-                                  "application/json",
-                                  json.dumps(doc, sort_keys=True))
-                else:
-                    self._respond(404, "text/plain",
-                                  "repro metrics endpoint: try /metrics "
-                                  "or /healthz\n")
+                try:
+                    if path == "/metrics":
+                        self._respond(200, "text/plain; version=0.0.4",
+                                      render_metrics(server.telemetry))
+                    elif path == "/healthz":
+                        doc = health_document(server.telemetry,
+                                              server._started,
+                                              server.stall_after_s)
+                        self._respond(200 if doc["status"] == "ok" else 503,
+                                      "application/json",
+                                      json.dumps(doc, sort_keys=True))
+                    else:
+                        self._respond(404, "text/plain",
+                                      "repro metrics endpoint: try /metrics "
+                                      "or /healthz\n")
+                except Exception:
+                    # A scrape racing session teardown (registry mid-
+                    # mutation, render failure) gets an explicit 503,
+                    # never a handler traceback on the checker's stderr.
+                    try:
+                        self._respond(503, "text/plain", "scrape failed\n")
+                    except OSError:
+                        pass  # client side already gone too
 
         self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
         self._httpd.daemon_threads = True

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import json
 
+from repro.core import failpoints
+
 #: Version stamped on every event line; bump on breaking schema changes.
 #: v2 added the live-observability events (``worker_heartbeat``,
 #: ``worker_stalled``, ``events_dropped``) and the ``runs_completed``
@@ -64,6 +66,8 @@ class JsonlSink(Sink):
         self._handle = open(path, "w")
 
     def emit(self, event: dict) -> None:
+        if failpoints.ENABLED:
+            failpoints.fire("telemetry.sink.emit")
         self._handle.write(json.dumps(event, sort_keys=True) + "\n")
 
     def close(self) -> None:

@@ -1,0 +1,72 @@
+"""Chaos harness smoke tests (`repro.core.chaos`).
+
+The full ten-schedule suite runs in CI (`repro chaos`); here we pin the
+harness machinery itself — the schedule registry is well-formed, seeds
+derive deterministically, the verdict checkers classify correctly —
+and drive two fast real schedules end to end through subprocesses.
+"""
+
+import pytest
+
+from repro.core import chaos
+from repro.core.chaos import (EXPLICIT_DEGRADED, SCHEDULES, _schedule_seed,
+                              run_schedule, run_schedules)
+from repro.core.failpoints import FailpointPlan
+
+
+# -- registry sanity -----------------------------------------------------------
+
+
+def test_schedule_names_are_unique_and_layers_covered():
+    names = [s.name for s in SCHEDULES]
+    assert len(names) == len(set(names))
+    assert len(SCHEDULES) >= 8  # the acceptance floor from ISSUE 7
+    layers = {s.layer for s in SCHEDULES}
+    assert {"journal", "pool", "telemetry", "clock", "signal"} <= layers
+
+
+def test_every_schedule_failpoint_spec_parses():
+    for schedule in SCHEDULES:
+        if not schedule.failpoints:
+            continue
+        spec = schedule.failpoints.replace("{seed}", "7")
+        plan = FailpointPlan.parse(spec)
+        assert plan.points
+
+
+def test_schedule_seeds_are_deterministic_and_distinct():
+    seeds = {name: _schedule_seed(7, name)
+             for name in ("a-schedule", "b-schedule")}
+    assert seeds == {name: _schedule_seed(7, name)
+                     for name in ("a-schedule", "b-schedule")}
+    assert seeds["a-schedule"] != seeds["b-schedule"]
+    assert all(0 <= s < 2 ** 31 for s in seeds.values())
+    assert _schedule_seed(7, "a-schedule") != _schedule_seed(8, "a-schedule")
+
+
+def test_unknown_schedule_name_raises():
+    with pytest.raises(KeyError):
+        run_schedules(seed=7, names=["no-such-schedule"])
+
+
+def test_explicit_degraded_outcomes_are_the_documented_set():
+    assert set(EXPLICIT_DEGRADED) == {"incomplete", "infeasible", "error"}
+
+
+# -- end-to-end smoke (two fast schedules through real subprocesses) -----------
+
+
+@pytest.mark.parametrize("name", ["journal-write-eio", "telemetry-sink-fail"])
+def test_fast_schedule_honors_the_degradation_contract(name):
+    schedule = next(s for s in SCHEDULES if s.name == name)
+    result = run_schedule(schedule, seed=_schedule_seed(7, name), timeout=90)
+    assert result.ok, result.violations
+    assert result.notes  # evidence, not just absence of violations
+
+
+def test_run_schedules_aggregates(capsys):
+    results = run_schedules(seed=7, names=["journal-write-eio"], timeout=90)
+    assert len(results) == 1
+    assert results[0].ok, results[0].violations
+    report = chaos.render_report(results)
+    assert "1/1" in report

@@ -1,0 +1,191 @@
+"""Unit tests for the failpoint registry (`repro.core.failpoints`).
+
+The contract: specs parse deterministically, triggers count hits per
+process and fire exactly as specified, `prob` draws from a per-site
+seeded stream (same spec -> same decisions in every process), and the
+whole machinery is invisible — ``ENABLED`` False, ``fire`` never
+called — when no plan is armed.
+"""
+
+import errno
+
+import pytest
+
+from repro.core import failpoints
+from repro.core.failpoints import (CATALOG, Failpoint, FailpointPlan,
+                                   install_from_env)
+from repro.errors import CheckerError
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    """Every test starts and ends with no plan armed."""
+    failpoints.deactivate()
+    yield
+    failpoints.deactivate()
+
+
+# -- parsing -------------------------------------------------------------------
+
+
+def test_parse_full_grammar():
+    plan = FailpointPlan.parse(
+        "journal.append.write=torn:20@at:3#42; clock.budget=skew:3600")
+    torn = plan.points["journal.append.write"]
+    assert torn.action == "torn"
+    assert torn.param == 20.0
+    assert torn.trigger == "at"
+    assert torn.trigger_arg == 3
+    assert torn.seed == 42
+    skew = plan.points["clock.budget"]
+    assert skew.action == "skew"
+    assert skew.param == 3600.0
+    assert skew.trigger == "always"
+
+
+def test_spec_roundtrips_through_parse():
+    spec = "journal.append.fsync=enospc@at:2;worker.run.before=sleep:0.02@every:2"
+    assert FailpointPlan.parse(FailpointPlan.parse(spec).spec()).spec() == \
+        FailpointPlan.parse(spec).spec()
+
+
+@pytest.mark.parametrize("bad", [
+    "nosuch.site=raise",                    # unknown site
+    "journal.append.fsync=torn:3",          # action not allowed at site
+    "journal.append.write=raise@sometimes", # unknown trigger
+    "journal.append.write=raise@at:0",      # at needs a positive arg
+    "journal.append.write=raise@prob:1.5",  # prob outside (0, 1]
+    "journal.append.write=torn",            # torn needs a parameter
+    "journal.append.write",                 # no action at all
+    "journal.append.write=raise#xyz",       # non-integer seed
+    "   ;  ; ",                             # empty plan
+    "clock.budget=skew:1;clock.budget=skew:2",  # site configured twice
+])
+def test_bad_specs_are_configuration_errors(bad):
+    with pytest.raises(CheckerError):
+        FailpointPlan.parse(bad)
+
+
+def test_catalog_descriptions_cover_every_site():
+    for site, (actions, description) in CATALOG.items():
+        assert actions, site
+        assert description, site
+
+
+# -- triggers ------------------------------------------------------------------
+
+
+def _decisions(point, hits):
+    return [point.should_fire() for _ in range(hits)]
+
+
+def test_trigger_always():
+    point = Failpoint("telemetry.sink.emit", "raise")
+    assert _decisions(point, 4) == [True] * 4
+
+
+def test_trigger_once():
+    point = Failpoint("telemetry.sink.emit", "raise", trigger="once")
+    assert _decisions(point, 4) == [True, False, False, False]
+
+
+def test_trigger_at():
+    point = Failpoint("telemetry.sink.emit", "raise",
+                      trigger="at", trigger_arg=3)
+    assert _decisions(point, 5) == [False, False, True, False, False]
+
+
+def test_trigger_every():
+    point = Failpoint("worker.run.before", "kill",
+                      trigger="every", trigger_arg=2)
+    assert _decisions(point, 6) == [False, True, False, True, False, True]
+
+
+def test_trigger_prob_is_deterministic_per_seed():
+    def stream(seed):
+        point = Failpoint("telemetry.bus.publish", "drop",
+                          trigger="prob", trigger_arg=0.5, seed=seed)
+        return _decisions(point, 64)
+
+    assert stream(7) == stream(7)       # same seed -> same decisions
+    assert stream(7) != stream(8)       # different seed -> different stream
+    assert any(stream(7)) and not all(stream(7))
+
+
+def test_prob_streams_differ_across_sites_under_one_seed():
+    a = Failpoint("telemetry.bus.publish", "drop",
+                  trigger="prob", trigger_arg=0.5, seed=7)
+    b = Failpoint("telemetry.sink.emit", "raise",
+                  trigger="prob", trigger_arg=0.5, seed=7)
+    assert _decisions(a, 64) != _decisions(b, 64)
+
+
+# -- fire ----------------------------------------------------------------------
+
+
+def test_fire_without_a_plan_is_none():
+    assert not failpoints.ENABLED
+    assert failpoints.fire("journal.append.write") is None
+
+
+def test_activate_arms_and_deactivate_disarms():
+    plan = failpoints.activate(FailpointPlan.parse(
+        "telemetry.sink.emit=raise@once"))
+    assert failpoints.ENABLED
+    assert failpoints.active_plan() is plan
+    failpoints.deactivate()
+    assert not failpoints.ENABLED
+    assert failpoints.active_plan() is None
+
+
+def test_fire_raise_is_eio():
+    failpoints.activate(FailpointPlan.parse("telemetry.sink.emit=raise"))
+    with pytest.raises(OSError) as err:
+        failpoints.fire("telemetry.sink.emit")
+    assert err.value.errno == errno.EIO
+
+
+def test_fire_enospc():
+    failpoints.activate(FailpointPlan.parse("journal.append.fsync=enospc"))
+    with pytest.raises(OSError) as err:
+        failpoints.fire("journal.append.fsync")
+    assert err.value.errno == errno.ENOSPC
+
+
+def test_fire_returns_point_for_site_interpreted_actions():
+    failpoints.activate(FailpointPlan.parse(
+        "journal.append.write=torn:10;clock.budget=skew:60;"
+        "telemetry.bus.publish=drop"))
+    assert failpoints.fire("journal.append.write").param == 10.0
+    assert failpoints.fire("clock.budget").action == "skew"
+    assert failpoints.fire("telemetry.bus.publish").action == "drop"
+    # Sites without an armed point stay silent even while the plan is on.
+    assert failpoints.fire("telemetry.sink.emit") is None
+
+
+def test_fire_counts_hits_and_fires():
+    plan = failpoints.activate(FailpointPlan.parse(
+        "telemetry.bus.publish=drop@at:2"))
+    assert failpoints.fire("telemetry.bus.publish") is None
+    assert failpoints.fire("telemetry.bus.publish") is not None
+    assert failpoints.fire("telemetry.bus.publish") is None
+    assert plan.snapshot() == {
+        "telemetry.bus.publish": {"hits": 3, "fires": 1}}
+
+
+def test_fire_logs_one_stderr_line_when_log_env_set(monkeypatch, capsys):
+    monkeypatch.setenv(failpoints.LOG_ENV_VAR, "1")
+    failpoints.activate(FailpointPlan.parse("telemetry.bus.publish=drop"))
+    failpoints.fire("telemetry.bus.publish")
+    err = capsys.readouterr().err
+    assert "failpoint fired: telemetry.bus.publish drop" in err
+
+
+def test_install_from_env():
+    assert install_from_env({}) is None
+    assert not failpoints.ENABLED
+    plan = install_from_env(
+        {failpoints.ENV_VAR: "clock.budget=skew:5@once"})
+    assert plan is not None
+    assert failpoints.ENABLED
+    assert "clock.budget" in plan.points

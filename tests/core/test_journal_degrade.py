@@ -1,0 +1,132 @@
+"""Journal write-failure degradation (`CampaignJournal` + failpoints).
+
+The contract: a failed append never aborts the campaign.  The first
+failure flips the journal into in-memory mode with exactly one stderr
+warning and one ``journal_write_failed`` telemetry event; records
+written before the failure stay durable and readable; a torn trailing
+line is skipped by the tolerant readers.
+"""
+
+import errno
+import json
+
+import pytest
+
+from repro.core import failpoints
+from repro.core.checker.campaign import InputOutcome, InputPoint
+from repro.core.checker.journal import CampaignJournal
+from repro.core.failpoints import FailpointPlan
+from repro.telemetry import MemorySink, Telemetry
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    failpoints.deactivate()
+    yield
+    failpoints.deactivate()
+
+
+def _outcome(name: str) -> InputOutcome:
+    return InputOutcome(
+        input=InputPoint(name, {}), deterministic=True, det_at_end=True,
+        n_ndet_points=0, first_ndet_run=None, result=None,
+        outcome="deterministic")
+
+
+def _events(sink, name):
+    return [e for e in sink.events
+            if e["t"] == "event" and e.get("name") == name]
+
+
+def test_write_failure_degrades_to_memory_with_one_warning(tmp_path, capsys):
+    path = str(tmp_path / "journal.jsonl")
+    sink = MemorySink()
+    tele = Telemetry(sink)
+    journal = CampaignJournal(path, telemetry=tele)
+    failpoints.activate(FailpointPlan.parse("journal.append.write=raise"))
+
+    journal.append_outcome(_outcome("a"))
+    journal.append_outcome(_outcome("b"))
+
+    assert journal.degraded
+    assert journal.write_error is not None
+    assert [r["input"] for r in journal.memory_records] == ["a", "b"]
+    assert journal.records() == []  # nothing reached disk
+
+    err = capsys.readouterr().err
+    assert err.count("continuing with in-memory outcome tracking") == 1
+    assert path in err
+
+    events = _events(sink, "journal_write_failed")
+    assert len(events) == 1
+    assert events[0]["error"] == "OSError"
+    assert tele.registry.snapshot()["counters"][
+        "journal_write_failures"] == 1
+
+
+def test_enospc_on_fsync_keeps_earlier_records_durable(tmp_path, capsys):
+    path = str(tmp_path / "journal.jsonl")
+    journal = CampaignJournal(path).acquire()
+    failpoints.activate(FailpointPlan.parse(
+        "journal.append.fsync=enospc@at:2"))
+    try:
+        journal.append_outcome(_outcome("a"))   # fsync hit 1: survives
+        journal.append_outcome(_outcome("b"))   # fsync hit 2: disk full
+        journal.append_outcome(_outcome("c"))   # already degraded
+    finally:
+        journal.release()
+
+    assert journal.degraded
+    assert journal.write_error.errno == errno.ENOSPC
+    assert [r["input"] for r in journal.memory_records] == ["b", "c"]
+    # The record whose fsync failed still hit the file (write preceded
+    # fsync); only durability was lost, so both lines are readable.
+    names = [r["input"] for r in journal.records()
+             if r.get("t") == "input_outcome"]
+    assert names == ["a", "b"]
+    assert "resumable" in capsys.readouterr().err
+
+
+def test_torn_write_leaves_a_skippable_partial_line(tmp_path, capsys):
+    path = str(tmp_path / "journal.jsonl")
+    journal = CampaignJournal(path).acquire()
+    failpoints.activate(FailpointPlan.parse(
+        "journal.append.write=torn:20@at:2"))
+    try:
+        journal.append_outcome(_outcome("a"))
+        journal.append_outcome(_outcome("b"))   # torn after 20 bytes
+    finally:
+        journal.release()
+    capsys.readouterr()
+
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    assert not raw.endswith(b"\n")  # the tear is physically on disk
+
+    # Tolerant readers skip the torn tail; the completed record survives.
+    records = journal.records()
+    assert [r["input"] for r in records
+            if r.get("t") == "input_outcome"] == ["a"]
+    assert set(journal.load_completed()) == {"a"}
+
+
+def test_load_completed_survives_torn_line_mid_file(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = CampaignJournal(path)
+    journal.append_outcome(_outcome("a"))
+    with open(path, "a") as handle:
+        handle.write('{"t": "input_outcome", "inp')  # torn, no newline
+    assert set(journal.load_completed()) == {"a"}
+
+
+def test_healthy_journal_emits_no_degrade_signals(tmp_path, capsys):
+    sink = MemorySink()
+    journal = CampaignJournal(str(tmp_path / "journal.jsonl"),
+                              telemetry=Telemetry(sink))
+    journal.append_outcome(_outcome("a"))
+    assert not journal.degraded
+    assert journal.memory_records == []
+    assert capsys.readouterr().err == ""
+    assert _events(sink, "journal_write_failed") == []
+    for line in open(journal.path):
+        json.loads(line)

@@ -1,0 +1,122 @@
+"""Pool-break recovery: a killed worker must not change any verdict.
+
+The contract (ISSUE 7 satellite): when a pool worker dies mid-stream —
+here via the ``worker.run.before``/``worker.input.before`` kill
+failpoints, the SIGKILL/OOM analog — the engine rebuilds the pool once,
+requeues the unresolved work, emits a ``pool_rebuilt`` event and
+``pool_rebuilds`` counter, and the final result is bit-identical to the
+fault-free run.  Forked workers inherit the armed plan (hit counts
+reset to the parent's, which never hits worker sites), so the kill is
+reproducible without any subprocess plumbing.
+"""
+
+import functools
+import json
+
+import pytest
+
+from repro.core import failpoints
+from repro.core.checker.campaign import InputPoint, run_campaign
+from repro.core.checker.runner import CheckConfig, check_determinism
+from repro.core.checker.serialize import result_to_dict
+from repro.core.failpoints import FailpointPlan
+from repro.telemetry import MemorySink, Telemetry
+from repro.workloads import make
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    failpoints.deactivate()
+    yield
+    failpoints.deactivate()
+
+
+def _canonical(result):
+    payload = result_to_dict(result, include_hashes=True)
+    payload.pop("workers")
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def _events(sink, name):
+    return [e for e in sink.events
+            if e["t"] == "event" and e.get("name") == name]
+
+
+def test_worker_killed_mid_session_is_recovered_bit_identically():
+    baseline = check_determinism(make("fft"), CheckConfig(runs=6))
+
+    sink = MemorySink()
+    failpoints.activate(FailpointPlan.parse("worker.run.before=kill@at:2"))
+    try:
+        result = check_determinism(make("fft"),
+                                   CheckConfig(runs=6, workers=2),
+                                   telemetry=Telemetry(sink))
+    finally:
+        failpoints.deactivate()
+
+    assert result.deterministic
+    assert _canonical(result) == _canonical(baseline)
+
+    rebuilt = _events(sink, "pool_rebuilt")
+    assert rebuilt, "the pool break must be visible in telemetry"
+    assert rebuilt[0]["requeued"] >= 1
+
+
+def test_pool_rebuild_counter_reaches_the_registry():
+    sink = MemorySink()
+    tele = Telemetry(sink)
+    failpoints.activate(FailpointPlan.parse("worker.run.before=kill@at:2"))
+    try:
+        check_determinism(make("fft"), CheckConfig(runs=6, workers=2),
+                          telemetry=tele)
+    finally:
+        failpoints.deactivate()
+    assert tele.registry.snapshot()["counters"]["pool_rebuilds"] >= 1
+
+
+def test_worker_killed_mid_campaign_is_recovered_bit_identically(tmp_path):
+    points = [InputPoint("small", {"log2_n": 5}),
+              InputPoint("mid", {"log2_n": 6}),
+              InputPoint("large", {"log2_n": 7})]
+    factory = functools.partial(make, "fft")
+
+    baseline = run_campaign(factory, points, CheckConfig(runs=3))
+
+    sink = MemorySink()
+    failpoints.activate(FailpointPlan.parse("worker.input.before=kill@at:2"))
+    try:
+        result = run_campaign(factory, points,
+                              CheckConfig(runs=3, workers=2),
+                              telemetry=Telemetry(sink),
+                              journal_path=str(tmp_path / "journal.jsonl"))
+    finally:
+        failpoints.deactivate()
+
+    assert result.deterministic_on_all_inputs
+    assert [o.outcome for o in result.outcomes] == \
+        [o.outcome for o in baseline.outcomes]
+    assert [o.input.name for o in result.outcomes] == \
+        [o.input.name for o in baseline.outcomes]
+    assert _events(sink, "pool_rebuilt")
+
+    # Every input's verdict reached the journal despite the pool break.
+    lines = [json.loads(line)
+             for line in open(tmp_path / "journal.jsonl")]
+    journaled = [r["input"] for r in lines if r.get("t") == "input_outcome"]
+    assert sorted(journaled) == ["large", "mid", "small"]
+
+
+def test_repeated_kills_fall_back_to_isolated_execution():
+    """With the one allowed rebuild also dying, per-task isolation pools
+    still finish the session — slower, never wrong."""
+    sink = MemorySink()
+    failpoints.activate(FailpointPlan.parse("worker.run.before=kill@every:2"))
+    try:
+        result = check_determinism(make("fft"),
+                                   CheckConfig(runs=6, workers=2),
+                                   telemetry=Telemetry(sink))
+    finally:
+        failpoints.deactivate()
+    baseline = check_determinism(make("fft"), CheckConfig(runs=6))
+    assert result.deterministic
+    assert _canonical(result) == _canonical(baseline)

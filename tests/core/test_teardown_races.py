@@ -1,0 +1,149 @@
+"""Telemetry teardown races (ISSUE 7 satellite).
+
+Three shutdown-ordering hazards, provoked deterministically with
+failpoints where timing alone could not:
+
+* a Prometheus scrape racing :meth:`MetricsServer.stop` (and a render
+  that fails mid-scrape) must end in a clean 503 or a dropped
+  connection, never a handler traceback or a hung ``stop()``;
+* :meth:`EventBus.close` with a saturated subscriber queue must drain
+  and account, not hang;
+* a bus-level drop (simulated queue saturation) keeps the recording
+  visibly lossy via per-subscriber drop counts.
+"""
+
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import failpoints
+from repro.core.failpoints import FailpointPlan
+from repro.telemetry import MemorySink, Telemetry
+from repro.telemetry.bus import EventBus
+from repro.telemetry.http import MetricsServer, render_metrics
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    failpoints.deactivate()
+    yield
+    failpoints.deactivate()
+
+
+# -- /metrics vs teardown ------------------------------------------------------
+
+
+def test_metrics_render_failure_is_a_503_not_a_traceback():
+    tele = Telemetry(MemorySink())
+    server = MetricsServer(tele, port=0)
+    server.start()
+    failpoints.activate(FailpointPlan.parse(
+        "telemetry.metrics.render=raise"))
+    try:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{server.url}/metrics", timeout=5)
+        assert err.value.code == 503
+        assert b"scrape failed" in err.value.read()
+    finally:
+        failpoints.deactivate()
+        server.stop()
+
+
+def test_server_stop_during_slow_scrape_does_not_hang():
+    tele = Telemetry(MemorySink())
+    server = MetricsServer(tele, port=0)
+    server.start()
+    failpoints.activate(FailpointPlan.parse(
+        "telemetry.metrics.render=sleep:0.4"))
+    outcome = {}
+
+    def scrape():
+        try:
+            with urllib.request.urlopen(f"{server.url}/metrics",
+                                        timeout=10) as resp:
+                outcome["status"] = resp.status
+        except (urllib.error.URLError, ConnectionError, OSError) as exc:
+            outcome["error"] = exc  # a dropped connection is acceptable
+
+    thread = threading.Thread(target=scrape)
+    thread.start()
+    time.sleep(0.1)  # let the scrape enter the sleeping render
+    started = time.monotonic()
+    server.stop()  # must return even though a handler is mid-render
+    assert time.monotonic() - started < 5.0
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert outcome  # the scrape resolved one way or the other
+
+
+def test_render_metrics_works_after_failpoint_disarmed():
+    tele = Telemetry(MemorySink())
+    failpoints.activate(FailpointPlan.parse(
+        "telemetry.metrics.render=raise@once"))
+    with pytest.raises(OSError):
+        render_metrics(tele)
+    failpoints.deactivate()
+    tele.registry.counter("runs").inc()
+    assert "runs" in render_metrics(tele)
+
+
+# -- EventBus close under saturation -------------------------------------------
+
+
+def test_close_with_saturated_pull_queue_does_not_hang():
+    bus = EventBus()
+    sub = bus.subscribe(maxlen=2)  # pull-mode, tiny bound
+    for i in range(10):
+        bus.emit({"t": "event", "i": i})
+    assert sub.dropped == 8
+    assert sub.pending == 2
+    started = time.monotonic()
+    bus.close()
+    assert time.monotonic() - started < 5.0
+    assert bus.emit({"t": "event"}) is None  # post-close emit is a no-op
+
+
+class _SlowSink:
+    enabled = True
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        time.sleep(0.005)
+        self.events.append(event)
+
+    def close(self):
+        pass
+
+
+def test_close_drains_saturated_push_subscriber_and_accounts():
+    bus = EventBus()
+    sink = _SlowSink()
+    sub = bus.subscribe(sink, maxlen=1, close_with_bus=True)
+    published = 40
+    for i in range(published):
+        bus.emit({"t": "event", "i": i})
+    started = time.monotonic()
+    bus.close()
+    assert time.monotonic() - started < 10.0
+    # Every published event was either delivered or visibly dropped.
+    assert sub.delivered + sub.dropped == published
+    assert sub.delivered == len(sink.events)
+    assert sub.pending == 0
+
+
+def test_bus_drop_failpoint_counts_per_subscriber():
+    failpoints.activate(FailpointPlan.parse(
+        "telemetry.bus.publish=drop@every:2"))
+    bus = EventBus()
+    sub = bus.subscribe(maxlen=1024)
+    for i in range(10):
+        bus.emit({"t": "event", "i": i})
+    assert sub.dropped == 5
+    assert sub.pending == 5
+    assert bus.events_dropped == 5
+    bus.close()
