@@ -1,0 +1,223 @@
+"""Early-exit wall-clock: shmem mid-run cancellation vs the plain pool.
+
+The workload is a long-run divergent program: every run diverges from
+the reference at its *first* checkpoint (a per-seed ``rand`` draw with
+libcall replay off) but then grinds through many more compute-heavy
+phases.  A ``stop_on_first`` session on the pickle-channel pool must
+drain every in-flight run to completion after the divergence folds —
+cancellation is run-granular.  The shmem backend tells diverged
+in-flight runs to stop at their very next checkpoint, so the doomed
+tail of each run is never executed; that skipped tail is the measured
+speedup.
+
+Also asserts what the speedup is *worth nothing without*: the verdicts
+of all three backends (serial, process-pool, process-pool-shmem) are
+bit-identical, and the shmem session actually cancelled runs mid-run
+(the ``runs_cancelled_midrun`` counter).
+
+Usage::
+
+    python benchmarks/bench_shmem.py                      # measure + report
+    python benchmarks/bench_shmem.py --gate-speedup 1.5   # the CI gate
+
+The gate refuses to enforce on hosts with fewer than 4 CPUs (prints a
+notice and passes): without real parallelism the in-flight window is
+too small to demonstrate the effect reliably — correctness is still
+asserted everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+DEFAULT_RUNS = 10
+DEFAULT_WORKERS = 4
+DEFAULT_PHASES = 12
+DEFAULT_PHASE_OPS = 1200
+SEED = 4242
+
+from repro.sim.layout import StaticLayout  # noqa: E402
+from repro.sim.program import Program  # noqa: E402
+
+
+class LongDivergentProgram(Program):
+    """Diverges at checkpoint 0, then burns many phases of real steps.
+
+    Worker 0 stores one per-seed ``rand`` draw (divergent with libcall
+    replay off), then runs *phases* compute phases of *phase_ops*
+    scheduled stores each, taking a checkpoint after every phase.  The
+    doomed tail — everything after the first checkpoint — is what
+    mid-run cancellation gets to skip.
+    """
+
+    name = "longdiv"
+
+    def __init__(self, phases: int = DEFAULT_PHASES,
+                 phase_ops: int = DEFAULT_PHASE_OPS):
+        layout = StaticLayout()
+        self.G = layout.var("G")
+        self.scratch = layout.array("scratch", 8)
+        super().__init__(n_workers=2, static_words=layout.words)
+        self.static_layout = layout
+        self.static_types = layout.types
+        self.phases = phases
+        self.phase_ops = phase_ops
+
+    def worker(self, ctx, st, wid):
+        if wid != 0:
+            yield from ctx.sched_yield()
+            return
+        value = yield from ctx.rand()
+        yield from ctx.store(self.G, value & 0xFFFF)
+        for i in range(self.phases):
+            for j in range(self.phase_ops):
+                yield from ctx.store(self.scratch + (j % 8), j)
+            yield from ctx.checkpoint(f"phase{i:02d}")
+
+
+def _canonical_verdict(result) -> str:
+    from repro.core.checker.serialize import result_to_dict
+
+    payload = result_to_dict(result, include_hashes=True)
+    payload.pop("workers")
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def measure(runs: int = DEFAULT_RUNS, n_workers: int = DEFAULT_WORKERS,
+            phases: int = DEFAULT_PHASES, phase_ops: int = DEFAULT_PHASE_OPS,
+            repeats: int = 2) -> dict:
+    """Time the stop_on_first session on all three backends.
+
+    Returns walls, the pool→shmem speedup, the mid-run cancellation
+    counters, and the cross-backend verdict-identity flag (an
+    AssertionError if it does not hold — a fast bench that changes the
+    answer is a bug, not a result).
+    """
+    from repro.core.checker.runner import CheckConfig, check_determinism
+    from repro.telemetry import MemorySink, Telemetry
+
+    program = LongDivergentProgram(phases=phases, phase_ops=phase_ops)
+    walls: dict = {}
+    counters: dict = {}
+    reference = None
+    for backend in ("serial", "process-pool", "process-pool-shmem"):
+        workers = 1 if backend == "serial" else n_workers
+        best = None
+        for _ in range(repeats):
+            tele = Telemetry(MemorySink())
+            config = CheckConfig(runs=runs, base_seed=SEED, workers=workers,
+                                 executor=backend, stop_on_first=True,
+                                 libcall_replay=False)
+            start = time.perf_counter()
+            result = check_determinism(program, config, telemetry=tele)
+            elapsed = time.perf_counter() - start
+            if result.deterministic:
+                raise AssertionError(
+                    "longdiv: expected a nondeterministic verdict — the "
+                    "early-exit benchmark needs a divergence to stop on")
+            verdict = _canonical_verdict(result)
+            if reference is None:
+                reference = verdict
+            elif verdict != reference:
+                raise AssertionError(
+                    f"longdiv: verdict on {backend} differs from serial — "
+                    f"mid-run cancellation broke bit-identity")
+            snapshot = tele.registry.snapshot()["counters"]
+            if best is None or elapsed < best:
+                best = elapsed
+                counters[backend] = {
+                    "runs_cancelled_midrun":
+                        snapshot.get("runs_cancelled_midrun", 0),
+                    "checkpoints_streamed":
+                        snapshot.get("checkpoints_streamed", 0),
+                }
+        walls[backend] = best
+    return {
+        "schema": "repro.bench.shmem/v1",
+        "app": "longdiv",
+        "runs": runs,
+        "workers": n_workers,
+        "phases": phases,
+        "phase_ops": phase_ops,
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "verdicts_identical": True,
+        "serial_wall_s": round(walls["serial"], 4),
+        "pool_wall_s": round(walls["process-pool"], 4),
+        "shmem_wall_s": round(walls["process-pool-shmem"], 4),
+        "speedup_vs_pool": round(walls["process-pool"]
+                                 / walls["process-pool-shmem"], 3),
+        "counters": counters,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=DEFAULT_RUNS)
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument("--phases", type=int, default=DEFAULT_PHASES)
+    parser.add_argument("--phase-ops", type=int, default=DEFAULT_PHASE_OPS)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--gate-speedup", type=float, default=None,
+                        help="fail unless shmem beats the pool by this "
+                        "factor (ignored on hosts with < 4 CPUs)")
+    parser.add_argument("--out", default=os.path.join(
+        RESULTS_DIR, "shmem.json"))
+    args = parser.parse_args(argv)
+
+    payload = measure(args.runs, args.workers, args.phases, args.phase_ops,
+                      args.repeats)
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {args.out}")
+
+    cancelled = payload["counters"]["process-pool-shmem"][
+        "runs_cancelled_midrun"]
+    if args.gate_speedup is not None:
+        cpus = os.cpu_count() or 1
+        speedup = payload["speedup_vs_pool"]
+        if cpus < 4:
+            print(f"NOTE: only {cpus} CPU(s) — the early-exit advantage "
+                  f"cannot be demonstrated here; --gate-speedup not "
+                  f"enforced (measured: {speedup:.2f}x, "
+                  f"{cancelled} mid-run cancel(s))")
+        elif speedup < args.gate_speedup:
+            print(f"FAIL: shmem speedup {speedup:.2f}x < required "
+                  f"{args.gate_speedup:.2f}x over the pickle-channel pool",
+                  file=sys.stderr)
+            return 1
+        elif cancelled < 1:
+            print("FAIL: no run was cancelled mid-run — the speedup is "
+                  "not attributable to the exchange", file=sys.stderr)
+            return 1
+        else:
+            print(f"OK: shmem {speedup:.2f}x faster than the pool "
+                  f"({payload['shmem_wall_s']}s vs "
+                  f"{payload['pool_wall_s']}s, {cancelled} mid-run "
+                  f"cancel(s))")
+    return 0
+
+
+def test_shmem_bench_verdict_identity():
+    """Pytest-visible reduced shape check: all three backends agree."""
+    payload = measure(runs=4, n_workers=2, phases=4, phase_ops=100,
+                      repeats=1)
+    assert payload["verdicts_identical"]
+    assert payload["speedup_vs_pool"] > 0
+    assert payload["counters"]["process-pool-shmem"][
+        "checkpoints_streamed"] >= 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

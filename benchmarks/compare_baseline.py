@@ -94,16 +94,64 @@ def compare(baseline: dict, current: dict,
     return problems
 
 
+def delta_table(baseline: dict, current: dict, problems: list,
+                threshold: float) -> str:
+    """Markdown delta table for the CI step summary.
+
+    Per-app calibration-normalised deltas plus a verdict line; written
+    to ``$GITHUB_STEP_SUMMARY`` so the regression picture is on the run
+    page, not buried in the job log.
+    """
+    lines = [
+        "### Bench regression gate",
+        "",
+        f"Threshold: {threshold:.0%} (calibration-normalised; baseline "
+        f"cal {baseline.get('calibration_s')}s, current "
+        f"cal {current.get('calibration_s')}s)",
+        "",
+        "| app | wall Δ | updates/s Δ | hash_updates |",
+        "|---|---|---|---|",
+    ]
+    for app in sorted(baseline.get("apps", {})):
+        if app not in current.get("apps", {}):
+            lines.append(f"| {app} | missing | missing | missing |")
+            continue
+        wall = (_normalised(current, app, "wall_s")
+                / _normalised(baseline, app, "wall_s") - 1.0)
+        tp = (_normalised(current, app, "hash_updates_per_s")
+              / _normalised(baseline, app, "hash_updates_per_s") - 1.0)
+        base_updates = baseline["apps"][app]["hash_updates"]
+        cur_updates = current["apps"][app]["hash_updates"]
+        updates = ("exact" if abs(cur_updates - base_updates)
+                   <= EXACT_TOLERANCE * base_updates
+                   else f"{base_updates} → {cur_updates} ⚠")
+        lines.append(f"| {app} | {wall:+.1%} | {tp:+.1%} | {updates} |")
+    lines.append("")
+    if problems:
+        lines.append(f"**{len(problems)} regression(s):**")
+        lines.extend(f"- {problem}" for problem in problems)
+    else:
+        lines.append("**All metrics within bounds.**")
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed benchmarks/baseline.json")
     parser.add_argument("current", help="freshly measured payload")
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="allowed relative regression (default 0.25)")
+    parser.add_argument("--summary", metavar="PATH", default=None,
+                        help="append a markdown delta table to PATH "
+                        "(point it at $GITHUB_STEP_SUMMARY in CI)")
     args = parser.parse_args(argv)
     baseline = _load(args.baseline)
     current = _load(args.current)
     problems = compare(baseline, current, args.threshold)
+    if args.summary:
+        with open(args.summary, "a") as handle:
+            handle.write(delta_table(baseline, current, problems,
+                                     args.threshold) + "\n")
     if problems:
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)

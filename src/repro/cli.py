@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import signal
 import sys
 
@@ -203,6 +204,9 @@ def _build_parser() -> argparse.ArgumentParser:
     gold.add_argument("--fixtures", metavar="PATH", default=None,
                       help="fixture file (default: "
                       "tests/fixtures/golden/checker_digests.json)")
+    gold.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit a machine-readable verdict on stdout "
+                      "(drift details still go to stderr)")
 
     chaos = sub.add_parser(
         "chaos", help="run seeded fault-injection schedules against the CLI "
@@ -217,6 +221,9 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--timeout", type=float, default=120.0, metavar="SEC",
                        help="watchdog per CLI invocation; exceeding it is a "
                        "hang and fails the run")
+    chaos.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit a machine-readable report on stdout "
+                       "(failing schedules still listed on stderr)")
 
     loc = sub.add_parser("localize",
                          help="diff two runs at a checkpoint (Section 2.3)")
@@ -267,6 +274,14 @@ def _add_robustness_args(parser) -> None:
                         help="worker processes for the parallel execution "
                         "engine: a count or 'auto' (one per CPU); default 1 "
                         "= serial")
+    parser.add_argument("--executor", default="auto",
+                        choices=("auto", "serial", "process-pool",
+                                 "process-pool-shmem"),
+                        help="run-executor backend; 'auto' picks serial for "
+                        "--workers 1 and otherwise honors $REPRO_EXECUTOR "
+                        "before defaulting to process-pool; process-pool-"
+                        "shmem adds the shared-memory checkpoint exchange "
+                        "with mid-run divergence cancellation")
 
 
 def _add_observability_args(parser) -> None:
@@ -308,6 +323,7 @@ def _robustness_overrides(args) -> dict:
         "max_steps": args.max_steps,
         "strict_replay": args.strict_replay,
         "workers": args.workers,
+        "executor": args.executor,
     }
 
 
@@ -572,8 +588,6 @@ def _cmd_campaign(args, out) -> int:
 
 
 def _cmd_stats(args, out) -> int:
-    import json
-
     from repro.telemetry import (chrome_trace, load_events_tolerant,
                                  render_stats)
 
@@ -672,15 +686,29 @@ def _cmd_golden(args, out) -> int:
         return 0
     fixture = golden.load_fixture(path)
     problems = golden.verify_suite(fixture, progress=progress)
+    n_cases = len(fixture.get("cases", {}))
+    if args.as_json:
+        print(json.dumps({"mode": "verify", "fixtures": path,
+                          "cases": n_cases, "ok": not problems,
+                          "problems": list(problems)},
+                         indent=2, sort_keys=True), file=out)
     if not problems:
-        print(f"golden: {len(fixture.get('cases', {}))} case(s) verified "
-              f"against {path} — checker output is bit-stable", file=out)
+        if not args.as_json:
+            print(f"golden: {n_cases} case(s) verified against {path} — "
+                  f"checker output is bit-stable", file=out)
         return 0
-    print(f"golden: DRIFT against {path}:", file=out)
+    # Drift details go to stderr — CI log scrapers and shell pipelines
+    # read the failure list even when stdout is redirected (or is the
+    # --json document), and the exit code alone says nothing about
+    # *which* case drifted.
+    print(f"golden: DRIFT against {path}:", file=sys.stderr)
     for line in problems:
-        print(f"  {line}", file=out)
+        print(f"  {line}", file=sys.stderr)
     print("golden: if the change is intentional, re-record with "
-          "'repro golden update'", file=out)
+          "'repro golden update'", file=sys.stderr)
+    if not args.as_json:
+        print(f"golden: DRIFT — {len(problems)} problem(s), see stderr",
+              file=out)
     return EXIT_NONDETERMINISTIC
 
 
@@ -699,8 +727,33 @@ def _cmd_chaos(args, out) -> int:
                                                             file=sys.stderr))
     except KeyError as exc:
         raise CheckerError(str(exc)) from None
-    print(chaos.render_report(results), file=out)
-    return 0 if all(r.ok for r in results) else EXIT_NONDETERMINISTIC
+    if args.as_json:
+        print(json.dumps({
+            "seed": args.seed,
+            "ok": all(r.ok for r in results),
+            "schedules": [{"name": r.schedule.name,
+                           "layer": r.schedule.layer,
+                           "ok": r.ok,
+                           "duration_s": round(r.duration_s, 3),
+                           "notes": list(r.notes),
+                           "violations": list(r.violations)}
+                          for r in results],
+        }, indent=2, sort_keys=True), file=out)
+    else:
+        print(chaos.render_report(results), file=out)
+    failed = [r for r in results if not r.ok]
+    if failed:
+        # The failing schedules (with their violated invariants) go to
+        # stderr so a redirected/--json stdout still leaves the cause
+        # next to the nonzero exit code in the CI log.
+        print(f"chaos: FAILED {len(failed)}/{len(results)} schedule(s):",
+              file=sys.stderr)
+        for result in failed:
+            for violation in result.violations:
+                print(f"  {result.schedule.name}: {violation}",
+                      file=sys.stderr)
+        return EXIT_NONDETERMINISTIC
+    return 0
 
 
 def _cmd_localize(args, out) -> int:

@@ -56,6 +56,7 @@ from concurrent.futures import wait
 
 from repro.core import failpoints
 from repro.core.checker.policies import SessionBudget
+from repro.core.registry import Registry
 from repro.errors import (BudgetError, CheckerError, ReproError,
                           SessionInterrupted, WorkerCrashError)
 
@@ -99,6 +100,49 @@ def resolve_workers(workers) -> int:
     if workers < 1:
         raise CheckerError(f"workers must be >= 1, got {workers}")
     return workers
+
+
+#: The executor-backend registry (the 9th catalog family).  ``serial``
+#: and ``process-pool`` register here; ``process-pool-shmem`` registers
+#: from :mod:`repro.core.engine.shmem` (imported at the bottom of this
+#: module so the catalog is complete whenever executors are loadable).
+EXECUTORS = Registry("executors", error=CheckerError,
+                     what="executor backend")
+
+#: Environment override consulted by :func:`resolve_executor` for
+#: configs left on ``executor="auto"``: the preferred *pool* backend.
+#: It never forces a pool onto a session that resolved to one worker
+#: (so ``REPRO_EXECUTOR=process-pool-shmem`` runs a whole test suite
+#: with every pooled session on the shmem backend while serial-path
+#: behavior stays untouched — the CI matrix axis).
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+
+def resolve_executor(name: str, n_workers: int) -> str:
+    """Map a config's ``executor`` knob to a concrete backend name.
+
+    An explicit name always wins (and is validated).  ``"auto"`` picks
+    ``serial`` for single-worker sessions, otherwise the pool backend
+    named by :data:`EXECUTOR_ENV_VAR` (``serial`` there is a no-op —
+    the env var expresses a pool *flavor*, not a topology override),
+    falling back to ``process-pool``.
+    """
+    if name != "auto":
+        if name not in EXECUTORS:
+            raise CheckerError(
+                f"unknown executor backend {name!r}; available: "
+                f"{sorted(EXECUTORS.names())} (or 'auto')")
+        return name
+    if n_workers <= 1:
+        return "serial"
+    env = os.environ.get(EXECUTOR_ENV_VAR, "").strip()
+    if env and env != "serial":
+        if env not in EXECUTORS:
+            raise CheckerError(
+                f"{EXECUTOR_ENV_VAR}={env!r} names no executor backend; "
+                f"available: {sorted(EXECUTORS.names())}")
+        return env
+    return "process-pool"
 
 
 def _mp_context():
@@ -363,9 +407,25 @@ class RunExecutor:
         """
         raise NotImplementedError
 
-    def cancel(self) -> None:
-        """Stop issuing new work; already-running work is drained."""
+    def cancel(self, floor: int | None = None) -> None:
+        """Stop issuing new work; already-running work is drained.
+
+        *floor* is the lowest run index the caller knows to be
+        divergent: work at or below it must still complete for the
+        truncated verdict to stay bit-identical (backends that can
+        requeue work out of submission order honour it; the plain
+        backends never have unstarted work at or below a folded
+        divergence, so they may ignore it).
+        """
         self.cancelled = True
+
+    def salvaged_checkpoints(self, index: int) -> int:
+        """Checkpoints known to have completed in a run that crashed.
+
+        The pickle-channel backends learn nothing from a dead worker;
+        the shmem backend reads the dead run's published lane prefix.
+        """
+        return 0
 
 
 class SerialExecutor(RunExecutor):
@@ -435,9 +495,11 @@ class ProcessPoolRunExecutor(RunExecutor):
         self.monitor.start()
         return ((beat_queue, self.heartbeat_interval_s),)
 
-    def cancel(self) -> None:
-        super().cancel()
-        for future in list(self._pending):
+    def cancel(self, floor: int | None = None) -> None:
+        super().cancel(floor)
+        for future, index in list(self._pending.items()):
+            if floor is not None and index <= floor:
+                continue  # needed below the divergence cutoff
             if future.cancel():
                 self.cancelled_count += 1
                 del self._pending[future]
@@ -446,6 +508,23 @@ class ProcessPoolRunExecutor(RunExecutor):
         return ProcessPoolExecutor(
             max_workers=max(1, min(self.n_workers, n_tasks)),
             mp_context=ctx, initializer=_worker_init, initargs=initargs)
+
+    # -- subclass hooks (no-ops on the plain pickle-channel pool) ------------
+
+    def _poll_interval_s(self) -> float | None:
+        """Cap on each wait() so _on_wait_tick runs at that cadence."""
+        return None
+
+    def _on_wait_tick(self) -> None:
+        """Called after every wait() wakeup, timeout or not."""
+
+    def _note_result(self, index: int, value):
+        """Observe (and possibly rewrite) a task result before yield."""
+        return value
+
+    def _requeue_indexes(self):
+        """Indexes to resubmit once the pool drains (reconciliation)."""
+        return ()
 
     def stream(self, tasks: dict):
         indexes = sorted(tasks)
@@ -462,17 +541,31 @@ class ProcessPoolRunExecutor(RunExecutor):
             for index in indexes:
                 worker_fn, args = tasks[index]
                 pending[executor.submit(worker_fn, *args)] = index
-            while pending:
+            while True:
+                if not pending:
+                    for index in self._requeue_indexes():
+                        worker_fn, args = tasks[index]
+                        pending[executor.submit(worker_fn, *args)] = index
+                    if not pending:
+                        break
                 timeout = None
                 if self.deadline is not None:
                     timeout = max(0.0, self.deadline - time.monotonic())
+                poll_s = self._poll_interval_s()
+                if poll_s is not None:
+                    timeout = (poll_s if timeout is None
+                               else min(timeout, poll_s))
                 done, _ = wait(set(pending), timeout=timeout,
                                return_when=FIRST_COMPLETED)
+                self._on_wait_tick()
                 if not done:
-                    # Session deadline: stop waiting; running workers
-                    # hit their own deadline poll.
-                    self.expired = True
-                    break
+                    if (self.deadline is not None
+                            and time.monotonic() >= self.deadline):
+                        # Session deadline: stop waiting; running
+                        # workers hit their own deadline poll.
+                        self.expired = True
+                        break
+                    continue  # a poll tick, not an expiry
                 unresolved = []
                 for future in done:
                     index = pending.pop(future, None)
@@ -483,7 +576,7 @@ class ProcessPoolRunExecutor(RunExecutor):
                     except BrokenExecutor:
                         unresolved.append(index)
                         continue
-                    yield index, value
+                    yield index, self._note_result(index, value)
                 if not unresolved:
                     continue
                 # The pool is dead and every in-flight future is doomed
@@ -516,18 +609,24 @@ class ProcessPoolRunExecutor(RunExecutor):
                 # remaining tasks kills any worker it touches.  Salvage
                 # each one in isolation: the crasher reveals itself by
                 # breaking its private pool, the innocents complete.
-                for index in sorted(unresolved):
-                    if (self.deadline is not None
-                            and time.monotonic() >= self.deadline):
-                        self.expired = True
-                        break
-                    worker_fn, args = tasks[index]
-                    value = _run_isolated(worker_fn, args, ctx,
-                                          self.deadline)
-                    if value is _EXPIRED:
-                        self.expired = True
-                        break
-                    yield index, value
+                salvage_queue = sorted(unresolved)
+                while salvage_queue and not self.expired:
+                    for index in salvage_queue:
+                        if (self.deadline is not None
+                                and time.monotonic() >= self.deadline):
+                            self.expired = True
+                            break
+                        worker_fn, args = tasks[index]
+                        value = _run_isolated(worker_fn, args, ctx,
+                                              self.deadline)
+                        if value is _EXPIRED:
+                            self.expired = True
+                            break
+                        yield index, self._note_result(index, value)
+                    else:
+                        salvage_queue = sorted(self._requeue_indexes())
+                        continue
+                    break
                 break
         except BaseException:
             # Abnormal exit — a signal raised in this frame, the
@@ -595,14 +694,20 @@ def attempt_run(runner, budget, retry, config, tele, index: int):
     return None, failure, False
 
 
-def crash_failure(config, index: int, what: str):
-    """The :class:`RunFailure` recorded for a worker process that died."""
+def crash_failure(config, index: int, what: str, checkpoints: int = 0):
+    """The :class:`RunFailure` recorded for a worker process that died.
+
+    *checkpoints* is the salvaged progress, when the backend has any
+    (the shmem exchange keeps the dead run's published prefix) — it
+    localizes the crash exactly as a failing run's own count would.
+    """
     from repro.core.engine.model import RunFailure
 
     return RunFailure(
         run=index + 1, seed=config.base_seed + index,
         error=WorkerCrashError.__name__,
-        message=f"worker process executing {what} died unexpectedly")
+        message=f"worker process executing {what} died unexpectedly",
+        checkpoints=checkpoints)
 
 
 # -- worker-side telemetry ---------------------------------------------------
@@ -654,7 +759,8 @@ def merge_worker_telemetry(tele, res: dict, seen_pids: set) -> None:
 
 
 def session_run_worker(program, config, index: int, session_deadline,
-                       malloc_log, libcall_log, telemetry_on: bool) -> dict:
+                       malloc_log, libcall_log, telemetry_on: bool,
+                       checkpoint_hook=None) -> dict:
     """Execute one scheduled run in a worker process.
 
     The worker rebuilds the whole stack — controller (pre-seeded with
@@ -663,6 +769,8 @@ def session_run_worker(program, config, index: int, session_deadline,
     for runs after the first.  *session_deadline* is an absolute
     ``time.monotonic()`` value (comparable across processes on the
     platforms that fork), re-armed here as this worker's budget.
+    *checkpoint_hook* is threaded to the runner (the shmem backend's
+    per-checkpoint publish-and-poll hook).
     """
     from repro.core.engine.plan import SessionPlan
 
@@ -673,7 +781,7 @@ def session_run_worker(program, config, index: int, session_deadline,
     control = plan.make_control()
     control.malloc_log = malloc_log
     control.libcall_log = libcall_log
-    runner = plan.make_runner(control, tele)
+    runner = plan.make_runner(control, tele, checkpoint_hook=checkpoint_hook)
     deadline_s = None
     if session_deadline is not None:
         deadline_s = max(0.0, session_deadline - time.monotonic())
@@ -726,3 +834,10 @@ def campaign_input_worker(program_factory, point, config,
     out = {"pid": os.getpid(), "outcome": outcome, "program": program_name}
     out.update(telemetry_payload(tele))
     return out
+
+
+EXECUTORS.register("serial", SerialExecutor)
+EXECUTORS.register("process-pool", ProcessPoolRunExecutor)
+# The shmem backend registers itself on import; importing it here keeps
+# the executors catalog complete whenever this home module is loaded.
+from repro.core.engine import shmem as _shmem  # noqa: E402,F401  (cycle-safe)

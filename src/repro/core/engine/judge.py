@@ -134,6 +134,19 @@ class Judge:
         """Has any folded record diverged from the reference run?"""
         return self._diverged
 
+    @property
+    def divergence_index(self) -> int | None:
+        """Lowest index of a folded record that diverges, or None.
+
+        The cancel *floor*: the truncation cutoff can only be at or
+        below it, so an executor may abandon work strictly above it
+        (even mid-run) without perturbing the verdict.
+        """
+        if not self._diverged or self._ref_index is None:
+            return None
+        ref = self._keys[self._ref_index]
+        return min(i for i in self.completed if self._keys[i] != ref)
+
     def should_cancel(self) -> bool:
         """Should the executor cancel outstanding runs right now?
 

@@ -104,7 +104,12 @@ class CheckConfig:
     (see :mod:`repro.core.engine.executors`): 1 (the default) is the
     serial path, ``"auto"`` uses one worker per CPU, and any larger
     integer sets the pool size explicitly.  The verdict is bit-identical
-    to the serial path; only wall-clock time changes.
+    to the serial path; only wall-clock time changes.  ``executor``
+    names the backend explicitly (``serial`` / ``process-pool`` /
+    ``process-pool-shmem``); the default ``"auto"`` picks from the
+    resolved worker topology (honouring ``REPRO_EXECUTOR`` as the
+    preferred pool flavor — see
+    :func:`~repro.core.engine.executors.resolve_executor`).
 
     The instance is immutable all the way down: ``__post_init__``
     freezes ``schemes`` into a :class:`FrozenDict` and coerces
@@ -134,6 +139,7 @@ class CheckConfig:
     max_steps: int = 20_000_000
     strict_replay: bool = False
     workers: int | str = 1
+    executor: str = "auto"
 
     def __post_init__(self):
         object.__setattr__(self, "schemes", FrozenDict(self.schemes))

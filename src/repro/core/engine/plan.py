@@ -84,15 +84,20 @@ class SessionPlan:
             ignores=config.ignores,
         )
 
-    def make_runner(self, control, tele) -> Runner:
-        """A runner wired up the way one checking session needs it."""
+    def make_runner(self, control, tele, checkpoint_hook=None) -> Runner:
+        """A runner wired up the way one checking session needs it.
+
+        *checkpoint_hook* is invoked with each checkpoint record the
+        moment it is taken (the shmem backend's streaming publish).
+        """
         config = self.config
         scheduler = make_scheduler(config.scheduler, config.granularity)
         return Runner(self.program, scheme_factory=dict(config.schemes),
                       control=control, scheduler=scheduler,
                       n_cores=config.n_cores,
                       migrate_prob=config.migrate_prob,
-                      max_steps=config.max_steps, telemetry=tele)
+                      max_steps=config.max_steps, telemetry=tele,
+                      checkpoint_hook=checkpoint_hook)
 
     def new_budget(self) -> SessionBudget:
         """A freshly-armed wall-clock budget for one session execution."""

@@ -25,8 +25,8 @@ from repro.core.engine.executors import (CRASHED, ProcessPoolRunExecutor,
                                          SerialExecutor, attempt_run,
                                          campaign_input_worker, crash_failure,
                                          merge_worker_telemetry,
-                                         require_picklable, resolve_workers,
-                                         session_run_worker)
+                                         require_picklable, resolve_executor,
+                                         resolve_workers, session_run_worker)
 from repro.core.engine.judge import Judge
 from repro.core.engine.model import (OUTCOME_ERROR, CampaignResult,
                                      error_outcome, outcome_from_result)
@@ -41,27 +41,31 @@ def execute_session(program, config, telemetry=None):
     chosen from the plan's resolved worker topology.
     """
     plan = SessionPlan.from_config(program, config)
+    backend = resolve_executor(config.executor, plan.n_workers)
     tele = telemetry if (telemetry is not None and telemetry.enabled) else None
     span = (tele.start_span("check_session", program=program.name,
                             runs=config.runs, workers=plan.n_workers,
                             schemes=",".join(config.schemes))
             if tele else None)
     try:
-        if plan.n_workers > 1:
-            return pool_session(plan, tele)
-        return serial_session(plan, tele)
+        if backend == "serial":
+            return serial_session(plan, tele)
+        return pool_session(plan, tele, backend)
     finally:
         if tele:
             tele.end_span(span)
 
 
-def _fold_value(plan, judge, tele, index, value, seen_pids=None) -> None:
+def _fold_value(plan, judge, tele, index, value, seen_pids=None,
+                executor=None) -> None:
     """Fold one executor result — run record, failure, crash, or
     budget-expiry marker — into the judge."""
     if value is CRASHED:
+        salvaged = executor.salvaged_checkpoints(index) if executor else 0
         judge.fold_failure(index,
                            crash_failure(plan.config, index,
-                                         f"run {index + 1}"))
+                                         f"run {index + 1}",
+                                         checkpoints=salvaged))
         return
     if seen_pids is not None:
         merge_worker_telemetry(tele, value, seen_pids)
@@ -84,10 +88,22 @@ def _drive(plan, judge, executor, tasks, tele, seen_pids=None) -> None:
     """
     stop_cancelled = False
     for index, value in executor.stream(tasks):
-        _fold_value(plan, judge, tele, index, value, seen_pids)
+        if isinstance(value, dict) and value.get("cancelled"):
+            # A mid-run cancellation marker (shmem backend): counted,
+            # never folded — the judge's truncation would have dropped
+            # the record anyway (or the run is resubmitted later).
+            if seen_pids is not None:
+                merge_worker_telemetry(tele, value, seen_pids)
+            if tele:
+                tele.event("midrun_cancel", program=plan.program.name,
+                           backend=executor.name, run=index + 1,
+                           checkpoints=value.get("checkpoints", 0))
+                tele.registry.counter("runs_cancelled_midrun").inc()
+            continue
+        _fold_value(plan, judge, tele, index, value, seen_pids, executor)
         if not executor.cancelled:
             if judge.should_cancel():
-                executor.cancel()
+                executor.cancel(floor=judge.divergence_index)
                 stop_cancelled = True
             elif judge.budget_exhausted:
                 executor.cancel()
@@ -123,7 +139,7 @@ def serial_session(plan: SessionPlan, tele):
     return judge.finalize(workers=1)
 
 
-def pool_session(plan: SessionPlan, tele):
+def pool_session(plan: SessionPlan, tele, backend: str = "process-pool"):
     """Execute the session across a process pool.
 
     Phase 1 runs serially in the parent until one run completes and the
@@ -131,7 +147,10 @@ def pool_session(plan: SessionPlan, tele):
     one at a time, as serial would).  Phase 2 fans the remaining run
     indexes across the pool; results merge by run index, so the
     records/failures — and everything judged from them — are identical
-    to the serial session's.
+    to the serial session's.  *backend* picks the pool flavor:
+    ``process-pool`` (pickle channel only) or ``process-pool-shmem``
+    (checkpoint hashes streamed through shared memory, with mid-run
+    divergence cancellation under ``stop_on_first``).
     """
     require_picklable(program=plan.program, config=plan.config)
     config = plan.config
@@ -162,15 +181,31 @@ def pool_session(plan: SessionPlan, tele):
     remaining = [] if judge.budget_exhausted else range(index, config.runs)
     if remaining:
         telemetry_on = tele is not None
+        worker_fn = session_run_worker
+        if backend == "process-pool-shmem":
+            from repro.core.engine.shmem import (ShmemPoolRunExecutor,
+                                                 shmem_session_run_worker)
+
+            worker_fn = shmem_session_run_worker
+            # The reference prefix is phase 1's record (the judge's
+            # lowest-index record — remaining is only nonempty once the
+            # record run completed).
+            reference = (judge.completed[min(judge.completed)]
+                         if judge.completed else None)
+            executor = ShmemPoolRunExecutor(
+                plan.n_workers, deadline=budget.session_deadline,
+                telemetry=tele, reference=reference,
+                cancel_enabled=config.stop_on_first)
+        else:
+            executor = ProcessPoolRunExecutor(
+                plan.n_workers, deadline=budget.session_deadline,
+                telemetry=tele)
         tasks = {
-            i: (session_run_worker,
+            i: (worker_fn,
                 (plan.program, config, i, budget.session_deadline,
                  control.malloc_log, control.libcall_log, telemetry_on))
             for i in remaining
         }
-        executor = ProcessPoolRunExecutor(plan.n_workers,
-                                          deadline=budget.session_deadline,
-                                          telemetry=tele)
         _drive(plan, judge, executor, tasks, tele, seen_pids=set())
         if executor.expired:
             judge.fold_expired()
@@ -207,7 +242,10 @@ def fan_out_campaign(program_factory, points, config, tele, journal,
     with *outcomes* mapping position -> ``InputOutcome``.
     """
     require_picklable(program_factory=program_factory, config=config)
-    worker_config = replace(config, workers=1)
+    # Campaign parallelism is across inputs, never nested: each worker
+    # runs its session serially, so an explicit pool executor in the
+    # config must not force a pool *inside* a pool worker.
+    worker_config = replace(config, workers=1, executor="auto")
     telemetry_on = tele is not None
     by_position = dict(points)
     tasks = {pos: (campaign_input_worker,

@@ -99,6 +99,9 @@ CATALOG: dict = {
     "worker.run.after": (
         ("kill", "sleep"),
         "pool worker, after executing one scheduled run (executors.py)"),
+    "worker.run.checkpoint": (
+        ("kill", "sleep"),
+        "shmem pool worker, at each published checkpoint (shmem.py)"),
     "worker.input.before": (
         ("kill", "sleep"),
         "campaign pool worker, before checking one input (executors.py)"),

@@ -42,6 +42,7 @@ _HOME_MODULES = {
     "seeded-bugs": "repro.workloads.seeded_bugs",
     "mixers": "repro.core.hashing.mixers",
     "roundings": "repro.core.hashing.rounding",
+    "executors": "repro.core.engine.executors",
 }
 
 

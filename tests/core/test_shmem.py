@@ -1,0 +1,337 @@
+"""Tests for the shared-memory checkpoint exchange (`repro.core.engine.shmem`).
+
+Three layers are pinned here:
+
+* the lane protocol itself — the seqlock never lets a reader observe a
+  torn snapshot, with both hand-stepped partial publishes and a real
+  racing writer thread;
+* the parent-side :class:`PrefixJudge` — divergence positions, ring
+  windowing, retry restarts;
+* the full backend — verdicts bit-identical to serial on every shape
+  (deterministic, divergent, ``stop_on_first``), actual mid-run
+  cancellations with their telemetry, and crash-prefix salvage.
+"""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.core import failpoints
+from repro.core.checker.runner import (OUTCOME_CRASH_DIVERGENCE, CheckConfig,
+                                       check_determinism)
+from repro.core.checker.serialize import result_to_dict
+from repro.core.engine.executors import (EXECUTOR_ENV_VAR, EXECUTORS,
+                                         resolve_executor)
+from repro.core.engine.shmem import (CheckpointExchange, LaneSnapshot,
+                                     LaneWriter, PrefixJudge, RingLayout,
+                                     slot_value)
+from repro.core.failpoints import FailpointPlan
+from repro.errors import CheckerError
+from repro.telemetry import MemorySink, Telemetry
+
+from _programs import Fig1Program, PhasedKillerProgram, PhasedRandProgram
+
+# Lane header geometry, mirrored from the module under test.
+_SEQ, _COUNT, _HEADER_WORDS = 0, 2, 4
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    failpoints.deactivate()
+    yield
+    failpoints.deactivate()
+
+
+def _canonical(result):
+    payload = result_to_dict(result, include_hashes=True)
+    payload.pop("workers")
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+# -- slot values ---------------------------------------------------------------
+
+
+def test_slot_value_is_a_pure_u64_function():
+    assert slot_value("end", 12345) == slot_value("end", 12345)
+    assert 0 <= slot_value("end", 12345) < 1 << 64
+    assert slot_value("end", None) == slot_value("end", None)
+
+
+def test_slot_value_separates_labels_and_hashes():
+    values = {slot_value(label, h)
+              for label in ("end", "phase00", "phase01", "b#0")
+              for h in (None, 0, 1, 12345, (1 << 64) - 1)}
+    assert len(values) == 20  # no collision among these 4x5 inputs
+
+
+# -- the seqlock (torn-read guard) --------------------------------------------
+
+
+def _publish_steps(words, base, slots, value):
+    """`LaneWriter.publish` as separate word writes, in protocol order."""
+    count = words[base + _COUNT]
+    return [
+        (base + _SEQ, words[base + _SEQ] + 1),           # odd: mutating
+        (base + _HEADER_WORDS + count % slots, value),   # the slot
+        (base + _COUNT, count + 1),                      # commit count
+        (base + _SEQ, words[base + _SEQ] + 2),           # even: published
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_published=st.integers(1, 6), partial=st.integers(0, 4))
+def test_seqlock_hides_every_partial_publish(n_published, partial):
+    """A reader overlapping a publish sees the old state or None — never
+    a half-written slot/count pair."""
+    layout = RingLayout(n_lanes=1, slots=4)
+    exchange = CheckpointExchange(layout)
+    try:
+        writer = LaneWriter(exchange.words, layout, 0)
+        writer.begin_run(0)
+        values = [slot_value(f"cp{i}", i) for i in range(n_published)]
+        for value in values[:-1]:
+            writer.publish(value)
+        steps = _publish_steps(exchange.words, 0, layout.slots, values[-1])
+        for offset, word in steps[:partial]:
+            exchange.words[offset] = word
+        snap = exchange.read_lane(0)
+        if 1 <= partial <= 3:
+            # seq is odd for the whole mutation window.
+            assert snap is None
+        else:
+            committed = n_published - 1 if partial == 0 else n_published
+            assert snap is not None
+            assert snap.count == committed
+            expected = values[:committed]
+            assert snap.values == tuple(expected[snap.lo:])
+    finally:
+        exchange.close()
+
+
+def test_seqlock_against_a_racing_writer_thread():
+    """Hammer reads against a live writer: every non-None snapshot must
+    be internally consistent with the deterministic publish sequence."""
+    import threading
+
+    layout = RingLayout(n_lanes=1, slots=8)
+    exchange = CheckpointExchange(layout)
+    total = 1500
+    expected = [slot_value("cp", pos) for pos in range(total)]
+    try:
+        writer = LaneWriter(exchange.words, layout, 0)
+
+        def write():
+            writer.begin_run(0)
+            for value in expected:
+                writer.publish(value)
+
+        thread = threading.Thread(target=write)
+        thread.start()
+        checked = 0
+        while thread.is_alive() or checked == 0:
+            snap = exchange.read_lane(0)
+            if snap is None:
+                continue
+            assert snap.run == 0
+            assert 0 <= snap.count <= total
+            for pos in range(snap.lo, snap.count):
+                assert snap.values[pos - snap.lo] == expected[pos]
+            checked += 1
+        thread.join()
+        final = exchange.read_lane(0)
+        assert final.count == total
+    finally:
+        exchange.close()
+
+
+def test_cancel_flag_is_run_specific():
+    layout = RingLayout(n_lanes=2, slots=4)
+    exchange = CheckpointExchange(layout)
+    try:
+        writer = LaneWriter(exchange.words, layout, 0)
+        writer.begin_run(5)
+        exchange.cancel_run(0, 4)       # stale: aimed at a previous run
+        assert not writer.cancelled(5)
+        exchange.cancel_run(0, 5)
+        assert writer.cancelled(5)
+        exchange.clear_cancel(5)        # resubmission withdraws the flag
+        assert not writer.cancelled(5)
+    finally:
+        exchange.close()
+
+
+# -- the prefix judge ----------------------------------------------------------
+
+
+def _snap(run, values, lo=0, count=None):
+    count = len(values) + lo if count is None else count
+    return LaneSnapshot(run=run, count=count, lo=lo, values=tuple(values))
+
+
+def test_prefix_judge_flags_first_divergent_position():
+    reference = [slot_value(f"cp{i}", i) for i in range(4)]
+    judge = PrefixJudge(reference)
+    assert judge.observe(_snap(1, reference[:2])) is False
+    bad = reference[:3] + [slot_value("cp3", 999)]
+    assert judge.observe(_snap(1, bad)) is True
+    assert judge.diverged == {1: 3}
+    # Already-diverged runs are not re-flagged.
+    assert judge.observe(_snap(1, bad + [7])) is False
+    assert judge.streamed == 5
+
+
+def test_prefix_judge_treats_overrun_as_divergence():
+    reference = [slot_value("cp0", 0)]
+    judge = PrefixJudge(reference)
+    assert judge.observe(_snap(2, reference + [slot_value("cp1", 1)])) is True
+    assert judge.diverged == {2: 1}  # longer than the reference diverges
+
+
+def test_prefix_judge_consumes_ring_windows_past_slot_capacity():
+    reference = [slot_value(f"cp{i}", i) for i in range(10)]
+    judge = PrefixJudge(reference)
+    judge.observe(_snap(3, reference[:4]))
+    # The ring aged out positions 0..5; only the window [6, 10) remains.
+    assert judge.observe(_snap(3, reference[6:10], lo=6)) is False
+    assert judge.progress[3] == 10
+    assert judge.streamed == 10
+
+
+def test_prefix_judge_resets_on_run_restart():
+    reference = [slot_value(f"cp{i}", i) for i in range(3)]
+    judge = PrefixJudge(reference)
+    judge.observe(_snap(4, [slot_value("cp0", 111)]))      # diverged attempt
+    assert 4 in judge.diverged
+    # A retry restarted the run: begin_run zeroed the count, so the
+    # next snapshot goes backwards — the stale divergence is withdrawn.
+    assert judge.observe(_snap(4, [], count=0)) is False
+    assert 4 not in judge.diverged
+    assert judge.observe(_snap(4, reference[:1])) is False
+    assert judge.progress[4] == 1
+
+
+# -- backend resolution --------------------------------------------------------
+
+
+def test_executors_registry_has_all_three_backends():
+    assert {"serial", "process-pool", "process-pool-shmem"} <= set(EXECUTORS)
+
+
+def test_resolve_executor_explicit_name_wins(monkeypatch):
+    monkeypatch.setenv(EXECUTOR_ENV_VAR, "process-pool-shmem")
+    assert resolve_executor("serial", 8) == "serial"
+    assert resolve_executor("process-pool", 8) == "process-pool"
+    with pytest.raises(CheckerError):
+        resolve_executor("no-such-backend", 2)
+
+
+def test_resolve_executor_auto(monkeypatch):
+    monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+    assert resolve_executor("auto", 1) == "serial"
+    assert resolve_executor("auto", 4) == "process-pool"
+    monkeypatch.setenv(EXECUTOR_ENV_VAR, "process-pool-shmem")
+    assert resolve_executor("auto", 4) == "process-pool-shmem"
+    assert resolve_executor("auto", 1) == "serial"  # env never forces a pool
+    monkeypatch.setenv(EXECUTOR_ENV_VAR, "serial")
+    assert resolve_executor("auto", 4) == "process-pool"  # flavor, not topology
+    monkeypatch.setenv(EXECUTOR_ENV_VAR, "bogus")
+    with pytest.raises(CheckerError):
+        resolve_executor("auto", 4)
+
+
+# -- bit-identity with the serial backend --------------------------------------
+
+
+def test_shmem_verdict_identical_on_deterministic_program():
+    serial = check_determinism(Fig1Program(), CheckConfig(runs=5))
+    shmem = check_determinism(
+        Fig1Program(), CheckConfig(runs=5, workers=2,
+                                   executor="process-pool-shmem"))
+    assert shmem.deterministic
+    assert _canonical(serial) == _canonical(shmem)
+
+
+def test_shmem_verdict_identical_on_divergent_program():
+    program = PhasedRandProgram(phases=4)
+    config = dict(runs=5, libcall_replay=False)
+    serial = check_determinism(program, CheckConfig(**config))
+    pool = check_determinism(
+        program, CheckConfig(workers=2, executor="process-pool", **config))
+    shmem = check_determinism(
+        program, CheckConfig(workers=2, executor="process-pool-shmem",
+                             **config))
+    assert not shmem.deterministic
+    assert _canonical(serial) == _canonical(pool) == _canonical(shmem)
+
+
+def test_shmem_stop_on_first_identical_to_serial():
+    program = PhasedRandProgram(phases=4)
+    config = dict(runs=8, stop_on_first=True, libcall_replay=False)
+    serial = check_determinism(program, CheckConfig(**config))
+    shmem = check_determinism(
+        program, CheckConfig(workers=2, executor="process-pool-shmem",
+                             **config))
+    assert _canonical(serial) == _canonical(shmem)
+
+
+# -- mid-run cancellation ------------------------------------------------------
+
+
+def test_midrun_cancellation_fires_and_preserves_the_verdict():
+    """Slow every checkpoint down so divergence is observed while other
+    runs are still mid-flight: at least one must be cancelled mid-run,
+    and the verdict must still match the serial session bit for bit."""
+    program = PhasedRandProgram(phases=10)
+    config = dict(runs=4, stop_on_first=True, libcall_replay=False)
+    sink = MemorySink()
+    tele = Telemetry(sink)
+    failpoints.activate(FailpointPlan.parse("worker.run.checkpoint=sleep:0.04"))
+    try:
+        shmem = check_determinism(
+            program, CheckConfig(workers=2, executor="process-pool-shmem",
+                                 **config), telemetry=tele)
+    finally:
+        failpoints.deactivate()
+    serial = check_determinism(program, CheckConfig(**config))
+    assert _canonical(serial) == _canonical(shmem)
+
+    counters = tele.registry.snapshot()["counters"]
+    assert counters.get("runs_cancelled_midrun", 0) >= 1
+    assert counters.get("checkpoints_streamed", 0) >= 1
+    cancels = [e for e in sink.events
+               if e["t"] == "event" and e.get("name") == "midrun_cancel"]
+    assert cancels and all(e["backend"] == "process-pool-shmem"
+                           for e in cancels)
+
+
+# -- crash-prefix salvage ------------------------------------------------------
+
+
+def test_worker_death_mid_stream_salvages_the_published_prefix():
+    """A worker dying between checkpoints: the parent reads the dead
+    run's lane and the crash failure carries the completed-checkpoint
+    prefix depth instead of 0."""
+    program = PhasedKillerProgram(phases=8, kill_after=3)
+    result = check_determinism(
+        program, CheckConfig(runs=3, workers=2,
+                             executor="process-pool-shmem"))
+    assert result.outcome == OUTCOME_CRASH_DIVERGENCE
+    assert len(result.records) == 1      # the parent's record run survives
+    assert result.failures, "pooled runs must surface as crash failures"
+    for failure in result.failures:
+        assert failure.checkpoints == 3  # published before os._exit
+
+
+# -- CLI exposure --------------------------------------------------------------
+
+
+def test_cli_check_accepts_the_shmem_executor():
+    out = io.StringIO()
+    code = cli_main(["check", "fft", "--runs", "3", "--workers", "2",
+                     "--executor", "process-pool-shmem"], out=out)
+    assert code == 0
+    assert "deterministic" in out.getvalue()
