@@ -70,6 +70,8 @@ from repro.core.registry import all_registries, self_check
 from repro.core.schemes.base import SCHEME_KINDS, SchemeConfig
 from repro.errors import CheckerError, ReproError, SessionInterrupted
 from repro.sim.faults import FAULT_REGISTRY
+from repro.sim.memmodel import MEMORY_MODELS
+from repro.sim.scheduler import SCHEDULERS
 from repro.workloads import REGISTRY, make, seeded_program
 from repro.workloads.seeded_bugs import SEEDED, SEEDED_BUGS
 
@@ -116,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--ignores", action="store_true",
                        help="apply the workload's suggested ignore specs")
     check.add_argument("--seed", type=int, default=1000)
+    _add_schedule_args(check)
     check.add_argument("--distributions", action="store_true",
                        help="print per-point run distributions")
     check.add_argument("--json", action="store_true",
@@ -145,6 +148,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       default="auto",
                       help="batch hash kernel backend (default: auto)")
     camp.add_argument("--seed", type=int, default=1000)
+    _add_schedule_args(camp)
     camp.add_argument(
         "--inputs", nargs="*", metavar="NAME[:K=V,...]", default=None,
         help="input points as name:param=value,... "
@@ -313,9 +317,31 @@ def _parse_workers(raw: str):
     return value
 
 
+def _add_schedule_args(parser) -> None:
+    """Shared schedule-space flags of ``check`` and ``campaign``.
+
+    ``--scheduler dpor`` swaps the sampling scheduler for the
+    systematic DPOR explorer (pinned to the serial executor);
+    ``--memory-model tso|pso`` runs the simulated machine with
+    per-thread / per-location store buffers whose drains are
+    scheduler-visible decisions (see docs/scenarios.md).
+    """
+    parser.add_argument("--scheduler", choices=sorted(SCHEDULERS),
+                        default="random",
+                        help="thread scheduler: random (the paper's), "
+                        "pct, round_robin, or the systematic dpor "
+                        "explorer (default: random)")
+    parser.add_argument("--memory-model", dest="memory_model",
+                        choices=sorted(MEMORY_MODELS), default="sc",
+                        help="machine memory model: sc (default), tso, "
+                        "or pso store-buffer semantics")
+
+
 def _robustness_overrides(args) -> dict:
     """Map the shared robustness flags onto CheckConfig fields."""
     return {
+        "scheduler": getattr(args, "scheduler", "random"),
+        "memory_model": getattr(args, "memory_model", "sc"),
         "fail_fast": args.fail_fast,
         "retry": RetryPolicy(max_attempts=max(1, args.retries)),
         "deadline_s": args.deadline,

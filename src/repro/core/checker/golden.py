@@ -162,6 +162,8 @@ DEFAULT_SUITE = (
     GoldenCase("session-lu-swtr", "lu", schemes=("sw_tr",)),
     GoldenCase("session-seeded-radix-ndet", "seeded-radix", runs=4),
     GoldenCase("session-deadlock-crash", "deadlock-fault"),
+    GoldenCase("session-sb-visible-late-tso", "seeded-sb-visible-late",
+               runs=6, config={"memory_model": "tso"}),
     GoldenCase("campaign-fft-journal", "fft", kind="campaign",
                inputs=(("small", {"log2_n": 5}), ("large", {"log2_n": 7}))),
 )

@@ -121,6 +121,11 @@ class CheckConfig:
     schemes: dict = field(default_factory=lambda: {"main": SchemeConfig()})
     scheduler: str = "random"
     granularity: str = "sync"
+    #: Memory model of the simulated machine: ``sc`` (the default,
+    #: bit-identical to the pre-model engine), ``tso``, or ``pso``
+    #: (per-thread / per-location store buffers with scheduler-driven
+    #: drains — see :mod:`repro.sim.memmodel`).
+    memory_model: str = "sc"
     n_cores: int = 8
     base_seed: int = 1000
     ignores: tuple = ()

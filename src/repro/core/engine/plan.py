@@ -16,8 +16,9 @@ from repro.core.checker.policies import NO_RETRY, SessionBudget
 from repro.core.control.controller import InstantCheckControl
 from repro.core.engine.model import CheckConfig
 from repro.errors import CheckerError
+from repro.sim.memmodel import MEMORY_MODELS
 from repro.sim.program import Program, Runner
-from repro.sim.scheduler import make_scheduler
+from repro.sim.scheduler import SCHEDULERS, make_scheduler
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,18 @@ class SessionPlan:
             raise CheckerError(
                 f"judge_variant {config.judge_variant!r} is not produced by "
                 f"this session; configured variants: {config.variant_names()}")
+        MEMORY_MODELS.get(config.memory_model)  # fail early on a typo
+        if cls.scheduler_is_systematic(config):
+            # A systematic scheduler's exploration frontier lives in the
+            # one scheduler instance the serial executor reuses across
+            # runs; pool workers rebuild schedulers per run and would
+            # restart it every time.
+            if config.executor not in ("auto", "serial"):
+                raise CheckerError(
+                    f"scheduler {config.scheduler!r} is systematic and "
+                    f"requires the serial executor (got "
+                    f"{config.executor!r})")
+            n_workers = 1
         if n_workers is None:
             n_workers = (resolve_workers(config.workers)
                          if config.workers != 1 else 1)
@@ -97,7 +110,14 @@ class SessionPlan:
                       n_cores=config.n_cores,
                       migrate_prob=config.migrate_prob,
                       max_steps=config.max_steps, telemetry=tele,
-                      checkpoint_hook=checkpoint_hook)
+                      checkpoint_hook=checkpoint_hook,
+                      memory_model=config.memory_model)
+
+    @staticmethod
+    def scheduler_is_systematic(config: CheckConfig) -> bool:
+        """Does this config name a frontier-carrying scheduler (DPOR)?"""
+        cls = SCHEDULERS.get(config.scheduler, None)
+        return bool(cls is not None and getattr(cls, "systematic", False))
 
     def new_budget(self) -> SessionBudget:
         """A freshly-armed wall-clock budget for one session execution."""

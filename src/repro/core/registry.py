@@ -43,6 +43,7 @@ _HOME_MODULES = {
     "mixers": "repro.core.hashing.mixers",
     "roundings": "repro.core.hashing.rounding",
     "executors": "repro.core.engine.executors",
+    "memory-models": "repro.sim.memmodel",
 }
 
 
@@ -94,8 +95,20 @@ class Registry(Mapping):
             return self._entries[name]
         except KeyError:
             raise self.error(
-                f"unknown {self.what} {name!r}; available: "
-                f"{sorted(self._entries)}") from None
+                f"unknown {self.what} {name!r}{self._suggestion(name)}; "
+                f"available: {sorted(self._entries)}") from None
+
+    def _suggestion(self, name: str) -> str:
+        """A ``did you mean`` hint for near-miss lookups.
+
+        Every registry shares this wording, so a typo in any component
+        name — scheduler, executor, memory model, workload — gets the
+        same one-edit correction in its error message.
+        """
+        import difflib
+
+        close = difflib.get_close_matches(str(name), list(self._entries), n=1)
+        return f" (did you mean {close[0]!r}?)" if close else ""
 
     def names(self) -> tuple:
         """Registered names in registration order."""

@@ -9,8 +9,11 @@ paper's evaluation methodology uses (Section 7.1).
 from repro.sim.allocator import Allocator, Block, FreeListAllocator
 from repro.sim.context import Ctx, Op
 from repro.sim.counters import CostModel, Counters
+from repro.sim.dpor import DporScheduler, mazurkiewicz_key
 from repro.sim.layout import StaticLayout
 from repro.sim.machine import Machine, WriteObserver
+from repro.sim.memmodel import (MEMORY_MODELS, MemoryModel, PsoModel, ScModel,
+                                TsoModel, make_memory_model)
 from repro.sim.memory import Memory, garbage_value
 from repro.sim.program import (CheckpointRecord, NativeServices, Program,
                                Runner, RunRecord)
@@ -23,10 +26,12 @@ from repro.sim.values import (TYPE_FLOAT, TYPE_INT, TYPE_PTR, bits_to_float,
 
 __all__ = [
     "Allocator", "Block", "FreeListAllocator", "Ctx", "Op", "CostModel",
-    "Counters", "StaticLayout", "Machine", "WriteObserver", "Memory",
-    "garbage_value", "CheckpointRecord", "NativeServices", "Program",
-    "Runner", "RunRecord", "PctScheduler", "RandomScheduler",
-    "RoundRobinScheduler", "Scheduler", "make_scheduler", "Barrier",
-    "CondVar", "Lock", "TYPE_FLOAT", "TYPE_INT", "TYPE_PTR",
-    "bits_to_float", "float_to_bits", "value_bits", "words_equal",
+    "Counters", "DporScheduler", "mazurkiewicz_key", "StaticLayout",
+    "Machine", "WriteObserver", "MEMORY_MODELS", "MemoryModel", "PsoModel",
+    "ScModel", "TsoModel", "make_memory_model", "Memory", "garbage_value",
+    "CheckpointRecord", "NativeServices", "Program", "Runner", "RunRecord",
+    "PctScheduler", "RandomScheduler", "RoundRobinScheduler", "Scheduler",
+    "make_scheduler", "Barrier", "CondVar", "Lock", "TYPE_FLOAT",
+    "TYPE_INT", "TYPE_PTR", "bits_to_float", "float_to_bits", "value_bits",
+    "words_equal",
 ]

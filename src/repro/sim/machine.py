@@ -78,13 +78,44 @@ class Core:
         self.current_tid: int | None = None
 
 
+def _drain_pseudo_tid(key: tuple) -> int:
+    """The scheduler-visible negative tid of one store-buffer FIFO.
+
+    Injective in the buffer key and independent of when the queue first
+    becomes non-empty.  Per-thread (TSO) keys ``(tid,)`` map to
+    ``-1 - tid``; per-location (PSO) keys ``(tid, address)`` map
+    through the Cantor pairing, which is injective over pairs of
+    non-negative ints.
+    """
+    if len(key) == 1:
+        return -1 - key[0]
+    tid, address = key
+    return -1 - ((tid + address) * (tid + address + 1) // 2 + address)
+
+
 class Machine:
     """Shared memory + cores + instruction counters + write observers."""
 
     def __init__(self, memory: Memory, n_cores: int = 8,
                  counters: Counters | None = None,
-                 migrate_prob: float = 0.0, migrate_rng: random.Random | None = None):
+                 migrate_prob: float = 0.0, migrate_rng: random.Random | None = None,
+                 memory_model=None):
         self.memory = memory
+        #: A buffering :class:`~repro.sim.memmodel.StoreBufferModel`, or
+        #: None for sequential consistency (the default, and the exact
+        #: pre-memory-model behavior).  Non-buffering models (``sc``)
+        #: normalize to None so the store fast path stays one check.
+        self.memory_model = (memory_model if memory_model is not None
+                             and memory_model.buffers else None)
+        # Drain pseudo-tids: each non-empty store-buffer FIFO appears to
+        # the scheduler as a negative tid.  The id is a *stable function
+        # of the buffer key* (see :func:`_drain_pseudo_tid`), never of
+        # discovery order: two schedules that differ only in which
+        # thread buffers a store first must still name each queue
+        # identically, or trace-equivalence keys (DPOR's Mazurkiewicz
+        # classes) would tell equivalent interleavings apart.
+        self._drain_ids: dict[tuple, int] = {}
+        self._drain_keys: dict[int, tuple] = {}
         self.cores = [Core(i) for i in range(n_cores)]
         self.counters = counters if counters is not None else Counters()
         self.observers: list[WriteObserver] = []
@@ -197,8 +228,18 @@ class Machine:
     cache_observer = None
 
     def load(self, tid: int, address: int):
-        """A program load; charged to the native instruction count."""
+        """A program load; charged to the native instruction count.
+
+        Under a buffering memory model the loading thread's own pending
+        stores are forwarded (a hardware store queue's bypass); other
+        threads' buffered stores stay invisible until they drain.
+        """
         self.counters.charge("load")
+        if self.memory_model is not None:
+            hit, value = self.memory_model.forward(tid, address)
+            if hit:
+                # Served from the store queue, not the cache hierarchy.
+                return value
         if self.cache_observer is not None:
             self.cache_observer.on_load(self.core_of(tid), address)
         return self.memory.load(address)
@@ -209,13 +250,35 @@ class Machine:
 
         ``hashed=False`` marks stores issued by InstantCheck's own control
         layer with hashing disabled (e.g. allocation zero-fill); observers
-        see the flag and leave their hash registers untouched.
+        see the flag and leave their hash registers untouched.  Such
+        control stores always write through — only *program* stores are
+        subject to store buffering.
         """
-        core = self.core_of(tid)
-        old = self.memory.load(address)
-        self.memory.store(address, value)
         if charge:
             self.counters.charge("store")
+        core = self.core_of(tid)
+        model = self.memory_model
+        if model is not None and hashed:
+            key = model.push(
+                (core, tid, address, value, is_fp, hashed, captured_old))
+            if key not in self._drain_ids:
+                ptid = _drain_pseudo_tid(key)
+                self._drain_ids[key] = ptid
+                self._drain_keys[ptid] = key
+            return
+        self._commit_store(core, tid, address, value, is_fp, hashed,
+                           captured_old)
+
+    def _commit_store(self, core: int, tid: int, address: int, value,
+                      is_fp: bool, hashed: bool, captured_old) -> None:
+        """Retire one store into memory and the observer stream.
+
+        Immediate stores (SC, or unhashed control writes) and drained
+        buffered stores both land here, so every observer sees one
+        retirement stream regardless of the memory model.
+        """
+        old = self.memory.load(address)
+        self.memory.store(address, value)
         old_for_hash = captured_old if captured_old is not None else old
         if self.store_batching and self._any_batch_observers:
             event = (core, tid, address, old_for_hash, value, is_fp, hashed)
@@ -227,6 +290,59 @@ class Machine:
             return
         for obs in self.observers:
             obs.on_store(core, tid, address, old_for_hash, value, is_fp, hashed)
+
+    # -- store-buffer drains ---------------------------------------------------------
+
+    def drain_choices(self) -> list:
+        """Pseudo-tids of every non-empty store-buffer FIFO, ascending.
+
+        The runtime splices these (all negative) ahead of the sorted
+        runnable tids, so any scheduler — random, PCT, decision replay,
+        DPOR — can pick a drain exactly like a thread.
+        """
+        if self.memory_model is None:
+            return []
+        return sorted(self._drain_ids[key]
+                      for key in self.memory_model.pending_keys())
+
+    def peek_drain(self, pseudo_tid: int):
+        """(owner tid, address) the drain choice would retire, or None."""
+        key = self._drain_keys.get(pseudo_tid)
+        if key is None:
+            return None
+        entry = self.memory_model.peek(key)
+        if entry is None:
+            return None
+        return entry[1], entry[2]
+
+    def execute_drain(self, pseudo_tid: int):
+        """Retire the oldest store of one buffer FIFO; returns
+        (owner tid, address)."""
+        entry = self.memory_model.pop(self._drain_keys[pseudo_tid])
+        self._commit_store(*entry)
+        return entry[1], entry[2]
+
+    def drain_thread(self, tid: int) -> list:
+        """Fence: retire every buffered store of *tid*.
+
+        Returns the drained addresses (the runtime reports them to an
+        observing scheduler — a fence's writes are part of its step).
+        """
+        if self.memory_model is None:
+            return []
+        drained = self.memory_model.drain_thread(tid)
+        for entry in drained:
+            self._commit_store(*entry)
+        return [entry[2] for entry in drained]
+
+    def drain_all(self) -> list:
+        """Retire every buffered store (checkpoints, frees, phase ends)."""
+        if self.memory_model is None:
+            return []
+        drained = self.memory_model.drain_all()
+        for entry in drained:
+            self._commit_store(*entry)
+        return [entry[2] for entry in drained]
 
     def free_block(self, tid: int, block, old_values: list) -> None:
         """Notify observers that a block's words left the state."""

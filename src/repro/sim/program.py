@@ -29,9 +29,27 @@ from repro.sim.allocator import Allocator
 from repro.sim.context import Ctx, Op
 from repro.sim.counters import CostModel, Counters
 from repro.sim.machine import Machine
+from repro.sim.memmodel import make_memory_model
 from repro.sim.memory import Memory
 from repro.sim.scheduler import RandomScheduler, Scheduler
 from repro.sim.values import MASK64
+
+#: Op kinds that act as a store-buffer fence for the *issuing* thread:
+#: the thread stalls at the op until its buffered stores have retired.
+#: This is every synchronization and runtime-service op — the classic
+#: "locked instructions flush the write buffer" rule — except ``free``
+#: and ``checkpoint``, which wait on *all* buffers (a free removes
+#: words from the hashable state and a checkpoint reads a quiescent
+#: one).  Crucially the fence does not retire the stores itself: the
+#: stalled thread simply drops out of the runnable set, so the drains
+#: run as ordinary scheduler steps.  Every buffered store therefore
+#: retires as exactly one drain event under every schedule — a fixed
+#: event alphabet, which systematic exploration (DPOR) relies on when
+#: it argues one explored branch covers a race found in another.
+FENCE_OPS = frozenset({
+    "lock", "unlock", "barrier", "cond_wait", "cond_signal",
+    "cond_broadcast", "rand", "time", "malloc", "write_out", "isa",
+})
 
 
 class Program:
@@ -198,7 +216,7 @@ class Runner:
                  keep_final_snapshot: bool = False, migrate_prob: float = 0.0,
                  max_steps: int = 20_000_000, deadline: float | None = None,
                  tracer=None, machine_hook=None, telemetry=None,
-                 checkpoint_hook=None):
+                 checkpoint_hook=None, memory_model: str = "sc"):
         self.program = program
         self.scheme_factory = scheme_factory
         self.control = control if control is not None else NativeServices()
@@ -207,6 +225,9 @@ class Runner:
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.snapshot_at = snapshot_at
         self.keep_final_snapshot = keep_final_snapshot
+        #: Memory-model name (``sc`` / ``tso`` / ``pso``); a fresh model
+        #: instance is built per run (see :mod:`repro.sim.memmodel`).
+        self.memory_model = memory_model
         self.migrate_prob = migrate_prob
         self.max_steps = max_steps
         #: Absolute ``time.monotonic()`` deadline for the current run, or
@@ -278,10 +299,19 @@ class Runner:
         self.counters = Counters(self.cost_model)
         self.machine = Machine(self.memory, self.n_cores, self.counters,
                                migrate_prob=self.migrate_prob,
-                               migrate_rng=random.Random(seed ^ 0xC0DE))
+                               migrate_rng=random.Random(seed ^ 0xC0DE),
+                               memory_model=make_memory_model(self.memory_model))
         self.allocator = Allocator(self.memory)
         if self.machine_hook is not None:
             self.machine_hook(self.machine)
+        #: Addresses a fence just retired from the issuing thread's store
+        #: buffer; an observing scheduler folds them into the fence's
+        #: footprint (they are writes that happen *at* the fence).
+        self.fence_drained: tuple = ()
+        if hasattr(self.scheduler, "bind_runner"):
+            # Systematic schedulers inspect pending ops and drain queues
+            # to compute dependence footprints and sleep sets.
+            self.scheduler.bind_runner(self)
         self.scheduler.begin_run(seed)
         self.control.begin_run(self, seed)
         # ``scheme_factory`` is one factory or a {name: factory} mapping;
@@ -343,28 +373,52 @@ class Runner:
         for thread in threads.values():
             self._advance(thread, None)  # prime to the first op
         self._threads = threads
+        buffering = self.machine.memory_model is not None
+        observing = getattr(self.scheduler, "wants_observations", False)
         current: int | None = None
         at_switch = True
         while True:
             runnable = sorted(
                 t.tid for t in threads.values() if self._runnable(t))
             if not runnable:
+                pending_drains = buffering and self.machine.drain_choices()
                 if all(t.status is _Status.DONE for t in threads.values()):
-                    return
-                states = {t.tid: (t.status.value, t.waiting_on) for t in
-                          threads.values() if t.status is not _Status.DONE}
-                raise DeadlockError(f"deadlock; blocked threads: {states}")
+                    if not pending_drains:
+                        break
+                    # Leftover buffered stores still retire one at a time
+                    # through the scheduler, so drain orderings at the
+                    # phase tail stay visible to systematic exploration.
+                elif not pending_drains:
+                    states = {t.tid: (t.status.value, t.waiting_on) for t in
+                              threads.values() if t.status is not _Status.DONE}
+                    raise DeadlockError(f"deadlock; blocked threads: {states}")
+            if buffering:
+                # Drain pseudo-tids are negative, so splicing them in
+                # front keeps the runnable list sorted.
+                runnable = self.machine.drain_choices() + runnable
             tid = self.scheduler.pick(runnable, current, at_switch)
             if tid not in runnable:
                 raise SchedulerError(f"scheduler picked non-runnable tid {tid}")
             self._sched_picks += 1
-            if current is not None and tid != current:
-                self._sched_switches += 1
-            thread = threads[tid]
-            self.machine.schedule_thread(tid)
-            op_kind = self._step(thread)
-            at_switch = self.scheduler.is_switch_point(op_kind)
-            current = tid
+            if tid < 0:
+                # A store-buffer drain: one buffered store retires.  The
+                # current thread (if any) stays at its switch point.
+                owner, address = self.machine.execute_drain(tid)
+                if observing:
+                    self.scheduler.observe_step(tid, Op("drain",
+                                                        (owner, address)))
+                at_switch = True
+            else:
+                if current is not None and tid != current:
+                    self._sched_switches += 1
+                thread = threads[tid]
+                self.machine.schedule_thread(tid)
+                op = self._step(thread)
+                if observing:
+                    self.scheduler.observe_step(tid, op)
+                at_switch = self.scheduler.is_switch_point(
+                    op.kind if op is not None else None)
+                current = tid
             self.step_count += 1
             if self.step_count > self.max_steps:
                 raise SchedulerError(
@@ -375,6 +429,11 @@ class Runner:
                 raise BudgetError(
                     f"run exceeded its wall-clock deadline after "
                     f"{self.step_count} steps")
+        if buffering:
+            # Phase boundary (thread exit / join): what remains buffered
+            # retires in canonical FIFO order before the next phase —
+            # or the end checkpoint — can observe memory.
+            self.machine.drain_all()
 
     def _runnable(self, thread: _Thread) -> bool:
         if thread.status is not _Status.READY:
@@ -384,12 +443,23 @@ class Runner:
         op = thread.pending
         if op is None:
             return False
+        model = self.machine.memory_model
+        if model is not None:
+            # Fence semantics: stall until the relevant buffers have
+            # drained (via scheduler-picked drain steps), rather than
+            # retiring the stores as a side effect of this op.
+            if op.kind in FENCE_OPS:
+                if model.pending_for(thread.tid):
+                    return False
+            elif op.kind in ("free", "checkpoint") and model.pending_count():
+                return False
         if op.kind == "lock":
             return not op.args[0].held
         return True
 
-    def _step(self, thread: _Thread) -> str | None:
-        """Advance one thread by one scheduling step; returns the op kind."""
+    def _step(self, thread: _Thread) -> Op | None:
+        """Advance one thread by one scheduling step; returns the op it
+        executed (None for a wakeup-delivery step)."""
         if thread.deliver:
             value, thread.deliver, thread.resume_value = (
                 thread.resume_value, False, None)
@@ -400,7 +470,7 @@ class Runner:
         result = self._exec(thread, op)
         if thread.status is _Status.READY and not thread.deliver:
             self._advance(thread, result)
-        return op.kind
+        return op
 
     def _advance(self, thread: _Thread, value) -> None:
         try:
@@ -422,6 +492,17 @@ class Runner:
         kind = op.kind
         args = op.args
         tid = thread.tid
+        if self.machine.memory_model is not None:
+            # ``_runnable`` stalls fence ops until the buffers are
+            # empty, so these retire nothing when ops arrive through
+            # the scheduler loop; they are a safety net for direct
+            # execution paths and keep the semantics self-contained.
+            self.fence_drained = ()
+            if kind in FENCE_OPS:
+                self.fence_drained = tuple(self.machine.drain_thread(tid))
+            elif kind == "free":
+                self.fence_drained = tuple(self.machine.drain_all())
+            # "checkpoint" drains all inside _take_checkpoint.
         if self.tracer is not None:
             self.tracer.on_op(tid, kind, args)
 
@@ -529,6 +610,10 @@ class Runner:
     # -- checkpoints -------------------------------------------------------------------
 
     def _take_checkpoint(self, label: str) -> None:
+        if self.machine.memory_model is not None:
+            # A checkpoint reads a quiescent state: every buffered store
+            # retires first, so the hash covers what memory will hold.
+            self.machine.drain_all()
         index = len(self.checkpoints)
         state_words = self.memory.state_words()
         raw = adjusted = None

@@ -40,7 +40,9 @@ class Scheduler:
 
     def __init__(self, granularity: str = "sync"):
         if granularity not in GRANULARITIES:
-            raise SchedulerError(f"unknown granularity {granularity!r}")
+            raise SchedulerError(
+                f"unknown granularity {granularity!r}; available: "
+                f"{sorted(GRANULARITIES)}")
         self.granularity = granularity
 
     def begin_run(self, seed: int) -> None:
@@ -211,5 +213,16 @@ class GuidedScheduler(Scheduler):
 
 
 def make_scheduler(name: str = "random", granularity: str = "sync", **kwargs) -> Scheduler:
-    """Factory used by the checker configuration."""
+    """Factory used by the checker configuration.
+
+    Unknown names raise :class:`~repro.errors.SchedulerError` through
+    the registry's wording (with its typo suggestion), like every other
+    component family.
+    """
     return SCHEDULERS.get(name)(granularity, **kwargs)
+
+
+# The systematic DPOR scheduler lives in its own module; importing it
+# here registers it, so resolving the "schedulers" registry (whose home
+# module is this one) always sees the complete family.
+from repro.sim import dpor as _dpor  # noqa: E402,F401  (registration import)

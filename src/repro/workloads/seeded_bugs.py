@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.core.registry import Registry
 from repro.workloads.radix import Radix
+from repro.workloads.storebuffer import SbDclBroken, SbVisibleLate
 from repro.workloads.water import WaterNS, WaterSP
 
 #: (application, bug type) exactly as Table 2 lists them.
@@ -23,6 +24,14 @@ SEEDED_BUGS = (
     ("waterNS", "semantic"),
     ("waterSP", "atomicity violation"),
     ("radix", "order violation"),
+)
+
+#: (application, bug type, weakest memory model that exposes it) for the
+#: store-buffer bugs, which are *unreachable under SC* — they extend the
+#: Table 2 taxonomy to relaxed-memory-only nondeterminism.
+STOREBUFFER_BUGS = (
+    ("sb-visible-late", "write visible late", "tso"),
+    ("sb-dcl", "broken double-checked locking", "pso"),
 )
 
 #: Seeded-bug factories by CLI name (``repro check seeded-radix``,
@@ -47,6 +56,18 @@ def seeded_waterSP(n_workers: int = 8, **kwargs) -> WaterSP:
 def seeded_radix(n_workers: int = 8, **kwargs) -> Radix:
     """radix with the Figure 7(c) order violation (one occurrence)."""
     return Radix(n_workers=n_workers, bug=True, **kwargs)
+
+
+@SEEDED.register("seeded-sb-visible-late")
+def seeded_sb_visible_late(n_workers: int = 2, **kwargs) -> SbVisibleLate:
+    """Dekker handshake whose bug needs a store buffer (TSO or PSO)."""
+    return SbVisibleLate(n_workers=n_workers, **kwargs)
+
+
+@SEEDED.register("seeded-sb-dcl")
+def seeded_sb_dcl(n_workers: int = 4, **kwargs) -> SbDclBroken:
+    """Unfenced double-checked locking; the bug needs PSO."""
+    return SbDclBroken(n_workers=n_workers, **kwargs)
 
 
 def seeded_program(application: str, n_workers: int = 8, **kwargs):

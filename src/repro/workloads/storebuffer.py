@@ -1,0 +1,125 @@
+"""Seeded bugs that only relaxed memory models (TSO/PSO) expose.
+
+The Table 2 seeded bugs are schedule-order bugs: any serializing
+scheduler can in principle hit them under sequential consistency.  The
+two programs here are different — their incorrect outcomes require a
+*store to become visible late*, i.e. they are impossible under SC and
+only reachable once the machine models hardware store buffers:
+
+* :class:`SbVisibleLate` (``seeded-sb-visible-late``) — a Dekker-style
+  flag handshake.  Under SC at least one of the two racing loads must
+  observe the other thread's flag, so the "both saw nothing" outcome is
+  unreachable; with TSO or PSO buffers both flag stores can still be
+  sitting in their owners' buffers when the loads execute.  The outcome
+  is OR-collapsed into a single ``seen`` cell (always storing 1), so
+  under SC the final state is bit-identical regardless of schedule —
+  the program is *provably deterministic under SC* and nondeterministic
+  only when buffering is on.
+* :class:`SbDclBroken` (``seeded-sb-dcl``) — double-checked locking
+  with an unordered publication.  The initializer stores the payload
+  and then the ``init`` flag without a fence between them; a fast-path
+  reader that sees ``init == 1`` may still read the stale payload.
+  TSO's single per-thread FIFO preserves the store→store order, so the
+  bug needs PSO (per-location queues can retire the flag first).  This
+  is the textbook reason ``volatile``/release fences exist.
+
+Both are registered in :data:`repro.workloads.seeded_bugs.SEEDED` so
+``repro check seeded-sb-visible-late --memory-model tso`` works end to
+end through the same plan → execute → judge pipeline as Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.common import CLASS_BIT, Workload
+
+
+class SbVisibleLate(Workload):
+    """Dekker-style write-visible-late handshake (pairs of workers).
+
+    Workers are grouped in pairs; each member stores its own flag, then
+    loads its partner's, and records ``seen = 1`` if the partner's flag
+    was visible.  Since both members store the *same* value into the
+    shared ``seen`` cell, "one saw the other" and "both saw each other"
+    collapse to the same final state — the only distinct outcome is
+    "neither saw anything", which SC forbids.
+
+    ``spin`` inserts that many ``sched_yield`` switch points between the
+    store and the load.  Every yield is a chance for a scheduler to
+    drain the pending flag store, so larger values make the buggy
+    outcome *rarer* under random scheduling (the benchmark's knob for
+    comparing random search against systematic DPOR) without changing
+    the reachable-outcome set.
+    """
+
+    name = "sb-visible-late"
+    SOURCE = "seeded"
+    HAS_FP = False
+    EXPECTED_CLASS = CLASS_BIT  # under SC; nondeterministic under TSO/PSO
+
+    def __init__(self, n_workers: int = 2, spin: int = 0):
+        self._pairs = max(1, n_workers // 2)
+        self.spin = spin
+        super().__init__(n_workers=max(2, n_workers))
+
+    def declare_globals(self, layout):
+        n = self._pairs
+        self.flag_a = layout.array("flag_a", n)
+        self.flag_b = layout.array("flag_b", n)
+        self.seen = layout.array("seen", n)
+
+    def worker(self, ctx, st, wid):
+        pair, side = divmod(wid, 2)
+        if pair >= self._pairs:
+            return  # odd leftover worker idles
+        mine = (self.flag_a if side == 0 else self.flag_b) + pair
+        theirs = (self.flag_b if side == 0 else self.flag_a) + pair
+        yield from ctx.store(mine, 1)
+        for _ in range(self.spin):
+            yield from ctx.sched_yield()
+        partner_flag = yield from ctx.load(theirs)
+        if partner_flag:
+            # OR-collapse: the value is constant, so it does not matter
+            # whether one or both members of the pair execute this.
+            yield from ctx.store(self.seen + pair, 1)
+
+
+class SbDclBroken(Workload):
+    """Double-checked locking whose publication lacks a store fence.
+
+    Every worker runs the classic DCL shape: an unsynchronized fast-path
+    check of ``init``, then (if unset) lock + re-check + initialize.
+    The initializer stores the payload, then the flag, then does a bit
+    more setup work (a yield) before releasing the lock — under PSO the
+    flag's store-buffer queue can retire before the payload's during
+    that window, letting a fast-path reader observe ``init == 1`` with
+    a stale payload and set ``err``.  TSO's FIFO retires the payload
+    first, so TSO and SC are both deterministic here.
+    """
+
+    name = "sb-dcl"
+    SOURCE = "seeded"
+    HAS_FP = False
+    EXPECTED_CLASS = CLASS_BIT  # under SC and TSO; nondeterministic under PSO
+
+    def __init__(self, n_workers: int = 4, payload: int = 42):
+        self.payload = payload
+        super().__init__(n_workers=max(2, n_workers))
+
+    def declare_globals(self, layout):
+        self.obj = layout.var("obj")
+        self.init = layout.var("init")
+        self.err = layout.var("err")
+
+    def worker(self, ctx, st, wid):
+        published = yield from ctx.load(self.init)
+        if not published:
+            yield from ctx.lock(st.lock)
+            rechecked = yield from ctx.load(self.init)
+            if not rechecked:
+                yield from ctx.store(self.obj, self.payload)
+                yield from ctx.store(self.init, 1)  # missing fence before this
+                yield from ctx.sched_yield()  # trailing setup work in the lock
+            yield from ctx.unlock(st.lock)
+        value = yield from ctx.load(self.obj)
+        if value != self.payload:
+            yield from ctx.store(self.err, 1)

@@ -86,7 +86,32 @@ def test_self_check_resolves_every_name():
     assert ("workloads", "radix") in resolved
     assert ("schedulers", "random") in resolved
     assert ("hash-backends", "python") in resolved
+    assert ("schedulers", "dpor") in resolved
+    assert ("memory-models", "tso") in resolved
+    assert ("memory-models", "pso") in resolved
     assert len(resolved) >= 35
+
+
+def test_memory_models_registry_in_catalog():
+    catalog = all_registries()
+    assert "memory-models" in catalog
+    assert set(catalog["memory-models"]) == {"sc", "tso", "pso"}
+
+
+def test_lookup_errors_suggest_close_names():
+    from repro.errors import SchedulerError
+    from repro.sim.memmodel import MEMORY_MODELS
+    from repro.sim.scheduler import make_scheduler
+
+    with pytest.raises(SchedulerError, match="did you mean 'dpor'"):
+        make_scheduler("dpro")
+    with pytest.raises(SchedulerError, match="did you mean 'random'"):
+        make_scheduler("randm")
+    with pytest.raises(ValueError, match="did you mean 'tso'"):
+        MEMORY_MODELS.get("tos")
+    # No near-miss: the hint is omitted, the inventory still printed.
+    with pytest.raises(SchedulerError, match="available"):
+        make_scheduler("fifo")
 
 
 def test_workloads_keep_table1_order():
@@ -104,7 +129,7 @@ def test_workloads_keep_table1_order():
 def test_scheduler_registry_raises_scheduler_error():
     from repro.sim.scheduler import SCHEDULERS, make_scheduler
 
-    assert set(SCHEDULERS) == {"random", "round_robin", "pct"}
+    assert set(SCHEDULERS) == {"random", "round_robin", "pct", "dpor"}
     with pytest.raises(SchedulerError, match="unknown scheduler"):
         make_scheduler("fifo")
 

@@ -1,0 +1,220 @@
+"""DPOR exhaustiveness, cross-checked against brute-force enumeration.
+
+The contract under test: for small programs, the non-redundant runs of
+:class:`~repro.sim.dpor.DporScheduler` visit every Mazurkiewicz trace
+class *exactly once* — the same classes a brute-force DFS over all
+scheduling decisions (including store-buffer drain choices) finds — and
+therefore any divergence brute force can produce, DPOR produces too.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.systematic import _next_vector
+from repro.core.checker.runner import check_determinism
+from repro.core.schemes.base import SchemeConfig
+from repro.errors import CheckerError
+from repro.sim.dpor import (DporScheduler, TracingDecisionScheduler,
+                            dependent, mazurkiewicz_key, op_footprint)
+from repro.sim.program import Runner
+from repro.workloads.storebuffer import SbDclBroken, SbVisibleLate
+
+from tests._programs import Fig1Program, RacyProgram
+from tests.sim.test_memory_models import MpLitmus, SbLitmus
+
+SCHEMES = {"main": SchemeConfig()}
+
+
+def brute_force_classes(program, memory_model, max_interleavings=20_000):
+    """Every Mazurkiewicz class and its final hash, by exhaustive DFS."""
+    classes: dict = {}
+    decisions: list[int] = []
+    count = 0
+    while True:
+        scheduler = TracingDecisionScheduler(decisions)
+        runner = Runner(program, scheme_factory=SCHEMES,
+                        scheduler=scheduler, memory_model=memory_model)
+        record = runner.run(seed=0)
+        classes.setdefault(mazurkiewicz_key(scheduler.trace),
+                           record.hashes())
+        count += 1
+        assert count <= max_interleavings, "enumeration did not terminate"
+        nxt = _next_vector(scheduler.taken, scheduler.choice_counts)
+        if nxt is None:
+            return classes
+        decisions = nxt
+
+
+def dpor_explore(program, memory_model, scheduler=None, max_total_runs=5_000):
+    """Run DPOR to exhaustion; returns (runs, [(class key, hashes)])."""
+    scheduler = scheduler if scheduler is not None else DporScheduler()
+    runner = Runner(program, scheme_factory=SCHEMES, scheduler=scheduler,
+                    memory_model=memory_model)
+    visited = []
+    runs = 0
+    while True:
+        record = runner.run(seed=runs)
+        runs += 1
+        if not scheduler.last_run_redundant:
+            visited.append((mazurkiewicz_key(scheduler.last_trace),
+                            record.hashes()))
+        if not scheduler.has_more():
+            return runs, visited
+        assert runs <= max_total_runs, "DPOR did not converge"
+
+
+CASES = [
+    (lambda: Fig1Program(), "sc"),
+    (lambda: RacyProgram(n_workers=2), "sc"),
+    (lambda: RacyProgram(n_workers=2), "tso"),
+    (lambda: SbLitmus(), "sc"),
+    (lambda: SbLitmus(), "tso"),
+    (lambda: SbLitmus(), "pso"),
+    (lambda: MpLitmus(), "pso"),
+    (lambda: SbVisibleLate(n_workers=2), "sc"),
+    (lambda: SbVisibleLate(n_workers=2), "tso"),
+    (lambda: SbVisibleLate(n_workers=2), "pso"),
+    (lambda: SbDclBroken(n_workers=2), "pso"),
+]
+
+
+@pytest.mark.parametrize("make_program,memory_model",
+                         CASES, ids=[f"{m().name}-{mm}" for m, mm in CASES])
+def test_dpor_visits_every_class_exactly_once(make_program, memory_model):
+    brute = brute_force_classes(make_program(), memory_model)
+    _runs, visited = dpor_explore(make_program(), memory_model)
+    keys = [key for key, _hashes in visited]
+    assert len(keys) == len(set(keys)), "a trace class was explored twice"
+    assert set(keys) == set(brute), "DPOR missed (or invented) a class"
+    for key, hashes in visited:
+        assert hashes == brute[key], "same class, different state hash"
+
+
+@pytest.mark.parametrize("make_program,memory_model", CASES,
+                         ids=[f"{m().name}-{mm}" for m, mm in CASES])
+def test_dpor_finds_every_bruteforce_divergence(make_program, memory_model):
+    brute = brute_force_classes(make_program(), memory_model)
+    _runs, visited = dpor_explore(make_program(), memory_model)
+    assert ({hashes for hashes in brute.values()}
+            == {hashes for _key, hashes in visited})
+
+
+def test_dpor_never_exceeds_bruteforce_interleavings():
+    """The reduction must not be worse than plain enumeration."""
+    program = SbVisibleLate(n_workers=2)
+    brute = brute_force_classes(program, "pso")
+    runs, visited = dpor_explore(SbVisibleLate(n_workers=2), "pso")
+    assert len(visited) == len(brute)
+    assert runs <= 8  # brute force needs 8 interleavings here
+
+
+# -- frontier resume ---------------------------------------------------------------
+
+
+def test_frontier_resumes_across_scheduler_instances():
+    full = dict(dpor_explore(SbVisibleLate(n_workers=2), "pso")[1])
+
+    first = DporScheduler()
+    runner = Runner(SbVisibleLate(n_workers=2), scheme_factory=SCHEMES,
+                    scheduler=first, memory_model="pso")
+    head = []
+    for seed in range(2):
+        record = runner.run(seed=seed)
+        if not first.last_run_redundant:
+            head.append((mazurkiewicz_key(first.last_trace),
+                         record.hashes()))
+    assert first.has_more()
+    state = json.loads(json.dumps(first.export_frontier()))
+
+    resumed = DporScheduler()
+    resumed.import_frontier(state)
+    assert resumed.runs_started == 2
+    _runs, tail = dpor_explore(SbVisibleLate(n_workers=2), "pso",
+                               scheduler=resumed)
+    keys = [key for key, _ in head + tail]
+    assert len(keys) == len(set(keys)), "resume re-explored a class"
+    assert dict(head + tail) == full
+
+
+def test_max_runs_budget_freezes_exploration():
+    scheduler = DporScheduler(max_runs=1)
+    runner = Runner(SbVisibleLate(n_workers=2), scheme_factory=SCHEMES,
+                    scheduler=scheduler, memory_model="tso")
+    runner.run(seed=0)
+    assert not scheduler.last_run_redundant
+    assert not scheduler.has_more()
+    first = runner.run(seed=1)
+    assert scheduler.last_run_redundant
+    assert scheduler.budget_exhausted
+    # Post-budget runs replay the first interleaving, harmlessly.
+    assert first.hashes() == runner.run(seed=2).hashes()
+
+
+# -- engine integration ------------------------------------------------------------
+
+
+def test_systematic_scheduler_requires_serial_executor():
+    with pytest.raises(CheckerError, match="systematic"):
+        check_determinism(SbVisibleLate(n_workers=2), runs=4,
+                          scheduler="dpor", executor="process-pool",
+                          memory_model="tso")
+
+
+def test_dpor_session_catches_the_sb_bug_deterministically():
+    result = check_determinism(SbVisibleLate(n_workers=2), runs=6,
+                               scheduler="dpor", memory_model="tso")
+    assert not result.deterministic
+    # Exploration order is deterministic, so so is the catching run.
+    again = check_determinism(SbVisibleLate(n_workers=2), runs=6,
+                              scheduler="dpor", memory_model="tso")
+    assert (result.judged.first_ndet_run == again.judged.first_ndet_run
+            is not None)
+
+
+def test_dpor_session_is_deterministic_under_sc():
+    result = check_determinism(SbVisibleLate(n_workers=2), runs=6,
+                               scheduler="dpor", memory_model="sc")
+    assert result.deterministic
+
+
+# -- trace-theory helpers ----------------------------------------------------------
+
+
+def test_mazurkiewicz_key_invariant_under_independent_swap():
+    a = (1, frozenset({(("m", 1), "W")}))
+    b = (2, frozenset({(("m", 2), "W")}))
+    c = (1, frozenset({(("m", 2), "R")}))
+    assert not dependent(a[1], b[1])
+    assert mazurkiewicz_key([a, b, c]) == mazurkiewicz_key([b, a, c])
+    # Dependent swap (b writes what c reads) changes the class.
+    assert mazurkiewicz_key([a, b, c]) != mazurkiewicz_key([a, c, b])
+
+
+def test_op_footprints_make_buffered_stores_private():
+    class _NoBufferMachine:
+        memory_model = None
+
+    class _R:
+        machine = _NoBufferMachine()
+        fence_drained = ()
+
+    from repro.sim.context import Op
+
+    sc_store = op_footprint(1, Op("store", (7, 42)), _R())
+    assert (("m", 7), "W") in sc_store
+
+    class _BufferMachine:
+        memory_model = object()
+
+    class _RBuf:
+        machine = _BufferMachine()
+        fence_drained = ()
+
+    buffered = op_footprint(1, Op("store", (7, 42)), _RBuf())
+    assert buffered == frozenset({(("buf", 1), "W")})
+    drain = op_footprint(-1, Op("drain", (1, 7)), _RBuf())
+    assert dependent(drain, op_footprint(2, Op("load", (7,)), _RBuf()))
+    assert dependent(drain, buffered)
