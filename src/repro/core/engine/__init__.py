@@ -6,21 +6,29 @@ sessions, campaigns — is one instantiation of the same pipeline:
 * a :class:`~repro.core.engine.plan.SessionPlan` expands a
   :class:`~repro.core.engine.model.CheckConfig` into concrete run specs
   (seeds, scheme variants, retry/budget policy, worker topology);
-* a :class:`~repro.core.engine.executors.RunExecutor` backend
-  (``serial`` or ``process-pool``) streams completed runs back in
-  completion order behind one interface;
+* the transport-agnostic :class:`~repro.core.engine.coordinator.
+  Coordinator` drives the batch through a
+  :class:`~repro.core.engine.transports.Transport` — the legacy
+  :class:`~repro.core.engine.executors.RunExecutor` backends behind an
+  adapter, the natively-async local pool (``asyncio-local``), or the
+  socket worker fleet (``socket``, docs/distributed.md) — streaming
+  completed runs back in completion order behind one interface;
 * an incremental :class:`~repro.core.engine.judge.Judge` folds each
   run's checkpoint-hash sequence into the verdict as it arrives and can
   issue a cancel signal — ``stop_on_first`` cancels outstanding work
-  the moment a divergence is seen, on both backends.
+  the moment a divergence is seen, on every backend.
 
 The public checker modules (``repro.core.checker.runner`` /
 ``campaign`` / ``parallel``) are thin facades over this package; their
 APIs and verdicts are unchanged.  See docs/architecture.md.
 """
 
+from repro.core.engine.coordinator import Coordinator, Feedback, coordinate
 from repro.core.engine.executors import (ProcessPoolRunExecutor, RunExecutor,
                                          SerialExecutor, resolve_workers)
+from repro.core.engine.sockets import SocketTransport, WorkerHub
+from repro.core.engine.transports import (AsyncioLocalTransport,
+                                          ExecutorTransport, Transport)
 from repro.core.engine.judge import (Judge, first_divergent_run, make_verdict,
                                      record_key)
 from repro.core.engine.model import (OUTCOME_CRASH_DIVERGENCE,
@@ -45,4 +53,7 @@ __all__ = [
     "RunSpec", "SessionPlan", "Judge", "first_divergent_run", "make_verdict",
     "record_key", "RunExecutor", "SerialExecutor", "ProcessPoolRunExecutor",
     "resolve_workers", "execute_session", "execute_campaign",
+    "Coordinator", "Feedback", "coordinate", "Transport",
+    "ExecutorTransport", "AsyncioLocalTransport", "SocketTransport",
+    "WorkerHub",
 ]

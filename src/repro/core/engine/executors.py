@@ -1,84 +1,37 @@
-"""Run executors: the two backends behind one streaming interface.
+"""Executor backends: registry, resolution, and the streaming interface.
 
 A :class:`RunExecutor` takes an index-keyed mapping of tasks and yields
-``(index, value)`` pairs in *completion* order.  The engine folds each
-value into the :class:`~repro.core.engine.judge.Judge` and may call
+``(index, value)`` pairs in *completion* order.  The engine's
+:class:`~repro.core.engine.coordinator.Coordinator` folds each value
+into the :class:`~repro.core.engine.judge.Judge` and may call
 :meth:`RunExecutor.cancel` mid-stream — the judge's early-exit signal.
+
+This module is the backend *catalog* and the two simplest backends:
 
 * :class:`SerialExecutor` runs tasks inline, in index order; cancel
   simply stops before the next task.
-* :class:`ProcessPoolRunExecutor` fans tasks across a process pool.
-  Tasks are submitted in index order (FIFO start order is what makes
-  early cancellation bit-identical — see :mod:`repro.core.engine.judge`);
-  ``cancel()`` revokes futures that have not started and *drains* the
-  in-flight ones, so every run with an index below a folded divergence
-  still completes.  A session deadline is different: expiry abandons
-  in-flight work (``shutdown(wait=False)``) because a stuck worker must
-  not hold the parent hostage.  A worker process that dies (segfault
-  analog, OOM kill, ``os._exit``) breaks the pool; each unresolved task
-  is then retried in an isolated single-worker pool, so the crasher
-  reveals itself and every innocent task still completes — never a hung
-  pool.
+* :class:`~repro.core.engine.pool.ProcessPoolRunExecutor` fans tasks
+  across a process pool (:mod:`repro.core.engine.pool`).
+* ``process-pool-shmem`` extends the pool with the shared-memory
+  checkpoint exchange (:mod:`repro.core.engine.shmem`).
+* ``asyncio-local`` and ``socket`` are coordinator-native transports
+  (:mod:`repro.core.engine.transports`,
+  :mod:`repro.core.engine.sockets`): the same verdict pipeline driven
+  by the asyncio coordinator, locally or across worker processes on
+  other machines (docs/distributed.md).
 
-The worker-side task functions (one scheduled run; one campaign input)
-and the worker-telemetry merge protocol live here too: the parent
-re-emits each worker's buffered events tagged with the worker's pid
-(``worker_spawn`` on first sight, ``worker_merge`` after folding each
-task) and merges metric snapshots into the session registry.
-
-Worker heartbeats (the live health plane, see docs/observability.md):
-when the parent session has telemetry enabled, each pool worker starts
-a daemon beat thread that pushes a small liveness record — pid, runs
-completed, checkpoints, last-progress timestamp — through a bounded
-``multiprocessing`` queue every :data:`HEARTBEAT_INTERVAL_S` seconds.
-The parent's :class:`HeartbeatMonitor` thread drains the queue, emits
-``worker_heartbeat`` events (with a derived checkpoints/s rate),
-maintains the per-worker ``worker_staleness_seconds`` gauge, and emits
-one ``worker_stalled`` event (+ ``workers_stalled`` counter) when a
-worker goes silent past :data:`WORKER_STALL_S` — a SIGSTOPped or
-livelocked worker becomes visible *during* the run without perturbing
-the verdict.  Beats are fire-and-forget on a bounded queue: a slow or
-absent monitor never blocks a worker.
+The worker task functions live in :mod:`repro.core.engine.tasks`, the
+heartbeat plane in :mod:`repro.core.engine.heartbeat`, and the pool in
+:mod:`repro.core.engine.pool`; their public names are re-exported here
+so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import pickle
-import queue as queue_mod
-import threading
-import time
-from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
-                                ProcessPoolExecutor)
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from concurrent.futures import wait
 
-from repro.core import failpoints
-from repro.core.checker.policies import SessionBudget
 from repro.core.registry import Registry
-from repro.errors import (BudgetError, CheckerError, ReproError,
-                          SessionInterrupted, WorkerCrashError)
-
-
-def _env_float(name: str, default: float) -> float:
-    """A float knob from the environment, falling back on bad values."""
-    raw = os.environ.get(name)
-    if not raw:
-        return default
-    try:
-        return float(raw)
-    except ValueError:
-        return default
-
-
-#: Seconds between worker heartbeats (env: REPRO_HEARTBEAT_INTERVAL_S).
-HEARTBEAT_INTERVAL_S = _env_float("REPRO_HEARTBEAT_INTERVAL_S", 0.5)
-#: Silence (seconds) after which a worker is reported stalled
-#: (env: REPRO_WORKER_STALL_S).
-WORKER_STALL_S = _env_float("REPRO_WORKER_STALL_S", 5.0)
-#: Bound on the in-flight heartbeat queue; overflowing beats are shed.
-_HEARTBEAT_QUEUE_SIZE = 1024
+from repro.errors import CheckerError
 
 #: Sentinel results: the worker process died / the session deadline
 #: expired before the task could be salvaged.
@@ -103,9 +56,12 @@ def resolve_workers(workers) -> int:
 
 
 #: The executor-backend registry (the 9th catalog family).  ``serial``
-#: and ``process-pool`` register here; ``process-pool-shmem`` registers
-#: from :mod:`repro.core.engine.shmem` (imported at the bottom of this
-#: module so the catalog is complete whenever executors are loadable).
+#: registers here; ``process-pool`` from :mod:`repro.core.engine.pool`,
+#: ``process-pool-shmem`` from :mod:`repro.core.engine.shmem`,
+#: ``asyncio-local`` from :mod:`repro.core.engine.transports` and
+#: ``socket`` from :mod:`repro.core.engine.sockets` (all imported at
+#: the bottom of this module so the catalog is complete whenever
+#: executors are loadable).
 EXECUTORS = Registry("executors", error=CheckerError,
                      what="executor backend")
 
@@ -143,250 +99,6 @@ def resolve_executor(name: str, n_workers: int) -> str:
                 f"available: {sorted(EXECUTORS.names())}")
         return env
     return "process-pool"
-
-
-def _mp_context():
-    """Fork where available: cheapest start, and child processes inherit
-    imported test modules, so locally-importable programs stay usable."""
-    methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods:
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
-
-
-def require_picklable(**objects) -> None:
-    """Task submission pickles its arguments; fail with a diagnosis
-    instead of a pool traceback when one of them can't travel."""
-    for what, obj in objects.items():
-        try:
-            pickle.dumps(obj)
-        except Exception as exc:
-            raise CheckerError(
-                f"workers > 1 requires a picklable {what} "
-                f"(module-level classes, no lambdas/closures): {exc}"
-            ) from exc
-
-
-#: Worker-local progress state read by the beat thread.  Plain dict
-#: mutations are atomic under the GIL; the beat thread only reads.
-_HB_STATE = {"runs": 0, "checkpoints": 0, "last_progress": None}
-
-
-def note_worker_progress(runs: int = 0, checkpoints: int = 0) -> None:
-    """Advance this worker's progress counters (beat-thread visible)."""
-    _HB_STATE["runs"] += runs
-    _HB_STATE["checkpoints"] += checkpoints
-    _HB_STATE["last_progress"] = time.monotonic()
-
-
-def _beat_loop(beat_queue, interval_s: float) -> None:
-    """Push one liveness record per interval; never block, never raise.
-
-    Runs as a daemon thread in the worker: a SIGSTOPped or wedged
-    worker stops beating (the thread freezes with the process), which
-    is exactly the signal the parent's monitor turns into
-    ``worker_stalled``.
-    """
-    pid = os.getpid()
-    while True:
-        beat = {"pid": pid, "runs": _HB_STATE["runs"],
-                "checkpoints": _HB_STATE["checkpoints"],
-                "last_progress": _HB_STATE["last_progress"],
-                "mono": time.monotonic()}
-        try:
-            beat_queue.put_nowait(beat)
-        except Exception:
-            # Full queue (monitor behind) or torn-down parent: shed the
-            # beat — liveness reporting must never stall the worker.
-            pass
-        time.sleep(interval_s)
-
-
-def _worker_init(heartbeat=None) -> None:
-    """Per-worker startup: drop inherited fds the worker must not hold.
-
-    Forked workers inherit the parent's open files, including the
-    campaign journal's lock descriptor — and ``flock`` ownership rides
-    on the open file description, so an orphaned worker outliving a
-    SIGKILLed parent would keep the journal locked and block
-    ``--resume``.  Closing the inherited fds here confines ownership to
-    the parent.  Under a spawn start method nothing is inherited and
-    the registry is empty — a no-op.
-
-    *heartbeat* is an optional ``(queue, interval_s)`` pair from the
-    parent; when present, the worker resets its progress counters and
-    starts the beat thread (see :func:`_beat_loop`).
-    """
-    import signal as signal_mod
-
-    from repro.core.checker import journal
-
-    # Forked workers inherit the CLI's graceful SIGINT/SIGTERM handlers,
-    # which raise SessionInterrupted — in a worker that surfaces as a
-    # traceback when the pool manager terminates it (e.g. cleaning up a
-    # broken pool).  Workers take the default disposition: the parent
-    # owns graceful shutdown.
-    try:
-        signal_mod.signal(signal_mod.SIGTERM, signal_mod.SIG_DFL)
-        signal_mod.signal(signal_mod.SIGINT, signal_mod.SIG_IGN)
-    except (ValueError, OSError):  # pragma: no cover - exotic platform
-        pass
-
-    for fd in list(journal._OWNED_FDS):
-        try:
-            os.close(fd)
-        except OSError:
-            pass
-    journal._OWNED_FDS.clear()
-    if heartbeat is not None:
-        beat_queue, interval_s = heartbeat
-        _HB_STATE.update(runs=0, checkpoints=0,
-                         last_progress=time.monotonic())
-        threading.Thread(target=_beat_loop, args=(beat_queue, interval_s),
-                         name="repro-heartbeat", daemon=True).start()
-
-
-class HeartbeatMonitor:
-    """Parent-side consumer of the worker heartbeat queue.
-
-    Drains beats into telemetry (``worker_heartbeat`` events, the
-    per-worker ``worker_staleness_seconds`` gauge, a derived
-    checkpoints/s rate) and watches for silence: a worker whose last
-    beat is older than *stall_after_s* gets exactly one
-    ``worker_stalled`` event per stall episode (cleared when it beats
-    again).  Staleness is measured on the *parent's* clock from the
-    moment a beat is drained, so a frozen worker cannot fake liveness.
-
-    The monitor owns no verdict-relevant state; it can be driven
-    directly (``observe_beat`` / ``check_stalls`` with an injected
-    clock) for deterministic tests, or via :meth:`start` for real pools.
-    """
-
-    def __init__(self, tele, beat_queue, stall_after_s: float | None = None,
-                 poll_s: float | None = None, clock=time.monotonic):
-        self.tele = tele
-        self.queue = beat_queue
-        self.stall_after_s = (stall_after_s if stall_after_s is not None
-                              else WORKER_STALL_S)
-        self.poll_s = (poll_s if poll_s is not None
-                       else max(0.05, HEARTBEAT_INTERVAL_S / 2))
-        self.clock = clock
-        self.workers: dict = {}  # pid -> state dict
-        self.stalls = 0
-        self._stop = threading.Event()
-        self._thread: threading.Thread | None = None
-
-    # -- pure state transitions (unit-testable with a fake clock) ------------------
-
-    def observe_beat(self, beat: dict, now: float | None = None) -> None:
-        now = self.clock() if now is None else now
-        pid = beat.get("pid")
-        state = self.workers.get(pid)
-        rate = 0.0
-        if state is not None:
-            dt = (beat.get("mono") or 0.0) - state["mono"]
-            if dt > 0:
-                rate = max(0.0, (beat.get("checkpoints", 0)
-                                 - state["checkpoints"]) / dt)
-        recovered = state is not None and state.get("stalled")
-        self.workers[pid] = {
-            "seen": now,
-            "mono": beat.get("mono") or 0.0,
-            "runs": beat.get("runs", 0),
-            "checkpoints": beat.get("checkpoints", 0),
-            "last_progress": beat.get("last_progress"),
-            "rate": rate,
-            "stalled": False,
-        }
-        reg = self.tele.registry
-        reg.counter("worker_heartbeats", worker=pid).inc()
-        reg.gauge("worker_staleness_seconds", worker=pid).set(0.0)
-        reg.gauge("worker_checkpoints_per_s", worker=pid).set(rate)
-        self.tele.event("worker_heartbeat", worker=pid,
-                        runs_completed=beat.get("runs", 0),
-                        checkpoints=beat.get("checkpoints", 0),
-                        checkpoints_per_s=rate,
-                        last_progress=beat.get("last_progress"),
-                        staleness_s=0.0, recovered=recovered)
-
-    def check_stalls(self, now: float | None = None) -> None:
-        now = self.clock() if now is None else now
-        for pid, state in self.workers.items():
-            staleness = max(0.0, now - state["seen"])
-            self.tele.registry.gauge("worker_staleness_seconds",
-                                     worker=pid).set(staleness)
-            if staleness >= self.stall_after_s and not state["stalled"]:
-                state["stalled"] = True
-                self.stalls += 1
-                self.tele.registry.counter("workers_stalled").inc()
-                self.tele.event("worker_stalled", worker=pid,
-                                staleness_s=staleness,
-                                runs_completed=state["runs"],
-                                last_progress=state["last_progress"])
-
-    # -- the monitor thread --------------------------------------------------------
-
-    def _loop(self) -> None:
-        while not self._stop.is_set():
-            try:
-                beat = self.queue.get(timeout=self.poll_s)
-            except queue_mod.Empty:
-                pass
-            except (OSError, EOFError, ValueError):
-                return  # queue torn down underneath us: monitoring over
-            else:
-                self.observe_beat(beat)
-            self.check_stalls()
-
-    def start(self) -> "HeartbeatMonitor":
-        if self._thread is None:
-            self._thread = threading.Thread(target=self._loop,
-                                            name="repro-heartbeat-monitor",
-                                            daemon=True)
-            self._thread.start()
-        return self
-
-    def stop(self) -> None:
-        self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-        try:
-            # Reader-side teardown; workers shed beats once it is gone.
-            self.queue.close()
-            self.queue.cancel_join_thread()
-        except (AttributeError, OSError):
-            pass
-
-
-def _run_isolated(worker_fn, args, ctx, deadline):
-    """Re-run one task alone in a fresh single-worker pool.
-
-    Used after a pool break: the parent cannot tell *which* worker died
-    (every in-flight future raises ``BrokenProcessPool``), so each
-    unresolved task is retried in isolation — the crasher reveals itself
-    by breaking its private pool, everything else completes normally.
-    """
-    executor = ProcessPoolExecutor(max_workers=1, mp_context=ctx,
-                                   initializer=_worker_init)
-    value = _EXPIRED
-    try:
-        future = executor.submit(worker_fn, *args)
-        timeout = None
-        if deadline is not None:
-            timeout = max(0.0, deadline - time.monotonic())
-        try:
-            value = future.result(timeout=timeout)
-        except BrokenExecutor:
-            value = CRASHED
-        except (FuturesTimeoutError, TimeoutError):
-            value = _EXPIRED
-        return value
-    finally:
-        # Reap the worker unless it is stuck past the deadline — forked
-        # workers inherit parent fds (e.g. the journal's lock), so a
-        # lingering idle worker must not outlive this call.
-        executor.shutdown(wait=value is not _EXPIRED, cancel_futures=True)
 
 
 class RunExecutor:
@@ -446,398 +158,36 @@ class SerialExecutor(RunExecutor):
             yield index, tasks[index]()
 
 
-class ProcessPoolRunExecutor(RunExecutor):
-    """Fan tasks across a process pool, streaming completions.
-
-    A task is a ``(worker_fn, args)`` tuple; everything in *args* must
-    be picklable.  *deadline* is an absolute ``time.monotonic()`` value
-    (or None): on expiry the stream ends with :attr:`expired` set and
-    in-flight work is abandoned.  :meth:`cancel` is gentler — unstarted
-    futures are revoked, running ones are drained and still yielded.
-    """
-
-    name = "process-pool"
-
-    #: How many times a broken pool is rebuilt (workers respawned and
-    #: unresolved tasks requeued) before falling back to one-task
-    #: isolation pools.  One rebuild recovers the common case — a
-    #: single OOM-killed or segfaulted worker — at full parallelism; a
-    #: pool that breaks twice has a systematic crasher among its tasks,
-    #: and isolation is what attributes it.
-    max_pool_rebuilds = 1
-
-    def __init__(self, n_workers: int, deadline=None, telemetry=None,
-                 heartbeat_interval_s: float | None = None,
-                 stall_after_s: float | None = None):
-        super().__init__()
-        self.n_workers = n_workers
-        self.deadline = deadline
-        self.pool_rebuilds = 0  # broken-pool recoveries this stream
-        # Heartbeats ride on telemetry: without an enabled session there
-        # is nowhere to report liveness, so no queue/monitor is set up.
-        self.telemetry = (telemetry
-                          if telemetry is not None and telemetry.enabled
-                          else None)
-        self.heartbeat_interval_s = (heartbeat_interval_s
-                                     if heartbeat_interval_s is not None
-                                     else HEARTBEAT_INTERVAL_S)
-        self.stall_after_s = stall_after_s
-        self.monitor: HeartbeatMonitor | None = None
-        self._pending: dict = {}  # future -> run index
-
-    def _start_heartbeats(self, ctx) -> tuple:
-        """Arm the heartbeat channel; returns the worker initargs."""
-        if self.telemetry is None:
-            return ()
-        beat_queue = ctx.Queue(maxsize=_HEARTBEAT_QUEUE_SIZE)
-        self.monitor = HeartbeatMonitor(self.telemetry, beat_queue,
-                                        stall_after_s=self.stall_after_s)
-        self.monitor.start()
-        return ((beat_queue, self.heartbeat_interval_s),)
-
-    def cancel(self, floor: int | None = None) -> None:
-        super().cancel(floor)
-        for future, index in list(self._pending.items()):
-            if floor is not None and index <= floor:
-                continue  # needed below the divergence cutoff
-            if future.cancel():
-                self.cancelled_count += 1
-                del self._pending[future]
-
-    def _make_pool(self, ctx, n_tasks: int, initargs) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
-            max_workers=max(1, min(self.n_workers, n_tasks)),
-            mp_context=ctx, initializer=_worker_init, initargs=initargs)
-
-    # -- subclass hooks (no-ops on the plain pickle-channel pool) ------------
-
-    def _poll_interval_s(self) -> float | None:
-        """Cap on each wait() so _on_wait_tick runs at that cadence."""
-        return None
-
-    def _on_wait_tick(self) -> None:
-        """Called after every wait() wakeup, timeout or not."""
-
-    def _note_result(self, index: int, value):
-        """Observe (and possibly rewrite) a task result before yield."""
-        return value
-
-    def _requeue_indexes(self):
-        """Indexes to resubmit once the pool drains (reconciliation)."""
-        return ()
-
-    def stream(self, tasks: dict):
-        indexes = sorted(tasks)
-        if not indexes:
-            return
-        ctx = _mp_context()
-        initargs = self._start_heartbeats(ctx)
-        executor = self._make_pool(ctx, len(indexes), initargs)
-        pending = self._pending
-        rebuilds_left = self.max_pool_rebuilds
-        try:
-            # Submission order == index order: the pool starts tasks
-            # FIFO, the invariant early cancellation relies on.
-            for index in indexes:
-                worker_fn, args = tasks[index]
-                pending[executor.submit(worker_fn, *args)] = index
-            while True:
-                if not pending:
-                    for index in self._requeue_indexes():
-                        worker_fn, args = tasks[index]
-                        pending[executor.submit(worker_fn, *args)] = index
-                    if not pending:
-                        break
-                timeout = None
-                if self.deadline is not None:
-                    timeout = max(0.0, self.deadline - time.monotonic())
-                poll_s = self._poll_interval_s()
-                if poll_s is not None:
-                    timeout = (poll_s if timeout is None
-                               else min(timeout, poll_s))
-                done, _ = wait(set(pending), timeout=timeout,
-                               return_when=FIRST_COMPLETED)
-                self._on_wait_tick()
-                if not done:
-                    if (self.deadline is not None
-                            and time.monotonic() >= self.deadline):
-                        # Session deadline: stop waiting; running
-                        # workers hit their own deadline poll.
-                        self.expired = True
-                        break
-                    continue  # a poll tick, not an expiry
-                unresolved = []
-                for future in done:
-                    index = pending.pop(future, None)
-                    if index is None or future.cancelled():
-                        continue
-                    try:
-                        value = future.result()
-                    except BrokenExecutor:
-                        unresolved.append(index)
-                        continue
-                    yield index, self._note_result(index, value)
-                if not unresolved:
-                    continue
-                # The pool is dead and every in-flight future is doomed
-                # with it.  Cancellation is ignored from here on
-                # purpose: runs below a folded divergence must complete
-                # for the truncated verdict to stay bit-identical to
-                # the serial path.
-                unresolved.extend(pending.values())
-                pending.clear()
-                executor.shutdown(wait=False, cancel_futures=True)
-                if rebuilds_left > 0:
-                    # First recovery tier: respawn the workers once and
-                    # requeue every unresolved task at full
-                    # parallelism.  One dead worker (OOM kill, segfault)
-                    # costs one rebuild, not a serial crawl through
-                    # isolation pools.
-                    rebuilds_left -= 1
-                    self.pool_rebuilds += 1
-                    if self.telemetry is not None:
-                        self.telemetry.event("pool_rebuilt",
-                                             requeued=len(unresolved),
-                                             rebuilds_left=rebuilds_left)
-                        self.telemetry.registry.counter("pool_rebuilds").inc()
-                    executor = self._make_pool(ctx, len(unresolved), initargs)
-                    for index in sorted(unresolved):
-                        worker_fn, args = tasks[index]
-                        pending[executor.submit(worker_fn, *args)] = index
-                    continue
-                # Second tier: the rebuilt pool broke too — one of the
-                # remaining tasks kills any worker it touches.  Salvage
-                # each one in isolation: the crasher reveals itself by
-                # breaking its private pool, the innocents complete.
-                salvage_queue = sorted(unresolved)
-                while salvage_queue and not self.expired:
-                    for index in salvage_queue:
-                        if (self.deadline is not None
-                                and time.monotonic() >= self.deadline):
-                            self.expired = True
-                            break
-                        worker_fn, args = tasks[index]
-                        value = _run_isolated(worker_fn, args, ctx,
-                                              self.deadline)
-                        if value is _EXPIRED:
-                            self.expired = True
-                            break
-                        yield index, self._note_result(index, value)
-                    else:
-                        salvage_queue = sorted(self._requeue_indexes())
-                        continue
-                    break
-                break
-        except BaseException:
-            # Abnormal exit — a signal raised in this frame, the
-            # consumer throwing into the generator, GeneratorExit on an
-            # abandoned stream.  Never hang the teardown waiting on a
-            # possibly-stuck worker the caller is trying to escape.
-            self.expired = True
-            raise
-        finally:
-            # On a normal finish, wait for workers to exit (forked
-            # workers inherit parent fds — see _worker_init); only an
-            # expired deadline / abnormal exit justifies abandoning a
-            # possibly-stuck worker.
-            executor.shutdown(wait=not self.expired, cancel_futures=True)
-            if self.monitor is not None:
-                self.monitor.stop()
-                self.monitor = None
-
-
-# -- run attempts (shared by the serial loop and the pool workers) -----------
-
-
-def attempt_run(runner, budget, retry, config, tele, index: int):
-    """Run one scheduled run, retrying per policy.
-
-    Returns ``(record, failure, session_expired)``: exactly one of
-    *record* / *failure* is set unless the *session* budget expired
-    mid-run, in which case both are None and *session_expired* is True.
-    """
-    from repro.core.engine.model import RunFailure
-
-    base_seed = config.base_seed + index
-    failure = None
-    for attempt in range(retry.max_attempts):
-        seed = retry.seed_for(base_seed, attempt)
-        runner.deadline = budget.run_deadline()
-        try:
-            return runner.run(seed), None, False
-        except ReproError as exc:
-            if isinstance(exc, SessionInterrupted):
-                # A shutdown signal is not a property of this schedule;
-                # recording it as a run failure would turn an interrupt
-                # into a (wrong) nondeterminism verdict.  Unwind.
-                raise
-            if config.fail_fast:
-                raise
-            if isinstance(exc, BudgetError) and budget.expired():
-                # The *session* deadline expired mid-run; that is not a
-                # property of this schedule, so don't record a failure.
-                return None, None, True
-            failure = RunFailure(
-                run=index + 1, seed=seed, error=type(exc).__name__,
-                message=str(exc), steps=runner.step_count,
-                checkpoints=len(runner.checkpoints), attempts=attempt + 1)
-            if not retry.should_retry(exc, attempt):
-                return None, failure, False
-            if tele:
-                tele.event("retry", program=runner.program.name,
-                           run=index + 1, attempt=attempt + 1,
-                           error=type(exc).__name__,
-                           next_seed=retry.seed_for(base_seed, attempt + 1))
-                tele.registry.counter("retries").inc()
-            if retry.backoff_s > 0:
-                time.sleep(retry.backoff_s)
-    return None, failure, False
-
-
-def crash_failure(config, index: int, what: str, checkpoints: int = 0):
-    """The :class:`RunFailure` recorded for a worker process that died.
-
-    *checkpoints* is the salvaged progress, when the backend has any
-    (the shmem exchange keeps the dead run's published prefix) — it
-    localizes the crash exactly as a failing run's own count would.
-    """
-    from repro.core.engine.model import RunFailure
-
-    return RunFailure(
-        run=index + 1, seed=config.base_seed + index,
-        error=WorkerCrashError.__name__,
-        message=f"worker process executing {what} died unexpectedly",
-        checkpoints=checkpoints)
-
-
-# -- worker-side telemetry ---------------------------------------------------
-
-
-def worker_telemetry(enabled: bool):
-    """A buffering telemetry session for one worker task (or None)."""
-    if not enabled:
-        return None
-    from repro.telemetry import MemorySink, Telemetry
-
-    return Telemetry(MemorySink())
-
-
-def telemetry_payload(tele) -> dict:
-    if tele is None:
-        return {"events": [], "metrics": None}
-    return {"events": list(tele.sink.events),
-            "metrics": tele.registry.snapshot()}
-
-
-def merge_worker_telemetry(tele, res: dict, seen_pids: set) -> None:
-    """Fold one worker task's buffered telemetry into the session's.
-
-    Worker events keep their own (worker-relative) timestamps and span
-    ids; the added ``worker`` field disambiguates them in the stream.
-    """
-    if tele is None:
-        return
-    pid = res.get("pid")
-    if pid not in seen_pids:
-        seen_pids.add(pid)
-        tele.event("worker_spawn", worker=pid)
-        tele.registry.counter("workers_spawned").inc()
-    merged = 0
-    for event in res.get("events", ()):
-        if event.get("t") == "meta":
-            continue
-        event = dict(event)
-        event["worker"] = pid
-        tele.emit_raw(event)
-        merged += 1
-    if res.get("metrics"):
-        tele.registry.merge_snapshot(res["metrics"])
-    tele.event("worker_merge", worker=pid, merged_events=merged)
-
-
-# -- worker task functions ---------------------------------------------------
-
-
-def session_run_worker(program, config, index: int, session_deadline,
-                       malloc_log, libcall_log, telemetry_on: bool,
-                       checkpoint_hook=None) -> dict:
-    """Execute one scheduled run in a worker process.
-
-    The worker rebuilds the whole stack — controller (pre-seeded with
-    the parent's recorded logs, so it replays), scheduler, runner — and
-    applies the retry policy locally, exactly as the serial loop does
-    for runs after the first.  *session_deadline* is an absolute
-    ``time.monotonic()`` value (comparable across processes on the
-    platforms that fork), re-armed here as this worker's budget.
-    *checkpoint_hook* is threaded to the runner (the shmem backend's
-    per-checkpoint publish-and-poll hook).
-    """
-    from repro.core.engine.plan import SessionPlan
-
-    if failpoints.ENABLED:
-        failpoints.fire("worker.run.before")
-    tele = worker_telemetry(telemetry_on)
-    plan = SessionPlan.from_config(program, config, n_workers=1)
-    control = plan.make_control()
-    control.malloc_log = malloc_log
-    control.libcall_log = libcall_log
-    runner = plan.make_runner(control, tele, checkpoint_hook=checkpoint_hook)
-    deadline_s = None
-    if session_deadline is not None:
-        deadline_s = max(0.0, session_deadline - time.monotonic())
-    budget = SessionBudget(deadline_s=deadline_s,
-                           run_deadline_s=config.run_deadline_s).start()
-    record, failure, session_expired = attempt_run(
-        runner, budget, plan.retry, config, tele, index)
-    checkpoints = (len(record.checkpoints) if record is not None
-                   else failure.checkpoints if failure is not None else 0)
-    note_worker_progress(runs=1, checkpoints=checkpoints)
-    if failpoints.ENABLED:
-        failpoints.fire("worker.run.after")
-    out = {"index": index, "pid": os.getpid(), "record": record,
-           "failure": failure, "expired": session_expired}
-    out.update(telemetry_payload(tele))
-    return out
-
-
-def campaign_input_worker(program_factory, point, config,
-                          telemetry_on: bool) -> dict:
-    """Check one campaign input in a worker process.
-
-    Runs the full serial session (``workers`` was already forced to 1 by
-    the parent — campaign parallelism is across inputs, never nested).
-    A session that raises becomes an ``error`` outcome here, exactly as
-    the serial campaign loop classifies it.
-    """
-    from repro.core.engine.model import error_outcome, outcome_from_result
-    from repro.core.engine.session import execute_session
-
-    if failpoints.ENABLED:
-        failpoints.fire("worker.input.before")
-    tele = worker_telemetry(telemetry_on)
-    program_name = None
-    try:
-        program = program_factory(**point.params)
-        program_name = program.name
-        result = execute_session(program, config, telemetry=tele)
-        outcome = outcome_from_result(point, result)
-        note_worker_progress(runs=result.runs,
-                             checkpoints=sum(len(r.checkpoints)
-                                             for r in result.records))
-    except SessionInterrupted:
-        raise  # shutdown is the parent's call, never an input verdict
-    except ReproError as exc:
-        outcome = error_outcome(point, type(exc).__name__, str(exc))
-        note_worker_progress()  # the attempt itself is progress
-    if failpoints.ENABLED:
-        failpoints.fire("worker.input.after")
-    out = {"pid": os.getpid(), "outcome": outcome, "program": program_name}
-    out.update(telemetry_payload(tele))
-    return out
-
-
 EXECUTORS.register("serial", SerialExecutor)
+
+# -- compat re-exports and backend registration ------------------------------
+#
+# The modules below import *from* this one (sentinels, the registry,
+# RunExecutor) — everything they need is defined above, so the cycles
+# resolve.  Import order matters: heartbeat/tasks first (pool needs
+# them), then the pool, then the coordinator-native transports, then
+# shmem (which subclasses the pool).
+
+from repro.core.engine.heartbeat import (  # noqa: E402,F401  (re-exports)
+    HEARTBEAT_INTERVAL_S, WORKER_STALL_S, _HB_STATE, _HEARTBEAT_QUEUE_SIZE,
+    HeartbeatMonitor, _beat_loop, _env_float, note_worker_progress)
+from repro.core.engine.tasks import (  # noqa: E402,F401  (re-exports)
+    _mp_context, _worker_init, attempt_run, campaign_input_worker,
+    crash_failure, merge_worker_telemetry, require_picklable,
+    session_run_worker, telemetry_payload, worker_telemetry)
+from repro.core.engine.pool import (  # noqa: E402,F401  (re-exports)
+    ProcessPoolRunExecutor, _run_isolated)
+
 EXECUTORS.register("process-pool", ProcessPoolRunExecutor)
+
+from repro.core.engine.transports import (  # noqa: E402,F401  (registration)
+    AsyncioLocalTransport)
+from repro.core.engine.sockets import (  # noqa: E402,F401  (registration)
+    SocketTransport)
+
+EXECUTORS.register("asyncio-local", AsyncioLocalTransport)
+EXECUTORS.register("socket", SocketTransport)
+
 # The shmem backend registers itself on import; importing it here keeps
 # the executors catalog complete whenever this home module is loaded.
 from repro.core.engine import shmem as _shmem  # noqa: E402,F401  (cycle-safe)

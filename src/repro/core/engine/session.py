@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.core.engine.coordinator import Coordinator, Feedback, coordinate
 from repro.core.engine.executors import (CRASHED, ProcessPoolRunExecutor,
                                          SerialExecutor, attempt_run,
                                          campaign_input_worker, crash_failure,
@@ -28,6 +29,7 @@ from repro.core.engine.executors import (CRASHED, ProcessPoolRunExecutor,
                                          require_picklable, resolve_executor,
                                          resolve_workers, session_run_worker)
 from repro.core.engine.judge import Judge
+from repro.core.engine.transports import ExecutorTransport
 from repro.core.engine.model import (OUTCOME_ERROR, CampaignResult,
                                      error_outcome, outcome_from_result)
 from repro.core.engine.plan import SessionPlan
@@ -77,8 +79,8 @@ def _fold_value(plan, judge, tele, index, value, seen_pids=None,
         judge.fold_record(index, value["record"])
 
 
-def _drive(plan, judge, executor, tasks, tele, seen_pids=None) -> None:
-    """The engine loop: stream, fold, and let the judge steer.
+class SessionFeedback(Feedback):
+    """The judge as the coordinator's feedback: fold results, steer.
 
     The judge's cancel signal (``stop_on_first`` divergence) revokes
     unstarted work and drains what is in flight; budget exhaustion
@@ -86,34 +88,52 @@ def _drive(plan, judge, executor, tasks, tele, seen_pids=None) -> None:
     deadline).  Only the judge-driven cancel is announced — that is the
     early exit a user asked for, not an error path.
     """
-    stop_cancelled = False
-    for index, value in executor.stream(tasks):
+
+    def __init__(self, plan, judge, transport, tele, seen_pids=None):
+        self.plan = plan
+        self.judge = judge
+        self.transport = transport
+        self.tele = tele
+        self.seen_pids = seen_pids
+
+    def fold(self, index: int, value) -> bool:
         if isinstance(value, dict) and value.get("cancelled"):
             # A mid-run cancellation marker (shmem backend): counted,
             # never folded — the judge's truncation would have dropped
             # the record anyway (or the run is resubmitted later).
-            if seen_pids is not None:
-                merge_worker_telemetry(tele, value, seen_pids)
-            if tele:
-                tele.event("midrun_cancel", program=plan.program.name,
-                           backend=executor.name, run=index + 1,
-                           checkpoints=value.get("checkpoints", 0))
-                tele.registry.counter("runs_cancelled_midrun").inc()
-            continue
-        _fold_value(plan, judge, tele, index, value, seen_pids, executor)
-        if not executor.cancelled:
-            if judge.should_cancel():
-                executor.cancel(floor=judge.divergence_index)
-                stop_cancelled = True
-            elif judge.budget_exhausted:
-                executor.cancel()
-    if stop_cancelled and tele:
-        tele.event("session_cancelled", program=plan.program.name,
-                   backend=executor.name,
-                   completed=len(judge.completed),
-                   failed=len(judge.failed),
-                   cancelled=executor.cancelled_count)
-        tele.registry.counter("sessions_cancelled").inc()
+            if self.seen_pids is not None:
+                merge_worker_telemetry(self.tele, value, self.seen_pids)
+            if self.tele:
+                self.tele.event("midrun_cancel",
+                                program=self.plan.program.name,
+                                backend=self.transport.name, run=index + 1,
+                                checkpoints=value.get("checkpoints", 0))
+                self.tele.registry.counter("runs_cancelled_midrun").inc()
+            return False
+        _fold_value(self.plan, self.judge, self.tele, index, value,
+                    self.seen_pids, self.transport)
+        return True
+
+    def should_cancel(self) -> bool:
+        return self.judge.should_cancel()
+
+    def cancel_floor(self):
+        return self.judge.divergence_index
+
+    def budget_exhausted(self) -> bool:
+        return self.judge.budget_exhausted
+
+    def progress(self) -> dict:
+        return {"completed": len(self.judge.completed),
+                "failed": len(self.judge.failed)}
+
+
+def _drive(plan, judge, transport, tasks, tele, seen_pids=None) -> None:
+    """One session batch through the coordinator's scheduling loop."""
+    feedback = SessionFeedback(plan, judge, transport, tele, seen_pids)
+    coordinator = Coordinator(transport, feedback, tele,
+                              program_name=plan.program.name)
+    coordinate(coordinator.run(tasks))
 
 
 def serial_session(plan: SessionPlan, tele):
@@ -135,7 +155,7 @@ def serial_session(plan: SessionPlan, tele):
         return task
 
     tasks = {spec.index: task_for(spec) for spec in plan.specs}
-    _drive(plan, judge, SerialExecutor(), tasks, tele)
+    _drive(plan, judge, ExecutorTransport(SerialExecutor()), tasks, tele)
     return judge.finalize(workers=1)
 
 
@@ -177,7 +197,9 @@ def pool_session(plan: SessionPlan, tele, backend: str = "process-pool"):
             judge.fold_record(index, record)
         index += 1
 
-    # Phase 2 — replayed runs, fanned out across the pool.
+    # Phase 2 — replayed runs, fanned out across the pool (or the
+    # coordinator-native transports: the asyncio-local pool, the
+    # socket worker fleet).
     remaining = [] if judge.budget_exhausted else range(index, config.runs)
     if remaining:
         telemetry_on = tele is not None
@@ -192,22 +214,52 @@ def pool_session(plan: SessionPlan, tele, backend: str = "process-pool"):
             # record run completed).
             reference = (judge.completed[min(judge.completed)]
                          if judge.completed else None)
-            executor = ShmemPoolRunExecutor(
+            transport = ExecutorTransport(ShmemPoolRunExecutor(
                 plan.n_workers, deadline=budget.session_deadline,
                 telemetry=tele, reference=reference,
-                cancel_enabled=config.stop_on_first)
-        else:
-            executor = ProcessPoolRunExecutor(
+                cancel_enabled=config.stop_on_first))
+        elif backend == "asyncio-local":
+            from repro.core.engine.transports import AsyncioLocalTransport
+
+            transport = AsyncioLocalTransport(
                 plan.n_workers, deadline=budget.session_deadline,
                 telemetry=tele)
-        tasks = {
-            i: (worker_fn,
-                (plan.program, config, i, budget.session_deadline,
-                 control.malloc_log, control.libcall_log, telemetry_on))
-            for i in remaining
-        }
-        _drive(plan, judge, executor, tasks, tele, seen_pids=set())
-        if executor.expired:
+        elif backend == "socket":
+            from repro.core.engine.sockets import SocketTransport
+
+            transport = SocketTransport(
+                plan.n_workers, deadline=budget.session_deadline,
+                telemetry=tele)
+        else:
+            transport = ExecutorTransport(ProcessPoolRunExecutor(
+                plan.n_workers, deadline=budget.session_deadline,
+                telemetry=tele))
+        if backend == "socket":
+            # Socket tasks are wire descriptors: the program travels by
+            # registry name, data payloads as blobs (repro.core.engine
+            # .wire); the hub stamps each run's remaining deadline at
+            # dispatch time.
+            from repro.core.engine import wire
+
+            spec = wire.program_spec(plan.program)
+            config_blob = wire.pack_blob(config)
+            malloc_blob = wire.pack_blob(control.malloc_log)
+            libcall_blob = wire.pack_blob(control.libcall_log)
+            tasks = {
+                i: {"kind": "session_run", "spec": spec, "index": i,
+                    "config": config_blob, "malloc": malloc_blob,
+                    "libcall": libcall_blob, "telemetry": telemetry_on}
+                for i in remaining
+            }
+        else:
+            tasks = {
+                i: (worker_fn,
+                    (plan.program, config, i, budget.session_deadline,
+                     control.malloc_log, control.libcall_log, telemetry_on))
+                for i in remaining
+            }
+        _drive(plan, judge, transport, tasks, tele, seen_pids=set())
+        if transport.expired:
             judge.fold_expired()
     return judge.finalize(workers=plan.n_workers)
 
@@ -232,53 +284,94 @@ def record_input_outcome(outcome, point, journal, tele, program_name) -> None:
                    n_ndet_points=outcome.n_ndet_points)
 
 
-def fan_out_campaign(program_factory, points, config, tele, journal,
-                     n_workers: int, total=None):
-    """Fan campaign inputs across worker processes.
+class CampaignFeedback(Feedback):
+    """The campaign's merge hook as coordinator feedback.
 
-    *points* is ``[(position, InputPoint), ...]`` — the inputs still to
-    run, keyed by their position in the campaign's input list so the
-    merged outcomes keep input order.  Returns ``(outcomes, name)``
-    with *outcomes* mapping position -> ``InputOutcome``.
+    Campaigns never cancel mid-fleet (every input gets its verdict), so
+    only :meth:`fold` is interesting: crash attribution, telemetry
+    merge, and the single journal/event funnel per completed input.
     """
-    require_picklable(program_factory=program_factory, config=config)
-    # Campaign parallelism is across inputs, never nested: each worker
-    # runs its session serially, so an explicit pool executor in the
-    # config must not force a pool *inside* a pool worker.
-    worker_config = replace(config, workers=1, executor="auto")
-    telemetry_on = tele is not None
-    by_position = dict(points)
-    tasks = {pos: (campaign_input_worker,
-                   (program_factory, point, worker_config, telemetry_on))
-             for pos, point in points}
-    if tele:
-        for pos, point in points:
-            tele.event("progress", kind="input", input=point.name,
-                       index=pos, total=total)
 
-    outcomes: dict = {}
-    seen_pids: set = set()
-    program_name = None
-    executor = ProcessPoolRunExecutor(n_workers, deadline=None,
-                                      telemetry=tele)
-    for pos, value in executor.stream(tasks):
-        point = by_position[pos]
+    def __init__(self, by_position, journal, tele):
+        self.by_position = by_position
+        self.journal = journal
+        self.tele = tele
+        self.outcomes: dict = {}
+        self.seen_pids: set = set()
+        self.program_name = None
+
+    def fold(self, pos: int, value) -> bool:
+        point = self.by_position[pos]
         if value is CRASHED:
             outcome = error_outcome(
                 point, WorkerCrashError.__name__,
                 f"worker process checking input {point.name!r} "
                 f"died unexpectedly")
         else:
-            merge_worker_telemetry(tele, value, seen_pids)
+            merge_worker_telemetry(self.tele, value, self.seen_pids)
             outcome = value["outcome"]
             if value.get("program"):
-                program_name = value["program"]
-        if tele and outcome.outcome == OUTCOME_ERROR:
-            tele.event("input_error", input=point.name, error=outcome.error,
-                       message=outcome.error_message)
-        outcomes[pos] = outcome
-        record_input_outcome(outcome, point, journal, tele, program_name)
-    return outcomes, program_name
+                self.program_name = value["program"]
+        if self.tele and outcome.outcome == OUTCOME_ERROR:
+            self.tele.event("input_error", input=point.name,
+                            error=outcome.error,
+                            message=outcome.error_message)
+        self.outcomes[pos] = outcome
+        record_input_outcome(outcome, point, self.journal, self.tele,
+                             self.program_name)
+        return True
+
+
+def fan_out_campaign(program_factory, points, config, tele, journal,
+                     n_workers: int, total=None,
+                     backend: str = "process-pool"):
+    """Fan campaign inputs across worker processes.
+
+    *points* is ``[(position, InputPoint), ...]`` — the inputs still to
+    run, keyed by their position in the campaign's input list so the
+    merged outcomes keep input order.  Returns ``(outcomes, name)``
+    with *outcomes* mapping position -> ``InputOutcome``.  *backend*
+    picks the fan-out flavor: the process pool (default), the
+    asyncio-local pool, or the socket worker fleet.
+    """
+    # Campaign parallelism is across inputs, never nested: each worker
+    # runs its session serially, so an explicit pool executor in the
+    # config must not force a pool *inside* a pool worker.
+    worker_config = replace(config, workers=1, executor="auto")
+    telemetry_on = tele is not None
+    by_position = dict(points)
+    if backend == "socket":
+        from repro.core.engine import wire
+        from repro.core.engine.sockets import SocketTransport
+
+        factory_spec = wire.factory_spec(program_factory)
+        config_blob = wire.pack_blob(worker_config)
+        tasks = {pos: {"kind": "campaign_input", "factory": factory_spec,
+                       "index": pos, "point": wire.pack_blob(point),
+                       "config": config_blob, "telemetry": telemetry_on}
+                 for pos, point in points}
+        transport = SocketTransport(n_workers, telemetry=tele)
+    else:
+        require_picklable(program_factory=program_factory, config=config)
+        tasks = {pos: (campaign_input_worker,
+                       (program_factory, point, worker_config, telemetry_on))
+                 for pos, point in points}
+        if backend == "asyncio-local":
+            from repro.core.engine.transports import AsyncioLocalTransport
+
+            transport = AsyncioLocalTransport(n_workers, telemetry=tele)
+        else:
+            transport = ExecutorTransport(
+                ProcessPoolRunExecutor(n_workers, deadline=None,
+                                       telemetry=tele))
+    if tele:
+        for pos, point in points:
+            tele.event("progress", kind="input", input=point.name,
+                       index=pos, total=total)
+
+    feedback = CampaignFeedback(by_position, journal, tele)
+    coordinate(Coordinator(transport, feedback, tele).run(tasks))
+    return feedback.outcomes, feedback.program_name
 
 
 def execute_campaign(program_factory, inputs, config, telemetry=None,
@@ -331,9 +424,16 @@ def execute_campaign(program_factory, inputs, config, telemetry=None,
                 pending.append((index, point))
 
         if n_workers > 1 and len(pending) > 1:
+            # The fan-out backend follows the executor knob, except
+            # that session-level flavors (serial semantics, the shmem
+            # checkpoint exchange) have no meaning *across* inputs and
+            # map back to the plain pool.
+            backend = resolve_executor(config.executor, n_workers)
+            if backend in ("serial", "process-pool-shmem"):
+                backend = "process-pool"
             fanned, program_name = fan_out_campaign(
                 program_factory, pending, config, tele, journal, n_workers,
-                total=len(inputs))
+                total=len(inputs), backend=backend)
             by_position.update(fanned)
         else:
             # Serial loop.  With a single pending input the campaign

@@ -69,6 +69,23 @@ def _sync_object(obj) -> tuple:
             name if name is not None else id(obj))
 
 
+def _buffer_object(model, tid: int, address: int) -> tuple:
+    """The footprint object of one store-buffer FIFO.
+
+    Keyed exactly as the memory model keys its queues
+    (:meth:`~repro.sim.memmodel.StoreBufferModel.key_for`): one object
+    per thread under TSO, one per (thread, location) under PSO — so two
+    drains of *different* location queues of the same thread are
+    independent under PSO, exactly as the hardware reorders them.  A
+    model without ``key_for`` (SC stand-ins in tests) falls back to the
+    per-thread object.
+    """
+    key_for = getattr(model, "key_for", None)
+    if key_for is None:
+        return ("buf", tid)
+    return ("buf",) + tuple(key_for(tid, address))
+
+
 def op_footprint(actor: int, op: Op | None, runner) -> frozenset:
     """The shared-object access set of one executed (or pending) step.
 
@@ -86,18 +103,24 @@ def op_footprint(actor: int, op: Op | None, runner) -> frozenset:
     args = op.args
     buffering = (runner is not None and runner.machine is not None
                  and runner.machine.memory_model is not None)
+    model = runner.machine.memory_model if buffering else None
     if kind == "load" or kind == "read_old":
         return frozenset({(("m", args[0]), READ)})
     if kind == "store":
         if buffering:
             # A buffered store is private until it drains; it only
-            # orders against its own buffer's drains.
-            return frozenset({(("buf", actor), WRITE)})
+            # orders against its own queue's drains (the WRITE) and
+            # against the thread's buffer-emptying fences (the READ on
+            # the per-thread object the fence footprint writes).
+            return frozenset({(_buffer_object(model, actor, args[0]),
+                               WRITE),
+                              (("buf", actor), READ)})
         return frozenset({(("m", args[0]), WRITE), (STATE, READ)})
     if kind == "drain":
         owner, address = args
         return frozenset({(("m", address), WRITE), (STATE, READ),
-                          (("buf", owner), WRITE)})
+                          (_buffer_object(model, owner, address), WRITE),
+                          (("buf", owner), READ)})
     if kind in ("compute", "yield"):
         return frozenset()
     footprint: set = set()
@@ -122,12 +145,16 @@ def op_footprint(actor: int, op: Op | None, runner) -> frozenset:
     elif kind == "write_out":
         footprint.add((("fd", args[0]), WRITE))
     if buffering:
-        # Fences retire the issuing thread's buffered stores as part of
-        # their step; those writes belong to the fence's footprint.
+        # Fences retire the issuing thread's *entire* buffer as part of
+        # their step.  The per-thread ``("buf", tid)`` WRITE keeps them
+        # ordered against every pending drain and buffered store of the
+        # thread — per-queue objects would be unsound here, because a
+        # fence also conflicts with drains of queues it happened to
+        # empty in this trace but would not in a reordering.
         drained = getattr(runner, "fence_drained", ())
         if drained:
-            footprint.add((("buf", actor), WRITE))
             footprint.add((STATE, READ))
+            footprint.add((("buf", actor), WRITE))
             for address in drained:
                 footprint.add((("m", address), WRITE))
     return frozenset(footprint)

@@ -58,8 +58,16 @@ del _name, _cls
 
 
 def make(name: str, n_workers: int = 8, **kwargs) -> Workload:
-    """Instantiate a Table 1 application analog by name."""
-    return REGISTRY.get(name)(n_workers=n_workers, **kwargs)
+    """Instantiate a Table 1 application analog by name.
+
+    The instance is stamped with its registry spec so it can travel to
+    socket workers as a name (see :mod:`repro.core.engine.wire`).
+    """
+    from repro.core.engine.wire import attach_spec
+
+    program = REGISTRY.get(name)(n_workers=n_workers, **kwargs)
+    return attach_spec(program, "workload", name,
+                       {"n_workers": n_workers, **kwargs})
 
 
 def all_names() -> tuple:

@@ -72,10 +72,14 @@ def seeded_sb_dcl(n_workers: int = 4, **kwargs) -> SbDclBroken:
 
 def seeded_program(application: str, n_workers: int = 8, **kwargs):
     """Build the seeded variant of a Table 2 application by name."""
-    factory = SEEDED.get(f"seeded-{application}",
-                         SEEDED.get(application, None))
+    name = (f"seeded-{application}" if f"seeded-{application}" in SEEDED
+            else application)
+    factory = SEEDED.get(name, None)
     if factory is None:
         raise ValueError(
             f"no seeded bug for {application!r}; Table 2 covers "
             f"{sorted(app for app, _ in SEEDED_BUGS)}")
-    return factory(n_workers=n_workers, **kwargs)
+    from repro.core.engine.wire import attach_spec
+
+    return attach_spec(factory(n_workers=n_workers, **kwargs),
+                       "seeded", name, {"n_workers": n_workers, **kwargs})

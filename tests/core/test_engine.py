@@ -120,9 +120,13 @@ def test_classification_parity_across_backends(fault, expected):
     serial = check_determinism(make_fault(fault), CheckConfig(runs=6))
     pooled = check_determinism(make_fault(fault),
                                CheckConfig(runs=6, workers=2))
+    local = check_determinism(
+        make_fault(fault),
+        CheckConfig(runs=6, workers=2, executor="asyncio-local"))
     assert serial.outcome == expected
     assert pooled.outcome == expected
-    assert _canonical(serial) == _canonical(pooled)
+    assert local.outcome == expected
+    assert _canonical(serial) == _canonical(pooled) == _canonical(local)
 
 
 # -- judge: order independence -------------------------------------------------
@@ -206,6 +210,25 @@ def test_stop_on_first_pool_matches_serial_verdict():
     pooled = check_determinism(
         RacyProgram(), CheckConfig(runs=12, stop_on_first=True, workers=2))
     assert _canonical(serial) == _canonical(pooled)
+
+
+def test_stop_on_first_asyncio_local_matches_serial_and_announces():
+    """The natively-async local pool honours the same judge-driven
+    cancel contract as the legacy pool, under its own backend name."""
+    tele = Telemetry(MemorySink())
+    serial = check_determinism(RacyProgram(),
+                               CheckConfig(runs=12, stop_on_first=True))
+    local = check_determinism(
+        RacyProgram(),
+        CheckConfig(runs=12, stop_on_first=True, workers=2,
+                    executor="asyncio-local"),
+        telemetry=tele)
+    assert _canonical(serial) == _canonical(local)
+    events = [e for e in tele.sink.events
+              if e.get("t") == "event" and e["name"] == "session_cancelled"]
+    assert len(events) == 1
+    assert events[0]["backend"] == "asyncio-local"
+    assert tele.registry.snapshot()["counters"]["sessions_cancelled"] == 1
 
 
 def test_stop_on_first_serial_announces_cancel_uniformly():

@@ -100,7 +100,7 @@ class TestMonitorStateMachine:
 
 class TestPoolIntegration:
     def test_pool_session_emits_heartbeats(self, monkeypatch):
-        monkeypatch.setattr("repro.core.engine.executors.HEARTBEAT_INTERVAL_S",
+        monkeypatch.setattr("repro.core.engine.heartbeat.HEARTBEAT_INTERVAL_S",
                             0.05)
         sink = MemorySink()
         tele = Telemetry(sink)

@@ -44,7 +44,7 @@ def _check(program_cls, telemetry=None, **overrides):
 def test_full_plane_changes_no_report_bit(tmp_path, workers, program_cls,
                                           monkeypatch):
     # Fast heartbeats so the pooled variant actually exercises them.
-    monkeypatch.setattr("repro.core.engine.executors.HEARTBEAT_INTERVAL_S",
+    monkeypatch.setattr("repro.core.engine.heartbeat.HEARTBEAT_INTERVAL_S",
                         0.05)
     baseline = _check(program_cls, workers=workers)
     plane = ObservabilityPlane.open(

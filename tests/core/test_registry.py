@@ -75,7 +75,7 @@ def test_catalog_is_complete():
     catalog = all_registries()
     assert set(catalog) >= {"schedulers", "hash-backends", "scheme-kinds",
                             "workloads", "faults", "seeded-bugs", "mixers",
-                            "roundings"}
+                            "roundings", "executors"}
     for kind, registry in catalog.items():
         assert registry.kind == kind
         assert len(registry) > 0, f"registry {kind!r} is empty"
@@ -89,7 +89,17 @@ def test_self_check_resolves_every_name():
     assert ("schedulers", "dpor") in resolved
     assert ("memory-models", "tso") in resolved
     assert ("memory-models", "pso") in resolved
+    assert ("executors", "serial") in resolved
+    assert ("executors", "asyncio-local") in resolved
+    assert ("executors", "socket") in resolved
     assert len(resolved) >= 35
+
+
+def test_executors_registry_covers_every_transport():
+    catalog = all_registries()
+    assert set(catalog["executors"]) == {"serial", "process-pool",
+                                         "process-pool-shmem",
+                                         "asyncio-local", "socket"}
 
 
 def test_memory_models_registry_in_catalog():
@@ -109,6 +119,13 @@ def test_lookup_errors_suggest_close_names():
         make_scheduler("randm")
     with pytest.raises(ValueError, match="did you mean 'tso'"):
         MEMORY_MODELS.get("tos")
+    from repro.core.engine.executors import EXECUTORS
+    from repro.errors import CheckerError
+
+    with pytest.raises(CheckerError,
+                       match="unknown executor backend 'sockte' "
+                             r"\(did you mean 'socket'\?\)"):
+        EXECUTORS.get("sockte")
     # No near-miss: the hint is omitted, the inventory still printed.
     with pytest.raises(SchedulerError, match="available"):
         make_scheduler("fifo")

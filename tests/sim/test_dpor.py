@@ -111,6 +111,70 @@ def test_dpor_never_exceeds_bruteforce_interleavings():
     assert runs <= 8  # brute force needs 8 interleavings here
 
 
+# Exact exploration counts per case, pinned so footprint changes cannot
+# silently regress the reduction: (classes, dpor visited, dpor runs).
+# The per-(thread,location) PSO buffer footprint collapsed litmus-sb-pso
+# from 744 classes / 1176 DPOR runs to 4 / 18 — drain orderings of
+# *different* location queues of one thread no longer count as distinct
+# classes (they commute on real PSO hardware), while the reachable
+# outcome set is unchanged (see the hash-constancy test below).
+EXPECTED_COUNTS = {
+    ("fig1", "sc"): (2, 2, 2),
+    ("racy", "sc"): (4, 4, 4),
+    ("racy", "tso"): (4, 4, 6),
+    ("litmus-sb", "sc"): (3, 3, 3),
+    ("litmus-sb", "tso"): (14, 14, 24),
+    ("litmus-sb", "pso"): (4, 4, 18),
+    ("litmus-mp", "pso"): (4, 4, 13),
+    ("sb-visible-late", "sc"): (2, 2, 2),
+    ("sb-visible-late", "tso"): (3, 3, 3),
+    ("sb-visible-late", "pso"): (3, 3, 3),
+    ("sb-dcl", "pso"): (6, 6, 11),
+}
+
+
+@pytest.mark.parametrize("make_program,memory_model", CASES,
+                         ids=[f"{m().name}-{mm}" for m, mm in CASES])
+def test_exploration_counts_are_pinned(make_program, memory_model):
+    """Class/run counts may only drop, never drift up (the ISSUE floor:
+    litmus-sb-pso had 744 classes and 1176 DPOR runs before the
+    per-location refinement)."""
+    name = make_program().name
+    classes, visited, runs = EXPECTED_COUNTS[(name, memory_model)]
+    brute = brute_force_classes(make_program(), memory_model)
+    got_runs, got_visited = dpor_explore(make_program(), memory_model)
+    assert len(brute) == classes
+    assert len(got_visited) == visited
+    assert got_runs == runs
+    if (name, memory_model) == ("litmus-sb", "pso"):
+        assert len(brute) <= 744 and got_runs <= 1176
+
+
+def test_pso_class_merging_is_hash_constant():
+    """Soundness of the per-location footprint: every interleaving that
+    the refined dependence relation places in one Mazurkiewicz class
+    reaches the same final hash — the merge never hides a divergence."""
+    for make_program, model in [(lambda: SbVisibleLate(n_workers=2), "pso"),
+                                (lambda: SbDclBroken(n_workers=2), "pso")]:
+        per_class: dict = {}
+        decisions: list[int] = []
+        count = 0
+        while True:
+            scheduler = TracingDecisionScheduler(decisions)
+            runner = Runner(make_program(), scheme_factory=SCHEMES,
+                            scheduler=scheduler, memory_model=model)
+            record = runner.run(seed=0)
+            per_class.setdefault(mazurkiewicz_key(scheduler.trace),
+                                 set()).add(record.hashes())
+            count += 1
+            assert count <= 1_000
+            nxt = _next_vector(scheduler.taken, scheduler.choice_counts)
+            if nxt is None:
+                break
+            decisions = nxt
+        assert all(len(hashes) == 1 for hashes in per_class.values())
+
+
 # -- frontier resume ---------------------------------------------------------------
 
 
@@ -214,7 +278,57 @@ def test_op_footprints_make_buffered_stores_private():
         fence_drained = ()
 
     buffered = op_footprint(1, Op("store", (7, 42)), _RBuf())
-    assert buffered == frozenset({(("buf", 1), "W")})
+    assert buffered == frozenset({(("buf", 1), "W"), (("buf", 1), "R")})
     drain = op_footprint(-1, Op("drain", (1, 7)), _RBuf())
     assert dependent(drain, op_footprint(2, Op("load", (7,)), _RBuf()))
     assert dependent(drain, buffered)
+
+
+def test_pso_footprints_key_buffer_objects_per_location():
+    """PSO gives each (thread, location) queue its own footprint object.
+
+    Drains of *different* location queues of one thread commute (the
+    hardware reorders them); drains of the *same* queue, loads of the
+    drained address, and the thread's fences stay ordered.  Under TSO
+    every location maps to the thread's single queue, so the footprints
+    are the same per-thread object as before the refinement.
+    """
+    from repro.sim.context import Op
+    from repro.sim.memmodel import make_memory_model
+
+    def runner_for(model_name):
+        class _Machine:
+            memory_model = make_memory_model(model_name)
+
+        class _R:
+            machine = _Machine()
+            fence_drained = ()
+
+        return _R()
+
+    pso = runner_for("pso")
+    drain_a = op_footprint(-1, Op("drain", (1, 7)), pso)
+    drain_b = op_footprint(-2, Op("drain", (1, 8)), pso)
+    assert (("buf", 1, 7), "W") in drain_a
+    assert (("buf", 1, 8), "W") in drain_b
+    # Same thread, different locations: independent under PSO...
+    assert not dependent(drain_a, drain_b)
+    # ...but a store to the same location stays ordered with its drain,
+    assert dependent(op_footprint(1, Op("store", (7, 42)), pso), drain_a)
+    # and commutes with a drain of the thread's *other* queue.
+    assert not dependent(op_footprint(1, Op("store", (7, 42)), pso),
+                         drain_b)
+
+    # A fence retires the whole buffer: its per-thread WRITE conflicts
+    # with every queue's READ, whichever location the queue holds.
+    pso.fence_drained = (8,)
+    fence = op_footprint(1, Op("isa", ("fence",)), pso)
+    assert (("buf", 1), "W") in fence
+    assert dependent(fence, drain_a)
+    assert dependent(fence, drain_b)
+
+    # TSO: one queue per thread, identical to the pre-refinement shape.
+    tso = runner_for("tso")
+    t_drain = op_footprint(-1, Op("drain", (1, 7)), tso)
+    assert (("buf", 1), "W") in t_drain
+    assert dependent(t_drain, op_footprint(-2, Op("drain", (1, 8)), tso))
